@@ -1,0 +1,27 @@
+.PHONY: install dev test bench experiments examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+dev:
+	pip install -e .[dev] || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+experiments-quick:
+	python -m repro.experiments --quick
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+all: test bench experiments

@@ -1,0 +1,16 @@
+"""§V-C bench: capacity inflation of the access-link naive solution."""
+
+import pytest
+
+from repro.experiments import run_comparison
+
+
+@pytest.mark.benchmark(group="comparison")
+def test_access_link_capacity_inflation(benchmark):
+    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    # Paper: the access link needs ~70 % more capacity; we accept the
+    # same order (the exact factor depends on the synthetic loads).
+    assert 1.3 <= result.capacity_inflation <= 2.5
+    assert result.smallest_od == "JANET-LU"
+    print()
+    print(result.format())

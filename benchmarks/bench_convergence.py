@@ -1,0 +1,22 @@
+"""§IV-D bench: convergence statistics over randomized runs.
+
+The paper's numbers: 98.6 % of runs converge within 2000 iterations;
+1.64 constraint releases per run on average (std 1.12).  The bench
+runs a reduced batch (50 runs) to keep wall-clock sane; the full
+200-run batch is available via ``repro.experiments.run_convergence``.
+"""
+
+import pytest
+
+from repro.experiments import run_convergence
+
+
+@pytest.mark.benchmark(group="convergence")
+def test_convergence_statistics(benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_convergence(runs=50, seed=2006), rounds=1, iterations=1
+    )
+    assert stats.convergence_fraction >= 0.9  # paper: 98.6 %
+    assert stats.mean_releases < 5.0  # paper: 1.64
+    print()
+    print(stats.format())

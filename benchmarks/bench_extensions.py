@@ -1,0 +1,69 @@
+"""Benches for the extension experiments (dynamics, closed loop, robust, bias)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_robust_problem, solve_robust
+from repro.experiments import run_bias, run_closed_loop_experiment, run_dynamic
+from repro.traffic import fail_link, janet_task, scale_diurnal
+
+
+@pytest.mark.benchmark(group="ext-dynamic")
+def test_dynamic_reoptimization(benchmark):
+    result = benchmark.pedantic(run_dynamic, rounds=1, iterations=1)
+    failure = [e for e in result.events if e.label.startswith("failure")][0]
+    # The motivation quantified: static collapses, re-optimization holds.
+    assert failure.static_worst_utility < 0.8
+    assert failure.reopt_worst_utility > 0.9
+    for event in result.events:
+        assert event.reopt_objective >= event.static_objective - 1e-6
+    print()
+    print(result.format())
+
+
+@pytest.mark.benchmark(group="ext-closed-loop")
+def test_closed_loop_day(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_closed_loop_experiment(num_intervals=8, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.loop.mean_adaptive_accuracy > 0.9
+    print()
+    print(result.format())
+
+
+@pytest.mark.benchmark(group="ext-robust")
+def test_robust_three_scenarios(benchmark):
+    base = janet_task()
+    scenarios = [
+        scale_diurnal(base, 15.0),
+        scale_diurnal(base, 3.0),
+        fail_link(base, "UK", "FR"),
+    ]
+
+    def build_and_solve():
+        robust = build_robust_problem(
+            base.network, scenarios, theta_packets=100_000.0
+        )
+        return robust, solve_robust(robust, objective="mean")
+
+    robust, solution = benchmark.pedantic(build_and_solve, rounds=1, iterations=1)
+    assert solution.diagnostics.converged
+    per_scenario = robust.per_scenario_utilities(solution)
+    # Worst-OD utility stays high even in the failure scenario.
+    assert per_scenario.min() > 0.9
+    print()
+    print("per-scenario worst-OD utility:", np.round(per_scenario.min(axis=1), 4))
+
+
+@pytest.mark.benchmark(group="ext-bias")
+def test_netflow_ground_truth_bias(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bias(repetitions=6, seed=2006), rounds=1, iterations=1
+    )
+    stds = [row.relative_std for row in result.rows]
+    # Relative spread shrinks monotonically-ish with OD size.
+    assert stds[0] > stds[-1] * 3
+    print()
+    print(result.format())

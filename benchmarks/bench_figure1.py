@@ -1,0 +1,21 @@
+"""Figure 1 bench: regenerate the utility-function curves.
+
+Regenerates both curves of the paper's Figure 1 and checks their
+annotations (splice at x₀ with M(x₀) ≈ 2/3) before timing.
+"""
+
+import pytest
+
+from repro.experiments import run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_curves(benchmark):
+    result = benchmark(run_figure1)
+    for label, (x0, m0) in result.splice_points.items():
+        assert 0 < x0 < 0.01, label
+        assert abs(m0 - 2 / 3) < 2e-3, label
+    # Curves start at zero utility and end at ~1 (full sampling).
+    for curve in result.curves.values():
+        assert abs(curve[0]) < 1e-12
+        assert abs(curve[-1] - 1.0) < 1e-2

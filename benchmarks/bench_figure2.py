@@ -1,0 +1,29 @@
+"""Figure 2 bench: accuracy-vs-θ sweep, optimal vs UK-links-only."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_figure2
+
+THETAS = tuple(float(t) for t in np.geomspace(5_000, 2_000_000, 7))
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(thetas=THETAS, runs=10, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    worst_opt = [p.worst for p in result.optimal]
+    worst_uk = [p.worst for p in result.restricted]
+    avg_opt = [p.average for p in result.optimal]
+    # Paper shapes: accuracy grows with theta; the restricted solution
+    # loses badly on the worst OD pair at small/medium capacity and
+    # approaches the optimum as theta grows.
+    assert avg_opt[-1] > avg_opt[0]
+    assert worst_opt[0] > worst_uk[0]
+    assert worst_opt[2] > worst_uk[2]
+    assert abs(worst_opt[-1] - worst_uk[-1]) < 0.15
+    print()
+    print(result.format())

@@ -1,0 +1,63 @@
+"""Solver benches: gradient projection vs SciPy reference methods.
+
+Verifies (again, under timing) that all methods certify the same
+global optimum, and measures how the paper's algorithm scales with
+problem size on random Waxman topologies.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ODPair, SamplingProblem, make_task
+from repro.core import solve_gradient_projection, solve_scipy
+from repro.topology import random_waxman_network
+
+
+def random_problem(num_nodes: int, num_od: int, seed: int) -> SamplingProblem:
+    rng = np.random.default_rng(seed)
+    net = random_waxman_network(num_nodes, seed=seed)
+    names = net.node_names
+    pairs = []
+    while len(pairs) < num_od:
+        a, b = rng.choice(len(names), size=2, replace=False)
+        od = ODPair(names[int(a)], names[int(b)])
+        if od not in pairs:
+            pairs.append(od)
+    sizes = rng.uniform(100.0, 30_000.0, size=num_od)
+    task = make_task(net, pairs, sizes, background_pps=500_000.0, seed=seed)
+    theta = 0.002 * float(task.link_loads_pps.sum()) * task.interval_seconds
+    return SamplingProblem.from_task(task, theta_packets=theta)
+
+
+@pytest.mark.benchmark(group="solver-geant")
+def test_gradient_projection_on_geant(benchmark, geant_problem):
+    solution = benchmark(solve_gradient_projection, geant_problem)
+    assert solution.diagnostics.converged
+
+
+@pytest.mark.benchmark(group="solver-geant")
+def test_slsqp_on_geant(benchmark, geant_problem):
+    solution = benchmark(solve_scipy, geant_problem, "SLSQP")
+    assert solution.diagnostics.converged
+
+
+@pytest.mark.benchmark(group="solver-geant")
+def test_trust_constr_on_geant(benchmark, geant_problem):
+    solution = benchmark(solve_scipy, geant_problem, "trust-constr")
+    assert solution.diagnostics.converged
+
+
+@pytest.mark.parametrize(
+    "num_nodes,num_od", [(10, 5), (20, 15), (40, 30), (80, 100)]
+)
+@pytest.mark.benchmark(group="solver-scaling")
+def test_gradient_projection_scaling(benchmark, num_nodes, num_od):
+    problem = random_problem(num_nodes, num_od, seed=num_nodes)
+    solution = benchmark.pedantic(
+        solve_gradient_projection, args=(problem,), rounds=1, iterations=1
+    )
+    assert solution.diagnostics.converged
+    reference = solve_scipy(problem, method="SLSQP")
+    assert solution.objective_value == pytest.approx(
+        reference.objective_value, rel=1e-6
+    )

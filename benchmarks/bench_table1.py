@@ -1,0 +1,35 @@
+"""Table I bench: the full JANET solve + Monte-Carlo evaluation.
+
+Times the end-to-end regeneration of Table I and asserts the paper's
+qualitative anchors on the result it produced.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(runs=20, seed=2006), rounds=1, iterations=1
+    )
+    # Paper anchors: ~10 active monitors of 72, rates ≤ ~1 %, at most a
+    # few monitors per OD pair, good accuracy across the board.
+    assert 5 <= len(result.link_rates) <= 15
+    assert result.max_rate < 0.02
+    assert result.max_monitors_per_od <= 3
+    assert result.average_accuracy > 0.88
+    assert result.worst_accuracy > 0.75
+    print()
+    print(result.format())
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_solver_only(benchmark, geant_problem):
+    """Just the optimization (the paper quotes 'a few seconds')."""
+    from repro.core import solve_gradient_projection
+
+    solution = benchmark(solve_gradient_projection, geant_problem)
+    assert solution.diagnostics.converged
+    assert solution.diagnostics.iterations <= 2000

@@ -1,0 +1,17 @@
+"""Benchmark fixtures: shared workload objects built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SamplingProblem, janet_task
+
+
+@pytest.fixture(scope="session")
+def geant_task():
+    return janet_task()
+
+
+@pytest.fixture(scope="session")
+def geant_problem(geant_task):
+    return SamplingProblem.from_task(geant_task, theta_packets=100_000)

@@ -1,0 +1,76 @@
+"""Anomaly-detection monitoring on Abilene with alternative utilities.
+
+The paper's framework "can be applied to a wide range of measurement
+tasks for which a utility function can be sought" (§VI), naming
+anomaly detection as ongoing work.  This example builds that variant:
+
+* task: watch 6 suspect origin-destination flows crossing Abilene;
+* utility: ``ExponentialUtility`` — the probability of catching at
+  least one packet of an anomalous flow of a given size grows like
+  ``1 - exp(-a·ρ)``;
+* objective: the *soft-min* of the utilities, because for detection
+  the weakest-watched flow defines the exposure (§III's max-min
+  alternative, smoothed to stay inside the solver's C² requirements).
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import ODPair, SamplingProblem, abilene_network, make_task, solve
+from repro.core import ExponentialUtility, SoftMinUtilityObjective
+
+#: Suspected flows (the anomaly watchlist) and their rates in pkt/s.
+WATCHLIST = [
+    (ODPair("NYC", "LAX", label="susp-1"), 4000.0),
+    (ODPair("SEA", "ATL", label="susp-2"), 900.0),
+    (ODPair("WDC", "SNV", label="susp-3"), 350.0),
+    (ODPair("CHI", "HOU", label="susp-4"), 120.0),
+    (ODPair("DEN", "NYC", label="susp-5"), 45.0),
+    (ODPair("LAX", "WDC", label="susp-6"), 15.0),
+]
+
+THETA_PACKETS = 20_000.0  # per 5-minute interval
+
+
+def main() -> None:
+    net = abilene_network()
+    od_pairs = [od for od, _ in WATCHLIST]
+    sizes = [pps for _, pps in WATCHLIST]
+    task = make_task(net, od_pairs, sizes, background_pps=400_000.0, seed=11)
+
+    # Detection utility: an anomaly burst of ~200 packets hiding inside
+    # a flow is caught with probability 1 - (1-rho)^200 ≈ 1 - e^(-200 rho).
+    problem = SamplingProblem.from_task(
+        task,
+        theta_packets=THETA_PACKETS,
+        utility_factory=lambda c: ExponentialUtility(steepness=200.0),
+    )
+
+    # Max-min objective: maximize the detection probability of the
+    # *least* observable suspect flow.
+    candidates = np.flatnonzero(problem.candidate_mask)
+    objective = SoftMinUtilityObjective(
+        problem.routing[:, candidates], problem.utilities, temperature=0.002
+    )
+    solution = solve(problem, objective=objective)
+
+    names = [link.name for link in net.links]
+    print(solution.summary(names))
+    print()
+    print("per-suspect detection probability (>= 1 burst packet sampled):")
+    for od, utility in zip(od_pairs, solution.od_utilities):
+        print(f"  {od.name:>8}: {utility:.3f}")
+    print()
+    print(f"weakest suspect: {solution.od_utilities.min():.3f} "
+          "(the max-min objective pushes this up)")
+
+    # Contrast with the sum objective: better total, worse minimum.
+    sum_solution = solve(problem)
+    print(f"sum-objective weakest suspect: {sum_solution.od_utilities.min():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Re-optimizing the monitoring configuration as the network changes.
+
+The paper's opening argument (§I): static monitor placement turns
+sub-optimal under re-routing events, anomalies and traffic evolution —
+which is why placement should be a *configuration* problem re-solved
+from NetFlow-style telemetry, not a hardware decision.
+
+This example walks one operational day on GEANT:
+
+* 03:00 — night trough (all traffic at 40 % of peak),
+* 09:00 — morning ramp,
+* 12:00 — a 30× flash anomaly on the smallest OD pair,
+* 15:00 — the UK<->FR circuit fails; IS-IS re-routes everything.
+
+At each step it compares the frozen midday-optimal configuration
+against a warm-started re-optimization.
+
+Run with::
+
+    python examples/dynamic_reoptimization.py
+"""
+
+from repro.experiments import run_dynamic
+
+
+def main() -> None:
+    result = run_dynamic(
+        theta_packets=100_000,
+        anomaly_magnitude=30.0,
+        failed_circuit=("UK", "FR"),
+    )
+    print(result.format())
+    print()
+    failure = [e for e in result.events if e.label.startswith("failure")][0]
+    print("headline:")
+    print(
+        "  after the UK<->FR failure the frozen configuration keeps only "
+        f"{failure.static_worst_utility:.2f} worst-OD utility;"
+    )
+    print(
+        "  warm-started re-optimization restores "
+        f"{failure.reopt_worst_utility:.2f} in "
+        f"{failure.reopt_iterations} iterations."
+    )
+    night = result.events[0]
+    print(
+        f"  at night the frozen configuration uses only "
+        f"{night.static_budget_overrun:.0%} of the budget it was sized for."
+    )
+
+
+if __name__ == "__main__":
+    main()

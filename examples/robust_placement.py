@@ -1,0 +1,75 @@
+"""Robust placement: one configuration for day, night and a failure.
+
+Instead of re-optimizing per interval (see
+``dynamic_reoptimization.py``), compute a *single* configuration that
+stays adequate across a scenario set: the busy-hour matrix, the night
+matrix, and the nominal topology's most painful circuit failure
+(UK<->FR).  The stacked multi-scenario problem remains concave, so the
+same gradient-projection solver certifies its global optimum.
+
+Run with::
+
+    python examples/robust_placement.py
+"""
+
+import numpy as np
+
+from repro import SamplingProblem, janet_task, solve
+from repro.core import build_robust_problem, solve_robust
+from repro.traffic import fail_link, scale_diurnal
+
+THETA = 100_000.0
+
+
+def main() -> None:
+    base = janet_task()
+    scenarios = {
+        "day (15:00)": scale_diurnal(base, 15.0),
+        "night (03:00)": scale_diurnal(base, 3.0),
+        "UK<->FR failed": fail_link(base, "UK", "FR"),
+    }
+
+    robust = build_robust_problem(
+        base.network, list(scenarios.values()), theta_packets=THETA
+    )
+    robust_solution = solve_robust(robust, objective="mean")
+
+    # The nominal-only optimum for contrast.
+    nominal = solve(SamplingProblem.from_task(base, THETA))
+
+    names = [link.name for link in base.network.links]
+    print("robust configuration (budget sized for worst-case loads):")
+    print(robust_solution.summary(names))
+    print()
+
+    per_scenario = robust.per_scenario_utilities(robust_solution)
+    print(f"{'scenario':>16} {'robust worst-OD':>16} {'nominal worst-OD':>17}")
+    for s, (label, task) in enumerate(scenarios.items()):
+        block = robust.problem.routing[
+            s * base.num_od_pairs : (s + 1) * base.num_od_pairs
+        ]
+        rho_nominal = block @ nominal.rates
+        nominal_utilities = np.array(
+            [
+                u.value(r)
+                for u, r in zip(
+                    robust.problem.utilities[
+                        s * base.num_od_pairs : (s + 1) * base.num_od_pairs
+                    ],
+                    rho_nominal,
+                )
+            ]
+        )
+        print(
+            f"{label:>16} {per_scenario[s].min():>16.4f} "
+            f"{nominal_utilities.min():>17.4f}"
+        )
+    print()
+    print(
+        "the nominal optimum collapses in the failure scenario; the robust "
+        "configuration pays a little nominal utility to stay afloat there."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Bootstrapping monitor placement from SNMP data only.
+
+Day zero: no sampling infrastructure is configured yet, so OD sizes
+are unknown — only SNMP link loads and edge totals exist.  The
+traffic-matrix-estimation literature the paper cites (§II) turns those
+into a (rough) demand matrix; this example shows the pipeline
+
+    SNMP loads ──tomogravity──▶ estimated matrix ──optimizer──▶ placement
+
+and, crucially, that the placement is far more robust than the
+estimates themselves: tomogravity's per-OD errors are large (the
+problem is underdetermined), but the monitors it activates and the
+utility they deliver are within ~1 % of the true-size optimum.
+From there the closed loop (see ``dynamic_reoptimization.py``) refines
+sizes from the system's own samples.
+
+Run with::
+
+    python examples/tomogravity_bootstrap.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_inference
+
+
+def main() -> None:
+    result = run_inference()
+    print(result.format())
+    print()
+    errors = result.size_relative_errors
+    print("distribution of per-OD size-estimate errors:")
+    for quantile in (0.1, 0.5, 0.9):
+        print(f"  p{int(quantile * 100):02d}: {np.quantile(errors, quantile):.0%}")
+    print()
+    print(
+        "takeaway: tomogravity misjudges individual OD sizes badly, yet the "
+        f"placement built on it loses only {result.objective_gap_fraction:.2%} "
+        "of the optimal utility — placement is a much easier decision than "
+        "estimation, so SNMP-only bootstrapping is safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""netsampling — optimal network-wide packet sampling.
+
+Reproduction of *Reformulating the Monitor Placement Problem: Optimal
+Network-Wide Sampling* (Cantieni, Iannaccone, Barakat, Diot, Thiran —
+CoNEXT 2006): given a network where every link can host a monitor,
+jointly decide which monitors to activate and at which sampling rate,
+maximizing the utility of a measurement task under a system-wide
+capacity constraint.
+
+Quickstart::
+
+    from repro import janet_task, SamplingProblem, solve
+
+    task = janet_task()
+    problem = SamplingProblem.from_task(task, theta_packets=100_000)
+    solution = solve(problem)
+    print(solution.summary([l.name for l in task.network.links]))
+
+Packages
+--------
+``repro.core``
+    The paper's contribution: problem, utilities, gradient-projection
+    solver with KKT certification, SciPy reference solvers.
+``repro.topology`` / ``repro.routing`` / ``repro.traffic``
+    Substrates: backbone topologies, IS-IS routing, gravity traffic,
+    NetFlow simulation, measurement workloads.
+``repro.sampling``
+    Monte-Carlo evaluation of configurations (the paper's §V method).
+``repro.baselines``
+    Access-link, restricted-set, uniform and two-phase comparators.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+from .adaptive import AdaptiveController, ControllerConfig, run_closed_loop
+from .baselines import (
+    access_link_solution,
+    capacity_to_match_rate,
+    greedy_placement,
+    solve_restricted,
+    two_phase_solution,
+    uniform_solution,
+)
+from .core import (
+    ExponentialUtility,
+    GradientProjectionOptions,
+    InfeasibleProblemError,
+    KKTReport,
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    SamplingSolution,
+    SoftMinUtilityObjective,
+    SumUtilityObjective,
+    UtilityFunction,
+    check_kkt,
+    exact_effective_rates,
+    linear_effective_rates,
+    solve,
+    solve_gradient_projection,
+    solve_scipy,
+)
+from .core import (
+    build_robust_problem,
+    quantize_solution,
+    shadow_price,
+    solve_robust,
+)
+from .inference import estimate_traffic_matrix, gravity_prior
+from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
+from .sampling import SamplingExperiment, accuracy, estimate_sizes
+from .topology import Network, abilene_network, geant_network
+from .traffic import (
+    MeasurementTask,
+    TrafficMatrix,
+    gravity_traffic_matrix,
+    janet_task,
+    make_task,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SamplingProblem",
+    "SamplingSolution",
+    "InfeasibleProblemError",
+    "solve",
+    "solve_gradient_projection",
+    "solve_scipy",
+    "GradientProjectionOptions",
+    "UtilityFunction",
+    "MeanSquaredRelativeAccuracy",
+    "LogUtility",
+    "ExponentialUtility",
+    "SumUtilityObjective",
+    "SoftMinUtilityObjective",
+    "check_kkt",
+    "KKTReport",
+    "linear_effective_rates",
+    "exact_effective_rates",
+    # substrates
+    "Network",
+    "geant_network",
+    "abilene_network",
+    "ODPair",
+    "Path",
+    "RoutingMatrix",
+    "ShortestPathRouter",
+    "TrafficMatrix",
+    "gravity_traffic_matrix",
+    "MeasurementTask",
+    "janet_task",
+    "make_task",
+    # evaluation
+    "SamplingExperiment",
+    "accuracy",
+    "estimate_sizes",
+    # baselines
+    "uniform_solution",
+    "access_link_solution",
+    "capacity_to_match_rate",
+    "solve_restricted",
+    "greedy_placement",
+    "two_phase_solution",
+    # extensions
+    "AdaptiveController",
+    "ControllerConfig",
+    "run_closed_loop",
+    "build_robust_problem",
+    "solve_robust",
+    "quantize_solution",
+    "shadow_price",
+    "estimate_traffic_matrix",
+    "gravity_prior",
+]

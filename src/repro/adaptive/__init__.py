@@ -1,0 +1,16 @@
+"""Closed-loop adaptive monitoring built on the paper's optimizer."""
+
+from .anomaly import AnomalyAlarm, VolumeAnomalyDetector
+from .controller import AdaptiveController, ControllerConfig, IntervalReport
+from .loop import LoopIntervalResult, LoopResult, run_closed_loop
+
+__all__ = [
+    "AdaptiveController",
+    "ControllerConfig",
+    "IntervalReport",
+    "run_closed_loop",
+    "LoopResult",
+    "LoopIntervalResult",
+    "VolumeAnomalyDetector",
+    "AnomalyAlarm",
+]

@@ -1,0 +1,151 @@
+"""Volume-anomaly detection on the estimate stream (§VI's application).
+
+The paper's ongoing work targets "new expressions for the utility
+function for applications such as anomaly detection".  Detection needs
+two parts: a utility that keeps small OD pairs observable (shipped as
+:class:`~repro.core.utility.ExponentialUtility` plus the soft-min
+objective), and a detector consuming the per-interval size estimates
+the monitoring loop already produces.  This module is that detector —
+a classic per-OD EWMA mean/variance tracker flagging intervals whose
+estimate deviates by more than ``threshold_sigmas``, with the
+estimate's own sampling noise folded into the variance floor so low
+sampling rates do not masquerade as anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AnomalyAlarm", "VolumeAnomalyDetector"]
+
+
+@dataclass(frozen=True)
+class AnomalyAlarm:
+    """One flagged (interval, OD pair) deviation."""
+
+    interval: int
+    od_index: int
+    estimate: float
+    expected: float
+    z_score: float
+
+    @property
+    def is_surge(self) -> bool:
+        return self.estimate > self.expected
+
+
+class VolumeAnomalyDetector:
+    """Per-OD EWMA mean/deviation tracker over size estimates.
+
+    Parameters
+    ----------
+    num_od_pairs:
+        Width of the estimate vectors.
+    ewma_weight:
+        Weight of the newest observation in the running statistics.
+    threshold_sigmas:
+        Flag deviations beyond this many (EWMA-estimated) standard
+        deviations.
+    warmup_intervals:
+        Number of initial intervals used purely to learn the baseline
+        (no alarms raised).
+    min_relative_deviation:
+        Ignore deviations smaller than this fraction of the expected
+        value regardless of z-score (guards near-zero variance).
+    """
+
+    def __init__(
+        self,
+        num_od_pairs: int,
+        ewma_weight: float = 0.3,
+        threshold_sigmas: float = 5.0,
+        warmup_intervals: int = 3,
+        min_relative_deviation: float = 0.5,
+    ) -> None:
+        if num_od_pairs < 1:
+            raise ValueError("need at least one OD pair")
+        if not 0.0 < ewma_weight < 1.0:
+            raise ValueError("ewma weight must be in (0, 1)")
+        if threshold_sigmas <= 0:
+            raise ValueError("threshold must be positive")
+        if warmup_intervals < 1:
+            raise ValueError("need at least one warmup interval")
+        self._num_od = num_od_pairs
+        self._weight = ewma_weight
+        self._threshold = threshold_sigmas
+        self._warmup = warmup_intervals
+        self._min_rel = min_relative_deviation
+        self._mean: np.ndarray | None = None
+        self._variance: np.ndarray | None = None
+        self._interval = 0
+
+    @property
+    def intervals_seen(self) -> int:
+        return self._interval
+
+    def observe(
+        self,
+        estimates: np.ndarray,
+        estimate_variances: np.ndarray | None = None,
+    ) -> list[AnomalyAlarm]:
+        """Ingest one interval's estimates; return any alarms.
+
+        ``estimate_variances`` (optional) carries each estimate's own
+        sampling variance — for an inverted binomial count this is
+        ``S(1-ρ)/ρ`` — which is added to the learned variance so noisy
+        estimates need a larger absolute deviation to alarm.
+
+        Anomalous observations are *not* absorbed into the baseline
+        (mean/variance update is skipped for flagged ODs), so a
+        persistent surge keeps alarming instead of becoming normal.
+        """
+        estimates = np.asarray(estimates, dtype=float)
+        if estimates.shape != (self._num_od,):
+            raise ValueError("estimates do not match OD count")
+        if estimate_variances is None:
+            noise = np.zeros(self._num_od)
+        else:
+            noise = np.asarray(estimate_variances, dtype=float)
+            if noise.shape != (self._num_od,):
+                raise ValueError("variances do not match OD count")
+
+        if self._mean is None:
+            self._mean = estimates.copy()
+            self._variance = np.maximum(estimates * 0.1, 1.0) ** 2
+            self._interval += 1
+            return []
+
+        deviation = estimates - self._mean
+        scale = np.sqrt(self._variance + noise)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(scale > 0, deviation / scale, 0.0)
+        relative = np.abs(deviation) / np.maximum(self._mean, 1e-9)
+
+        alarms: list[AnomalyAlarm] = []
+        flagged = np.zeros(self._num_od, dtype=bool)
+        if self._interval >= self._warmup:
+            for k in np.flatnonzero(
+                (np.abs(z) > self._threshold) & (relative > self._min_rel)
+            ):
+                flagged[k] = True
+                alarms.append(
+                    AnomalyAlarm(
+                        interval=self._interval,
+                        od_index=int(k),
+                        estimate=float(estimates[k]),
+                        expected=float(self._mean[k]),
+                        z_score=float(z[k]),
+                    )
+                )
+
+        # EWMA update, skipping flagged ODs.
+        w = self._weight
+        keep = ~flagged
+        self._mean[keep] = (1 - w) * self._mean[keep] + w * estimates[keep]
+        self._variance[keep] = (
+            (1 - w) * self._variance[keep] + w * deviation[keep] ** 2
+        )
+        self._interval += 1
+        return alarms

@@ -1,0 +1,167 @@
+"""Closed-loop adaptive monitoring controller.
+
+The paper computes the optimal configuration from *known* OD sizes and
+link loads (read out of GEANT's NetFlow feed).  Operating the system
+closes a loop: the deployed sampling configuration itself produces the
+size estimates the next interval's optimization consumes.
+
+Per interval the controller:
+
+1. observes the per-link loads ``U_i`` (SNMP counters — cheap and
+   always available, §I);
+2. simulates/ingests the sampled counts produced by the currently
+   deployed rates and inverts them into OD-size estimates;
+3. smooths the estimates (EWMA) to ride out sampling noise;
+4. re-optimizes with the previous rates as a warm start and deploys.
+
+OD pairs that momentarily receive no samples keep their smoothed
+estimate, and a configurable floor keeps every utility well-defined
+(``c_k`` must stay positive and below 1/2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.gradient_projection import (
+    GradientProjectionOptions,
+    solve_gradient_projection,
+)
+from ..core.problem import SamplingProblem
+from ..core.solution import SamplingSolution
+from ..core.utility import accuracy_utilities
+from ..traffic.workloads import MeasurementTask
+
+__all__ = ["ControllerConfig", "IntervalReport", "AdaptiveController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the closed-loop controller."""
+
+    theta_packets: float
+    alpha: float = 1.0
+    ewma_weight: float = 0.5
+    min_size_packets: float = 10.0
+    solver_options: GradientProjectionOptions | None = None
+
+    def __post_init__(self) -> None:
+        if self.theta_packets <= 0:
+            raise ValueError("theta must be positive")
+        if not 0.0 < self.ewma_weight <= 1.0:
+            raise ValueError("ewma weight must be in (0, 1]")
+        if self.min_size_packets <= 2.0:
+            raise ValueError("size floor must exceed 2 packets")
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """What happened in one control interval."""
+
+    interval: int
+    rates: np.ndarray
+    estimated_sizes_packets: np.ndarray
+    actual_sizes_packets: np.ndarray
+    solver_iterations: int
+    converged: bool
+
+    @property
+    def estimation_errors(self) -> np.ndarray:
+        """Per-OD relative errors of the smoothed size estimates."""
+        return (
+            np.abs(self.estimated_sizes_packets - self.actual_sizes_packets)
+            / self.actual_sizes_packets
+        )
+
+
+class AdaptiveController:
+    """Drives per-interval re-optimization from its own measurements."""
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        num_od_pairs: int,
+        initial_sizes_packets: np.ndarray | None = None,
+    ) -> None:
+        self.config = config
+        self._smoothed: np.ndarray | None = None
+        if initial_sizes_packets is not None:
+            sizes = np.asarray(initial_sizes_packets, dtype=float)
+            if sizes.shape != (num_od_pairs,):
+                raise ValueError("initial sizes do not match OD count")
+            self._smoothed = np.maximum(sizes, config.min_size_packets)
+        self._num_od = num_od_pairs
+        self._previous_rates: np.ndarray | None = None
+        self._interval = 0
+
+    @property
+    def smoothed_sizes_packets(self) -> np.ndarray | None:
+        return None if self._smoothed is None else self._smoothed.copy()
+
+    def ingest_estimates(self, estimated_sizes_packets: np.ndarray) -> np.ndarray:
+        """EWMA-smooth a new vector of inverted size estimates."""
+        estimates = np.asarray(estimated_sizes_packets, dtype=float)
+        if estimates.shape != (self._num_od,):
+            raise ValueError("estimates do not match OD count")
+        floored = np.maximum(estimates, self.config.min_size_packets)
+        if self._smoothed is None:
+            self._smoothed = floored
+        else:
+            w = self.config.ewma_weight
+            self._smoothed = w * floored + (1 - w) * self._smoothed
+        return self._smoothed.copy()
+
+    def plan(self, task: MeasurementTask) -> SamplingSolution:
+        """Re-optimize for the coming interval.
+
+        Uses the task's (observable) link loads and routing, but the
+        controller's *own* smoothed size estimates for the utilities —
+        never the task's ground-truth sizes.  Falls back to the size
+        floor when no estimates exist yet (cold start).
+        """
+        if self._smoothed is None:
+            sizes = np.full(self._num_od, self.config.min_size_packets)
+        else:
+            sizes = self._smoothed
+        utilities = accuracy_utilities(1.0 / sizes)
+        problem = SamplingProblem(
+            task.routing.matrix,
+            task.link_loads_pps,
+            self.config.theta_packets,
+            utilities,
+            alpha=self.config.alpha,
+            interval_seconds=task.interval_seconds,
+        ).clamped()
+        warm = self._previous_rates
+        if warm is not None and warm.shape != (problem.num_links,):
+            # Topology changed (e.g. a failure event): cold start.
+            warm = None
+        solution = solve_gradient_projection(
+            problem,
+            options=self.config.solver_options,
+            warm_start=warm,
+        )
+        self._previous_rates = solution.rates
+        self._interval += 1
+        return solution
+
+    def report(
+        self,
+        solution: SamplingSolution,
+        task: MeasurementTask,
+    ) -> IntervalReport:
+        """Bundle the interval's outcome for analysis."""
+        return IntervalReport(
+            interval=self._interval - 1,
+            rates=solution.rates,
+            estimated_sizes_packets=(
+                self._smoothed.copy()
+                if self._smoothed is not None
+                else np.full(self._num_od, self.config.min_size_packets)
+            ),
+            actual_sizes_packets=task.od_sizes_packets,
+            solver_iterations=solution.diagnostics.iterations,
+            converged=solution.diagnostics.converged,
+        )

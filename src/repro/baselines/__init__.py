@@ -1,0 +1,31 @@
+"""Baseline monitoring strategies the paper compares against."""
+
+from .access_link import (
+    AccessLinkSolution,
+    access_link_solution,
+    capacity_to_match_rate,
+)
+from .cardinality import (
+    CardinalityResult,
+    DeploymentStep,
+    deployment_order,
+    solve_with_monitor_budget,
+)
+from .greedy import greedy_placement, two_phase_solution
+from .restricted import node_adjacent_link_indices, solve_restricted
+from .uniform import uniform_solution
+
+__all__ = [
+    "uniform_solution",
+    "access_link_solution",
+    "AccessLinkSolution",
+    "capacity_to_match_rate",
+    "solve_restricted",
+    "node_adjacent_link_indices",
+    "greedy_placement",
+    "two_phase_solution",
+    "solve_with_monitor_budget",
+    "CardinalityResult",
+    "deployment_order",
+    "DeploymentStep",
+]

@@ -1,0 +1,91 @@
+"""The access-link naive solution (§V-C).
+
+Monitor only the JANET access link: every sampled packet belongs to an
+OD pair of interest, but all pairs share one sampling rate
+``p = θ' / U_access``, so tracking the smallest OD pair accurately
+forces a rate — and hence a capacity — dictated by the *entire* access
+load.  The paper quantifies the penalty: matching the optimum's
+accuracy on JANET→LU would need ~70 % more capacity θ.
+
+The access link is outside the monitorable set (§V-C: CPE routers
+belong to the ISP), so this baseline is evaluated analytically rather
+than through :class:`SamplingProblem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import SamplingProblem
+
+__all__ = ["AccessLinkSolution", "access_link_solution", "capacity_to_match_rate"]
+
+
+@dataclass(frozen=True)
+class AccessLinkSolution:
+    """Sampling the single ingress link at one rate.
+
+    ``effective_rates`` equals the access rate for every OD pair —
+    the configuration cannot differentiate between pairs.
+    """
+
+    access_rate: float
+    access_load_pps: float
+    theta_packets: float
+    interval_seconds: float
+    od_utilities: np.ndarray
+
+    @property
+    def effective_rates(self) -> np.ndarray:
+        return np.full(self.od_utilities.shape, self.access_rate)
+
+    @property
+    def objective_value(self) -> float:
+        return float(self.od_utilities.sum())
+
+    @property
+    def budget_used_packets(self) -> float:
+        return self.access_rate * self.access_load_pps * self.interval_seconds
+
+
+def access_link_solution(
+    problem: SamplingProblem, access_load_pps: float
+) -> AccessLinkSolution:
+    """Spend the whole capacity θ on the access link.
+
+    ``access_load_pps`` is the ingress load (for a single-origin task:
+    the sum of the OD sizes, plus any other traffic the origin sends).
+    """
+    if access_load_pps <= 0:
+        raise ValueError("access load must be positive")
+    rate = min(1.0, problem.theta_rate_pps / access_load_pps)
+    utilities = np.array([u.value(rate) for u in problem.utilities])
+    return AccessLinkSolution(
+        access_rate=rate,
+        access_load_pps=access_load_pps,
+        theta_packets=problem.theta_packets,
+        interval_seconds=problem.interval_seconds,
+        od_utilities=utilities,
+    )
+
+
+def capacity_to_match_rate(
+    target_effective_rate: float,
+    access_load_pps: float,
+    interval_seconds: float,
+) -> float:
+    """Capacity θ (packets/interval) the access link needs for a rate.
+
+    To give *any* OD pair effective rate ``ρ*``, the access link must
+    sample at ``p = ρ*`` and therefore absorb ``ρ* · U_access · T``
+    packets per interval — the paper's footnote-2 computation (1 % of
+    57 933 pkt/s over 5 min ⇒ 173 798 packets, ~70 % above the
+    optimum's θ = 100 000).
+    """
+    if not 0.0 < target_effective_rate <= 1.0:
+        raise ValueError("target effective rate must be in (0, 1]")
+    if access_load_pps <= 0 or interval_seconds <= 0:
+        raise ValueError("load and interval must be positive")
+    return target_effective_rate * access_load_pps * interval_seconds

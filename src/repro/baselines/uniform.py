@@ -1,0 +1,42 @@
+"""Uniform network-wide sampling — what ISPs deploy today (§I).
+
+"Enable Netflow on all routers but using very low sampling rates":
+every candidate link gets the same rate, chosen so the configuration
+consumes exactly the capacity θ (links whose bound α is lower are
+clamped, the rest absorb the remainder — water-filling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gradient_projection import initial_feasible_point
+from ..core.objective import SumUtilityObjective
+from ..core.problem import SamplingProblem
+from ..core.solution import SamplingSolution, SolverDiagnostics
+
+__all__ = ["uniform_solution"]
+
+
+def uniform_solution(problem: SamplingProblem) -> SamplingSolution:
+    """All-links-on configuration at a single uniform sampling rate."""
+    problem.check_feasible()
+    cand = np.flatnonzero(problem.candidate_mask)
+    loads = problem.link_loads_pps[cand]
+    alpha = problem.alpha[cand]
+    x = initial_feasible_point(loads, alpha, problem.theta_rate_pps)
+
+    rates = np.zeros(problem.num_links)
+    rates[cand] = x
+    rates[problem.free_saturated_mask] = problem.alpha[problem.free_saturated_mask]
+
+    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    diagnostics = SolverDiagnostics(
+        method="baseline:uniform",
+        iterations=0,
+        constraint_releases=0,
+        converged=True,
+        objective_value=objective.value(x),
+        message="uniform rate on all candidate links",
+    )
+    return SamplingSolution(problem=problem, rates=rates, diagnostics=diagnostics)

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    netsampling topology {show,export} <name>     # inspect topologies
+    netsampling solve ...                         # run the optimizer
+    netsampling experiments [name ...] [--quick]  # regenerate the paper
+
+Examples::
+
+    netsampling topology show geant
+    netsampling topology export geant --format edgelist > geant.txt
+    netsampling solve --topology geant --theta 100000
+    netsampling solve --topology abilene --theta 20000 \\
+        --od NYC:LAX:5000 --od SEA:ATL:300 --background 200000
+    netsampling experiments table1 comparison --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .baselines import solve_restricted
+from .core import SamplingProblem, quantize_solution, solve
+from .experiments.runner import EXPERIMENTS
+from .routing import ODPair
+from .topology import (
+    Network,
+    abilene_network,
+    geant_network,
+    load_network,
+    network_to_edge_list,
+    network_to_json,
+    nsfnet_network,
+)
+from .traffic import janet_task, make_task
+
+__all__ = ["main", "build_parser"]
+
+_BUILTIN_TOPOLOGIES = {
+    "geant": geant_network,
+    "abilene": abilene_network,
+    "nsfnet": nsfnet_network,
+}
+
+
+def _resolve_topology(name: str) -> Network:
+    """A built-in topology name or a JSON file path."""
+    builder = _BUILTIN_TOPOLOGIES.get(name.lower())
+    if builder is not None:
+        return builder()
+    try:
+        return load_network(name)
+    except OSError as exc:
+        raise SystemExit(
+            f"unknown topology {name!r}: not a built-in "
+            f"({', '.join(_BUILTIN_TOPOLOGIES)}) and not a readable file "
+            f"({exc})"
+        )
+
+
+def _parse_od(spec: str) -> tuple[str, str, float]:
+    """Parse an ``ORIGIN:DEST:PPS`` OD-pair specification."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"bad --od {spec!r}: expected ORIGIN:DEST:PPS")
+    try:
+        pps = float(parts[2])
+    except ValueError:
+        raise SystemExit(f"bad --od {spec!r}: PPS must be a number")
+    if pps <= 0:
+        raise SystemExit(f"bad --od {spec!r}: PPS must be positive")
+    return parts[0], parts[1], pps
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netsampling",
+        description="Optimal network-wide packet sampling (CoNEXT 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="inspect or export topologies")
+    topo_sub = topo.add_subparsers(dest="topology_command", required=True)
+    show = topo_sub.add_parser("show", help="print a topology summary")
+    show.add_argument("name", help="geant, abilene, or a JSON file")
+    export = topo_sub.add_parser("export", help="write a topology to stdout")
+    export.add_argument("name", help="geant, abilene, or a JSON file")
+    export.add_argument(
+        "--format", choices=("json", "edgelist"), default="json"
+    )
+
+    slv = sub.add_parser("solve", help="optimize placement and rates")
+    slv.add_argument("--topology", default="geant",
+                     help="geant, abilene, or a JSON file (default: geant)")
+    slv.add_argument("--theta", type=float, required=True,
+                     help="capacity: max sampled packets per interval")
+    slv.add_argument("--interval", type=float, default=300.0,
+                     help="measurement interval in seconds (default 300)")
+    slv.add_argument("--alpha", type=float, default=1.0,
+                     help="per-link max sampling rate (default 1.0)")
+    slv.add_argument("--od", action="append", default=[],
+                     metavar="ORIGIN:DEST:PPS",
+                     help="OD pair of interest (repeatable); on geant "
+                          "defaults to the paper's JANET task")
+    slv.add_argument("--task-file", default=None, metavar="FILE.json",
+                     help="declarative task document (overrides "
+                          "--topology/--od/--background)")
+    slv.add_argument("--background", type=float, default=None,
+                     help="gravity background traffic in pkt/s")
+    slv.add_argument("--seed", type=int, default=None,
+                     help="seed for the gravity background")
+    slv.add_argument("--method", default="gradient_projection",
+                     choices=("gradient_projection", "slsqp", "trust-constr"))
+    slv.add_argument("--restrict-to-node", default=None, metavar="NODE",
+                     help="only links leaving NODE may host monitors")
+    slv.add_argument("--quantize", action="store_true",
+                     help="round rates to deployable 1-in-N sampling")
+    slv.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable output")
+
+    exp = sub.add_parser("experiments", help="regenerate paper experiments")
+    exp.add_argument("names", nargs="*", choices=[*EXPERIMENTS, []],
+                     help=f"subset of: {', '.join(EXPERIMENTS)}")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument("--export-dir", default=None, metavar="DIR",
+                     help="also write CSV/JSON for exportable experiments")
+    return parser
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    net = _resolve_topology(args.name)
+    if args.topology_command == "show":
+        print(f"{net.name}: {net.num_nodes} nodes, {net.num_links} links")
+        for node in net.nodes:
+            out = ", ".join(sorted(net.neighbors(node.name)))
+            print(f"  {node.name:>6} -> {out}")
+        return 0
+    if args.format == "json":
+        print(network_to_json(net))
+    else:
+        print(network_to_edge_list(net), end="")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.task_file:
+        from .traffic import load_task_file
+
+        try:
+            task = load_task_file(args.task_file, _resolve_topology)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    elif args.od:
+        net = _resolve_topology(args.topology)
+        specs = [_parse_od(spec) for spec in args.od]
+        od_pairs = [ODPair(o, d) for o, d, _ in specs]
+        sizes = [pps for _, _, pps in specs]
+        task = make_task(
+            net, od_pairs, sizes,
+            background_pps=args.background or 0.0,
+            interval_seconds=args.interval,
+            seed=args.seed,
+        )
+    elif args.topology.lower() == "geant":
+        kwargs = {"interval_seconds": args.interval}
+        if args.background is not None:
+            kwargs["background_pps"] = args.background
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        task = janet_task(**kwargs)
+    else:
+        raise SystemExit(
+            "--od is required for non-GEANT topologies (GEANT defaults to "
+            "the paper's JANET task)"
+        )
+
+    problem = SamplingProblem.from_task(task, args.theta, alpha=args.alpha)
+    if args.restrict_to_node:
+        links = [
+            link.index for link in task.network.out_links(args.restrict_to_node)
+        ]
+        solution = solve_restricted(problem, links, method=args.method)
+    else:
+        solution = solve(problem, method=args.method)
+
+    if args.quantize:
+        solution = quantize_solution(problem, solution).solution
+
+    names = [link.name for link in task.network.links]
+    if args.as_json:
+        payload = {
+            "converged": solution.diagnostics.converged,
+            "method": solution.diagnostics.method,
+            "iterations": solution.diagnostics.iterations,
+            "objective": solution.objective_value,
+            "budget_used_packets": solution.budget_used_packets,
+            "monitors": {
+                names[i]: solution.rates[i]
+                for i in solution.active_link_indices
+            },
+            "od_utilities": {
+                od.name: float(u)
+                for od, u in zip(task.routing.od_pairs, solution.od_utilities)
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(solution.summary(names))
+        worst = int(np.argmin(solution.od_utilities))
+        print(
+            f"worst OD pair: {task.routing.od_pairs[worst].name} "
+            f"(utility {solution.od_utilities[worst]:.4f})"
+        )
+    return 0 if solution.diagnostics.converged else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments.runner import EXPORTERS
+
+    names = args.names or list(EXPERIMENTS)
+    export_dir = Path(args.export_dir) if args.export_dir else None
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(EXPERIMENTS[name](args.quick))
+        if export_dir is not None and name in EXPORTERS:
+            for path in EXPORTERS[name](args.quick, export_dir):
+                print(f"[exported {path}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "topology":
+            return _cmd_topology(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        return _cmd_experiments(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer (head, less) that closed early.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Core optimizer: the paper's joint placement-and-sampling contribution."""
+
+from .active_set import ActiveSet, Multipliers
+from .effective_rate import (
+    approximation_error,
+    exact_effective_rates,
+    linear_effective_rates,
+)
+from .gradient_projection import (
+    GradientProjectionOptions,
+    initial_feasible_point,
+    solve_gradient_projection,
+)
+from .kkt import KKTReport, check_kkt
+from .line_search import (
+    LineSearchResult,
+    golden_section_line_search,
+    newton_line_search,
+)
+from .objective import Objective, SoftMinUtilityObjective, SumUtilityObjective
+from .problem import InfeasibleProblemError, SamplingProblem
+from .quantization import QuantizationResult, quantize_rates, quantize_solution
+from .robust import RobustProblem, build_robust_problem, solve_robust
+from .scipy_solver import solve_scipy
+from .sensitivity import (
+    CapacityResponsePoint,
+    capacity_response,
+    marginal_link_values,
+    shadow_price,
+)
+from .solution import SamplingSolution, SolverDiagnostics
+from .solver import SOLVER_METHODS, solve
+from .utility import (
+    ExponentialUtility,
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    UtilityFunction,
+    accuracy_utilities,
+)
+
+__all__ = [
+    "SamplingProblem",
+    "InfeasibleProblemError",
+    "SamplingSolution",
+    "SolverDiagnostics",
+    "solve",
+    "SOLVER_METHODS",
+    "solve_gradient_projection",
+    "GradientProjectionOptions",
+    "initial_feasible_point",
+    "solve_scipy",
+    "UtilityFunction",
+    "MeanSquaredRelativeAccuracy",
+    "LogUtility",
+    "ExponentialUtility",
+    "accuracy_utilities",
+    "Objective",
+    "SumUtilityObjective",
+    "SoftMinUtilityObjective",
+    "linear_effective_rates",
+    "exact_effective_rates",
+    "approximation_error",
+    "ActiveSet",
+    "Multipliers",
+    "KKTReport",
+    "check_kkt",
+    "LineSearchResult",
+    "newton_line_search",
+    "golden_section_line_search",
+    "quantize_rates",
+    "quantize_solution",
+    "QuantizationResult",
+    "shadow_price",
+    "capacity_response",
+    "CapacityResponsePoint",
+    "marginal_link_values",
+    "RobustProblem",
+    "build_robust_problem",
+    "solve_robust",
+]

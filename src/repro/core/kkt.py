@@ -1,0 +1,124 @@
+"""Karush-Kuhn-Tucker verification (§IV-A, §IV-D).
+
+The solution space is a convex polytope and the objective is concave,
+so the KKT conditions are sufficient for global optimality.  This
+module certifies an arbitrary feasible point *independently of how it
+was produced* — the unit tests use it to cross-check the gradient-
+projection solver and the SciPy reference solvers against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .active_set import ActiveSet
+from .objective import Objective, SumUtilityObjective
+from .problem import SamplingProblem
+
+__all__ = ["KKTReport", "check_kkt"]
+
+
+@dataclass(frozen=True)
+class KKTReport:
+    """Certificate of (approximate) optimality for a feasible point.
+
+    Attributes
+    ----------
+    satisfied:
+        True when all conditions hold within tolerance.
+    lam:
+        Multiplier of the capacity equality (the shadow price of θ:
+        utility gained per extra unit of sampling rate budget).
+    stationarity_residual:
+        Max absolute violation of ``g_i = λ u_i`` over free links,
+        relative to the gradient scale.
+    worst_multiplier:
+        Most negative bound multiplier (0 when none is negative).
+    feasibility_residual:
+        Relative violation of the capacity equality.
+    bound_violation:
+        Largest bound violation of the point itself.
+    """
+
+    satisfied: bool
+    lam: float
+    stationarity_residual: float
+    worst_multiplier: float
+    feasibility_residual: float
+    bound_violation: float
+
+
+def check_kkt(
+    problem: SamplingProblem,
+    p: np.ndarray,
+    tolerance: float = 1e-6,
+    objective: Objective | None = None,
+) -> KKTReport:
+    """Verify the KKT conditions for a full-length rate vector ``p``.
+
+    ``p`` has one entry per network link.  Only candidate links (see
+    :class:`SamplingProblem`) enter the conditions; non-candidate links
+    are required to carry ``p_i = 0`` except free-saturated ones.
+
+    ``tolerance`` is relative: residuals are normalized by the gradient
+    magnitude, multipliers by the gradient/load scale.
+    """
+    p = np.asarray(p, dtype=float)
+    if p.shape != (problem.num_links,):
+        raise ValueError(
+            f"p has shape {p.shape}, expected ({problem.num_links},)"
+        )
+    cand = np.flatnonzero(problem.candidate_mask)
+    x = p[cand]
+    loads = problem.link_loads_pps[cand]
+    alpha = problem.alpha[cand]
+
+    if objective is None:
+        objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+
+    bound_violation = float(
+        max(np.maximum(-x, 0.0).max(initial=0.0), np.maximum(x - alpha, 0.0).max(initial=0.0))
+    )
+
+    target_rate = problem.theta_rate_pps
+    feasibility_residual = abs(float(x @ loads) - target_rate) / max(target_rate, 1e-12)
+
+    active = ActiveSet(loads, alpha)
+    # Classify bound activity with a tolerance proportional to alpha.
+    active.sync_with_point(x, atol=max(1e-9, 1e-6 * float(alpha.min())))
+
+    g = objective.gradient(x)
+    scale = max(1.0, float(np.abs(g).max()))
+    mult = active.multipliers(g)
+
+    free = active.free_mask
+    if np.any(free):
+        stationarity = float(
+            np.abs(g[free] - mult.lam * loads[free]).max()
+        ) / scale
+    else:
+        stationarity = 0.0
+
+    worst = 0.0
+    if np.any(active.lower_mask):
+        worst = min(worst, float(mult.nu[active.lower_mask].min()))
+    if np.any(active.upper_mask):
+        worst = min(worst, float(mult.mu[active.upper_mask].min()))
+    worst /= scale
+
+    satisfied = (
+        bound_violation <= tolerance
+        and feasibility_residual <= tolerance
+        and stationarity <= tolerance
+        and worst >= -tolerance
+    )
+    return KKTReport(
+        satisfied=satisfied,
+        lam=mult.lam,
+        stationarity_residual=stationarity,
+        worst_multiplier=worst,
+        feasibility_residual=feasibility_residual,
+        bound_violation=bound_violation,
+    )

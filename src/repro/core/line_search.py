@@ -1,0 +1,163 @@
+"""Newton one-dimensional maximization along a search direction (§IV-D).
+
+The objective restricted to a ray, ``φ(t) = f(x + t s)``, is concave
+and C², so its derivative ``ψ(t) = φ'(t)`` is continuous and
+decreasing; maximizing ``φ`` on ``[0, t_max]`` means finding the root
+of ``ψ`` or stopping at the boundary.  The paper chooses Newton's
+method for its fast convergence; we safeguard every Newton step with a
+maintained sign-change bracket and fall back to bisection when a step
+leaves it, so the search is robust even where the curvature is tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["LineSearchResult", "newton_line_search", "golden_section_line_search"]
+
+#: 1/φ and 1/φ² — the golden-section interval ratios.
+_INV_PHI = 0.6180339887498949
+_INV_PHI2 = 0.3819660112501051
+
+
+@dataclass(frozen=True)
+class LineSearchResult:
+    """Outcome of a one-dimensional search.
+
+    ``hit_boundary`` is True when the maximizer lies at ``t_max`` — the
+    step ran into an inactive constraint that must now be activated.
+    """
+
+    step: float
+    hit_boundary: bool
+    newton_iterations: int
+
+
+def newton_line_search(
+    slope: Callable[[float], float],
+    curvature: Callable[[float], float],
+    t_max: float,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100,
+) -> LineSearchResult:
+    """Maximize a concave ``φ`` on ``[0, t_max]`` given ``φ'`` and ``φ''``.
+
+    Parameters
+    ----------
+    slope, curvature:
+        ``φ'(t)`` and ``φ''(t)``.  ``φ'`` must be non-increasing
+        (concavity); ``φ'(0) > 0`` is expected (ascent direction).
+    t_max:
+        Boundary of the feasible segment (may be ``inf`` only when the
+        slope eventually turns negative).
+    tolerance:
+        Convergence threshold on ``|φ'(t)|`` relative to ``φ'(0)``.
+    """
+    if t_max < 0:
+        raise ValueError("t_max must be non-negative")
+    slope0 = slope(0.0)
+    if slope0 <= 0.0:
+        return LineSearchResult(step=0.0, hit_boundary=False, newton_iterations=0)
+    if t_max == 0.0:
+        return LineSearchResult(step=0.0, hit_boundary=True, newton_iterations=0)
+
+    target = tolerance * abs(slope0)
+
+    # If the slope is still non-negative at the boundary, the concave φ
+    # is maximized there: the step hits the blocking constraint.
+    if t_max != float("inf"):
+        if slope(t_max) >= -target:
+            return LineSearchResult(step=t_max, hit_boundary=True, newton_iterations=0)
+        hi = t_max
+    else:
+        # Expand until the slope turns negative to obtain a bracket.
+        hi = 1.0
+        for _ in range(200):
+            if slope(hi) < 0:
+                break
+            hi *= 2.0
+        else:
+            raise ValueError("slope never turns negative on an unbounded ray")
+
+    lo = 0.0
+    t = min(hi, max(0.0, _newton_step(0.0, slope0, curvature(0.0), lo, hi)))
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        psi = slope(t)
+        if abs(psi) <= target:
+            break
+        if psi > 0:
+            lo = t
+        else:
+            hi = t
+        t_next = _newton_step(t, psi, curvature(t), lo, hi)
+        t = t_next
+        if hi - lo <= 1e-15 * max(1.0, hi):
+            break
+    return LineSearchResult(step=t, hit_boundary=False, newton_iterations=iterations)
+
+
+def _newton_step(t: float, psi: float, psi_prime: float, lo: float, hi: float) -> float:
+    """One safeguarded Newton step: bisect when Newton leaves (lo, hi)."""
+    if psi_prime < 0:
+        candidate = t - psi / psi_prime
+        if lo < candidate < hi:
+            return candidate
+    return 0.5 * (lo + hi)
+
+
+def golden_section_line_search(
+    value: Callable[[float], float],
+    slope: Callable[[float], float],
+    t_max: float,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> LineSearchResult:
+    """Derivative-light alternative: golden-section on ``[0, t_max]``.
+
+    The ablation counterpart of :func:`newton_line_search` (DESIGN.md
+    §6): needs only ``φ`` evaluations plus one boundary slope check, at
+    the cost of linear (ratio ``1/φ``) instead of quadratic
+    convergence.  Requires a finite ``t_max`` (the solver always has
+    one unless the direction is strictly interior, in which case the
+    slope check falls back to an expanding bracket).
+    """
+    if t_max < 0:
+        raise ValueError("t_max must be non-negative")
+    if slope(0.0) <= 0.0:
+        return LineSearchResult(step=0.0, hit_boundary=False, newton_iterations=0)
+    if t_max == 0.0:
+        return LineSearchResult(step=0.0, hit_boundary=True, newton_iterations=0)
+    if t_max == float("inf"):
+        # Expand until the function turns down, then search inside.
+        hi = 1.0
+        for _ in range(200):
+            if slope(hi) < 0:
+                break
+            hi *= 2.0
+        else:
+            raise ValueError("slope never turns negative on an unbounded ray")
+        t_max = hi
+    elif slope(t_max) >= 0.0:
+        return LineSearchResult(step=t_max, hit_boundary=True, newton_iterations=0)
+
+    lo, hi = 0.0, t_max
+    left = lo + _INV_PHI2 * (hi - lo)
+    right = lo + _INV_PHI * (hi - lo)
+    f_left, f_right = value(left), value(right)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if hi - lo <= tolerance * max(1.0, t_max):
+            break
+        if f_left >= f_right:
+            hi, right, f_right = right, left, f_left
+            left = lo + _INV_PHI2 * (hi - lo)
+            f_left = value(left)
+        else:
+            lo, left, f_left = left, right, f_right
+            right = lo + _INV_PHI * (hi - lo)
+            f_right = value(right)
+    return LineSearchResult(
+        step=0.5 * (lo + hi), hit_boundary=False, newton_iterations=iterations
+    )

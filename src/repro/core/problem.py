@@ -1,0 +1,268 @@
+"""The optimization problem of §III as a validated value object."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .utility import MeanSquaredRelativeAccuracy, UtilityFunction, accuracy_utilities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..traffic.workloads import MeasurementTask
+
+__all__ = ["SamplingProblem", "InfeasibleProblemError"]
+
+
+class InfeasibleProblemError(ValueError):
+    """The constraint set Ω is empty for the given θ, α and loads."""
+
+
+class SamplingProblem:
+    """``max Σ M_k(ρ_k)`` s.t. ``Σ p_i U_i = θ/T``, ``0 <= p_i <= α_i``.
+
+    Parameters
+    ----------
+    routing:
+        ``F x L`` routing matrix ``R`` (0/1 or ECMP fractions).
+    link_loads_pps:
+        Per-link loads ``U_i`` in packets/second, length ``L``.
+    theta_packets:
+        System capacity θ: the maximum number of packets sampled
+        network-wide per measurement interval (paper: 100 000 per
+        5 minutes).
+    utilities:
+        One :class:`UtilityFunction` per OD pair.
+    alpha:
+        Per-link maximum sampling rates ``α_i`` (scalar broadcasts).
+    interval_seconds:
+        Measurement-interval length ``T``; the capacity constraint is
+        enforced on rates, ``Σ p_i U_i = θ / T``.
+    monitorable:
+        Boolean mask of links allowed to host a monitor.  The paper
+        excludes access links (§V-C) and the restricted baseline
+        monitors only the UK links; both are expressed through this
+        mask.  Defaults to all links.
+
+    Notes
+    -----
+    Links that are not monitorable, not traversed by any OD pair of
+    ``F``, or have zero load are excluded from the *candidate set* the
+    solvers optimize over:
+
+    * non-traversed links add no utility but consume budget, so the
+      optimum puts ``p_i = 0`` there;
+    * zero-load traversed links cost nothing, so the optimum saturates
+      them at ``α_i`` (handled as a pre-pass).
+    """
+
+    def __init__(
+        self,
+        routing: np.ndarray,
+        link_loads_pps: np.ndarray | Sequence[float],
+        theta_packets: float,
+        utilities: Sequence[UtilityFunction],
+        alpha: float | np.ndarray | Sequence[float] = 1.0,
+        interval_seconds: float = 300.0,
+        monitorable: np.ndarray | Sequence[bool] | None = None,
+    ) -> None:
+        routing = np.asarray(routing, dtype=float)
+        if routing.ndim != 2:
+            raise ValueError("routing matrix must be 2-D")
+        num_od, num_links = routing.shape
+        if num_od == 0 or num_links == 0:
+            raise ValueError("need at least one OD pair and one link")
+        if np.any(routing < 0) or np.any(routing > 1):
+            raise ValueError("routing entries must lie in [0, 1]")
+
+        loads = np.asarray(link_loads_pps, dtype=float)
+        if loads.shape != (num_links,):
+            raise ValueError(
+                f"loads have shape {loads.shape}, expected ({num_links},)"
+            )
+        if np.any(loads < 0):
+            raise ValueError("link loads must be non-negative")
+
+        if len(utilities) != num_od:
+            raise ValueError(
+                f"{len(utilities)} utilities for {num_od} OD pairs"
+            )
+        for utility in utilities:
+            if not isinstance(utility, UtilityFunction):
+                raise TypeError(f"not a UtilityFunction: {utility!r}")
+
+        alpha_vec = np.broadcast_to(
+            np.asarray(alpha, dtype=float), (num_links,)
+        ).copy()
+        if np.any(alpha_vec < 0) or np.any(alpha_vec > 1):
+            raise ValueError("alpha must lie in [0, 1]")
+
+        if theta_packets <= 0:
+            raise ValueError("theta must be positive")
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+
+        if monitorable is None:
+            mask = np.ones(num_links, dtype=bool)
+        else:
+            mask = np.asarray(monitorable, dtype=bool)
+            if mask.shape != (num_links,):
+                raise ValueError("monitorable mask does not match link count")
+
+        self.routing = routing
+        self.link_loads_pps = loads
+        self.theta_packets = float(theta_packets)
+        self.interval_seconds = float(interval_seconds)
+        self.utilities = list(utilities)
+        self.alpha = alpha_vec
+        self.monitorable = mask
+        for array in (self.routing, self.link_loads_pps, self.alpha, self.monitorable):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_od_pairs(self) -> int:
+        return self.routing.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        return self.routing.shape[1]
+
+    @property
+    def theta_rate_pps(self) -> float:
+        """Capacity as a rate: ``θ / T`` packets sampled per second."""
+        return self.theta_packets / self.interval_seconds
+
+    @property
+    def traversed(self) -> np.ndarray:
+        """Boolean mask of links crossed by at least one OD pair (L)."""
+        return self.routing.sum(axis=0) > 0
+
+    @property
+    def candidate_mask(self) -> np.ndarray:
+        """Links the optimizer actually decides on."""
+        return (
+            self.monitorable
+            & self.traversed
+            & (self.link_loads_pps > 0)
+            & (self.alpha > 0)
+        )
+
+    @property
+    def free_saturated_mask(self) -> np.ndarray:
+        """Traversed monitorable links with zero load: saturate for free."""
+        return (
+            self.monitorable
+            & self.traversed
+            & (self.link_loads_pps == 0)
+            & (self.alpha > 0)
+        )
+
+    @property
+    def max_absorbable_rate(self) -> float:
+        """Largest enforceable ``Σ p_i U_i`` given the bounds: ``Σ α_i U_i``."""
+        mask = self.candidate_mask
+        return float(self.alpha[mask] @ self.link_loads_pps[mask])
+
+    def check_feasible(self) -> None:
+        """Raise :class:`InfeasibleProblemError` if Ω is empty."""
+        if not np.any(self.candidate_mask):
+            raise InfeasibleProblemError(
+                "no candidate links: nothing monitorable carries task traffic"
+            )
+        absorbable = self.max_absorbable_rate
+        if self.theta_rate_pps > absorbable * (1 + 1e-12):
+            raise InfeasibleProblemError(
+                f"theta rate {self.theta_rate_pps:.1f} pkt/s exceeds the "
+                f"maximum absorbable {absorbable:.1f} pkt/s; lower theta or "
+                "raise alpha"
+            )
+
+    def clamped(self) -> "SamplingProblem":
+        """A copy with θ clamped to the maximum absorbable capacity.
+
+        Convenience for capacity sweeps (Figure 2): beyond
+        ``Σ α_i U_i`` the equality constraint is infeasible and the
+        saturated solution is the natural continuation.
+        """
+        max_packets = self.max_absorbable_rate * self.interval_seconds
+        if self.theta_packets <= max_packets:
+            return self
+        return SamplingProblem(
+            self.routing,
+            self.link_loads_pps,
+            max_packets,
+            self.utilities,
+            alpha=self.alpha,
+            interval_seconds=self.interval_seconds,
+            monitorable=self.monitorable,
+        )
+
+    def restrict_monitors(self, link_indices: Iterable[int]) -> "SamplingProblem":
+        """A copy where only the given links may host monitors."""
+        mask = np.zeros(self.num_links, dtype=bool)
+        for index in link_indices:
+            mask[int(index)] = True
+        return SamplingProblem(
+            self.routing,
+            self.link_loads_pps,
+            self.theta_packets,
+            self.utilities,
+            alpha=self.alpha,
+            interval_seconds=self.interval_seconds,
+            monitorable=self.monitorable & mask,
+        )
+
+    def with_theta(self, theta_packets: float) -> "SamplingProblem":
+        """A copy with a different capacity θ."""
+        return SamplingProblem(
+            self.routing,
+            self.link_loads_pps,
+            theta_packets,
+            self.utilities,
+            alpha=self.alpha,
+            interval_seconds=self.interval_seconds,
+            monitorable=self.monitorable,
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_task(
+        cls,
+        task: "MeasurementTask",
+        theta_packets: float,
+        alpha: float | np.ndarray = 1.0,
+        monitorable: np.ndarray | None = None,
+        utility_factory: Callable[[float], UtilityFunction] | None = None,
+    ) -> "SamplingProblem":
+        """Build the problem for a :class:`MeasurementTask`.
+
+        ``utility_factory`` maps each OD pair's mean inverse size
+        ``c_k`` to its utility; defaults to the paper's
+        :class:`MeanSquaredRelativeAccuracy`.
+        """
+        cs = task.mean_inverse_sizes
+        if utility_factory is None:
+            utilities: list[UtilityFunction] = accuracy_utilities(cs)
+        else:
+            utilities = [utility_factory(float(c)) for c in cs]
+        return cls(
+            task.routing.matrix,
+            task.link_loads_pps,
+            theta_packets,
+            utilities,
+            alpha=alpha,
+            interval_seconds=task.interval_seconds,
+            monitorable=monitorable,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SamplingProblem(od_pairs={self.num_od_pairs}, "
+            f"links={self.num_links}, theta={self.theta_packets:g} pkts/"
+            f"{self.interval_seconds:g}s)"
+        )

@@ -1,0 +1,135 @@
+"""Quantizing optimal rates to deployable 1-in-N sampling.
+
+Router implementations (sampled NetFlow, §I) configure sampling as
+"1 in N packets" with integer N, not as an arbitrary probability.  The
+optimizer's continuous rates must therefore be rounded before
+deployment.  This module quantizes a solution onto the ``{1/N}`` grid
+while respecting the capacity constraint, and measures the utility
+cost of quantization — a practical-deployment ablation the paper
+leaves implicit.
+
+Strategy: each positive rate is first rounded to the *nearest* grid
+point; if the configuration then overshoots the budget, rates are
+demoted (p → next coarser 1/N) in order of cheapest utility loss per
+budget unit freed until the configuration fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .objective import SumUtilityObjective
+from .problem import SamplingProblem
+from .solution import SamplingSolution, SolverDiagnostics
+
+__all__ = ["QuantizationResult", "quantize_rates", "quantize_solution"]
+
+#: Coarsest supported divisor (rates below 1/MAX_DIVISOR turn off).
+_MAX_DIVISOR = 10_000_000
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """A deployable 1-in-N configuration and its cost."""
+
+    solution: SamplingSolution
+    divisors: np.ndarray  # per-link N (0 = monitor off)
+    utility_loss: float  # continuous optimum minus quantized objective
+    relative_loss: float
+
+    @property
+    def max_divisor(self) -> int:
+        positive = self.divisors[self.divisors > 0]
+        return int(positive.max()) if positive.size else 0
+
+
+def _nearest_divisor(rate: float) -> int:
+    """The integer N whose 1/N is closest to ``rate`` (0 if negligible)."""
+    if rate <= 1.0 / _MAX_DIVISOR:
+        return 0
+    n = 1.0 / rate
+    lower, upper = int(np.floor(n)), int(np.ceil(n))
+    lower = max(lower, 1)
+    if upper == lower:
+        return lower
+    return lower if abs(1.0 / lower - rate) <= abs(1.0 / upper - rate) else upper
+
+
+def quantize_rates(rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Round each rate to the nearest ``1/N``; returns ``(rates, N)``."""
+    rates = np.asarray(rates, dtype=float)
+    if np.any(rates < 0) or np.any(rates > 1):
+        raise ValueError("rates must lie in [0, 1]")
+    divisors = np.array([_nearest_divisor(r) for r in rates], dtype=np.int64)
+    quantized = np.where(divisors > 0, 1.0 / np.maximum(divisors, 1), 0.0)
+    return quantized, divisors
+
+
+def quantize_solution(
+    problem: SamplingProblem, solution: SamplingSolution
+) -> QuantizationResult:
+    """Deployable 1-in-N configuration nearest to a continuous optimum.
+
+    The quantized configuration never exceeds the capacity θ: links are
+    demoted to coarser divisors (greedily, by least utility lost per
+    unit of budget freed) until the constraint holds.
+    """
+    quantized, divisors = quantize_rates(solution.rates)
+    # Quantization must respect per-link alpha caps.
+    over_alpha = quantized > problem.alpha
+    for i in np.flatnonzero(over_alpha):
+        divisors[i] = int(np.ceil(1.0 / problem.alpha[i])) if problem.alpha[i] > 0 else 0
+        quantized[i] = 1.0 / divisors[i] if divisors[i] > 0 else 0.0
+
+    cand = np.flatnonzero(problem.candidate_mask)
+    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    loads = problem.link_loads_pps
+    budget = problem.theta_rate_pps
+
+    def used(q: np.ndarray) -> float:
+        return float(q @ loads)
+
+    # Demote until the configuration fits the budget.
+    guard = 0
+    while used(quantized) > budget * (1 + 1e-12) and guard < 100_000:
+        guard += 1
+        best_index = -1
+        best_score = np.inf
+        current_value = objective.value(quantized[cand])
+        for i in np.flatnonzero(quantized > 0):
+            trial = quantized.copy()
+            new_divisor = divisors[i] + 1
+            trial[i] = 1.0 / new_divisor
+            freed = (quantized[i] - trial[i]) * loads[i]
+            if freed <= 0:
+                continue
+            loss = current_value - objective.value(trial[cand])
+            score = loss / freed
+            if score < best_score:
+                best_score = score
+                best_index = i
+        if best_index < 0:
+            break
+        divisors[best_index] += 1
+        quantized[best_index] = 1.0 / divisors[best_index]
+
+    diagnostics = SolverDiagnostics(
+        method=solution.diagnostics.method + "+quantized",
+        iterations=solution.diagnostics.iterations,
+        constraint_releases=solution.diagnostics.constraint_releases,
+        converged=solution.diagnostics.converged,
+        objective_value=objective.value(quantized[cand]),
+        message=f"quantized to 1-in-N after {guard} demotions",
+    )
+    quantized_solution = SamplingSolution(
+        problem=problem, rates=quantized, diagnostics=diagnostics
+    )
+    loss = solution.objective_value - quantized_solution.objective_value
+    return QuantizationResult(
+        solution=quantized_solution,
+        divisors=divisors,
+        utility_loss=loss,
+        relative_loss=loss / max(abs(solution.objective_value), 1e-12),
+    )

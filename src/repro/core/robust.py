@@ -1,0 +1,174 @@
+"""Robust placement: one configuration for a *set* of scenarios.
+
+The re-optimization machinery (``repro.adaptive``) answers traffic
+variation by re-solving; sometimes operators instead want a single
+configuration that remains adequate across a scenario set — the day
+and night matrices, or the nominal topology and its most likely
+failure.  This module builds that robust problem from several
+:class:`~repro.traffic.workloads.MeasurementTask` snapshots over the
+same base network:
+
+* **rates** are indexed by the base network's links;
+* each scenario contributes its own routing block (scenario link
+  columns are aligned to base links *by name*, so failure scenarios —
+  which lack some links — are supported) and its own per-OD utilities;
+* the **capacity constraint prices the element-wise maximum load**
+  across scenarios, so the budget holds no matter which scenario
+  materializes;
+* the objective is either the scenario-weighted mean of utilities or
+  a soft-min across every (scenario, OD) pair (worst-case flavour).
+
+The result is still a concave problem over a polytope, so the same
+solver and KKT certificate apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .gradient_projection import GradientProjectionOptions, solve_gradient_projection
+from .objective import SoftMinUtilityObjective, SumUtilityObjective
+from .problem import SamplingProblem
+from .solution import SamplingSolution
+from .utility import accuracy_utilities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.graph import Network
+    from ..traffic.workloads import MeasurementTask
+
+__all__ = ["RobustProblem", "build_robust_problem", "solve_robust"]
+
+
+@dataclass(frozen=True)
+class RobustProblem:
+    """A multi-scenario problem plus its bookkeeping.
+
+    ``problem.routing`` stacks one ``F x L`` block per scenario
+    (aligned to the base network's links); ``scenario_of_row`` maps
+    each stacked row back to its scenario index.
+    """
+
+    problem: SamplingProblem
+    num_scenarios: int
+    num_od_pairs: int
+    scenario_weights: np.ndarray
+
+    @property
+    def scenario_of_row(self) -> np.ndarray:
+        return np.repeat(np.arange(self.num_scenarios), self.num_od_pairs)
+
+    def per_scenario_utilities(self, solution: SamplingSolution) -> np.ndarray:
+        """``(scenarios x F)`` utility matrix at a solution."""
+        return solution.od_utilities.reshape(
+            self.num_scenarios, self.num_od_pairs
+        )
+
+
+def _align_to_base(
+    base: "Network", task: "MeasurementTask"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scenario routing columns and loads re-indexed to base links."""
+    routing = np.zeros((task.num_od_pairs, base.num_links))
+    loads = np.zeros(base.num_links)
+    for link in task.network.links:
+        if not base.has_link(link.src, link.dst):
+            raise ValueError(
+                f"scenario link {link.name} does not exist in the base network"
+            )
+        column = base.link_between(link.src, link.dst).index
+        routing[:, column] = task.routing.matrix[:, link.index]
+        loads[column] = task.link_loads_pps[link.index]
+    return routing, loads
+
+
+def build_robust_problem(
+    base_network: "Network",
+    scenarios: Sequence["MeasurementTask"],
+    theta_packets: float,
+    alpha: float | np.ndarray = 1.0,
+    scenario_weights: Sequence[float] | None = None,
+) -> RobustProblem:
+    """Assemble the stacked multi-scenario problem.
+
+    All scenarios must share the base network's OD-pair list (same
+    order) and their links must be a subset of the base links (failure
+    scenarios qualify).  The budget constraint uses per-link
+    element-wise maximum loads over the scenarios.
+    """
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    num_od = scenarios[0].num_od_pairs
+    for task in scenarios:
+        if task.num_od_pairs != num_od:
+            raise ValueError("scenarios disagree on the OD-pair count")
+        if [od.name for od in task.routing.od_pairs] != [
+            od.name for od in scenarios[0].routing.od_pairs
+        ]:
+            raise ValueError("scenarios disagree on the OD-pair list")
+
+    if scenario_weights is None:
+        weights = np.full(len(scenarios), 1.0 / len(scenarios))
+    else:
+        weights = np.asarray(scenario_weights, dtype=float)
+        if weights.shape != (len(scenarios),):
+            raise ValueError("scenario weights do not match scenario count")
+        if np.any(weights <= 0):
+            raise ValueError("scenario weights must be positive")
+        weights = weights / weights.sum()
+
+    blocks = []
+    worst_loads = np.zeros(base_network.num_links)
+    utilities = []
+    for task in scenarios:
+        routing, loads = _align_to_base(base_network, task)
+        blocks.append(routing)
+        worst_loads = np.maximum(worst_loads, loads)
+        utilities.extend(accuracy_utilities(task.mean_inverse_sizes))
+
+    problem = SamplingProblem(
+        np.vstack(blocks),
+        worst_loads,
+        theta_packets,
+        utilities,
+        alpha=alpha,
+        interval_seconds=scenarios[0].interval_seconds,
+    )
+    return RobustProblem(
+        problem=problem,
+        num_scenarios=len(scenarios),
+        num_od_pairs=num_od,
+        scenario_weights=weights,
+    )
+
+
+def solve_robust(
+    robust: RobustProblem,
+    objective: str = "mean",
+    temperature: float = 0.005,
+    options: GradientProjectionOptions | None = None,
+) -> SamplingSolution:
+    """Solve a robust problem.
+
+    ``objective``:
+
+    * ``"mean"`` — scenario-weighted average utility (each stacked row
+      weighted by its scenario's probability);
+    * ``"worst-case"`` — smooth soft-min across every (scenario, OD)
+      utility, maximizing the worst corner of the scenario set.
+    """
+    problem = robust.problem
+    cand = np.flatnonzero(problem.candidate_mask)
+    routing = problem.routing[:, cand]
+    if objective == "mean":
+        row_weights = np.repeat(robust.scenario_weights, robust.num_od_pairs)
+        built = SumUtilityObjective(routing, problem.utilities, weights=row_weights)
+    elif objective == "worst-case":
+        built = SoftMinUtilityObjective(
+            routing, problem.utilities, temperature=temperature
+        )
+    else:
+        raise ValueError("objective must be 'mean' or 'worst-case'")
+    return solve_gradient_projection(problem, options=options, objective=built)

@@ -1,0 +1,99 @@
+"""Sensitivity analysis of the optimal configuration.
+
+The Lagrange multiplier λ of the capacity constraint is the *shadow
+price* of monitoring capacity: at the optimum, one extra unit of
+sampled-packets-per-second budget buys λ extra utility.  This module
+exposes that interpretation and two derived reports operators care
+about:
+
+* a capacity-response curve ``θ ↦ (objective, λ, worst utility)``
+  showing diminishing returns in the budget, and
+* per-link marginal values: how much objective a *deactivated* monitor
+  would contribute per unit of budget if it were switched on — exactly
+  the quantity the KKT multipliers ``ν_i`` price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kkt import check_kkt
+from .objective import SumUtilityObjective
+from .problem import SamplingProblem
+from .solution import SamplingSolution
+from .solver import solve
+
+__all__ = [
+    "CapacityResponsePoint",
+    "capacity_response",
+    "marginal_link_values",
+    "shadow_price",
+]
+
+
+@dataclass(frozen=True)
+class CapacityResponsePoint:
+    """One point of the capacity-response curve."""
+
+    theta_packets: float
+    objective: float
+    shadow_price: float
+    worst_utility: float
+    active_monitors: int
+
+
+def shadow_price(problem: SamplingProblem, solution: SamplingSolution) -> float:
+    """λ at the optimum: utility gained per extra pkt/s of budget."""
+    return check_kkt(problem, solution.rates).lam
+
+
+def capacity_response(
+    problem: SamplingProblem,
+    thetas: np.ndarray | list[float],
+    method: str = "gradient_projection",
+) -> list[CapacityResponsePoint]:
+    """Solve the problem across a θ grid and report the response curve.
+
+    θ values beyond the absorbable maximum are clamped (saturation).
+    The shadow prices must be non-increasing in θ — the objective is
+    concave in the budget — which doubles as a solver sanity check.
+    """
+    points = []
+    for theta in thetas:
+        if theta <= 0:
+            raise ValueError("theta values must be positive")
+        clamped = problem.with_theta(float(theta)).clamped()
+        solution = solve(clamped, method=method)
+        points.append(
+            CapacityResponsePoint(
+                theta_packets=float(theta),
+                objective=solution.objective_value,
+                shadow_price=shadow_price(clamped, solution),
+                worst_utility=float(solution.od_utilities.min()),
+                active_monitors=solution.num_active_monitors,
+            )
+        )
+    return points
+
+
+def marginal_link_values(
+    problem: SamplingProblem, solution: SamplingSolution
+) -> np.ndarray:
+    """Per-link marginal objective value per unit of budget.
+
+    For link ``i`` the gradient of the objective w.r.t. ``p_i`` divided
+    by its budget cost ``U_i`` — the "bang per buck" of link ``i`` at
+    the optimum.  Active links all sit at the shadow price λ; inactive
+    (deactivated) links sit strictly below it, and *how far* below
+    ranks how close each dark monitor is to being worth activating.
+
+    Links with zero load or outside the monitorable set get value 0.
+    """
+    cand = np.flatnonzero(problem.candidate_mask)
+    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    g = objective.gradient(solution.rates[cand])
+    values = np.zeros(problem.num_links)
+    values[cand] = g / problem.link_loads_pps[cand]
+    return values

@@ -1,0 +1,44 @@
+"""Top-level solve façade: one entry point, pluggable methods."""
+
+from __future__ import annotations
+
+from .gradient_projection import GradientProjectionOptions, solve_gradient_projection
+from .objective import Objective
+from .problem import SamplingProblem
+from .scipy_solver import solve_scipy
+from .solution import SamplingSolution
+
+__all__ = ["solve", "SOLVER_METHODS"]
+
+SOLVER_METHODS = ("gradient_projection", "slsqp", "trust-constr")
+
+
+def solve(
+    problem: SamplingProblem,
+    method: str = "gradient_projection",
+    objective: Objective | None = None,
+    options: GradientProjectionOptions | None = None,
+) -> SamplingSolution:
+    """Solve the joint placement-and-rates problem.
+
+    Parameters
+    ----------
+    problem:
+        The optimization problem (§III).
+    method:
+        ``"gradient_projection"`` — the paper's algorithm (default);
+        ``"slsqp"`` / ``"trust-constr"`` — SciPy reference solvers.
+    objective:
+        Optional objective override built on the problem's candidate
+        routing columns (see
+        :func:`~repro.core.gradient_projection.solve_gradient_projection`).
+    options:
+        Gradient-projection knobs; ignored by the SciPy methods.
+    """
+    if method == "gradient_projection":
+        return solve_gradient_projection(problem, options=options, objective=objective)
+    if method == "slsqp":
+        return solve_scipy(problem, method="SLSQP", objective=objective)
+    if method == "trust-constr":
+        return solve_scipy(problem, method="trust-constr", objective=objective)
+    raise ValueError(f"unknown method {method!r}; choose from {SOLVER_METHODS}")

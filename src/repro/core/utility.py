@@ -1,0 +1,262 @@
+"""Utility functions ``M(ρ)`` quantifying measurement quality (§IV-C).
+
+The optimization framework requires ``M`` to be strictly increasing,
+strictly concave, twice continuously differentiable, and ``M(0) = 0``.
+
+The paper's canonical choice is the *mean squared relative accuracy* of
+the inverted size estimate.  With ``c = E[1/S_k]`` (mean inverse size
+of OD pair ``k``), random i.i.d. sampling gives a binomial sampled
+count, hence an expected squared relative error ``E[SRE](ρ) =
+c (1 - ρ)/ρ`` and accuracy
+
+    A(ρ) = 1 - E[SRE](ρ) = 1 + c - c/ρ.
+
+``A`` diverges at ``ρ → 0``, so below a splice point ``x₀`` the paper
+substitutes the quadratic (second-order Taylor) expansion ``A*`` of
+``A`` at ``x₀``, choosing ``x₀`` such that ``A*(0) = 0``.  Solving that
+condition in closed form gives
+
+    x₀ = 3c / (1 + c),        M(x₀) = A(x₀) = (2/3)(1 + c),
+
+which matches the ``≈0.666 / 0.668`` splice values annotated in the
+paper's Figure 1.  The resulting piecewise function is C²:
+value, slope and curvature of ``A*`` and ``A`` agree at ``x₀`` by
+construction.
+
+Alternative utilities (log / exponential) are provided for the paper's
+"future work" direction of task-specific utility design; they satisfy
+the same regularity conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "UtilityFunction",
+    "MeanSquaredRelativeAccuracy",
+    "LogUtility",
+    "ExponentialUtility",
+    "accuracy_utilities",
+]
+
+
+def _clean_rho(rho) -> np.ndarray:
+    """Validate an effective-rate argument, absorbing float-epsilon dips.
+
+    Iterative solvers evaluate utilities exactly on the bound ``ρ = 0``,
+    where roundoff can produce values like ``-1e-18``; those are clamped.
+    Materially negative rates are a caller bug and raise.
+    """
+    rho = np.asarray(rho, dtype=float)
+    if np.any(rho < -1e-9):
+        raise ValueError("effective sampling rate must be non-negative")
+    return np.maximum(rho, 0.0)
+
+
+class UtilityFunction:
+    """Interface: increasing, strictly concave, C², ``M(0) = 0``.
+
+    All methods are vectorized over numpy arrays and accept scalars.
+    The domain is ``ρ >= 0``; values above 1 are permitted because the
+    linear effective-rate model (§IV-B) can slightly overshoot 1.
+    """
+
+    def value(self, rho):
+        """``M(ρ)``."""
+        raise NotImplementedError
+
+    def derivative(self, rho):
+        """``M'(ρ)`` (positive)."""
+        raise NotImplementedError
+
+    def second_derivative(self, rho):
+        """``M''(ρ)`` (negative)."""
+        raise NotImplementedError
+
+    def __call__(self, rho):
+        return self.value(rho)
+
+
+@dataclass(frozen=True)
+class MeanSquaredRelativeAccuracy(UtilityFunction):
+    """The paper's utility: spliced mean squared relative accuracy.
+
+    Parameters
+    ----------
+    mean_inverse_size:
+        ``c = E[1/S_k]`` — mean inverse size (in packets) of the
+        quantity being estimated.  Must lie in ``(0, 1/2)`` so that the
+        splice point ``x₀ = 3c/(1+c)`` stays below 1.
+    """
+
+    mean_inverse_size: float
+
+    def __post_init__(self) -> None:
+        c = self.mean_inverse_size
+        if not 0.0 < c < 0.5:
+            raise ValueError(
+                f"mean inverse size must be in (0, 0.5), got {c} "
+                "(flows of average size < 2 packets cannot be spliced)"
+            )
+
+    # ------------------------------------------------------------------
+    # closed-form pieces
+    # ------------------------------------------------------------------
+    @property
+    def splice_point(self) -> float:
+        """``x₀ = 3c / (1 + c)`` — where ``A*`` hands over to ``A``."""
+        c = self.mean_inverse_size
+        return 3.0 * c / (1.0 + c)
+
+    @property
+    def splice_value(self) -> float:
+        """``M(x₀) = (2/3)(1 + c)`` (≈ 0.666…0.668 in Figure 1)."""
+        return 2.0 * (1.0 + self.mean_inverse_size) / 3.0
+
+    def expected_sre(self, rho):
+        """``E[SRE](ρ) = c (1 - ρ)/ρ`` (only meaningful for ρ > 0)."""
+        rho = np.asarray(rho, dtype=float)
+        c = self.mean_inverse_size
+        return c * (1.0 - rho) / rho
+
+    def accuracy(self, rho):
+        """``A(ρ) = 1 - E[SRE](ρ)`` without the splice (ρ > 0)."""
+        rho = np.asarray(rho, dtype=float)
+        c = self.mean_inverse_size
+        return 1.0 + c - c / rho
+
+    # ------------------------------------------------------------------
+    # UtilityFunction interface
+    # ------------------------------------------------------------------
+    def value(self, rho):
+        rho = _clean_rho(rho)
+        c = self.mean_inverse_size
+        x0 = self.splice_point
+        a0 = self.splice_value          # A(x0)
+        d1 = c / x0**2                  # A'(x0)
+        d2 = -2.0 * c / x0**3           # A''(x0)
+        # Quadratic branch (ρ < x0) is defined everywhere; the hyperbolic
+        # branch divides by ρ, so evaluate it on a clipped copy and select.
+        safe = np.maximum(rho, x0)
+        hyperbolic = 1.0 + c - c / safe
+        quadratic = a0 + (rho - x0) * d1 + 0.5 * (rho - x0) ** 2 * d2
+        result = np.where(rho >= x0, hyperbolic, quadratic)
+        return result if result.ndim else float(result)
+
+    def derivative(self, rho):
+        rho = _clean_rho(rho)
+        c = self.mean_inverse_size
+        x0 = self.splice_point
+        d1 = c / x0**2
+        d2 = -2.0 * c / x0**3
+        safe = np.maximum(rho, x0)
+        hyperbolic = c / safe**2
+        quadratic = d1 + (rho - x0) * d2
+        result = np.where(rho >= x0, hyperbolic, quadratic)
+        return result if result.ndim else float(result)
+
+    def second_derivative(self, rho):
+        rho = _clean_rho(rho)
+        c = self.mean_inverse_size
+        x0 = self.splice_point
+        safe = np.maximum(rho, x0)
+        hyperbolic = -2.0 * c / safe**3
+        quadratic = np.full_like(rho, -2.0 * c / x0**3)
+        result = np.where(rho >= x0, hyperbolic, quadratic)
+        return result if result.ndim else float(result)
+
+    def rate_for_utility(self, target: float) -> float:
+        """Smallest ``ρ`` with ``M(ρ) >= target`` (inverse of ``M``).
+
+        Useful for capacity dimensioning ("what rate does the smallest
+        OD pair need for accuracy 0.9?", §V-C).  ``target`` must lie in
+        ``[0, 1 + c)`` — the utility's asymptote is ``1 + c``.
+        """
+        c = self.mean_inverse_size
+        if target <= 0.0:
+            return 0.0
+        if target >= 1.0 + c:
+            raise ValueError(f"utility {target} unreachable (sup is {1 + c})")
+        x0 = self.splice_point
+        if target >= self.splice_value:
+            # Invert the hyperbolic branch: 1 + c - c/ρ = target.
+            return c / (1.0 + c - target)
+        # Invert the quadratic branch on [0, x0] (increasing there).
+        a0 = self.splice_value
+        d1 = c / x0**2
+        d2 = -2.0 * c / x0**3
+        # Solve a0 + (ρ-x0) d1 + (ρ-x0)^2 d2/2 = target for ρ-x0 =: y <= 0.
+        disc = d1**2 - 2.0 * d2 * (a0 - target)
+        y = (-d1 + np.sqrt(disc)) / d2
+        return float(x0 + y)
+
+
+@dataclass(frozen=True)
+class LogUtility(UtilityFunction):
+    """``M(ρ) = log(1 + a ρ)`` — diminishing-returns utility.
+
+    A standard proportional-fairness-style alternative for tasks (e.g.
+    anomaly detection) where relative, not absolute, coverage matters.
+    """
+
+    steepness: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.steepness <= 0:
+            raise ValueError("steepness must be positive")
+
+    def value(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = np.log1p(self.steepness * rho)
+        return result if result.ndim else float(result)
+
+    def derivative(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = self.steepness / (1.0 + self.steepness * rho)
+        return result if result.ndim else float(result)
+
+    def second_derivative(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = -(self.steepness**2) / (1.0 + self.steepness * rho) ** 2
+        return result if result.ndim else float(result)
+
+
+@dataclass(frozen=True)
+class ExponentialUtility(UtilityFunction):
+    """``M(ρ) = 1 - exp(-a ρ)`` — saturating detection-probability utility.
+
+    Matches tasks where each sampled packet independently has a chance
+    of revealing the phenomenon of interest (e.g. catching at least one
+    packet of an anomaly).
+    """
+
+    steepness: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.steepness <= 0:
+            raise ValueError("steepness must be positive")
+
+    def value(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = -np.expm1(-self.steepness * rho)
+        return result if result.ndim else float(result)
+
+    def derivative(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = self.steepness * np.exp(-self.steepness * rho)
+        return result if result.ndim else float(result)
+
+    def second_derivative(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        result = -(self.steepness**2) * np.exp(-self.steepness * rho)
+        return result if result.ndim else float(result)
+
+
+def accuracy_utilities(mean_inverse_sizes) -> list[MeanSquaredRelativeAccuracy]:
+    """One paper utility per OD pair from a ``c_k`` vector."""
+    return [
+        MeanSquaredRelativeAccuracy(float(c)) for c in np.asarray(mean_inverse_sizes)
+    ]

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per paper table/figure (DESIGN.md §4),
+plus extension experiments (dynamics, practical deployment)."""
+
+from .bias import BiasResult, BiasRow, run_bias
+from .closed_loop import ClosedLoopResult, run_closed_loop_experiment
+from .comparison import AccessLinkComparison, run_comparison
+from .convergence import ConvergenceStats, run_convergence
+from .dynamic import DynamicEventResult, DynamicResult, run_dynamic
+from .ecmp_ablation import EcmpAblationResult, run_ecmp_ablation
+from .failures import FailureImpact, FailureSweepResult, run_failure_sweep
+from .figure1 import Figure1Result, run_figure1
+from .inference import InferenceResult, run_inference
+from .figure2 import Figure2Point, Figure2Result, run_figure2
+from .generality import GeneralityResult, GeneralityRow, run_generality
+from .heuristics import HeuristicPoint, HeuristicsResult, run_heuristics
+from .practical import PracticalResult, run_practical
+from .table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "run_figure1",
+    "Figure1Result",
+    "run_table1",
+    "Table1Result",
+    "Table1Row",
+    "run_convergence",
+    "ConvergenceStats",
+    "run_comparison",
+    "AccessLinkComparison",
+    "run_figure2",
+    "Figure2Result",
+    "Figure2Point",
+    "run_dynamic",
+    "DynamicResult",
+    "DynamicEventResult",
+    "run_practical",
+    "PracticalResult",
+    "run_closed_loop_experiment",
+    "ClosedLoopResult",
+    "run_bias",
+    "BiasResult",
+    "BiasRow",
+    "run_inference",
+    "InferenceResult",
+    "run_generality",
+    "GeneralityResult",
+    "GeneralityRow",
+    "run_failure_sweep",
+    "FailureSweepResult",
+    "FailureImpact",
+    "run_ecmp_ablation",
+    "EcmpAblationResult",
+    "run_heuristics",
+    "HeuristicsResult",
+    "HeuristicPoint",
+]

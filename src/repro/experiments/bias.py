@@ -1,0 +1,122 @@
+"""Extension experiment: the sampled-NetFlow ground-truth bias (§V-A).
+
+The paper's "actual traffic" is itself reconstructed from 1/1000
+sampled NetFlow, and the authors warn that "the sampled Netflow data
+present a potential bias against small flows that can affect the
+relative contribution of each OD pair of interest".  With a full
+NetFlow simulator in hand we can *measure* that bias instead of
+caveating it: build OD pairs of known sizes from heavy-tailed flow
+populations, push them through the 1/1000 monitor + collector
+pipeline, and compare the reconstructed sizes to the truth — per OD
+size and per flow-size model.
+
+Findings (asserted in the bench): packet counts are reconstructed
+nearly unbiased (HT inversion is unbiased per packet), but the
+*flow-level* view collapses — only ~a/1000-ish of flows survive for
+mice-dominated mixes — and the relative error of small OD pairs is an
+order of magnitude larger than that of large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traffic.flows import FlowSizeModel, LognormalFlowSizes, generate_flows
+from ..traffic.netflow import NetFlowCollector, NetFlowConfig, NetFlowMonitor
+from .reporting import format_table
+
+__all__ = ["BiasRow", "BiasResult", "run_bias"]
+
+#: OD sizes (packets per 5-minute interval) spanning the JANET spectrum.
+DEFAULT_OD_SIZES = (6_000, 60_000, 600_000, 6_000_000)
+
+
+@dataclass(frozen=True)
+class BiasRow:
+    """Reconstruction quality for one OD size."""
+
+    od_size_packets: int
+    mean_estimate: float
+    relative_bias: float
+    relative_std: float
+    detected_flow_fraction: float
+
+
+@dataclass(frozen=True)
+class BiasResult:
+    sampling_rate: float
+    rows: list[BiasRow]
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row.od_size_packets,
+                row.mean_estimate,
+                f"{row.relative_bias:+.3%}",
+                f"{row.relative_std:.3%}",
+                f"{row.detected_flow_fraction:.2%}",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            [
+                "OD size (pkts)", "mean estimate", "bias", "rel std",
+                "flows detected",
+            ],
+            table_rows,
+            title=(
+                "Sampled-NetFlow ground-truth bias at rate "
+                f"1/{round(1 / self.sampling_rate)} (paper §V-A)"
+            ),
+        )
+
+
+def run_bias(
+    od_sizes_packets: tuple[int, ...] = DEFAULT_OD_SIZES,
+    sampling_rate: float = 1.0 / 1000.0,
+    size_model: FlowSizeModel | None = None,
+    repetitions: int = 10,
+    seed: int = 2006,
+) -> BiasResult:
+    """Measure reconstruction bias/variance per OD size.
+
+    For each OD size: generate a flow population, run the NetFlow
+    monitor + collector pipeline ``repetitions`` times, and record the
+    relative bias and spread of the reconstructed packet count, plus
+    the fraction of flows that leave any record at all.
+    """
+    if repetitions < 2:
+        raise ValueError("need at least two repetitions")
+    size_model = size_model or LognormalFlowSizes(mean_packets=20.0, sigma=1.5)
+    rng = np.random.default_rng(seed)
+    config = NetFlowConfig(sampling_rate=sampling_rate)
+
+    rows = []
+    for od_size in od_sizes_packets:
+        if od_size < 1:
+            raise ValueError("OD sizes must be positive")
+        flows = generate_flows(0, int(od_size), size_model, rng)
+        estimates = np.zeros(repetitions)
+        detected = np.zeros(repetitions)
+        monitor = NetFlowMonitor(0, config)
+        for rep in range(repetitions):
+            collector = NetFlowCollector(
+                sampling_rate=sampling_rate, bin_seconds=300.0
+            )
+            records = monitor.observe(flows, rng)
+            collector.ingest(records)
+            estimates[rep] = collector.estimated_od_sizes(1)[0]
+            detected[rep] = len({r.flow_id for r in records}) / max(len(flows), 1)
+        truth = float(od_size)
+        rows.append(
+            BiasRow(
+                od_size_packets=int(od_size),
+                mean_estimate=float(estimates.mean()),
+                relative_bias=float((estimates.mean() - truth) / truth),
+                relative_std=float(estimates.std(ddof=1) / truth),
+                detected_flow_fraction=float(detected.mean()),
+            )
+        )
+    return BiasResult(sampling_rate=sampling_rate, rows=rows)

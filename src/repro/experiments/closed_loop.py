@@ -1,0 +1,119 @@
+"""Extension experiment: closed-loop adaptive monitoring over a day.
+
+The paper's optimizer assumes OD sizes are known; in operation they
+come from the monitoring system itself.  This experiment runs the full
+feedback loop over a simulated day on GEANT (diurnal cycle, per-OD
+noise, a midday anomaly, an afternoon circuit failure): the deployed
+configuration's samples produce the size estimates feeding the next
+interval's re-optimization.
+
+Compared against the frozen interval-0 configuration on identical
+traffic realizations.  The adaptive loop holds its accuracy through
+the events; the static configuration degrades exactly where the
+paper's §I says it must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..adaptive import ControllerConfig, LoopResult, run_closed_loop
+from ..traffic.temporal import TraceEvent, generate_trace
+from ..traffic.workloads import janet_task
+from .reporting import format_table
+
+__all__ = ["ClosedLoopResult", "run_closed_loop_experiment"]
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    loop: LoopResult
+
+    def format(self) -> str:
+        rows = []
+        for r in self.loop.intervals:
+            events = ", ".join(r.active_events) or "-"
+            rows.append(
+                [
+                    r.interval,
+                    f"{r.hour_of_day:05.2f}",
+                    events,
+                    float(r.adaptive_accuracy.mean()),
+                    r.adaptive_worst,
+                    float(r.static_accuracy.mean()),
+                    r.static_worst,
+                    r.solver_iterations,
+                ]
+            )
+        table = format_table(
+            [
+                "t", "hour", "events", "adapt avg", "adapt worst",
+                "static avg", "static worst", "iters",
+            ],
+            rows,
+            title="Closed-loop adaptive monitoring vs frozen configuration",
+        )
+        summary = (
+            f"day means: adaptive {self.loop.mean_adaptive_accuracy:.3f} "
+            f"(worst {self.loop.worst_adaptive_accuracy:.3f})  |  "
+            f"static {self.loop.mean_static_accuracy:.3f} "
+            f"(worst {self.loop.worst_static_accuracy:.3f})"
+        )
+        return table + "\n" + summary
+
+
+def run_closed_loop_experiment(
+    theta_packets_per_5min: float = 100_000.0,
+    num_intervals: int = 16,
+    seed: int = 2006,
+) -> ClosedLoopResult:
+    """Simulate a day of closed-loop operation on the JANET task.
+
+    Intervals are stretched to 90 minutes so ``num_intervals`` spans a
+    full diurnal cycle at reasonable cost; the capacity is scaled to
+    keep the paper's sampling *rate* budget (θ/T).  An anomaly strikes
+    mid-morning and the UK<->FR circuit fails in the afternoon.  The
+    controller is bootstrapped with interval-0 estimates (a survey
+    pass), so the frozen baseline is the legitimate Table-I-style
+    optimum rather than a cold start.
+    """
+    interval_seconds = 5400.0
+    theta_packets = theta_packets_per_5min * interval_seconds / 300.0
+    base = janet_task(interval_seconds=interval_seconds)
+    anomaly_od = int(np.argmin(base.od_sizes_pps))
+    events = [
+        TraceEvent(
+            kind="anomaly",
+            start_interval=num_intervals // 3,
+            duration_intervals=2,
+            od_index=anomaly_od,
+            magnitude=25.0,
+        ),
+        TraceEvent(
+            kind="failure",
+            start_interval=(2 * num_intervals) // 3,
+            duration_intervals=2,
+            node_a="UK",
+            node_b="FR",
+        ),
+    ]
+    trace = list(
+        generate_trace(
+            base,
+            num_intervals=num_intervals,
+            start_hour=0.0,
+            noise_sigma=0.1,
+            events=events,
+            seed=seed,
+        )
+    )
+    config = ControllerConfig(theta_packets=theta_packets)
+    loop = run_closed_loop(
+        trace,
+        config,
+        seed=seed + 1,
+        initial_sizes_packets=trace[0].task.od_sizes_packets,
+    )
+    return ClosedLoopResult(loop=loop)

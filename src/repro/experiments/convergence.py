@@ -1,0 +1,111 @@
+"""§IV-D convergence statistics of the gradient-projection algorithm.
+
+The paper reports, over 200 independent executions with different
+input parameters (different OD pair sizes, link loads and capacities
+θ): 98.6 % of runs converge within the 2000-iteration threshold, and
+on average 1.64 constraint-release events (std 1.12) occur per run.
+
+This experiment randomizes the JANET task the same way — log-normal
+perturbations of OD sizes and of the gravity masses that set link
+loads, and a random capacity θ — and collects the same statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.gradient_projection import GradientProjectionOptions
+from ..core.problem import SamplingProblem
+from ..core.solver import solve
+from ..traffic.workloads import JANET_OD_SIZES_PPS, janet_task
+
+__all__ = ["ConvergenceStats", "run_convergence"]
+
+DEFAULT_RUNS = 200
+DEFAULT_MAX_ITERATIONS = 2000
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Aggregate convergence behaviour over randomized runs."""
+
+    runs: int
+    converged_runs: int
+    iterations: np.ndarray
+    releases: np.ndarray
+
+    @property
+    def convergence_fraction(self) -> float:
+        """Fraction of runs that satisfied KKT within the threshold."""
+        return self.converged_runs / self.runs
+
+    @property
+    def mean_releases(self) -> float:
+        return float(self.releases.mean())
+
+    @property
+    def std_releases(self) -> float:
+        return float(self.releases.std(ddof=1)) if self.runs > 1 else 0.0
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(self.iterations.mean())
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                "Convergence statistics (paper §IV-D: 98.6 % < 2000 iters; "
+                "releases avg 1.64, std 1.12)",
+                f"  runs: {self.runs}",
+                f"  converged within threshold: {self.converged_runs} "
+                f"({self.convergence_fraction:.1%})",
+                f"  iterations: mean {self.mean_iterations:.0f}, "
+                f"max {int(self.iterations.max())}",
+                f"  constraint releases: mean {self.mean_releases:.2f}, "
+                f"std {self.std_releases:.2f}",
+            ]
+        )
+
+
+def run_convergence(
+    runs: int = DEFAULT_RUNS,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    seed: int = 2006,
+) -> ConvergenceStats:
+    """Run the solver over ``runs`` randomized JANET-style inputs.
+
+    Per run: OD sizes are jittered log-normally (σ = 0.5) around the
+    calibrated table, gravity masses are jittered (σ = 0.4) to change
+    link loads, and θ is drawn log-uniformly between 20 000 and
+    500 000 packets per interval.
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    rng = np.random.default_rng(seed)
+    iterations = np.zeros(runs, dtype=int)
+    releases = np.zeros(runs, dtype=int)
+    converged = 0
+    options = GradientProjectionOptions(max_iterations=max_iterations)
+
+    for r in range(runs):
+        sizes = {
+            pop: pps * float(rng.lognormal(0.0, 0.5))
+            for pop, pps in JANET_OD_SIZES_PPS.items()
+        }
+        task = janet_task(od_sizes_pps=sizes, seed=int(rng.integers(2**31)))
+        theta = float(np.exp(rng.uniform(np.log(20_000.0), np.log(500_000.0))))
+        problem = SamplingProblem.from_task(task, theta)
+        solution = solve(problem, options=options)
+        iterations[r] = solution.diagnostics.iterations
+        releases[r] = solution.diagnostics.constraint_releases
+        if solution.diagnostics.converged:
+            converged += 1
+
+    return ConvergenceStats(
+        runs=runs,
+        converged_runs=converged,
+        iterations=iterations,
+        releases=releases,
+    )

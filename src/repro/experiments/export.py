@@ -1,0 +1,215 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+The experiment objects print paper-style text; analysis pipelines want
+machine-readable series.  Every exporter takes the result object of
+the corresponding ``run_*`` function and returns a string (CSV) or a
+JSON-serializable dict, plus ``write_*`` helpers targeting a path.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .comparison import AccessLinkComparison
+from .convergence import ConvergenceStats
+from .dynamic import DynamicResult
+from .failures import FailureSweepResult
+from .figure1 import Figure1Result
+from .figure2 import Figure2Result
+from .generality import GeneralityResult
+from .heuristics import HeuristicsResult
+from .table1 import Table1Result
+
+__all__ = [
+    "figure1_to_csv",
+    "figure2_to_csv",
+    "table1_to_dict",
+    "convergence_to_dict",
+    "comparison_to_dict",
+    "dynamic_to_dict",
+    "failures_to_csv",
+    "generality_to_dict",
+    "heuristics_to_csv",
+    "write_csv",
+    "write_json",
+]
+
+
+def figure1_to_csv(result: Figure1Result) -> str:
+    """One row per ρ grid point, one column per curve."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    labels = list(result.curves)
+    writer.writerow(["rho", *labels])
+    for i, rho in enumerate(result.rho):
+        writer.writerow(
+            [f"{rho:.6f}"] + [f"{result.curves[l][i]:.8f}" for l in labels]
+        )
+    return buffer.getvalue()
+
+
+def figure2_to_csv(result: Figure2Result) -> str:
+    """One row per θ, columns for both configurations' statistics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "theta", "avg_opt", "worst_opt", "best_opt",
+            "avg_restricted", "worst_restricted", "best_restricted",
+        ]
+    )
+    for opt, restricted in zip(result.optimal, result.restricted):
+        writer.writerow(
+            [
+                f"{opt.theta_packets:.0f}",
+                f"{opt.average:.6f}", f"{opt.worst:.6f}", f"{opt.best:.6f}",
+                f"{restricted.average:.6f}", f"{restricted.worst:.6f}",
+                f"{restricted.best:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def table1_to_dict(result: Table1Result) -> dict[str, Any]:
+    """JSON-friendly rendering of the regenerated Table I."""
+    return {
+        "theta_packets": result.solution.problem.theta_packets,
+        "interval_seconds": result.solution.problem.interval_seconds,
+        "od_pairs": [
+            {
+                "name": row.od_name,
+                "size_pps": row.size_pps,
+                "monitored_links": row.monitored_links,
+                "utility": row.utility,
+                "accuracy": row.accuracy,
+            }
+            for row in result.rows
+        ],
+        "links": [
+            {
+                "name": name,
+                "rate": result.link_rates[name],
+                "load_pps": result.link_loads[name],
+                "theta_share": result.link_contributions[name],
+            }
+            for name in result.link_rates
+        ],
+        "summary": {
+            "active_monitors": len(result.link_rates),
+            "max_rate": result.max_rate,
+            "max_monitors_per_od": result.max_monitors_per_od,
+            "average_accuracy": result.average_accuracy,
+            "worst_accuracy": result.worst_accuracy,
+        },
+    }
+
+
+def convergence_to_dict(stats: ConvergenceStats) -> dict[str, Any]:
+    return {
+        "runs": stats.runs,
+        "converged_runs": stats.converged_runs,
+        "convergence_fraction": stats.convergence_fraction,
+        "mean_iterations": stats.mean_iterations,
+        "max_iterations": int(stats.iterations.max()),
+        "mean_releases": stats.mean_releases,
+        "std_releases": stats.std_releases,
+        "iterations": [int(i) for i in stats.iterations],
+        "releases": [int(r) for r in stats.releases],
+    }
+
+
+def comparison_to_dict(result: AccessLinkComparison) -> dict[str, Any]:
+    return {
+        "theta_packets": result.theta_packets,
+        "smallest_od": result.smallest_od,
+        "smallest_od_rate": result.smallest_od_rate,
+        "access_load_pps": result.access_load_pps,
+        "access_theta_packets": result.access_theta_packets,
+        "capacity_inflation": result.capacity_inflation,
+    }
+
+
+def dynamic_to_dict(result: DynamicResult) -> dict[str, Any]:
+    return {
+        "baseline_objective": result.baseline_objective,
+        "events": [
+            {
+                "label": e.label,
+                "static_objective": e.static_objective,
+                "static_worst_utility": e.static_worst_utility,
+                "static_budget_overrun": e.static_budget_overrun,
+                "reopt_objective": e.reopt_objective,
+                "reopt_worst_utility": e.reopt_worst_utility,
+                "reopt_iterations": e.reopt_iterations,
+            }
+            for e in result.events
+        ],
+    }
+
+
+def failures_to_csv(result: FailureSweepResult) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["circuit", "static_worst", "reopt_worst", "recoverable"]
+    )
+    for impact in result.impacts:
+        writer.writerow(
+            [
+                impact.circuit,
+                f"{impact.static_worst_utility:.6f}",
+                f"{impact.reopt_worst_utility:.6f}",
+                f"{impact.worst_utility_drop:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def generality_to_dict(result: GeneralityResult) -> dict[str, Any]:
+    return {
+        "rows": [
+            {
+                "topology": row.topology,
+                "active_monitors": row.active_monitors,
+                "num_links": row.num_links,
+                "max_rate": row.max_rate,
+                "worst_utility": row.worst_utility,
+                "utility_spread": row.utility_spread,
+                "uniform_worst_utility": row.uniform_worst_utility,
+            }
+            for row in result.rows
+        ]
+    }
+
+
+def heuristics_to_csv(result: HeuristicsResult) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["k", "coverage", "density", "elimination", "joint"]
+    )
+    for point in result.points:
+        writer.writerow(
+            [
+                point.max_monitors,
+                f"{point.coverage_objective:.6f}",
+                f"{point.density_objective:.6f}",
+                f"{point.elimination_objective:.6f}",
+                f"{result.joint_objective:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(text: str, path: str | Path) -> None:
+    """Write exporter CSV output to ``path``."""
+    Path(path).write_text(text)
+
+
+def write_json(payload: dict[str, Any], path: str | Path) -> None:
+    """Write exporter dict output to ``path`` as pretty JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,124 @@
+"""Figure 2: measurement accuracy versus capacity θ, optimal vs UK-only.
+
+The second naive solution of §V-C monitors only the six links leaving
+the UK PoP.  The paper sweeps the capacity θ and plots, for both the
+network-wide optimum and the UK-links-restricted optimum, the average,
+worst and best per-OD accuracy.  The restricted solution collapses on
+small OD pairs — the UK links are heavily loaded, so giving a small
+pair a usable effective rate there devours the budget — while the
+network-wide optimum finds cheap lightly-loaded links deeper in the
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.restricted import solve_restricted
+from ..core.problem import SamplingProblem
+from ..core.solver import solve
+from ..sampling.simulator import SamplingExperiment
+from ..traffic.workloads import MeasurementTask, janet_task
+from .reporting import format_series
+
+__all__ = ["Figure2Point", "Figure2Result", "run_figure2"]
+
+#: Default θ sweep (packets per 5-minute interval), log-spaced.
+DEFAULT_THETAS = tuple(float(t) for t in np.geomspace(5_000, 2_000_000, 9))
+DEFAULT_RUNS = 20
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    """Accuracy statistics of one configuration at one capacity."""
+
+    theta_packets: float
+    average: float
+    worst: float
+    best: float
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Both accuracy-vs-θ series."""
+
+    optimal: list[Figure2Point]
+    restricted: list[Figure2Point]
+    restricted_links: list[str]
+
+    def format(self) -> str:
+        thetas = [p.theta_packets for p in self.optimal]
+        series = {
+            "avg(opt)": [p.average for p in self.optimal],
+            "worst(opt)": [p.worst for p in self.optimal],
+            "best(opt)": [p.best for p in self.optimal],
+            "avg(UK)": [p.average for p in self.restricted],
+            "worst(UK)": [p.worst for p in self.restricted],
+            "best(UK)": [p.best for p in self.restricted],
+        }
+        table = format_series(
+            "theta", thetas, series,
+            title="Figure 2 — accuracy vs capacity, optimal vs UK-links-only",
+        )
+        return table + "\nrestricted to: " + ", ".join(self.restricted_links)
+
+
+def _evaluate(
+    task: MeasurementTask,
+    rates: np.ndarray,
+    theta: float,
+    runs: int,
+    seed: int,
+) -> Figure2Point:
+    experiment = SamplingExperiment(
+        task.routing.matrix, task.od_sizes_packets, deduplicate=True
+    )
+    result = experiment.run(rates, runs=runs, seed=seed)
+    return Figure2Point(
+        theta_packets=theta,
+        average=result.average_accuracy,
+        worst=result.worst_od_accuracy,
+        best=result.best_od_accuracy,
+    )
+
+
+def run_figure2(
+    thetas: tuple[float, ...] = DEFAULT_THETAS,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 2006,
+    task: MeasurementTask | None = None,
+    method: str = "gradient_projection",
+) -> Figure2Result:
+    """Sweep θ and evaluate both configurations by Monte-Carlo sampling.
+
+    Capacities beyond what a configuration's candidate links can absorb
+    are clamped to saturation (the configuration simply cannot use more
+    budget), which is how the restricted curve plateaus.
+    """
+    task = task or janet_task()
+    if task.access_node is None:
+        raise ValueError("figure 2 needs a task with an access node")
+    uk_links = task.access_link_indices()
+    names = [task.network.links[i].name for i in uk_links]
+
+    optimal_points: list[Figure2Point] = []
+    restricted_points: list[Figure2Point] = []
+    for index, theta in enumerate(thetas):
+        if theta <= 0:
+            raise ValueError("theta values must be positive")
+        problem = SamplingProblem.from_task(task, theta).clamped()
+        opt = solve(problem, method=method)
+        optimal_points.append(
+            _evaluate(task, opt.rates, theta, runs, seed + index)
+        )
+        restr = solve_restricted(problem, uk_links, method=method)
+        restricted_points.append(
+            _evaluate(task, restr.rates, theta, runs, seed + 1000 + index)
+        )
+    return Figure2Result(
+        optimal=optimal_points,
+        restricted=restricted_points,
+        restricted_links=names,
+    )

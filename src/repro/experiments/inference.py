@@ -1,0 +1,137 @@
+"""Extension experiment: bootstrapping placement from tomogravity.
+
+Before any sampling data exists, the only traffic knowledge an
+operator has is SNMP link loads plus edge totals — the inputs of the
+traffic-matrix-estimation literature the paper cites (§II).  This
+experiment closes that gap: estimate the matrix by tomogravity, feed
+the *estimated* JANET OD sizes to the placement optimizer, and measure
+how much the resulting configuration underperforms the one computed
+from true sizes when both are evaluated against the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.objective import SumUtilityObjective
+from ..core.problem import SamplingProblem
+from ..core.solver import solve
+from ..core.utility import accuracy_utilities
+from ..inference.tomogravity import estimate_traffic_matrix
+from ..traffic.workloads import MeasurementTask, janet_task
+from .reporting import format_table
+
+__all__ = ["InferenceResult", "run_inference"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Placement quality: true sizes vs tomogravity-estimated sizes."""
+
+    size_relative_errors: np.ndarray  # per JANET OD pair
+    true_objective: float
+    estimated_objective: float  # estimated-size config scored on truth
+    tomography_residual: float
+
+    @property
+    def objective_gap_fraction(self) -> float:
+        return (
+            self.true_objective - self.estimated_objective
+        ) / self.true_objective
+
+    def format(self) -> str:
+        rows = [
+            ["median size error", f"{np.median(self.size_relative_errors):.1%}"],
+            ["worst size error", f"{self.size_relative_errors.max():.1%}"],
+            ["objective (true sizes)", f"{self.true_objective:.4f}"],
+            ["objective (tomogravity sizes)", f"{self.estimated_objective:.4f}"],
+            ["placement quality lost", f"{self.objective_gap_fraction:.3%}"],
+            ["link-load residual", f"{self.tomography_residual:.2f} pkt/s"],
+        ]
+        return format_table(
+            ["quantity", "value"], rows,
+            title="Placement from tomogravity-estimated traffic (vs truth)",
+        )
+
+
+def run_inference(
+    theta_packets: float = 100_000.0,
+    ridge_lambda: float = 0.01,
+    task: MeasurementTask | None = None,
+) -> InferenceResult:
+    """Run the tomogravity-bootstrap experiment on the JANET task."""
+    task = task or janet_task()
+    net = task.network
+
+    # Observables: link loads plus per-node edge totals (the task OD
+    # traffic enters through UK; background enters per gravity mass).
+    egress: dict[str, float] = {name: 0.0 for name in net.node_names}
+    ingress: dict[str, float] = {name: 0.0 for name in net.node_names}
+    # Reconstruct node totals from the loads actually offered: route-
+    # free accounting is not observable per-node in general, so use the
+    # standard approximation — totals at the network edge.  For the
+    # synthetic task these are derivable from the task definition.
+    for od, pps in zip(task.routing.od_pairs, task.od_sizes_pps):
+        egress[od.origin] += float(pps)
+        ingress[od.destination] += float(pps)
+    task_loads = task.routing.matrix.T @ task.od_sizes_pps
+    background = task.link_loads_pps - task_loads
+    # Approximate background edge totals by per-node incident loads.
+    for link in net.links:
+        egress[link.src] += float(background[link.index]) / max(
+            1, net.degree(link.src)
+        )
+        ingress[link.dst] += float(background[link.index]) / max(
+            1, len(net.in_links(link.dst))
+        )
+
+    estimate = estimate_traffic_matrix(
+        net,
+        task.link_loads_pps,
+        egress,
+        ingress,
+        ridge_lambda=ridge_lambda,
+    )
+
+    estimated_sizes_pps = np.array(
+        [
+            max(estimate.demand(od.origin, od.destination), 1e-3)
+            for od in task.routing.od_pairs
+        ]
+    )
+    errors = (
+        np.abs(estimated_sizes_pps - task.od_sizes_pps) / task.od_sizes_pps
+    )
+
+    # Placement from true sizes.
+    true_problem = SamplingProblem.from_task(task, theta_packets)
+    true_solution = solve(true_problem, method="slsqp")
+
+    # Placement from estimated sizes (same loads — SNMP is observable).
+    estimated_sizes_packets = estimated_sizes_pps * task.interval_seconds
+    estimated_utilities = accuracy_utilities(
+        np.minimum(1.0 / estimated_sizes_packets, 0.49)
+    )
+    estimated_problem = SamplingProblem(
+        task.routing.matrix,
+        task.link_loads_pps,
+        theta_packets,
+        estimated_utilities,
+        interval_seconds=task.interval_seconds,
+    )
+    estimated_solution = solve(estimated_problem, method="slsqp")
+
+    # Score both configurations against the TRUE utilities.
+    true_objective_fn = SumUtilityObjective(
+        task.routing.matrix, true_problem.utilities
+    )
+    return InferenceResult(
+        size_relative_errors=errors,
+        true_objective=float(true_objective_fn.value(true_solution.rates)),
+        estimated_objective=float(
+            true_objective_fn.value(estimated_solution.rates)
+        ),
+        tomography_residual=estimate.residual_norm,
+    )

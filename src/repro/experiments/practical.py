@@ -1,0 +1,142 @@
+"""Extension experiment: practical deployment of the optimal rates.
+
+Two deployment questions the paper leaves to the operator:
+
+* **Quantization** — routers sample "1 in N", not at arbitrary
+  probabilities.  How much utility does rounding the optimal rates to
+  the 1/N grid cost?  (Answer on GEANT: almost nothing.)
+* **Capacity response** — how do the objective, the capacity shadow
+  price λ and the worst OD pair respond to the budget θ?  The shadow
+  price is the number an operator needs to decide whether adding
+  collector capacity is worth it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import SamplingProblem
+from ..core.quantization import QuantizationResult, quantize_solution
+from ..core.sensitivity import CapacityResponsePoint, capacity_response
+from ..core.solver import solve
+from ..traffic.workloads import MeasurementTask, janet_task
+from .reporting import format_table
+
+__all__ = [
+    "PracticalResult",
+    "run_practical",
+    "AlphaSweepPoint",
+    "run_alpha_sweep",
+]
+
+DEFAULT_THETAS = tuple(float(t) for t in np.geomspace(10_000, 1_000_000, 7))
+DEFAULT_ALPHAS = (1.0, 0.01, 0.003, 0.001, 0.0005)
+
+
+@dataclass(frozen=True)
+class PracticalResult:
+    quantization: QuantizationResult
+    response: list[CapacityResponsePoint]
+    alpha_sweep: list["AlphaSweepPoint"]
+
+    def format(self) -> str:
+        q = self.quantization
+        positive = q.divisors[q.divisors > 0]
+        quant_lines = [
+            "Quantization to 1-in-N sampling:",
+            f"  active monitors: {positive.size}",
+            f"  divisors N: {sorted(int(n) for n in positive)}",
+            f"  utility loss: {q.utility_loss:.6f} "
+            f"({q.relative_loss:.4%} of the optimum)",
+            f"  budget use: {q.solution.budget_used_packets:,.0f} packets "
+            f"(cap {q.solution.problem.theta_packets:,.0f})",
+        ]
+        rows = [
+            [
+                p.theta_packets,
+                p.objective,
+                p.shadow_price,
+                p.worst_utility,
+                p.active_monitors,
+            ]
+            for p in self.response
+        ]
+        table = format_table(
+            ["theta", "objective", "shadow price", "worst utility", "monitors"],
+            rows,
+            title="Capacity response (diminishing returns in theta)",
+        )
+        alpha_rows = [
+            [p.alpha, p.active_monitors, p.max_rate, p.objective, p.worst_utility]
+            for p in self.alpha_sweep
+        ]
+        alpha_table = format_table(
+            ["alpha cap", "monitors", "max rate", "objective", "worst utility"],
+            alpha_rows,
+            title="Per-link cap sweep (tighter caps force wider placement)",
+        )
+        return "\n".join(quant_lines) + "\n\n" + table + "\n\n" + alpha_table
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """Optimal-solution structure under one per-link rate cap."""
+
+    alpha: float
+    active_monitors: int
+    max_rate: float
+    objective: float
+    worst_utility: float
+
+
+def run_alpha_sweep(
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    theta_packets: float = 100_000.0,
+    task: MeasurementTask | None = None,
+) -> list[AlphaSweepPoint]:
+    """How per-link caps reshape the placement.
+
+    Table I sets ``α_i = 1`` ("no prior knowledge"); real routers cap
+    the tolerable sampling rate.  Tightening α forces the optimizer to
+    spread the budget across *more* monitors — the joint formulation
+    answering a router constraint with a placement change.  θ is
+    clamped per point when the cap shrinks the absorbable budget.
+    """
+    task = task or janet_task()
+    points = []
+    for alpha in alphas:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha values must be in (0, 1]")
+        problem = SamplingProblem.from_task(
+            task, theta_packets, alpha=alpha
+        ).clamped()
+        solution = solve(problem)
+        points.append(
+            AlphaSweepPoint(
+                alpha=alpha,
+                active_monitors=solution.num_active_monitors,
+                max_rate=float(solution.rates.max()),
+                objective=solution.objective_value,
+                worst_utility=float(solution.od_utilities.min()),
+            )
+        )
+    return points
+
+
+def run_practical(
+    theta_packets: float = 100_000.0,
+    thetas: tuple[float, ...] = DEFAULT_THETAS,
+    task: MeasurementTask | None = None,
+) -> PracticalResult:
+    """Quantize the Table I optimum, sweep capacity and per-link caps."""
+    task = task or janet_task()
+    problem = SamplingProblem.from_task(task, theta_packets)
+    solution = solve(problem)
+    quantization = quantize_solution(problem, solution)
+    response = capacity_response(problem, list(thetas), method="slsqp")
+    alpha_sweep = run_alpha_sweep(theta_packets=theta_packets, task=task)
+    return PracticalResult(
+        quantization=quantization, response=response, alpha_sweep=alpha_sweep
+    )

@@ -1,0 +1,86 @@
+"""Shared formatting helpers for experiment reports.
+
+Experiments print paper-style tables and series to stdout; these
+helpers keep the formatting consistent and dependency-free (no
+plotting libraries — series are emitted as aligned columns ready for
+any plotting tool, plus a coarse ASCII preview).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "ascii_plot"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render several y-series against a shared x-axis as columns."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A coarse ASCII scatter of one series (quick visual check)."""
+    if len(x_values) != len(y_values) or not x_values:
+        raise ValueError("need equally many x and y values")
+    x_min, x_max = min(x_values), max(x_values)
+    y_min, y_max = min(y_values), max(y_values)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(x_values, y_values):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [label] if label else []
+    lines.append(f"{y_max:10.4g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_min:<10.4g}" + " " * max(0, width - 20) + f"{x_max:>10.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Run every paper experiment and print the paper-style reports.
+
+Usage::
+
+    python -m repro.experiments            # everything (slow: minutes)
+    python -m repro.experiments table1     # a single experiment
+    python -m repro.experiments figure2 --quick
+    python -m repro.experiments figure1 figure2 --export-dir out/
+
+``--quick`` shrinks Monte-Carlo repetition counts for smoke runs;
+``--export-dir`` additionally writes machine-readable CSV/JSON files
+for the experiments that support it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable
+
+from .bias import run_bias
+from .closed_loop import run_closed_loop_experiment
+from .comparison import run_comparison
+from .convergence import run_convergence
+from .dynamic import run_dynamic
+from .ecmp_ablation import run_ecmp_ablation
+from .failures import run_failure_sweep
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .generality import run_generality
+from .heuristics import run_heuristics
+from .inference import run_inference
+from .practical import run_practical
+from .table1 import run_table1
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _figure1(quick: bool) -> str:
+    return run_figure1().format()
+
+
+def _table1(quick: bool) -> str:
+    return run_table1(runs=5 if quick else 20).format()
+
+
+def _convergence(quick: bool) -> str:
+    return run_convergence(runs=20 if quick else 200).format()
+
+
+def _comparison(quick: bool) -> str:
+    return run_comparison().format()
+
+
+def _figure2(quick: bool) -> str:
+    if quick:
+        import numpy as np
+
+        thetas = tuple(float(t) for t in np.geomspace(5_000, 2_000_000, 5))
+        return run_figure2(thetas=thetas, runs=5).format()
+    return run_figure2().format()
+
+
+def _dynamic(quick: bool) -> str:
+    return run_dynamic().format()
+
+
+def _practical(quick: bool) -> str:
+    if quick:
+        import numpy as np
+
+        thetas = tuple(float(t) for t in np.geomspace(20_000, 500_000, 3))
+        return run_practical(thetas=thetas).format()
+    return run_practical().format()
+
+
+def _closed_loop(quick: bool) -> str:
+    intervals = 8 if quick else 16
+    return run_closed_loop_experiment(num_intervals=intervals).format()
+
+
+def _bias(quick: bool) -> str:
+    return run_bias(repetitions=4 if quick else 10).format()
+
+
+def _inference(quick: bool) -> str:
+    return run_inference().format()
+
+
+def _generality(quick: bool) -> str:
+    return run_generality().format()
+
+
+def _failures(quick: bool) -> str:
+    return run_failure_sweep().format()
+
+
+def _ecmp(quick: bool) -> str:
+    return run_ecmp_ablation().format()
+
+
+def _heuristics(quick: bool) -> str:
+    budgets = (2, 6, 10) if quick else (2, 4, 6, 8, 10)
+    return run_heuristics(budgets=budgets).format()
+
+
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "figure1": _figure1,
+    "table1": _table1,
+    "convergence": _convergence,
+    "comparison": _comparison,
+    "figure2": _figure2,
+    "dynamic": _dynamic,
+    "practical": _practical,
+    "closed-loop": _closed_loop,
+    "bias": _bias,
+    "inference": _inference,
+    "generality": _generality,
+    "failures": _failures,
+    "ecmp": _ecmp,
+    "heuristics": _heuristics,
+}
+
+
+def _export_figure1(quick: bool, outdir: Path) -> list[Path]:
+    from .export import figure1_to_csv, write_csv
+
+    path = outdir / "figure1.csv"
+    write_csv(figure1_to_csv(run_figure1()), path)
+    return [path]
+
+
+def _export_figure2(quick: bool, outdir: Path) -> list[Path]:
+    from .export import figure2_to_csv, write_csv
+
+    result = _run_figure2_result(quick)
+    path = outdir / "figure2.csv"
+    write_csv(figure2_to_csv(result), path)
+    return [path]
+
+
+def _run_figure2_result(quick: bool):
+    if quick:
+        import numpy as np
+
+        thetas = tuple(float(t) for t in np.geomspace(5_000, 2_000_000, 5))
+        return run_figure2(thetas=thetas, runs=5)
+    return run_figure2()
+
+
+def _export_table1(quick: bool, outdir: Path) -> list[Path]:
+    from .export import table1_to_dict, write_json
+
+    path = outdir / "table1.json"
+    write_json(table1_to_dict(run_table1(runs=5 if quick else 20)), path)
+    return [path]
+
+
+def _export_convergence(quick: bool, outdir: Path) -> list[Path]:
+    from .export import convergence_to_dict, write_json
+
+    path = outdir / "convergence.json"
+    write_json(
+        convergence_to_dict(run_convergence(runs=20 if quick else 200)), path
+    )
+    return [path]
+
+
+def _export_comparison(quick: bool, outdir: Path) -> list[Path]:
+    from .export import comparison_to_dict, write_json
+
+    path = outdir / "comparison.json"
+    write_json(comparison_to_dict(run_comparison()), path)
+    return [path]
+
+
+def _export_dynamic(quick: bool, outdir: Path) -> list[Path]:
+    from .export import dynamic_to_dict, write_json
+
+    path = outdir / "dynamic.json"
+    write_json(dynamic_to_dict(run_dynamic()), path)
+    return [path]
+
+
+def _export_failures(quick: bool, outdir: Path) -> list[Path]:
+    from .export import failures_to_csv, write_csv
+
+    path = outdir / "failures.csv"
+    write_csv(failures_to_csv(run_failure_sweep()), path)
+    return [path]
+
+
+def _export_generality(quick: bool, outdir: Path) -> list[Path]:
+    from .export import generality_to_dict, write_json
+
+    path = outdir / "generality.json"
+    write_json(generality_to_dict(run_generality()), path)
+    return [path]
+
+
+def _export_heuristics(quick: bool, outdir: Path) -> list[Path]:
+    from .export import heuristics_to_csv, write_csv
+
+    budgets = (2, 6, 10) if quick else (2, 4, 6, 8, 10)
+    path = outdir / "heuristics.csv"
+    write_csv(heuristics_to_csv(run_heuristics(budgets=budgets)), path)
+    return [path]
+
+
+#: Experiments with machine-readable exporters.
+EXPORTERS: dict[str, Callable[[bool, Path], list[Path]]] = {
+    "figure1": _export_figure1,
+    "figure2": _export_figure2,
+    "table1": _export_table1,
+    "convergence": _export_convergence,
+    "comparison": _export_comparison,
+    "dynamic": _export_dynamic,
+    "failures": _export_failures,
+    "generality": _export_generality,
+    "heuristics": _export_heuristics,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced repetition counts"
+    )
+    parser.add_argument(
+        "--export-dir",
+        type=Path,
+        default=None,
+        help="also write CSV/JSON files for exportable experiments",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    if args.export_dir is not None:
+        args.export_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(EXPERIMENTS[name](args.quick))
+        if args.export_dir is not None and name in EXPORTERS:
+            for path in EXPORTERS[name](args.quick, args.export_dir):
+                print(f"[exported {path}]")
+    return 0

@@ -1,0 +1,15 @@
+"""Traffic-matrix inference (tomogravity) — the §II-adjacent substrate."""
+
+from .tomogravity import (
+    TomogravityEstimate,
+    all_od_pairs,
+    estimate_traffic_matrix,
+    gravity_prior,
+)
+
+__all__ = [
+    "all_od_pairs",
+    "gravity_prior",
+    "estimate_traffic_matrix",
+    "TomogravityEstimate",
+]

@@ -1,0 +1,162 @@
+"""Traffic-matrix estimation from link loads (tomogravity).
+
+The paper positions itself against the traffic-matrix-estimation
+literature (§II: Medina et al., Zhang et al., Soule et al.): those
+works *infer* OD demands from partial information such as SNMP link
+loads, while the paper *measures* them with optimally placed sampling.
+The two are complementary in operation — an inferred matrix is exactly
+what bootstraps the optimizer before any sampling data exists — so we
+implement the standard tomogravity pipeline:
+
+1. **gravity prior**: spread each origin's total egress over the
+   destinations proportionally to their ingress totals
+   (`gravity_prior`);
+2. **tomography step**: the link loads satisfy ``A x = U`` where ``A``
+   is the routing matrix over *all* OD pairs — an underdetermined
+   system.  Regularize toward the prior (ridge):
+
+       minimize ‖A x − U‖² + λ ‖x − x_prior‖²,   then clip x ≥ 0
+
+   solved in closed form via a stacked least-squares system
+   (`estimate_traffic_matrix`).
+
+The extension experiment feeds the estimated matrix to the placement
+optimizer and measures how much the placement quality suffers compared
+to using the true sizes (`experiments.inference`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.routing_matrix import ODPair, RoutingMatrix
+from ..routing.shortest_path import ShortestPathRouter
+from ..topology.graph import Network
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "all_od_pairs",
+    "gravity_prior",
+    "TomogravityEstimate",
+    "estimate_traffic_matrix",
+]
+
+
+def all_od_pairs(net: Network) -> list[ODPair]:
+    """Every ordered node pair — the unknowns of the tomography."""
+    names = net.node_names
+    return [
+        ODPair(o, d) for o in names for d in names if o != d
+    ]
+
+
+def gravity_prior(
+    net: Network,
+    egress_totals: dict[str, float],
+    ingress_totals: dict[str, float],
+) -> TrafficMatrix:
+    """Gravity estimate from per-node totals.
+
+    ``t(o, d) = egress(o) · ingress(d) / Σ ingress`` with the diagonal
+    removed and each row rescaled to preserve the origin's egress total
+    — the standard simple-gravity construction.
+    """
+    missing = (set(egress_totals) | set(ingress_totals)) - set(net.node_names)
+    if missing:
+        raise KeyError(f"totals for unknown nodes: {sorted(missing)}")
+    if any(v < 0 for v in egress_totals.values()) or any(
+        v < 0 for v in ingress_totals.values()
+    ):
+        raise ValueError("totals must be non-negative")
+
+    tm = TrafficMatrix(net)
+    for origin in net.node_names:
+        egress = float(egress_totals.get(origin, 0.0))
+        if egress <= 0:
+            continue
+        weights = {
+            dst: float(ingress_totals.get(dst, 0.0))
+            for dst in net.node_names
+            if dst != origin
+        }
+        total_weight = sum(weights.values())
+        if total_weight <= 0:
+            continue
+        for dst, weight in weights.items():
+            if weight > 0:
+                tm.set_demand(origin, dst, egress * weight / total_weight)
+    return tm
+
+
+@dataclass(frozen=True)
+class TomogravityEstimate:
+    """The estimated matrix plus reconstruction diagnostics."""
+
+    traffic_matrix: TrafficMatrix
+    od_pairs: list[ODPair]
+    estimated_pps: np.ndarray
+    residual_norm: float  # ||A x - U|| after the solve
+
+    def demand(self, origin: str, destination: str) -> float:
+        return self.traffic_matrix.demand(origin, destination)
+
+
+def estimate_traffic_matrix(
+    net: Network,
+    link_loads_pps: np.ndarray,
+    egress_totals: dict[str, float],
+    ingress_totals: dict[str, float],
+    ridge_lambda: float = 0.01,
+    router: ShortestPathRouter | None = None,
+) -> TomogravityEstimate:
+    """Tomogravity: gravity prior refined by the link-load tomography.
+
+    Parameters
+    ----------
+    net, link_loads_pps:
+        Topology and observed per-link loads (SNMP).
+    egress_totals, ingress_totals:
+        Per-node traffic totals (observable at the network edge).
+    ridge_lambda:
+        Strength of the pull toward the gravity prior, relative to the
+        tomographic fit (both sides are normalized by their scale).
+    """
+    loads = np.asarray(link_loads_pps, dtype=float)
+    if loads.shape != (net.num_links,):
+        raise ValueError("loads do not match link count")
+    if ridge_lambda <= 0:
+        raise ValueError("ridge lambda must be positive")
+
+    router = router or ShortestPathRouter(net)
+    pairs = all_od_pairs(net)
+    routing = RoutingMatrix.from_shortest_paths(net, pairs, router=router)
+    a_matrix = routing.matrix  # (P x L) — note: x indexes pairs, U links
+
+    prior_tm = gravity_prior(net, egress_totals, ingress_totals)
+    prior = np.array([prior_tm.demand(p.origin, p.destination) for p in pairs])
+
+    # Normalize both objectives so lambda is scale-free.
+    load_scale = max(float(np.abs(loads).max()), 1.0)
+    prior_scale = max(float(np.abs(prior).max()), 1.0)
+    a_scaled = a_matrix.T / load_scale  # (L x P)
+    u_scaled = loads / load_scale
+    sqrt_lam = np.sqrt(ridge_lambda) / prior_scale
+
+    stacked = np.vstack([a_scaled, sqrt_lam * np.eye(len(pairs))])
+    target = np.concatenate([u_scaled, sqrt_lam * prior])
+    solution, *_ = np.linalg.lstsq(stacked, target, rcond=None)
+    estimated = np.maximum(solution, 0.0)
+
+    residual = float(np.linalg.norm(a_matrix.T @ estimated - loads))
+    tm = TrafficMatrix(net)
+    for pair, pps in zip(pairs, estimated):
+        if pps > 0:
+            tm.set_demand(pair.origin, pair.destination, float(pps))
+    return TomogravityEstimate(
+        traffic_matrix=tm,
+        od_pairs=pairs,
+        estimated_pps=estimated,
+        residual_norm=residual,
+    )

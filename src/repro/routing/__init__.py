@@ -1,0 +1,15 @@
+"""Routing substrate: shortest paths, routing matrices, ECMP."""
+
+from .ecmp import ecmp_routing_matrix, ecmp_split_fractions
+from .paths import Path
+from .routing_matrix import ODPair, RoutingMatrix
+from .shortest_path import ShortestPathRouter
+
+__all__ = [
+    "Path",
+    "ODPair",
+    "RoutingMatrix",
+    "ShortestPathRouter",
+    "ecmp_split_fractions",
+    "ecmp_routing_matrix",
+]

@@ -1,0 +1,104 @@
+"""Equal-cost multi-path (ECMP) routing extension.
+
+Modern IGPs split an OD pair's traffic evenly across all equal-cost
+next hops.  The paper routes each pair on a single path; we ship ECMP
+as an extension so that the optimizer can be exercised with fractional
+routing matrices (``r_{k,i}`` = fraction of pair ``k`` on link ``i``),
+which its linear effective-rate model supports unchanged:
+``ρ_k = Σ_i r_{k,i} · p_i`` is then the expected per-packet sampling
+probability across the split.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..topology.graph import Network
+from .routing_matrix import ODPair, RoutingMatrix
+
+__all__ = ["ecmp_split_fractions", "ecmp_routing_matrix"]
+
+_COST_TOLERANCE = 1e-9
+
+
+def ecmp_split_fractions(net: Network, origin: str, destination: str) -> dict[int, float]:
+    """Per-link traffic fractions of ECMP routing for one OD pair.
+
+    Computes the classic per-hop even split: at each node, traffic is
+    divided equally among all outgoing links that lie on *some* shortest
+    path towards the destination.  Returns ``{link_index: fraction}``
+    for every link carrying a positive fraction.
+    """
+    net.node(origin)
+    net.node(destination)
+    dist = _distances_to(net, destination)
+    if origin not in dist:
+        raise ValueError(f"no route from {origin} to {destination}")
+
+    fractions: dict[int, float] = {}
+    node_flow: dict[str, float] = {origin: 1.0}
+    # Process nodes in decreasing distance-to-destination order so every
+    # node's inflow is final before it is split.
+    order = sorted(node_flow, key=lambda n: -dist[n])
+    pending = {origin}
+    while pending:
+        node = max(pending, key=lambda n: dist[n])
+        pending.discard(node)
+        if node == destination:
+            continue
+        flow = node_flow.get(node, 0.0)
+        if flow <= 0:
+            continue
+        next_links = [
+            link
+            for link in net.out_links(node)
+            if link.dst in dist
+            and math.isclose(
+                dist[node], link.weight + dist[link.dst],
+                rel_tol=0.0, abs_tol=_COST_TOLERANCE,
+            )
+        ]
+        if not next_links:
+            raise ValueError(f"no shortest-path next hop at {node}")
+        share = flow / len(next_links)
+        for link in next_links:
+            fractions[link.index] = fractions.get(link.index, 0.0) + share
+            node_flow[link.dst] = node_flow.get(link.dst, 0.0) + share
+            if link.dst != destination:
+                pending.add(link.dst)
+        node_flow[node] = 0.0
+    return fractions
+
+
+def _distances_to(net: Network, destination: str) -> dict[str, float]:
+    """Shortest-path distance from every node to ``destination``."""
+    import heapq
+
+    dist: dict[str, float] = {}
+    heap: list[tuple[float, str]] = [(0.0, destination)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        for link in net.in_links(node):
+            if link.src not in dist:
+                heapq.heappush(heap, (d + link.weight, link.src))
+    return dist
+
+
+def ecmp_routing_matrix(
+    network: Network, od_pairs: Iterable[ODPair] | Sequence[ODPair]
+) -> RoutingMatrix:
+    """Routing matrix with ECMP fractional entries."""
+    od_list = list(od_pairs)
+    matrix = np.zeros((len(od_list), network.num_links))
+    for row, od in enumerate(od_list):
+        for index, fraction in ecmp_split_fractions(
+            network, od.origin, od.destination
+        ).items():
+            matrix[row, index] = min(1.0, fraction)
+    return RoutingMatrix(network, od_list, matrix)

@@ -1,0 +1,74 @@
+"""Path objects: a route through the network as an ordered link sequence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.graph import Link, Network
+
+__all__ = ["Path"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A loop-free route from :attr:`origin` to :attr:`destination`.
+
+    Attributes
+    ----------
+    nodes:
+        Node names in traversal order, ``nodes[0]`` is the origin.
+    link_indices:
+        Dense link indices in traversal order; ``len(link_indices) ==
+        len(nodes) - 1``.
+    cost:
+        Total routing weight of the path.
+    """
+
+    nodes: tuple[str, ...]
+    link_indices: tuple[int, ...]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise ValueError("a path needs at least one node")
+        if len(self.link_indices) != len(self.nodes) - 1:
+            raise ValueError(
+                f"{len(self.nodes)} nodes require {len(self.nodes) - 1} links, "
+                f"got {len(self.link_indices)}"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"path revisits a node: {self.nodes}")
+
+    @property
+    def origin(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.link_indices)
+
+    def traverses(self, link_index: int) -> bool:
+        """True if the path crosses the link with this dense index."""
+        return link_index in self.link_indices
+
+    def links(self, net: Network) -> list[Link]:
+        """Resolve the link indices against ``net``."""
+        return [net.link(i) for i in self.link_indices]
+
+    @classmethod
+    def from_nodes(cls, net: Network, nodes: list[str] | tuple[str, ...]) -> "Path":
+        """Build a path from a node sequence, resolving links in ``net``."""
+        indices = []
+        cost = 0.0
+        for src, dst in zip(nodes, nodes[1:]):
+            link = net.link_between(src, dst)
+            indices.append(link.index)
+            cost += link.weight
+        return cls(nodes=tuple(nodes), link_indices=tuple(indices), cost=cost)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return " -> ".join(self.nodes)

@@ -1,0 +1,172 @@
+"""The routing matrix ``R`` of the paper's formulation.
+
+``R`` has one row per OD pair ``k`` and one column per link ``i``, with
+``r_{k,i} = 1`` iff OD pair ``k`` traverses link ``i`` (§III).  With the
+ECMP extension entries may be fractional: the fraction of pair ``k``'s
+traffic crossing link ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..topology.graph import Network
+from .paths import Path
+from .shortest_path import ShortestPathRouter
+
+__all__ = ["ODPair", "RoutingMatrix"]
+
+
+@dataclass(frozen=True, order=True)
+class ODPair:
+    """An origin-destination pair.
+
+    In the paper's terminology an origin or destination "could refer to
+    any end-host, network prefix, autonomous system, etc."; here they
+    are node names of the routed topology, with an optional free-form
+    label carrying the external identity (e.g. ``"JANET->NL"``).
+    """
+
+    origin: str
+    destination: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.origin == self.destination:
+            raise ValueError(f"degenerate OD pair {self.origin}->{self.destination}")
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.origin}->{self.destination}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class RoutingMatrix:
+    """Dense routing matrix over a fixed OD-pair list and network.
+
+    Rows follow the order of :attr:`od_pairs`; columns follow the dense
+    link indices of :attr:`network`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        od_pairs: Sequence[ODPair],
+        matrix: np.ndarray,
+        paths: Sequence[Path] | None = None,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (len(od_pairs), network.num_links):
+            raise ValueError(
+                f"routing matrix shape {matrix.shape} does not match "
+                f"{len(od_pairs)} OD pairs x {network.num_links} links"
+            )
+        if np.any(matrix < 0) or np.any(matrix > 1):
+            raise ValueError("routing fractions must lie in [0, 1]")
+        self._network = network
+        self._od_pairs = list(od_pairs)
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+        self._paths = list(paths) if paths is not None else None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shortest_paths(
+        cls,
+        network: Network,
+        od_pairs: Iterable[ODPair],
+        router: ShortestPathRouter | None = None,
+    ) -> "RoutingMatrix":
+        """Route every OD pair on its weighted shortest path."""
+        router = router or ShortestPathRouter(network)
+        od_list = list(od_pairs)
+        matrix = np.zeros((len(od_list), network.num_links))
+        paths = []
+        for row, od in enumerate(od_list):
+            path = router.path(od.origin, od.destination)
+            paths.append(path)
+            for index in path.link_indices:
+                matrix[row, index] = 1.0
+        return cls(network, od_list, matrix, paths=paths)
+
+    @classmethod
+    def from_paths(
+        cls, network: Network, od_pairs: Sequence[ODPair], paths: Sequence[Path]
+    ) -> "RoutingMatrix":
+        """Build from explicit (possibly non-shortest) paths."""
+        if len(paths) != len(od_pairs):
+            raise ValueError("need exactly one path per OD pair")
+        matrix = np.zeros((len(od_pairs), network.num_links))
+        for row, (od, path) in enumerate(zip(od_pairs, paths)):
+            if path.origin != od.origin or path.destination != od.destination:
+                raise ValueError(
+                    f"path {path} does not connect {od.origin}->{od.destination}"
+                )
+            for index in path.link_indices:
+                matrix[row, index] = 1.0
+        return cls(network, list(od_pairs), matrix, paths=paths)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def od_pairs(self) -> list[ODPair]:
+        return list(self._od_pairs)
+
+    @property
+    def num_od_pairs(self) -> int:
+        return len(self._od_pairs)
+
+    @property
+    def num_links(self) -> int:
+        return self._network.num_links
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (read-only) ``F x L`` array of routing fractions."""
+        return self._matrix
+
+    def path_of(self, row: int) -> Path:
+        """The explicit path of OD pair ``row`` (if built from paths)."""
+        if self._paths is None:
+            raise ValueError("routing matrix was not built from explicit paths")
+        return self._paths[row]
+
+    def row_of(self, od: ODPair) -> int:
+        """Row index of ``od``; raises ``ValueError`` if absent."""
+        try:
+            return self._od_pairs.index(od)
+        except ValueError:
+            raise ValueError(f"OD pair {od.name} not in routing matrix") from None
+
+    def traversed_link_indices(self) -> list[int]:
+        """Indices of links crossed by at least one OD pair (the set L)."""
+        used = np.flatnonzero(self._matrix.sum(axis=0) > 0)
+        return [int(i) for i in used]
+
+    def od_pairs_on_link(self, link_index: int) -> list[ODPair]:
+        """OD pairs whose route crosses the given link."""
+        rows = np.flatnonzero(self._matrix[:, link_index] > 0)
+        return [self._od_pairs[int(r)] for r in rows]
+
+    def restrict_links(self, link_indices: Iterable[int]) -> np.ndarray:
+        """Columns of ``R`` for the given links, preserving their order."""
+        cols = list(link_indices)
+        return self._matrix[:, cols]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoutingMatrix({self._network.name!r}, "
+            f"od_pairs={self.num_od_pairs}, links={self.num_links})"
+        )

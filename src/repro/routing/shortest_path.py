@@ -1,0 +1,94 @@
+"""IS-IS-style weighted shortest-path routing.
+
+The paper's optimizer consumes a routing matrix derived from the
+network's IGP state (GEANT runs IS-IS; the authors collect IS-IS
+updates continuously).  This module computes deterministic
+shortest-path routes with Dijkstra over the links' administrative
+weights, with a stable lexicographic tie-break so that routing — and
+therefore every downstream experiment — is reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..topology.graph import Network
+from .paths import Path
+
+__all__ = ["ShortestPathRouter"]
+
+
+class ShortestPathRouter:
+    """Computes and caches weighted shortest paths on a network.
+
+    Ties are broken lexicographically on the node sequence (fewer hops
+    first, then alphabetical), so that two runs over the same topology
+    always pick the same route — IS-IS deployments achieve the same
+    effect through consistent router-id tie-breaking.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self._net = net
+        self._cache: dict[str, dict[str, Path]] = {}
+
+    @property
+    def network(self) -> Network:
+        return self._net
+
+    def path(self, origin: str, destination: str) -> Path:
+        """Shortest path from ``origin`` to ``destination``.
+
+        Raises ``ValueError`` when no route exists and ``KeyError`` for
+        unknown nodes.
+        """
+        self._net.node(origin)
+        self._net.node(destination)
+        tree = self._cache.get(origin)
+        if tree is None:
+            tree = self._dijkstra(origin)
+            self._cache[origin] = tree
+        try:
+            return tree[destination]
+        except KeyError:
+            raise ValueError(f"no route from {origin} to {destination}") from None
+
+    def paths_from(self, origin: str) -> dict[str, Path]:
+        """Shortest paths from ``origin`` to every reachable node."""
+        self._net.node(origin)
+        tree = self._cache.get(origin)
+        if tree is None:
+            tree = self._dijkstra(origin)
+            self._cache[origin] = tree
+        return dict(tree)
+
+    def invalidate(self) -> None:
+        """Drop cached routes (call after mutating the network)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _dijkstra(self, origin: str) -> dict[str, Path]:
+        """Single-source Dijkstra with (cost, hops, node-sequence) order."""
+        # Priority key: (cost, hop count, node tuple).  The node tuple
+        # makes the tie-break total and deterministic.
+        start = (0.0, 0, (origin,), ())
+        heap: list[tuple[float, int, tuple[str, ...], tuple[int, ...]]] = [start]
+        done: dict[str, Path] = {}
+        while heap:
+            cost, hops, nodes, links = heapq.heappop(heap)
+            node = nodes[-1]
+            if node in done:
+                continue
+            done[node] = Path(nodes=nodes, link_indices=links, cost=cost)
+            for link in self._net.out_links(node):
+                if link.dst in done or link.dst in nodes:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (
+                        cost + link.weight,
+                        hops + 1,
+                        nodes + (link.dst,),
+                        links + (link.index,),
+                    ),
+                )
+        return done

@@ -1,0 +1,58 @@
+"""Sampling evaluation: Monte-Carlo experiments, estimation, accuracy."""
+
+from .accuracy import (
+    AccuracyStats,
+    absolute_relative_error,
+    accuracy,
+    squared_relative_error,
+    summarize_accuracy,
+)
+from .dedup import PacketDeduplicator, packet_digest
+from .estimator import SizeEstimate, estimate_size, estimate_sizes
+from .flow_inversion import (
+    FlowCountEstimate,
+    detection_probability,
+    estimate_flow_count_syn,
+    estimate_flow_count_unbiased,
+    estimate_total_packets,
+    invert_size_distribution,
+)
+from .prediction import (
+    predict_for_configuration,
+    predicted_accuracy,
+    predicted_relative_std,
+    predicted_sre,
+)
+from .simulator import (
+    ExperimentResult,
+    SamplingExperiment,
+    simulate_packet_level,
+    simulate_sampled_counts,
+)
+
+__all__ = [
+    "accuracy",
+    "absolute_relative_error",
+    "squared_relative_error",
+    "AccuracyStats",
+    "summarize_accuracy",
+    "estimate_size",
+    "estimate_sizes",
+    "SizeEstimate",
+    "SamplingExperiment",
+    "ExperimentResult",
+    "simulate_sampled_counts",
+    "simulate_packet_level",
+    "PacketDeduplicator",
+    "packet_digest",
+    "detection_probability",
+    "estimate_total_packets",
+    "estimate_flow_count_unbiased",
+    "estimate_flow_count_syn",
+    "FlowCountEstimate",
+    "invert_size_distribution",
+    "predicted_sre",
+    "predicted_relative_std",
+    "predicted_accuracy",
+    "predict_for_configuration",
+]

@@ -1,0 +1,92 @@
+"""Accuracy metrics (§V-B).
+
+The paper validates its utility function with the *accuracy* of an OD
+size estimate, defined as one minus the absolute relative error:
+
+    accuracy = 1 - |x/ρ - s| / s
+
+where ``s`` is the actual size, ``x`` the sampled size and ``ρ`` the
+effective sampling rate of eq. (7) used for inversion.  The squared
+relative error (eq. 9) underlies the utility function itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "absolute_relative_error",
+    "accuracy",
+    "squared_relative_error",
+    "AccuracyStats",
+    "summarize_accuracy",
+]
+
+
+def _validate(estimate, actual) -> tuple[np.ndarray, np.ndarray]:
+    estimate = np.asarray(estimate, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if np.any(actual <= 0):
+        raise ValueError("actual sizes must be positive")
+    return estimate, actual
+
+
+def absolute_relative_error(estimate, actual):
+    """``|estimate - actual| / actual``."""
+    estimate, actual = _validate(estimate, actual)
+    result = np.abs(estimate - actual) / actual
+    return result if result.ndim else float(result)
+
+
+def accuracy(estimate, actual):
+    """``1 - |estimate - actual| / actual`` (can go negative on misses)."""
+    result = 1.0 - absolute_relative_error(estimate, actual)
+    return result if isinstance(result, np.ndarray) else float(result)
+
+
+def squared_relative_error(estimate, actual):
+    """``((estimate - actual) / actual)²`` — the SRE of eq. (9)."""
+    estimate, actual = _validate(estimate, actual)
+    result = ((estimate - actual) / actual) ** 2
+    return result if result.ndim else float(result)
+
+
+@dataclass(frozen=True)
+class AccuracyStats:
+    """Accuracy of one OD pair over repeated sampling experiments."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    runs: int
+
+    @classmethod
+    def from_samples(cls, values: np.ndarray) -> "AccuracyStats":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("no accuracy samples")
+        return cls(
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            runs=int(values.size),
+        )
+
+
+def summarize_accuracy(estimates: np.ndarray, actual: np.ndarray) -> list[AccuracyStats]:
+    """Per-OD stats from an ``(runs x F)`` estimate array.
+
+    ``actual`` is the length-``F`` ground-truth size vector.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if estimates.ndim != 2 or estimates.shape[1] != actual.shape[0]:
+        raise ValueError(
+            f"estimates {estimates.shape} do not match {actual.shape[0]} OD pairs"
+        )
+    values = accuracy(estimates, actual[np.newaxis, :])
+    return [AccuracyStats.from_samples(values[:, k]) for k in range(actual.shape[0])]

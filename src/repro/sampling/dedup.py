@@ -1,0 +1,64 @@
+"""Collector-side packet deduplication.
+
+The effective-sampling-rate definition (§III) "assumes that we have
+means to discern whether the same packet is sampled at multiple
+locations in the network".  Operationally this is done by digesting
+invariant packet content (trajectory sampling); here, where packets
+are synthetic, a packet's identity is ``(flow_id, sequence_number)``
+and the digest is a salted 64-bit mix of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["packet_digest", "PacketDeduplicator"]
+
+_MASK = (1 << 64) - 1
+# SplitMix64 constants: a well-mixed, dependency-free 64-bit finalizer.
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def packet_digest(flow_id: int, sequence: int, salt: int = 0) -> int:
+    """Deterministic 64-bit digest of a packet's identity."""
+    z = (flow_id * _GAMMA + sequence + salt * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+class PacketDeduplicator:
+    """Streams packet detections, passing each distinct packet once.
+
+    Memory grows with the number of *distinct* sampled packets, which
+    the capacity constraint bounds by θ per interval — the reason the
+    paper can afford exact dedup at the collector.
+    """
+
+    def __init__(self, salt: int = 0) -> None:
+        self._salt = salt
+        self._seen: set[int] = set()
+
+    @property
+    def distinct_packets(self) -> int:
+        return len(self._seen)
+
+    def is_duplicate(self, flow_id: int, sequence: int) -> bool:
+        """Record a detection; True when this packet was already seen."""
+        digest = packet_digest(flow_id, sequence, self._salt)
+        if digest in self._seen:
+            return True
+        self._seen.add(digest)
+        return False
+
+    def filter(
+        self, detections: Iterable[tuple[int, int]]
+    ) -> Iterator[tuple[int, int]]:
+        """Yield each distinct ``(flow_id, sequence)`` detection once."""
+        for flow_id, sequence in detections:
+            if not self.is_duplicate(flow_id, sequence):
+                yield (flow_id, sequence)
+
+    def reset(self) -> None:
+        """Forget all seen packets (new measurement interval)."""
+        self._seen.clear()

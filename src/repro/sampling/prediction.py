@@ -1,0 +1,65 @@
+"""Analytic accuracy prediction for a sampling configuration.
+
+The utility function is built on ``E[SRE](ρ) = c(1-ρ)/ρ`` (§IV-C);
+this module exposes that prediction directly so a configuration's
+measurement quality can be *forecast* without Monte-Carlo — and so the
+simulator can be validated against theory (the tests do both
+directions).
+
+For an OD pair of ``S`` packets sampled at effective rate ``ρ``:
+
+* relative standard error:  ``sqrt((1-ρ)/(S·ρ))``
+* expected absolute relative error (normal approximation):
+  ``sqrt(2/π) · rse`` — the quantity behind Table I's accuracy column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.effective_rate import linear_effective_rates
+
+__all__ = [
+    "predicted_sre",
+    "predicted_relative_std",
+    "predicted_accuracy",
+    "predict_for_configuration",
+]
+
+_ABS_NORMAL_FACTOR = float(np.sqrt(2.0 / np.pi))
+
+
+def predicted_sre(od_sizes_packets, effective_rates) -> np.ndarray:
+    """Expected squared relative error per OD pair (eq. 9)."""
+    sizes = np.asarray(od_sizes_packets, dtype=float)
+    rho = np.asarray(effective_rates, dtype=float)
+    if sizes.shape != rho.shape:
+        raise ValueError("sizes and rates must align")
+    if np.any(sizes <= 0):
+        raise ValueError("sizes must be positive")
+    if np.any((rho <= 0) | (rho > 1)):
+        raise ValueError("effective rates must be in (0, 1]")
+    return (1.0 - rho) / (sizes * rho)
+
+
+def predicted_relative_std(od_sizes_packets, effective_rates) -> np.ndarray:
+    """Relative standard error ``sqrt(E[SRE])`` per OD pair."""
+    return np.sqrt(predicted_sre(od_sizes_packets, effective_rates))
+
+
+def predicted_accuracy(od_sizes_packets, effective_rates) -> np.ndarray:
+    """Expected Table-I accuracy ``1 - E|rel err|`` per OD pair.
+
+    Uses the normal approximation ``E|X| = sqrt(2/π)·σ`` for the
+    centred estimate — accurate for the large OD sizes of backbone
+    tasks.
+    """
+    return 1.0 - _ABS_NORMAL_FACTOR * predicted_relative_std(
+        od_sizes_packets, effective_rates
+    )
+
+
+def predict_for_configuration(routing, rates, od_sizes_packets) -> np.ndarray:
+    """Forecast per-OD accuracy for a rate vector (linear ρ model)."""
+    rho = np.clip(linear_effective_rates(routing, rates), 1e-15, 1.0)
+    return predicted_accuracy(od_sizes_packets, rho)

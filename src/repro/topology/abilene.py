@@ -1,0 +1,52 @@
+"""Abilene (Internet2, 2004) backbone topology.
+
+Abilene is the standard second public research backbone used by the
+measurement literature of the period (11 PoPs, 14 duplex OC-192
+circuits).  The paper evaluates on GEANT only; we ship Abilene as a
+second realistic topology for examples, tests and robustness
+experiments ("the benefits are not limited to the specific network
+topology under consideration", §V-C).
+"""
+
+from __future__ import annotations
+
+from .graph import LinkSpeed, Network
+
+__all__ = ["abilene_network", "ABILENE_POPS", "ABILENE_DUPLEX_LINKS"]
+
+#: The 11 Abilene PoPs (city codes).
+ABILENE_POPS: tuple[str, ...] = (
+    "NYC", "CHI", "WDC", "ATL", "IND", "KSC", "HOU", "DEN", "SNV", "LAX", "SEA",
+)
+
+#: The 14 duplex circuits of the 2004 Abilene map.
+ABILENE_DUPLEX_LINKS: tuple[tuple[str, str], ...] = (
+    ("NYC", "CHI"),
+    ("NYC", "WDC"),
+    ("CHI", "IND"),
+    ("WDC", "ATL"),
+    ("ATL", "IND"),
+    ("ATL", "HOU"),
+    ("IND", "KSC"),
+    ("KSC", "HOU"),
+    ("KSC", "DEN"),
+    ("HOU", "LAX"),
+    ("DEN", "SNV"),
+    ("DEN", "SEA"),
+    ("SNV", "SEA"),
+    ("SNV", "LAX"),
+)
+
+
+def abilene_network() -> Network:
+    """Build the Abilene :class:`~repro.topology.graph.Network`.
+
+    All circuits are OC-192 with unit IS-IS weight; 11 nodes, 28
+    unidirectional links.
+    """
+    net = Network("Abilene-2004")
+    for pop in ABILENE_POPS:
+        net.add_node(pop, region="america")
+    for a, b in ABILENE_DUPLEX_LINKS:
+        net.add_duplex_link(a, b, capacity_pps=float(LinkSpeed.OC192), weight=1.0)
+    return net

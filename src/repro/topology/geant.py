@@ -1,0 +1,104 @@
+"""GEANT-2004-style backbone topology.
+
+The paper evaluates on GEANT, the European research backbone, as of
+November 2004: 23 PoPs and 72 unidirectional links with speeds between
+OC-3 (155 Mbps) and OC-48 (2.5 Gbps).  The authors' exact adjacency is
+not published in the paper; we reconstruct a faithful stand-in from the
+facts the paper does state:
+
+* the PoPs named by the JANET measurement task — UK plus the 20
+  destinations NL, NY, DE, SE, CH, FR, PL, GR, ES, SI, IT, AT, CZ, BE,
+  PT, HU, HR, IL, SK, LU — plus IE and CY to reach 23 PoPs;
+* the UK PoP has exactly six intra-GEANT links (the paper's "monitor all
+  links that connect the UK PoP" baseline balances over six links);
+* the links the optimal solution of Table I activates exist: UK-FR,
+  UK-SE, UK-NL, UK-NY, UK-PT, SE-PL, IT-IL, FR-BE, FR-LU, CZ-SK;
+* small PoPs (LU, SK, HR, CY, IL) hang off the core on lightly-loaded
+  OC-3 circuits, which is the property (§V-C) that makes network-wide
+  placement win: small OD pairs cross cheap links with little cross
+  traffic.
+
+The substitution is documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from .graph import LinkSpeed, Network
+
+__all__ = ["geant_network", "GEANT_POPS", "GEANT_DUPLEX_LINKS", "UK_ACCESS_NODE"]
+
+#: The 23 PoPs. ``NY`` is the New York PoP reached over the transatlantic
+#: circuit; all others are European.
+GEANT_POPS: tuple[str, ...] = (
+    "UK", "FR", "DE", "NL", "BE", "LU", "CH", "IT", "ES", "PT",
+    "AT", "CZ", "SK", "PL", "HU", "SI", "HR", "GR", "IL", "SE",
+    "NY", "IE", "CY",
+)
+
+#: Duplex circuits as ``(a, b, speed_pps)``; 36 circuits = 72
+#: unidirectional links, matching the paper's link count.
+GEANT_DUPLEX_LINKS: tuple[tuple[str, str, int], ...] = (
+    # UK PoP: exactly six intra-GEANT adjacencies (paper §V-C).
+    ("UK", "FR", LinkSpeed.OC48),
+    ("UK", "NL", LinkSpeed.OC48),
+    ("UK", "SE", LinkSpeed.OC12),
+    ("UK", "NY", LinkSpeed.OC48),
+    ("UK", "PT", LinkSpeed.OC12),
+    ("UK", "IE", LinkSpeed.OC12),
+    # Western European core.
+    ("FR", "DE", LinkSpeed.OC48),
+    ("FR", "BE", LinkSpeed.OC12),
+    ("FR", "LU", LinkSpeed.OC3),
+    ("FR", "CH", LinkSpeed.OC48),
+    ("FR", "ES", LinkSpeed.OC12),
+    ("DE", "NL", LinkSpeed.OC48),
+    ("DE", "AT", LinkSpeed.OC48),
+    ("DE", "CZ", LinkSpeed.OC12),
+    ("DE", "CH", LinkSpeed.OC48),
+    ("DE", "SE", LinkSpeed.OC12),
+    ("DE", "IT", LinkSpeed.OC48),
+    ("DE", "NY", LinkSpeed.OC48),
+    ("NL", "BE", LinkSpeed.OC12),
+    ("NL", "SE", LinkSpeed.OC12),
+    # Northern / eastern ring.
+    ("SE", "PL", LinkSpeed.OC3),
+    ("PL", "CZ", LinkSpeed.OC12),
+    ("CZ", "SK", LinkSpeed.OC3),
+    ("SK", "HU", LinkSpeed.OC3),
+    ("AT", "HU", LinkSpeed.OC12),
+    ("AT", "SI", LinkSpeed.OC3),
+    ("AT", "CZ", LinkSpeed.OC12),
+    ("HU", "HR", LinkSpeed.OC3),
+    ("SI", "HR", LinkSpeed.OC3),
+    # Southern ring and Mediterranean.
+    ("CH", "IT", LinkSpeed.OC48),
+    ("IT", "GR", LinkSpeed.OC12),
+    ("IT", "IL", LinkSpeed.OC3),
+    ("ES", "PT", LinkSpeed.OC12),
+    ("ES", "IT", LinkSpeed.OC12),
+    ("GR", "CY", LinkSpeed.OC3),
+    ("CY", "IL", LinkSpeed.OC3),
+)
+
+#: The node through which the JANET access link enters GEANT.
+UK_ACCESS_NODE = "UK"
+
+
+def geant_network() -> Network:
+    """Build the GEANT-2004-style :class:`~repro.topology.graph.Network`.
+
+    Link weights follow the inverse-capacity convention common in IS-IS
+    deployments (faster circuits are preferred), normalized so that an
+    OC-48 hop has weight 1.
+
+    Returns a strongly connected network with 23 nodes and 72
+    unidirectional links.
+    """
+    net = Network("GEANT-2004")
+    for pop in GEANT_POPS:
+        region = "america" if pop == "NY" else "europe"
+        net.add_node(pop, region=region)
+    for a, b, speed in GEANT_DUPLEX_LINKS:
+        weight = LinkSpeed.OC48 / speed
+        net.add_duplex_link(a, b, capacity_pps=float(speed), weight=weight)
+    return net

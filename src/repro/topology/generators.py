@@ -1,0 +1,131 @@
+"""Random topology generators.
+
+Used by property-based tests and by the convergence experiment
+(§IV-D runs the optimizer over many randomized inputs) to exercise the
+solver on graphs other than GEANT.  All generators return strongly
+connected :class:`~repro.topology.graph.Network` instances with
+full-duplex links, mirroring backbone practice.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .graph import LinkSpeed, Network
+
+__all__ = [
+    "random_waxman_network",
+    "random_scale_free_network",
+    "ring_network",
+    "star_network",
+    "full_mesh_network",
+    "line_network",
+]
+
+
+def _ensure_connected_undirected(graph: nx.Graph, rng: np.random.Generator) -> None:
+    """Connect components by adding random inter-component edges in place."""
+    components = [list(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        a = components.pop()
+        b = components[-1]
+        u = a[int(rng.integers(len(a)))]
+        v = b[int(rng.integers(len(b)))]
+        graph.add_edge(u, v)
+        components[-1] = b + a
+
+
+def _from_undirected(graph: nx.Graph, name: str, rng: np.random.Generator) -> Network:
+    """Relabel to ``"n0".."nN"``, connect, and convert to a Network."""
+    graph = nx.convert_node_labels_to_integers(graph)
+    _ensure_connected_undirected(graph, rng)
+    net = Network(name)
+    for node in sorted(graph.nodes):
+        net.add_node(f"n{node}")
+    speeds = (LinkSpeed.OC3, LinkSpeed.OC12, LinkSpeed.OC48)
+    for u, v in sorted(graph.edges):
+        speed = speeds[int(rng.integers(len(speeds)))]
+        net.add_duplex_link(
+            f"n{u}", f"n{v}", capacity_pps=float(speed),
+            weight=LinkSpeed.OC48 / speed,
+        )
+    return net
+
+
+def random_waxman_network(
+    num_nodes: int,
+    seed: int | None = None,
+    alpha: float = 0.6,
+    beta: float = 0.3,
+) -> Network:
+    """Waxman random graph — the classic synthetic WAN model.
+
+    Parameters follow :func:`networkx.waxman_graph`; the result is made
+    strongly connected by stitching components together.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    graph = nx.waxman_graph(num_nodes, alpha=alpha, beta=beta, seed=seed)
+    return _from_undirected(graph, f"waxman-{num_nodes}", rng)
+
+
+def random_scale_free_network(num_nodes: int, seed: int | None = None, m: int = 2) -> Network:
+    """Barabási–Albert preferential-attachment graph.
+
+    Produces the hub-and-spoke degree skew typical of router-level maps.
+    """
+    if num_nodes < 3:
+        raise ValueError("need at least 3 nodes")
+    graph = nx.barabasi_albert_graph(num_nodes, min(m, num_nodes - 1), seed=seed)
+    return _from_undirected(graph, f"ba-{num_nodes}", np.random.default_rng(seed))
+
+
+def ring_network(num_nodes: int) -> Network:
+    """Bidirectional ring of ``num_nodes`` nodes."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    net = Network(f"ring-{num_nodes}")
+    for i in range(num_nodes):
+        net.add_node(f"n{i}")
+    for i in range(num_nodes):
+        net.add_duplex_link(f"n{i}", f"n{(i + 1) % num_nodes}")
+    return net
+
+
+def star_network(num_leaves: int) -> Network:
+    """Hub-and-spoke star: hub ``hub`` plus ``num_leaves`` leaves."""
+    if num_leaves < 1:
+        raise ValueError("a star needs at least 1 leaf")
+    net = Network(f"star-{num_leaves}")
+    net.add_node("hub")
+    for i in range(num_leaves):
+        net.add_node(f"leaf{i}")
+        net.add_duplex_link("hub", f"leaf{i}")
+    return net
+
+
+def full_mesh_network(num_nodes: int) -> Network:
+    """Full mesh over ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise ValueError("a mesh needs at least 2 nodes")
+    net = Network(f"mesh-{num_nodes}")
+    for i in range(num_nodes):
+        net.add_node(f"n{i}")
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            net.add_duplex_link(f"n{i}", f"n{j}")
+    return net
+
+
+def line_network(num_nodes: int) -> Network:
+    """Chain ``n0 - n1 - … - n(N-1)``; the smallest multi-hop testbed."""
+    if num_nodes < 2:
+        raise ValueError("a line needs at least 2 nodes")
+    net = Network(f"line-{num_nodes}")
+    for i in range(num_nodes):
+        net.add_node(f"n{i}")
+    for i in range(num_nodes - 1):
+        net.add_duplex_link(f"n{i}", f"n{i + 1}")
+    return net

@@ -1,0 +1,58 @@
+"""NSFNET T1 backbone (1991) — the third classic research topology.
+
+14 nodes and 21 duplex links; the standard small benchmark map of the
+networking literature.  Included (alongside GEANT and Abilene) for
+examples and solver-robustness tests on a third real structure.
+"""
+
+from __future__ import annotations
+
+from .graph import LinkSpeed, Network
+
+__all__ = ["nsfnet_network", "NSFNET_POPS", "NSFNET_DUPLEX_LINKS"]
+
+#: The 14 NSFNET sites (city/state codes).
+NSFNET_POPS: tuple[str, ...] = (
+    "WA", "CA1", "CA2", "UT", "CO", "TX", "NE", "IL",
+    "PA", "GA", "MI", "NY", "NJ", "DC",
+)
+
+#: The 21 duplex trunks of the 1991 T1 map.
+NSFNET_DUPLEX_LINKS: tuple[tuple[str, str], ...] = (
+    ("WA", "CA1"),
+    ("WA", "CA2"),
+    ("WA", "IL"),
+    ("CA1", "CA2"),
+    ("CA1", "UT"),
+    ("CA2", "TX"),
+    ("UT", "CO"),
+    ("UT", "MI"),
+    ("CO", "NE"),
+    ("CO", "TX"),
+    ("TX", "GA"),
+    ("TX", "DC"),
+    ("NE", "IL"),
+    ("NE", "GA"),
+    ("IL", "PA"),
+    ("PA", "GA"),
+    ("PA", "NY"),
+    ("GA", "NJ"),
+    ("MI", "NY"),
+    ("NY", "NJ"),
+    ("NJ", "DC"),
+)
+
+
+def nsfnet_network() -> Network:
+    """Build the NSFNET :class:`~repro.topology.graph.Network`.
+
+    14 nodes, 42 unidirectional links; OC-3 trunks with unit weight
+    (the original was T1 — the capacity constant only feeds sanity
+    checks, not the optimizer).
+    """
+    net = Network("NSFNET-1991")
+    for pop in NSFNET_POPS:
+        net.add_node(pop, region="america")
+    for a, b in NSFNET_DUPLEX_LINKS:
+        net.add_duplex_link(a, b, capacity_pps=float(LinkSpeed.OC3), weight=1.0)
+    return net

@@ -1,0 +1,70 @@
+"""Traffic substrate: matrices, flows, NetFlow simulation, workloads."""
+
+from .dynamics import diurnal_factor, fail_link, inject_anomaly, scale_diurnal
+from .taskfile import load_task_file, task_from_dict
+from .temporal import TraceEvent, TraceInterval, generate_trace
+from .flows import (
+    BoundedParetoFlowSizes,
+    ConstantFlowSizes,
+    EmpiricalFlowSizes,
+    Flow,
+    FlowSizeModel,
+    LognormalFlowSizes,
+    generate_flows,
+    mean_inverse_size,
+)
+from .gravity import gravity_traffic_matrix, lognormal_node_masses
+from .link_loads import add_od_loads, link_loads_from_traffic, utilizations
+from .matrix import TrafficMatrix
+from .netflow import (
+    FlowRecord,
+    NetFlowCollector,
+    NetFlowConfig,
+    NetFlowMonitor,
+    simulate_netflow_on_link,
+)
+from .workloads import (
+    GEANT_POP_MASSES,
+    JANET_OD_SIZES_PPS,
+    MeasurementTask,
+    janet_task,
+    make_task,
+    merge_tasks,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "gravity_traffic_matrix",
+    "lognormal_node_masses",
+    "Flow",
+    "FlowSizeModel",
+    "LognormalFlowSizes",
+    "BoundedParetoFlowSizes",
+    "ConstantFlowSizes",
+    "EmpiricalFlowSizes",
+    "generate_flows",
+    "mean_inverse_size",
+    "link_loads_from_traffic",
+    "add_od_loads",
+    "utilizations",
+    "NetFlowConfig",
+    "NetFlowMonitor",
+    "NetFlowCollector",
+    "FlowRecord",
+    "simulate_netflow_on_link",
+    "MeasurementTask",
+    "janet_task",
+    "make_task",
+    "merge_tasks",
+    "JANET_OD_SIZES_PPS",
+    "GEANT_POP_MASSES",
+    "diurnal_factor",
+    "scale_diurnal",
+    "inject_anomaly",
+    "fail_link",
+    "TraceEvent",
+    "TraceInterval",
+    "generate_trace",
+    "load_task_file",
+    "task_from_dict",
+]

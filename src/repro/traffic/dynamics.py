@@ -1,0 +1,138 @@
+"""Traffic and topology dynamics.
+
+The paper's opening motivation (§I): "a static placement of monitors
+cannot be optimal given the short-term and long-term variations in
+traffic due to re-routing events, anomalies and the normal network
+evolution."  This module generates exactly those variations as
+transformations of a :class:`MeasurementTask`, so the re-optimization
+experiments can quantify the claim:
+
+* :func:`scale_diurnal` — smooth time-of-day load modulation;
+* :func:`inject_anomaly` — a sudden spike on one OD pair;
+* :func:`fail_link` — remove a duplex circuit, re-route every OD pair
+  and recompute the link loads (an IGP reconvergence event).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..routing.routing_matrix import RoutingMatrix
+from ..routing.shortest_path import ShortestPathRouter
+from ..topology.graph import Network
+from .workloads import MeasurementTask
+
+__all__ = ["scale_diurnal", "inject_anomaly", "fail_link", "diurnal_factor"]
+
+
+def diurnal_factor(hour_of_day: float, trough: float = 0.4) -> float:
+    """Smooth diurnal load multiplier in ``[trough, 1]``.
+
+    A sinusoid peaking at 15:00 and bottoming at 03:00 — the classic
+    backbone shape.  ``trough`` sets the overnight fraction of the
+    daily peak.
+    """
+    if not 0.0 < trough <= 1.0:
+        raise ValueError("trough must be in (0, 1]")
+    phase = math.cos((hour_of_day - 15.0) / 24.0 * 2.0 * math.pi)
+    return trough + (1.0 - trough) * (phase + 1.0) / 2.0
+
+
+def scale_diurnal(task: MeasurementTask, hour_of_day: float, trough: float = 0.4) -> MeasurementTask:
+    """Scale all traffic (OD sizes and loads) to a time of day."""
+    factor = diurnal_factor(hour_of_day, trough=trough)
+    return MeasurementTask(
+        network=task.network,
+        routing=task.routing,
+        od_sizes_pps=task.od_sizes_pps * factor,
+        link_loads_pps=task.link_loads_pps * factor,
+        interval_seconds=task.interval_seconds,
+        access_node=task.access_node,
+    )
+
+
+def inject_anomaly(
+    task: MeasurementTask, od_index: int, magnitude: float
+) -> MeasurementTask:
+    """Multiply one OD pair's traffic by ``magnitude`` (a flash event).
+
+    The extra traffic is added to every link on the pair's path, as a
+    real volume anomaly would be.
+    """
+    if magnitude <= 0:
+        raise ValueError("magnitude must be positive")
+    if not 0 <= od_index < task.num_od_pairs:
+        raise IndexError(f"od_index {od_index} out of range")
+    sizes = task.od_sizes_pps.copy()
+    extra = sizes[od_index] * (magnitude - 1.0)
+    sizes[od_index] += extra
+    loads = task.link_loads_pps + task.routing.matrix[od_index] * extra
+    return MeasurementTask(
+        network=task.network,
+        routing=task.routing,
+        od_sizes_pps=sizes,
+        link_loads_pps=loads,
+        interval_seconds=task.interval_seconds,
+        access_node=task.access_node,
+    )
+
+
+def fail_link(task: MeasurementTask, node_a: str, node_b: str) -> MeasurementTask:
+    """Fail the duplex circuit ``node_a <-> node_b`` and re-route.
+
+    Rebuilds the topology without the circuit (both directions),
+    re-routes every OD pair on the survivor network, and moves each
+    affected pair's traffic from its old path to its new one in the
+    link-load vector.  Background traffic that crossed the failed link
+    is re-routed the same way only for the task's OD pairs; the rest of
+    the background is carried over unchanged on surviving links —
+    adequate for placement experiments, where the task pairs dominate
+    the loads on their own paths.
+
+    Raises ``ValueError`` when the failure disconnects an OD pair.
+    """
+    old_net = task.network
+    old_forward = old_net.link_between(node_a, node_b)
+    old_backward = old_net.link_between(node_b, node_a)
+
+    survivor = Network(f"{old_net.name}-minus-{node_a}-{node_b}")
+    for node in old_net.nodes:
+        survivor.add_node(node.name, region=node.region)
+    index_map: dict[int, int] = {}
+    for link in old_net.links:
+        if link.index in (old_forward.index, old_backward.index):
+            continue
+        new_link = survivor.add_link(
+            link.src, link.dst, capacity_pps=link.capacity_pps, weight=link.weight
+        )
+        index_map[link.index] = new_link.index
+
+    # Carry surviving background loads over (minus the task traffic,
+    # which is re-added on the new paths below).
+    task_loads = task.routing.matrix.T @ task.od_sizes_pps
+    background = task.link_loads_pps - task_loads
+    loads = np.zeros(survivor.num_links)
+    for old_index, new_index in index_map.items():
+        loads[new_index] = max(0.0, float(background[old_index]))
+
+    router = ShortestPathRouter(survivor)
+    try:
+        routing = RoutingMatrix.from_shortest_paths(
+            survivor, task.routing.od_pairs, router=router
+        )
+    except ValueError as exc:
+        raise ValueError(
+            f"failing {node_a}<->{node_b} disconnects a task OD pair"
+        ) from exc
+    loads = loads + routing.matrix.T @ task.od_sizes_pps
+
+    return MeasurementTask(
+        network=survivor,
+        routing=routing,
+        od_sizes_pps=task.od_sizes_pps.copy(),
+        link_loads_pps=loads,
+        interval_seconds=task.interval_seconds,
+        access_node=task.access_node,
+    )

@@ -1,0 +1,231 @@
+"""Flow-level traffic: 5-tuple flows and flow-size models.
+
+The paper's utility function needs, per OD pair ``k``, the mean inverse
+size ``c_k = E[1/S_k]`` of the quantity being estimated (§IV-C plots
+``M`` for ``E[1/S]`` corresponding to average sizes around 500
+packets).  The NetFlow substrate additionally needs an explicit packet
+population: 5-tuple flows with heavy-tailed packet counts, which this
+module generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Flow",
+    "FlowSizeModel",
+    "LognormalFlowSizes",
+    "BoundedParetoFlowSizes",
+    "ConstantFlowSizes",
+    "EmpiricalFlowSizes",
+    "mean_inverse_size",
+    "generate_flows",
+]
+
+#: Typical mean packet size in bytes used to attach byte counts to flows.
+_MEAN_PACKET_BYTES = 500
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A 5-tuple flow belonging to one OD pair.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique integer id; doubles as the packet-hash seed used by the
+        collector-side deduplication (DESIGN.md §2).
+    od_index:
+        Row of the owning OD pair in the measurement routing matrix.
+    packets:
+        Flow size in packets (``>= 1``).
+    bytes:
+        Flow size in bytes.
+    start_time, end_time:
+        Seconds within the measurement interval.
+    """
+
+    flow_id: int
+    od_index: int
+    packets: int
+    bytes: int
+    start_time: float
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if self.packets < 1:
+            raise ValueError("a flow has at least one packet")
+        if self.end_time < self.start_time:
+            raise ValueError("flow ends before it starts")
+
+
+class FlowSizeModel:
+    """Distribution of per-flow packet counts."""
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` integer flow sizes (each ``>= 1``)."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Expected flow size in packets."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LognormalFlowSizes(FlowSizeModel):
+    """Log-normal packet counts — the common fit for flow sizes.
+
+    Parameterized by the target mean and the log-space sigma.
+    """
+
+    mean_packets: float = 20.0
+    sigma: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.mean_packets < 1:
+            raise ValueError("mean_packets must be >= 1")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        return self.mean_packets
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        mu = np.log(self.mean_packets) - self.sigma**2 / 2
+        sizes = rng.lognormal(mean=mu, sigma=self.sigma, size=count)
+        return np.maximum(1, np.rint(sizes)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class BoundedParetoFlowSizes(FlowSizeModel):
+    """Bounded Pareto packet counts — heavy-tailed mice-and-elephants mix."""
+
+    shape: float = 1.2
+    minimum: int = 1
+    maximum: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+        if not 1 <= self.minimum < self.maximum:
+            raise ValueError("need 1 <= minimum < maximum")
+
+    @property
+    def mean(self) -> float:
+        a, lo, hi = self.shape, float(self.minimum), float(self.maximum)
+        if a == 1.0:
+            return lo * np.log(hi / lo) / (1 - lo / hi)
+        return (lo**a / (1 - (lo / hi) ** a)) * (a / (a - 1)) * (
+            lo ** (1 - a) - hi ** (1 - a)
+        )
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        a, lo, hi = self.shape, float(self.minimum), float(self.maximum)
+        u = rng.random(count)
+        # Inverse CDF of the bounded Pareto distribution.
+        sizes = (lo**a / (1 - u * (1 - (lo / hi) ** a))) ** (1 / a)
+        return np.maximum(1, np.rint(sizes)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ConstantFlowSizes(FlowSizeModel):
+    """Every flow has exactly ``packets`` packets (deterministic tests)."""
+
+    packets: int = 10
+
+    def __post_init__(self) -> None:
+        if self.packets < 1:
+            raise ValueError("packets must be >= 1")
+
+    @property
+    def mean(self) -> float:
+        return float(self.packets)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.packets, dtype=np.int64)
+
+
+class EmpiricalFlowSizes(FlowSizeModel):
+    """Resample sizes from an observed population (bootstrap)."""
+
+    def __init__(self, sizes: Sequence[int] | np.ndarray) -> None:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.size == 0:
+            raise ValueError("empty size population")
+        if np.any(sizes < 1):
+            raise ValueError("sizes must be >= 1 packet")
+        self._sizes = sizes
+
+    @property
+    def mean(self) -> float:
+        return float(self._sizes.mean())
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.choice(self._sizes, size=count, replace=True)
+
+
+def mean_inverse_size(sizes: Iterable[int] | np.ndarray) -> float:
+    """``E[1/S]`` over an observed size population.
+
+    This is the constant ``c`` of the utility function (§IV-C): the
+    paper's Figure 1 uses values around 0.002 (average size ~500).
+    """
+    sizes = np.asarray(list(sizes) if not isinstance(sizes, np.ndarray) else sizes)
+    if sizes.size == 0:
+        raise ValueError("empty size population")
+    if np.any(sizes <= 0):
+        raise ValueError("sizes must be positive")
+    return float(np.mean(1.0 / sizes))
+
+
+def generate_flows(
+    od_index: int,
+    target_packets: int,
+    size_model: FlowSizeModel,
+    rng: np.random.Generator,
+    interval_seconds: float = 300.0,
+    first_flow_id: int = 0,
+) -> list[Flow]:
+    """Generate flows for one OD pair totalling ~``target_packets``.
+
+    Draws flow sizes from ``size_model`` until the cumulative packet
+    count reaches ``target_packets``, truncating the last flow so the
+    total is exact.  Start times are uniform over the interval; flow
+    duration grows with size (1 s per 100 packets, capped at the
+    interval), a crude but adequate stand-in for real flow durations.
+    """
+    if target_packets < 0:
+        raise ValueError("target_packets must be non-negative")
+    flows: list[Flow] = []
+    remaining = int(target_packets)
+    flow_id = first_flow_id
+    while remaining > 0:
+        batch = size_model.sample(rng, max(8, remaining // max(1, int(size_model.mean))))
+        for size in batch:
+            size = int(min(size, remaining))
+            if size <= 0:
+                break
+            start = float(rng.uniform(0.0, interval_seconds))
+            duration = min(interval_seconds - start, 1.0 + size / 100.0)
+            flows.append(
+                Flow(
+                    flow_id=flow_id,
+                    od_index=od_index,
+                    packets=size,
+                    bytes=size * _MEAN_PACKET_BYTES,
+                    start_time=start,
+                    end_time=start + duration,
+                )
+            )
+            flow_id += 1
+            remaining -= size
+            if remaining <= 0:
+                break
+    return flows

@@ -1,0 +1,92 @@
+"""Gravity-model traffic matrix generation.
+
+The standard synthetic model for backbone traffic matrices (used
+throughout the traffic-matrix-estimation literature the paper cites,
+e.g. Zhang et al., Sigmetrics 2003): the demand from node ``i`` to node
+``j`` is proportional to the product of their activity masses,
+
+    t_{ij} = total * m_i * m_j / (Σ_{u != v} m_u * m_v).
+
+Masses are drawn log-normally (PoP sizes are heavy-tailed) or supplied
+by the caller.  We use gravity matrices to synthesize the *background*
+traffic that sets link loads ``U_i`` — the quantity that, in the paper,
+comes from GEANT's NetFlow measurements (substitution documented in
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..topology.graph import Network
+from .matrix import TrafficMatrix
+
+__all__ = ["gravity_traffic_matrix", "lognormal_node_masses"]
+
+
+def lognormal_node_masses(
+    net: Network, seed: int | None = None, sigma: float = 1.0
+) -> dict[str, float]:
+    """Draw a log-normal activity mass for every node.
+
+    ``sigma`` controls skew: 0 gives uniform masses, ~1 gives the
+    order-of-magnitude PoP-size spread seen in real backbones.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    masses = rng.lognormal(mean=0.0, sigma=sigma, size=net.num_nodes)
+    return {node.name: float(mass) for node, mass in zip(net.nodes, masses)}
+
+
+def gravity_traffic_matrix(
+    net: Network,
+    total_pps: float,
+    masses: Mapping[str, float] | None = None,
+    seed: int | None = None,
+) -> TrafficMatrix:
+    """Build a gravity-model :class:`TrafficMatrix`.
+
+    Parameters
+    ----------
+    net:
+        The topology whose nodes exchange traffic.
+    total_pps:
+        Network-wide offered load; the returned matrix sums to this.
+    masses:
+        Optional per-node activity masses; drawn log-normally (with
+        ``seed``) when omitted.  Nodes with mass 0 neither send nor
+        receive.
+    seed:
+        Seed for the mass draw when ``masses`` is omitted.
+    """
+    if total_pps < 0:
+        raise ValueError("total_pps must be non-negative")
+    if net.num_nodes < 2:
+        raise ValueError("need at least two nodes to exchange traffic")
+    if masses is None:
+        masses = lognormal_node_masses(net, seed=seed)
+    else:
+        unknown = set(masses) - set(net.node_names)
+        if unknown:
+            raise KeyError(f"masses for unknown nodes: {sorted(unknown)}")
+        if any(m < 0 for m in masses.values()):
+            raise ValueError("masses must be non-negative")
+
+    names = net.node_names
+    m = np.array([float(masses.get(name, 0.0)) for name in names])
+    product = np.outer(m, m)
+    np.fill_diagonal(product, 0.0)
+    denom = product.sum()
+
+    tm = TrafficMatrix(net)
+    if total_pps == 0 or denom == 0:
+        return tm
+    for i, origin in enumerate(names):
+        for j, destination in enumerate(names):
+            if i == j or product[i, j] == 0:
+                continue
+            tm.set_demand(origin, destination, total_pps * product[i, j] / denom)
+    return tm

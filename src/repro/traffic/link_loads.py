@@ -1,0 +1,72 @@
+"""Link loads ``U_i`` from a traffic matrix and routing.
+
+In the paper the loads come from GEANT's NetFlow measurements; here
+they are computed by routing a (gravity or explicit) traffic matrix
+over the topology.  Loads are what the capacity constraint
+``Σ p_i U_i = θ`` prices: sampling a heavily loaded link consumes more
+of the system budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..routing.routing_matrix import ODPair, RoutingMatrix
+from ..routing.shortest_path import ShortestPathRouter
+from ..topology.graph import Network
+from .matrix import TrafficMatrix
+
+__all__ = ["link_loads_from_traffic", "add_od_loads", "utilizations"]
+
+
+def link_loads_from_traffic(
+    net: Network,
+    tm: TrafficMatrix,
+    router: ShortestPathRouter | None = None,
+) -> np.ndarray:
+    """Route ``tm`` over ``net`` and return per-link loads in pkt/s.
+
+    The result is a dense vector aligned with link indices.
+    """
+    if tm.network is not net:
+        raise ValueError("traffic matrix belongs to a different network")
+    router = router or ShortestPathRouter(net)
+    loads = np.zeros(net.num_links)
+    for (origin, destination), pps in tm.items():
+        path = router.path(origin, destination)
+        for index in path.link_indices:
+            loads[index] += pps
+    return loads
+
+
+def add_od_loads(
+    loads: np.ndarray, routing: RoutingMatrix, od_sizes_pps: np.ndarray
+) -> np.ndarray:
+    """Add measurement-task OD traffic onto background link loads.
+
+    ``loads`` is a per-link background vector; ``od_sizes_pps`` aligns
+    with ``routing.od_pairs``.  Returns a new vector.
+    """
+    loads = np.asarray(loads, dtype=float)
+    od_sizes_pps = np.asarray(od_sizes_pps, dtype=float)
+    if loads.shape != (routing.num_links,):
+        raise ValueError(
+            f"loads vector has {loads.shape}, expected ({routing.num_links},)"
+        )
+    if od_sizes_pps.shape != (routing.num_od_pairs,):
+        raise ValueError(
+            f"od sizes have {od_sizes_pps.shape}, expected "
+            f"({routing.num_od_pairs},)"
+        )
+    if np.any(od_sizes_pps < 0):
+        raise ValueError("OD sizes must be non-negative")
+    return loads + routing.matrix.T @ od_sizes_pps
+
+
+def utilizations(net: Network, loads: np.ndarray) -> np.ndarray:
+    """Per-link load/capacity ratios (sanity metric, not used by solver)."""
+    loads = np.asarray(loads, dtype=float)
+    capacities = np.array([link.capacity_pps for link in net.links])
+    if loads.shape != capacities.shape:
+        raise ValueError("loads vector does not match link count")
+    return loads / capacities

@@ -1,0 +1,98 @@
+"""Traffic matrices: origin-destination demands in packets per second."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..topology.graph import Network
+
+__all__ = ["TrafficMatrix"]
+
+
+class TrafficMatrix:
+    """A sparse OD demand matrix over a network's node set.
+
+    Demands are expressed in packets per second, the unit the paper uses
+    for both OD sizes and link loads (Table I).  Zero demands are not
+    stored.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        demands: Mapping[tuple[str, str], float] | None = None,
+    ) -> None:
+        self._network = network
+        self._demands: dict[tuple[str, str], float] = {}
+        if demands:
+            for (origin, destination), pps in demands.items():
+                self.set_demand(origin, destination, pps)
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def set_demand(self, origin: str, destination: str, pps: float) -> None:
+        """Set the demand ``origin -> destination``; 0 removes the entry."""
+        self._network.node(origin)
+        self._network.node(destination)
+        if origin == destination:
+            raise ValueError("intra-node demand is not routed")
+        if pps < 0:
+            raise ValueError(f"negative demand {pps}")
+        key = (origin, destination)
+        if pps == 0:
+            self._demands.pop(key, None)
+        else:
+            self._demands[key] = float(pps)
+
+    def add_demand(self, origin: str, destination: str, pps: float) -> None:
+        """Accumulate onto an existing demand."""
+        current = self.demand(origin, destination)
+        self.set_demand(origin, destination, current + pps)
+
+    def demand(self, origin: str, destination: str) -> float:
+        """Demand in pkt/s (0 when unset)."""
+        return self._demands.get((origin, destination), 0.0)
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return TrafficMatrix(
+            self._network,
+            {key: pps * factor for key, pps in self._demands.items()},
+        )
+
+    def merged(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        """Element-wise sum of two matrices over the same network."""
+        if other.network is not self._network:
+            raise ValueError("cannot merge matrices over different networks")
+        merged = TrafficMatrix(self._network, self._demands)
+        for (origin, destination), pps in other.items():
+            merged.add_demand(origin, destination, pps)
+        return merged
+
+    def items(self) -> Iterator[tuple[tuple[str, str], float]]:
+        """Iterate ``((origin, destination), pps)`` pairs, sorted."""
+        return iter(sorted(self._demands.items()))
+
+    def pairs(self) -> Iterable[tuple[str, str]]:
+        return sorted(self._demands.keys())
+
+    @property
+    def total_pps(self) -> float:
+        """Network-wide offered load in pkt/s."""
+        return sum(self._demands.values())
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._demands
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TrafficMatrix({self._network.name!r}, pairs={len(self)}, "
+            f"total={self.total_pps:.0f} pkt/s)"
+        )

@@ -1,0 +1,94 @@
+"""Declarative measurement-task files.
+
+A task file is a small JSON document describing a measurement task —
+topology, OD pairs of interest with their sizes, background traffic —
+so workloads can be versioned and passed to the CLI without writing
+Python::
+
+    {
+      "topology": "abilene",          // built-in name or a JSON path
+      "interval_seconds": 300,
+      "background_pps": 200000,
+      "seed": 7,
+      "access_node": "NYC",
+      "od_pairs": [
+        {"origin": "NYC", "destination": "LAX", "pps": 5000},
+        {"origin": "SEA", "destination": "ATL", "pps": 300, "label": "susp"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from ..routing.routing_matrix import ODPair
+from ..topology.graph import Network
+from .workloads import MeasurementTask, make_task
+
+__all__ = ["task_from_dict", "load_task_file"]
+
+
+def task_from_dict(
+    payload: dict,
+    resolve_topology: Callable[[str], Network],
+) -> MeasurementTask:
+    """Build a :class:`MeasurementTask` from a parsed task document.
+
+    ``resolve_topology`` maps the document's ``topology`` string to a
+    :class:`Network` (built-in name or file path — the CLI supplies its
+    resolver; tests can inject their own).
+    """
+    try:
+        topology = payload["topology"]
+        od_specs = payload["od_pairs"]
+    except KeyError as exc:
+        raise ValueError(f"task file missing required key: {exc}") from None
+    if not isinstance(od_specs, list) or not od_specs:
+        raise ValueError("task file needs a non-empty od_pairs list")
+
+    net = resolve_topology(str(topology))
+    od_pairs = []
+    sizes = []
+    for index, spec in enumerate(od_specs):
+        try:
+            origin = str(spec["origin"])
+            destination = str(spec["destination"])
+            pps = float(spec["pps"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"od_pairs[{index}] malformed: {exc}") from None
+        if pps <= 0:
+            raise ValueError(f"od_pairs[{index}]: pps must be positive")
+        od_pairs.append(
+            ODPair(origin, destination, label=str(spec.get("label", "")))
+        )
+        sizes.append(pps)
+
+    return make_task(
+        net,
+        od_pairs,
+        sizes,
+        background_pps=float(payload.get("background_pps", 0.0)),
+        interval_seconds=float(payload.get("interval_seconds", 300.0)),
+        seed=(int(payload["seed"]) if "seed" in payload else None),
+        access_node=(
+            str(payload["access_node"]) if "access_node" in payload else None
+        ),
+    )
+
+
+def load_task_file(
+    path: str | Path,
+    resolve_topology: Callable[[str], Network],
+) -> MeasurementTask:
+    """Read and build a task from a JSON file."""
+    text = Path(path).read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"task file {path}: invalid JSON ({exc})") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"task file {path}: top level must be an object")
+    return task_from_dict(payload, resolve_topology)

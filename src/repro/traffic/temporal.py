@@ -1,0 +1,124 @@
+"""Multi-interval traffic traces.
+
+Generates a sequence of :class:`MeasurementTask` snapshots — one per
+measurement interval — combining the diurnal cycle with per-OD
+log-normal fluctuation noise, optionally spiced with anomaly and
+failure events.  This is the workload for the closed-loop adaptive
+monitoring experiments: the paper optimizes one interval; operating a
+network means re-optimizing as the trace evolves (§I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .dynamics import diurnal_factor, fail_link, inject_anomaly
+from .workloads import MeasurementTask
+
+__all__ = ["TraceEvent", "TraceInterval", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Something that happens to the network during the trace.
+
+    ``kind`` is ``"anomaly"`` (``od_index`` spikes by ``magnitude``
+    for ``duration_intervals``) or ``"failure"`` (circuit
+    ``node_a <-> node_b`` goes down for ``duration_intervals``).
+    """
+
+    kind: str
+    start_interval: int
+    duration_intervals: int
+    od_index: int = 0
+    magnitude: float = 10.0
+    node_a: str = ""
+    node_b: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("anomaly", "failure"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.start_interval < 0 or self.duration_intervals < 1:
+            raise ValueError("event must start at >= 0 and last >= 1 interval")
+        if self.kind == "failure" and not (self.node_a and self.node_b):
+            raise ValueError("failure events need both endpoints")
+
+    def active_at(self, interval: int) -> bool:
+        return (
+            self.start_interval
+            <= interval
+            < self.start_interval + self.duration_intervals
+        )
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One interval of the trace."""
+
+    index: int
+    hour_of_day: float
+    task: MeasurementTask
+    active_events: tuple[str, ...]
+
+
+def generate_trace(
+    base: MeasurementTask,
+    num_intervals: int,
+    start_hour: float = 0.0,
+    noise_sigma: float = 0.15,
+    trough: float = 0.4,
+    events: list[TraceEvent] | None = None,
+    seed: int | None = None,
+) -> Iterator[TraceInterval]:
+    """Yield ``num_intervals`` snapshots of the evolving task.
+
+    Per interval: the base OD sizes are scaled by the diurnal factor
+    and multiplied by i.i.d. log-normal noise (σ = ``noise_sigma``);
+    link loads are recomputed consistently (background scales with the
+    diurnal factor only).  Events overlay anomalies and failures while
+    active.
+    """
+    if num_intervals < 1:
+        raise ValueError("need at least one interval")
+    if noise_sigma < 0:
+        raise ValueError("noise sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    events = events or []
+    interval_hours = base.interval_seconds / 3600.0
+
+    base_task_loads = base.routing.matrix.T @ base.od_sizes_pps
+    base_background = base.link_loads_pps - base_task_loads
+
+    for index in range(num_intervals):
+        hour = (start_hour + index * interval_hours) % 24.0
+        factor = diurnal_factor(hour, trough=trough)
+        noise = rng.lognormal(0.0, noise_sigma, size=base.num_od_pairs)
+        sizes = base.od_sizes_pps * factor * noise
+        loads = base_background * factor + base.routing.matrix.T @ sizes
+        task = MeasurementTask(
+            network=base.network,
+            routing=base.routing,
+            od_sizes_pps=sizes,
+            link_loads_pps=loads,
+            interval_seconds=base.interval_seconds,
+            access_node=base.access_node,
+        )
+        labels = []
+        for event in events:
+            if not event.active_at(index):
+                continue
+            if event.kind == "anomaly":
+                task = inject_anomaly(task, event.od_index, event.magnitude)
+                labels.append(f"anomaly[{event.od_index}]x{event.magnitude:g}")
+            else:
+                task = fail_link(task, event.node_a, event.node_b)
+                labels.append(f"failure[{event.node_a}-{event.node_b}]")
+        yield TraceInterval(
+            index=index,
+            hour_of_day=hour,
+            task=task,
+            active_events=tuple(labels),
+        )

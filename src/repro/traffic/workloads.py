@@ -1,0 +1,289 @@
+"""Measurement tasks: the paper's JANET workload and generic task builder.
+
+The evaluation task (§V-B): estimate the traffic sent by JANET (UK
+research network, AS 786) to each individual GEANT PoP through the UK
+PoP — 20 OD pairs spanning the whole size spectrum, from more than
+30 000 pkt/s (JANET→NL) down to ~20 pkt/s (JANET→LU), traversing 22 of
+GEANT's 72 unidirectional links.
+
+The authors read OD sizes and link loads out of GEANT's NetFlow feed;
+we synthesize both (DESIGN.md §2): OD sizes are fixed to a published-
+spectrum-matching table whose sum equals the paper's footnoted
+57 933 pkt/s, and background link loads come from a deterministic
+gravity traffic matrix with PoP masses reflecting PoP size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..routing.routing_matrix import ODPair, RoutingMatrix
+from ..routing.shortest_path import ShortestPathRouter
+from ..topology.geant import UK_ACCESS_NODE, geant_network
+from ..topology.graph import Network
+from .gravity import gravity_traffic_matrix
+from .link_loads import add_od_loads, link_loads_from_traffic
+
+__all__ = [
+    "MeasurementTask",
+    "janet_task",
+    "JANET_OD_SIZES_PPS",
+    "GEANT_POP_MASSES",
+    "make_task",
+    "merge_tasks",
+]
+
+#: JANET OD sizes in pkt/s, in the paper's Table I destination order.
+#: Calibrated to the published facts: largest (NL) > 30 000 pkt/s,
+#: smallest (LU) ~ 20 pkt/s, total exactly 57 933 pkt/s (footnote 2).
+JANET_OD_SIZES_PPS: dict[str, float] = {
+    "NL": 30722.0,
+    "NY": 12400.0,
+    "DE": 5800.0,
+    "SE": 3100.0,
+    "CH": 1900.0,
+    "FR": 1200.0,
+    "PL": 800.0,
+    "GR": 560.0,
+    "ES": 400.0,
+    "SI": 290.0,
+    "IT": 210.0,
+    "AT": 150.0,
+    "CZ": 110.0,
+    "BE": 82.0,
+    "PT": 61.0,
+    "HU": 45.0,
+    "HR": 34.0,
+    "IL": 27.0,
+    "SK": 22.0,
+    "LU": 20.0,
+}
+
+#: Gravity masses per GEANT PoP, reflecting relative PoP sizes (large
+#: western-European PoPs and the US link, small eastern/Mediterranean
+#: spokes).  Deterministic so Table I regenerates identically.
+GEANT_POP_MASSES: dict[str, float] = {
+    "UK": 10.0, "FR": 8.0, "DE": 10.0, "NL": 9.0, "BE": 3.0,
+    "LU": 0.3, "CH": 5.0, "IT": 6.0, "ES": 4.0, "PT": 1.5,
+    "AT": 3.0, "CZ": 2.0, "SK": 0.4, "PL": 2.5, "HU": 1.5,
+    "SI": 0.5, "HR": 0.5, "GR": 1.5, "IL": 0.6, "SE": 5.0,
+    "NY": 12.0, "IE": 1.0, "CY": 0.2,
+}
+
+#: Default network-wide background load in pkt/s.  Calibrated so the
+#: optimal solution reproduces the paper's anchors: the smallest OD
+#: pair's optimal effective rate is ~1 % and matching it on the access
+#: link inflates the capacity by ~1.7x (footnote 2), with 10 active
+#: monitors at theta = 100 000 (Table I).
+_DEFAULT_BACKGROUND_PPS = 800_000.0
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """Everything a measurement task contributes to the optimization.
+
+    Attributes
+    ----------
+    network:
+        The monitored topology.
+    routing:
+        Routing matrix over the task's OD pairs (the set ``F``).
+    od_sizes_pps:
+        Per-OD traffic in pkt/s, aligned with ``routing.od_pairs``.
+    link_loads_pps:
+        Total per-link loads ``U_i`` (background + task traffic).
+    interval_seconds:
+        Measurement-interval length (paper: 5 minutes).
+    access_node:
+        The PoP through which all task traffic enters, if the task has
+        a single ingress (used by the access-link baseline).
+    """
+
+    network: Network
+    routing: RoutingMatrix
+    od_sizes_pps: np.ndarray
+    link_loads_pps: np.ndarray
+    interval_seconds: float = 300.0
+    access_node: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.od_sizes_pps.shape != (self.routing.num_od_pairs,):
+            raise ValueError("od_sizes_pps does not match routing rows")
+        if self.link_loads_pps.shape != (self.network.num_links,):
+            raise ValueError("link_loads_pps does not match link count")
+        if np.any(self.od_sizes_pps <= 0):
+            raise ValueError("OD sizes must be positive")
+        if np.any(self.link_loads_pps < 0):
+            raise ValueError("link loads must be non-negative")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        self.od_sizes_pps.setflags(write=False)
+        self.link_loads_pps.setflags(write=False)
+
+    @property
+    def num_od_pairs(self) -> int:
+        return self.routing.num_od_pairs
+
+    @property
+    def od_sizes_packets(self) -> np.ndarray:
+        """Per-OD sizes in packets per measurement interval (``S_k``)."""
+        return self.od_sizes_pps * self.interval_seconds
+
+    @property
+    def mean_inverse_sizes(self) -> np.ndarray:
+        """``c_k = E[1/S_k]`` per OD pair.
+
+        With deterministic interval sizes this is simply ``1/S_k``; the
+        utility-function machinery accepts arbitrary values estimated
+        from data.
+        """
+        return 1.0 / self.od_sizes_packets
+
+    @property
+    def access_link_load_pps(self) -> float:
+        """Load on the (external) access link: all task traffic."""
+        return float(self.od_sizes_pps.sum())
+
+    def access_link_indices(self) -> list[int]:
+        """Intra-network links adjacent to the access node."""
+        if self.access_node is None:
+            raise ValueError("task has no single access node")
+        return [link.index for link in self.network.out_links(self.access_node)]
+
+
+def janet_task(
+    background_pps: float = _DEFAULT_BACKGROUND_PPS,
+    interval_seconds: float = 300.0,
+    od_sizes_pps: dict[str, float] | None = None,
+    seed: int | None = None,
+) -> MeasurementTask:
+    """Build the paper's JANET→GEANT-PoPs measurement task.
+
+    Parameters
+    ----------
+    background_pps:
+        Network-wide gravity background load.  The defaults give link
+        loads with the qualitative structure of the paper's Table I
+        (heavily loaded UK links, lightly loaded small-PoP spokes).
+    interval_seconds:
+        Measurement interval (paper: 300 s).
+    od_sizes_pps:
+        Override the per-destination OD sizes (pkt/s); defaults to the
+        calibrated :data:`JANET_OD_SIZES_PPS`.
+    seed:
+        When given, perturbs the gravity masses log-normally around the
+        deterministic defaults — used by the convergence experiment to
+        randomize inputs.
+    """
+    net = geant_network()
+    sizes = dict(JANET_OD_SIZES_PPS if od_sizes_pps is None else od_sizes_pps)
+    unknown = [pop for pop in sizes if not net.has_node(pop)]
+    if unknown:
+        raise KeyError(f"OD destinations not in GEANT: {unknown}")
+
+    od_pairs = [
+        ODPair(origin=UK_ACCESS_NODE, destination=pop, label=f"JANET-{pop}")
+        for pop in sizes
+    ]
+    router = ShortestPathRouter(net)
+    routing = RoutingMatrix.from_shortest_paths(net, od_pairs, router=router)
+
+    masses = dict(GEANT_POP_MASSES)
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        masses = {
+            pop: mass * float(rng.lognormal(0.0, 0.4))
+            for pop, mass in masses.items()
+        }
+    background = gravity_traffic_matrix(net, background_pps, masses=masses)
+    loads = link_loads_from_traffic(net, background, router=router)
+    od_sizes = np.array([sizes[pop] for pop in sizes], dtype=float)
+    loads = add_od_loads(loads, routing, od_sizes)
+
+    return MeasurementTask(
+        network=net,
+        routing=routing,
+        od_sizes_pps=od_sizes,
+        link_loads_pps=loads,
+        interval_seconds=interval_seconds,
+        access_node=UK_ACCESS_NODE,
+    )
+
+
+def merge_tasks(tasks: list[MeasurementTask]) -> MeasurementTask:
+    """Combine several measurement tasks over the same network.
+
+    "Very often network operators do not have prior knowledge of the
+    measurement tasks the monitoring infrastructure will have to
+    perform" (§I) — and several tasks typically coexist (traffic
+    engineering + a security watchlist).  Merging concatenates the
+    tasks' OD-pair lists, routing rows and sizes into one task whose
+    optimization shares the single system capacity θ across all of
+    them.  Link loads are taken from the first task (they describe the
+    network, not the task); all tasks must be built over the identical
+    network object and interval.
+    """
+    if not tasks:
+        raise ValueError("need at least one task")
+    first = tasks[0]
+    for task in tasks[1:]:
+        if task.network is not first.network:
+            raise ValueError("tasks must share the same network object")
+        if task.interval_seconds != first.interval_seconds:
+            raise ValueError("tasks must share the measurement interval")
+    if len(tasks) == 1:
+        return first
+
+    od_pairs = [od for task in tasks for od in task.routing.od_pairs]
+    if len({od.name for od in od_pairs}) != len(od_pairs):
+        raise ValueError("duplicate OD-pair names across tasks")
+    matrix = np.vstack([task.routing.matrix for task in tasks])
+    routing = RoutingMatrix(first.network, od_pairs, matrix)
+    sizes = np.concatenate([task.od_sizes_pps for task in tasks])
+    access = first.access_node
+    if any(task.access_node != access for task in tasks):
+        access = None
+    return MeasurementTask(
+        network=first.network,
+        routing=routing,
+        od_sizes_pps=sizes,
+        link_loads_pps=first.link_loads_pps.copy(),
+        interval_seconds=first.interval_seconds,
+        access_node=access,
+    )
+
+
+def make_task(
+    network: Network,
+    od_pairs: list[ODPair],
+    od_sizes_pps: np.ndarray | list[float],
+    background_pps: float = 0.0,
+    interval_seconds: float = 300.0,
+    seed: int | None = None,
+    access_node: str | None = None,
+) -> MeasurementTask:
+    """Generic task builder for arbitrary topologies.
+
+    Routes the OD pairs on shortest paths, overlays an optional gravity
+    background (seeded log-normal masses), and bundles everything into
+    a :class:`MeasurementTask`.
+    """
+    router = ShortestPathRouter(network)
+    routing = RoutingMatrix.from_shortest_paths(network, od_pairs, router=router)
+    od_sizes = np.asarray(od_sizes_pps, dtype=float)
+    if background_pps > 0:
+        background = gravity_traffic_matrix(network, background_pps, seed=seed)
+        loads = link_loads_from_traffic(network, background, router=router)
+    else:
+        loads = np.zeros(network.num_links)
+    loads = add_od_loads(loads, routing, od_sizes)
+    return MeasurementTask(
+        network=network,
+        routing=routing,
+        od_sizes_pps=od_sizes,
+        link_loads_pps=loads,
+        interval_seconds=interval_seconds,
+        access_node=access_node,
+    )

@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+Expensive objects (the GEANT task, its solved problem) are
+session-scoped; everything downstream treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MeasurementTask,
+    Network,
+    ODPair,
+    SamplingProblem,
+    janet_task,
+    make_task,
+    solve,
+)
+from repro.topology import line_network
+
+
+@pytest.fixture(scope="session")
+def geant_task() -> MeasurementTask:
+    """The paper's JANET measurement task (calibrated defaults)."""
+    return janet_task()
+
+
+@pytest.fixture(scope="session")
+def geant_problem(geant_task) -> SamplingProblem:
+    """Table I's problem: theta = 100 000 packets / 5 min, alpha = 1."""
+    return SamplingProblem.from_task(geant_task, theta_packets=100_000)
+
+
+@pytest.fixture(scope="session")
+def geant_solution(geant_problem):
+    """The solved Table I problem (gradient projection)."""
+    return solve(geant_problem)
+
+
+@pytest.fixture()
+def triangle_network() -> Network:
+    """Three nodes, full duplex triangle — smallest multi-path testbed."""
+    net = Network("triangle")
+    for name in ("A", "B", "C"):
+        net.add_node(name)
+    net.add_duplex_link("A", "B")
+    net.add_duplex_link("B", "C")
+    net.add_duplex_link("A", "C")
+    return net
+
+
+@pytest.fixture()
+def chain_task() -> MeasurementTask:
+    """Two OD pairs on a 4-node chain with distinct sizes.
+
+    n0→n3 traverses all three links, n1→n2 only the middle one, so the
+    middle link is shared — the smallest workload with an interesting
+    placement decision.
+    """
+    net = line_network(4)
+    od_pairs = [ODPair("n0", "n3"), ODPair("n1", "n2")]
+    return make_task(net, od_pairs, [1000.0, 100.0], background_pps=5000.0, seed=7)
+
+
+def make_random_problem(
+    seed: int,
+    num_nodes: int = 8,
+    num_od: int = 5,
+    theta_fraction: float = 0.001,
+) -> SamplingProblem:
+    """A randomized small problem for property-based solver tests."""
+    from repro.topology import random_waxman_network
+
+    rng = np.random.default_rng(seed)
+    net = random_waxman_network(num_nodes, seed=seed)
+    names = net.node_names
+    pairs: list[ODPair] = []
+    attempts = 0
+    while len(pairs) < num_od and attempts < 200:
+        attempts += 1
+        a, b = rng.choice(len(names), size=2, replace=False)
+        od = ODPair(names[int(a)], names[int(b)])
+        if od not in pairs:
+            pairs.append(od)
+    sizes = rng.uniform(50.0, 20_000.0, size=len(pairs))
+    task = make_task(
+        net, pairs, sizes, background_pps=float(rng.uniform(1e4, 5e5)), seed=seed
+    )
+    theta = theta_fraction * float(task.link_loads_pps.sum()) * task.interval_seconds
+    return SamplingProblem.from_task(task, theta_packets=max(theta, 1000.0))

@@ -1,0 +1,130 @@
+"""Tests for the closed-loop adaptive monitoring controller."""
+
+import numpy as np
+import pytest
+
+from repro import ODPair, make_task
+from repro.adaptive import AdaptiveController, ControllerConfig, run_closed_loop
+from repro.topology import line_network
+from repro.traffic import generate_trace
+
+
+def small_task():
+    net = line_network(4)
+    ods = [ODPair("n0", "n3"), ODPair("n1", "n2")]
+    return make_task(net, ods, [5000.0, 500.0], background_pps=20_000.0, seed=1)
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(theta_packets=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(theta_packets=1.0, ewma_weight=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(theta_packets=1.0, min_size_packets=1.0)
+
+
+class TestController:
+    def test_cold_start_uses_floor(self):
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(config, num_od_pairs=2)
+        assert controller.smoothed_sizes_packets is None
+        solution = controller.plan(small_task())
+        assert solution.diagnostics.converged
+
+    def test_initial_sizes_validated(self):
+        config = ControllerConfig(theta_packets=5000.0)
+        with pytest.raises(ValueError):
+            AdaptiveController(config, num_od_pairs=2,
+                               initial_sizes_packets=np.array([1.0]))
+
+    def test_ewma_smoothing(self):
+        config = ControllerConfig(theta_packets=5000.0, ewma_weight=0.5)
+        controller = AdaptiveController(
+            config, num_od_pairs=2,
+            initial_sizes_packets=np.array([100.0, 100.0]),
+        )
+        smoothed = controller.ingest_estimates(np.array([200.0, 100.0]))
+        np.testing.assert_allclose(smoothed, [150.0, 100.0])
+
+    def test_floor_applied_to_zero_estimates(self):
+        config = ControllerConfig(theta_packets=5000.0, min_size_packets=10.0)
+        controller = AdaptiveController(config, num_od_pairs=2)
+        smoothed = controller.ingest_estimates(np.array([0.0, 50.0]))
+        assert smoothed[0] == 10.0
+
+    def test_estimate_shape_validated(self):
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(config, num_od_pairs=2)
+        with pytest.raises(ValueError):
+            controller.ingest_estimates(np.array([1.0, 2.0, 3.0]))
+
+    def test_plan_never_sees_ground_truth(self):
+        # Planning with wildly wrong estimates must still be feasible
+        # and converge — it just allocates according to its beliefs.
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(
+            config, num_od_pairs=2,
+            initial_sizes_packets=np.array([1e9, 20.0]),
+        )
+        solution = controller.plan(small_task())
+        assert solution.diagnostics.converged
+
+    def test_report_carries_estimates_and_truth(self):
+        task = small_task()
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(
+            config, num_od_pairs=2,
+            initial_sizes_packets=task.od_sizes_packets,
+        )
+        solution = controller.plan(task)
+        report = controller.report(solution, task)
+        assert report.interval == 0
+        np.testing.assert_allclose(
+            report.estimated_sizes_packets, task.od_sizes_packets
+        )
+        assert np.all(report.estimation_errors < 1e-9)
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def loop_result(self):
+        task = small_task()
+        trace = list(generate_trace(task, num_intervals=6, noise_sigma=0.1, seed=3))
+        config = ControllerConfig(theta_packets=30_000.0)
+        return run_closed_loop(
+            trace, config, seed=4,
+            initial_sizes_packets=task.od_sizes_packets,
+        )
+
+    def test_one_result_per_interval(self, loop_result):
+        assert len(loop_result.intervals) == 6
+
+    def test_accuracy_reasonable_with_bootstrap(self, loop_result):
+        assert loop_result.mean_adaptive_accuracy > 0.85
+
+    def test_estimates_converge_to_truth(self):
+        # Starting from the floor, a few intervals of feedback bring the
+        # smoothed estimates close to the true sizes.
+        task = small_task()
+        trace = list(generate_trace(task, num_intervals=8, noise_sigma=0.0, seed=5))
+        config = ControllerConfig(theta_packets=30_000.0, ewma_weight=0.7)
+        result = run_closed_loop(trace, config, seed=6)
+        late = result.intervals[-1]
+        assert late.adaptive_accuracy.mean() > 0.9
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            run_closed_loop([], ControllerConfig(theta_packets=1000.0))
+
+
+class TestClosedLoopExperiment:
+    def test_runs_and_formats(self):
+        from repro.experiments import run_closed_loop_experiment
+
+        result = run_closed_loop_experiment(num_intervals=4, seed=9)
+        assert len(result.loop.intervals) == 4
+        text = result.format()
+        assert "adapt worst" in text
+        assert result.loop.mean_adaptive_accuracy > 0.9

@@ -1,0 +1,108 @@
+"""Tests for the volume-anomaly detector on the estimate stream."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import VolumeAnomalyDetector
+from repro.traffic import TraceEvent, generate_trace, janet_task
+
+
+class TestDetectorMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolumeAnomalyDetector(0)
+        with pytest.raises(ValueError):
+            VolumeAnomalyDetector(1, ewma_weight=1.0)
+        with pytest.raises(ValueError):
+            VolumeAnomalyDetector(1, threshold_sigmas=0.0)
+        with pytest.raises(ValueError):
+            VolumeAnomalyDetector(1, warmup_intervals=0)
+
+    def test_no_alarms_during_warmup(self):
+        detector = VolumeAnomalyDetector(2, warmup_intervals=3)
+        for _ in range(3):
+            alarms = detector.observe(np.array([100.0, 200.0]))
+            assert alarms == []
+
+    def test_steady_stream_never_alarms(self):
+        rng = np.random.default_rng(0)
+        detector = VolumeAnomalyDetector(3)
+        for _ in range(50):
+            estimates = np.array([1000.0, 500.0, 50.0]) * rng.normal(1.0, 0.05, 3)
+            assert detector.observe(estimates) == []
+
+    def test_surge_detected(self):
+        rng = np.random.default_rng(1)
+        detector = VolumeAnomalyDetector(2)
+        baseline = np.array([1000.0, 100.0])
+        for _ in range(10):
+            detector.observe(baseline * rng.normal(1.0, 0.05, 2))
+        alarms = detector.observe(np.array([1000.0, 3000.0]))
+        assert len(alarms) == 1
+        alarm = alarms[0]
+        assert alarm.od_index == 1
+        assert alarm.is_surge
+        assert alarm.z_score > 5
+
+    def test_persistent_surge_keeps_alarming(self):
+        rng = np.random.default_rng(2)
+        detector = VolumeAnomalyDetector(1)
+        for _ in range(10):
+            detector.observe(np.array([1000.0]) * rng.normal(1.0, 0.05, 1))
+        first = detector.observe(np.array([50_000.0]))
+        second = detector.observe(np.array([50_000.0]))
+        assert first and second  # baseline not polluted by the surge
+
+    def test_sampling_noise_raises_the_bar(self):
+        # The same absolute deviation: alarm without a variance hint,
+        # tolerated when the estimate's own noise explains it.
+        def run(noise_variance):
+            rng = np.random.default_rng(3)
+            detector = VolumeAnomalyDetector(1, min_relative_deviation=0.1)
+            for _ in range(10):
+                detector.observe(
+                    np.array([1000.0]) * rng.normal(1.0, 0.02, 1)
+                )
+            return detector.observe(
+                np.array([1400.0]),
+                estimate_variances=np.array([noise_variance]),
+            )
+
+        assert run(0.0)  # clean estimate: 40% jump alarms
+        assert not run(200_000.0)  # noisy estimate (std ~450): tolerated
+
+    def test_shape_validation(self):
+        detector = VolumeAnomalyDetector(2)
+        with pytest.raises(ValueError):
+            detector.observe(np.array([1.0]))
+        detector.observe(np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            detector.observe(np.array([1.0, 1.0]), np.array([1.0]))
+
+
+class TestDetectorOnTrace:
+    def test_flags_injected_anomaly_interval(self):
+        """End-to-end: the detector catches the trace's injected event."""
+        base = janet_task()
+        anomaly_od = int(np.argmin(base.od_sizes_pps))
+        events = [
+            TraceEvent(kind="anomaly", start_interval=8,
+                       duration_intervals=2, od_index=anomaly_od,
+                       magnitude=30.0)
+        ]
+        trace = list(
+            generate_trace(base, num_intervals=12, noise_sigma=0.05,
+                           events=events, seed=4)
+        )
+        detector = VolumeAnomalyDetector(
+            base.num_od_pairs, threshold_sigmas=4.0
+        )
+        flagged_intervals = set()
+        for interval in trace:
+            alarms = detector.observe(interval.task.od_sizes_packets)
+            for alarm in alarms:
+                if alarm.od_index == anomaly_od:
+                    flagged_intervals.add(interval.index)
+        assert 8 in flagged_intervals
+        # No false alarm on that OD before the event.
+        assert not any(i < 8 for i in flagged_intervals)

@@ -1,0 +1,154 @@
+"""Tests for the baseline strategies the paper compares against."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    access_link_solution,
+    capacity_to_match_rate,
+    greedy_placement,
+    node_adjacent_link_indices,
+    solve_restricted,
+    two_phase_solution,
+    uniform_solution,
+)
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    solve_gradient_projection,
+)
+
+
+def small_problem(theta=60.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, theta, utilities, interval_seconds=1.0)
+
+
+class TestUniform:
+    def test_consumes_full_budget(self):
+        problem = small_problem()
+        baseline = uniform_solution(problem)
+        assert baseline.budget_used_rate_pps == pytest.approx(60.0)
+
+    def test_single_rate_on_candidates(self):
+        baseline = uniform_solution(small_problem())
+        rates = baseline.rates[baseline.rates > 0]
+        assert np.allclose(rates, rates[0])
+
+    def test_suboptimal_vs_optimizer(self):
+        problem = small_problem()
+        assert (
+            uniform_solution(problem).objective_value
+            <= solve_gradient_projection(problem).objective_value + 1e-12
+        )
+
+
+class TestAccessLink:
+    def test_rate_is_budget_over_load(self):
+        problem = small_problem(theta=60.0)
+        baseline = access_link_solution(problem, access_load_pps=600.0)
+        assert baseline.access_rate == pytest.approx(0.1)
+        assert baseline.budget_used_packets == pytest.approx(60.0)
+
+    def test_rate_capped_at_one(self):
+        problem = small_problem(theta=60.0)
+        baseline = access_link_solution(problem, access_load_pps=10.0)
+        assert baseline.access_rate == 1.0
+
+    def test_same_effective_rate_for_all_ods(self):
+        baseline = access_link_solution(small_problem(), access_load_pps=600.0)
+        assert np.ptp(baseline.effective_rates) == 0.0
+
+    def test_load_validated(self):
+        with pytest.raises(ValueError):
+            access_link_solution(small_problem(), access_load_pps=0.0)
+
+    def test_capacity_to_match_rate_footnote2(self):
+        # The paper's own numbers: 1 % of 57 933 pkt/s over 5 minutes.
+        theta = capacity_to_match_rate(0.01, 57_933.0, 300.0)
+        assert theta == pytest.approx(173_799.0, rel=1e-4)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            capacity_to_match_rate(0.0, 100.0, 300.0)
+        with pytest.raises(ValueError):
+            capacity_to_match_rate(0.5, -1.0, 300.0)
+
+
+class TestRestricted:
+    def test_only_allowed_links_used(self):
+        problem = small_problem()
+        solution = solve_restricted(problem, [1])
+        assert solution.rates[0] == 0.0
+        assert solution.rates[2] == 0.0
+        assert solution.rates[1] > 0
+
+    def test_restriction_cannot_beat_full_optimum(self):
+        problem = small_problem()
+        full = solve_gradient_projection(problem)
+        restricted = solve_restricted(problem, [1])
+        assert restricted.objective_value <= full.objective_value + 1e-12
+
+    def test_theta_clamped_when_set_too_small(self):
+        # Restricting to the light link alone cannot absorb theta=60:
+        # max is alpha * 100 = 100... use a theta above that.
+        problem = small_problem(theta=150.0)
+        solution = solve_restricted(problem, [2], clamp_theta=True)
+        assert solution.rates[2] == pytest.approx(1.0)
+
+    def test_unclamped_infeasible_raises(self):
+        from repro.core import InfeasibleProblemError
+
+        problem = small_problem(theta=150.0)
+        with pytest.raises(InfeasibleProblemError):
+            solve_restricted(problem, [2], clamp_theta=False)
+
+    def test_node_adjacent_links(self, geant_task):
+        indices = node_adjacent_link_indices(geant_task.network, "UK")
+        assert len(indices) == 6
+        assert all(geant_task.network.link(i).src == "UK" for i in indices)
+
+
+class TestGreedy:
+    def test_density_ranking(self):
+        problem = small_problem()
+        sizes = np.array([2000.0, 100.0])
+        # Densities: link 0 = 2000/1000, link 1 = 2100/1100, link 2 = 1.
+        chosen = greedy_placement(problem, 3, sizes, scoring="density")
+        assert chosen == [0, 1, 2]
+
+    def test_coverage_covers_all_ods_first(self):
+        problem = small_problem()
+        sizes = np.array([1000.0, 100.0])
+        chosen = greedy_placement(problem, 2, sizes, scoring="coverage")
+        covered = problem.routing[:, chosen].sum(axis=1)
+        assert np.all(covered > 0)
+
+    def test_scoring_validated(self):
+        with pytest.raises(ValueError):
+            greedy_placement(small_problem(), 1, np.array([1.0, 1.0]), scoring="x")
+        with pytest.raises(ValueError):
+            greedy_placement(small_problem(), 0, np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            greedy_placement(small_problem(), 1, np.array([1.0]))
+
+    def test_two_phase_below_joint_optimum(self):
+        problem = small_problem()
+        sizes = np.array([1000.0, 100.0])
+        heuristic = two_phase_solution(problem, 1, sizes)
+        joint = solve_gradient_projection(problem)
+        assert heuristic.objective_value <= joint.objective_value + 1e-12
+
+    def test_two_phase_with_enough_monitors_matches_optimum(self):
+        problem = small_problem()
+        sizes = np.array([1000.0, 100.0])
+        heuristic = two_phase_solution(problem, 3, sizes)
+        joint = solve_gradient_projection(problem)
+        assert heuristic.objective_value == pytest.approx(
+            joint.objective_value, rel=1e-8
+        )

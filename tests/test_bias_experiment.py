@@ -1,0 +1,61 @@
+"""Tests for the sampled-NetFlow ground-truth bias experiment (§V-A)."""
+
+import pytest
+
+from repro.experiments import run_bias
+from repro.traffic import ConstantFlowSizes
+
+
+class TestBiasExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bias(
+            od_sizes_packets=(6_000, 600_000),
+            repetitions=6,
+            seed=1,
+        )
+
+    def test_small_ods_noisier_than_large(self, result):
+        # The §V-A warning, quantified: relative spread shrinks with OD
+        # size (binomial concentration).
+        small, large = result.rows
+        assert small.relative_std > 3 * large.relative_std
+
+    def test_packet_counts_roughly_unbiased(self, result):
+        # HT inversion is unbiased per packet; allow Monte-Carlo slack.
+        for row in result.rows:
+            assert abs(row.relative_bias) < 0.5
+
+    def test_flow_detection_collapses_at_1_in_1000(self, result):
+        # Mice-dominated mixes leave records for only a tiny flow share.
+        for row in result.rows:
+            assert row.detected_flow_fraction < 0.2
+
+    def test_full_rate_has_no_bias(self):
+        result = run_bias(
+            od_sizes_packets=(10_000,),
+            sampling_rate=1.0,
+            size_model=ConstantFlowSizes(10),
+            repetitions=3,
+            seed=2,
+        )
+        row = result.rows[0]
+        assert row.mean_estimate == pytest.approx(10_000)
+        assert row.detected_flow_fraction == pytest.approx(1.0)
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "ground-truth bias" in text
+        assert "flows detected" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_bias(repetitions=1)
+        with pytest.raises(ValueError):
+            run_bias(od_sizes_packets=(0,), repetitions=3)
+
+    def test_runner_knows_bias(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "bias", "--quick"]) == 0
+        assert "ground-truth bias" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for monitor-count-budgeted placement and the heuristics sweep."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_with_monitor_budget, two_phase_solution
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    solve_gradient_projection,
+)
+
+
+def problem(theta=60.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, theta, utilities, interval_seconds=1.0)
+
+
+class TestMonitorBudget:
+    def test_generous_budget_returns_unconstrained(self):
+        prob = problem()
+        unconstrained = solve_gradient_projection(prob)
+        result = solve_with_monitor_budget(prob, max_monitors=10)
+        assert result.eliminated == []
+        assert result.solution.objective_value == pytest.approx(
+            unconstrained.objective_value
+        )
+
+    def test_cap_respected(self):
+        prob = problem()
+        result = solve_with_monitor_budget(prob, max_monitors=1)
+        assert result.solution.num_active_monitors <= 1
+        assert len(result.monitor_indices) <= 1
+
+    def test_elimination_cost_nonnegative_and_monotone(self):
+        prob = problem()
+        costs = []
+        for k in (1, 2, 3):
+            result = solve_with_monitor_budget(prob, max_monitors=k)
+            costs.append(result.objective_cost)
+        assert all(c >= -1e-9 for c in costs)
+        # Looser budgets never cost more.
+        assert costs[0] >= costs[1] >= costs[2]
+
+    def test_keeps_the_most_valuable_monitor(self):
+        # With one monitor allowed, the shared middle link (observes
+        # both ODs) is the right survivor.
+        prob = problem()
+        result = solve_with_monitor_budget(prob, max_monitors=1)
+        assert result.monitor_indices == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_with_monitor_budget(problem(), max_monitors=0)
+
+    def test_beats_or_matches_two_phase_on_geant(self, geant_problem, geant_task):
+        k = 5
+        elimination = solve_with_monitor_budget(geant_problem, max_monitors=k)
+        coverage = two_phase_solution(
+            geant_problem, k, geant_task.od_sizes_packets, scoring="coverage"
+        )
+        assert (
+            elimination.solution.objective_value
+            >= coverage.objective_value - 1e-6
+        )
+
+
+class TestDeploymentOrder:
+    def test_staged_rollout_monotone(self):
+        from repro.baselines import deployment_order
+
+        prob = problem()
+        steps = deployment_order(prob)
+        assert steps[0].num_monitors == 1
+        fractions = [s.fraction_of_optimum for s in steps]
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0, rel=1e-9)
+
+    def test_first_monitor_is_the_shared_link(self):
+        from repro.baselines import deployment_order
+
+        steps = deployment_order(problem())
+        assert steps[0].monitor_indices == [1]
+
+    def test_geant_rollout_front_loads_value(self, geant_problem):
+        from repro.baselines import deployment_order
+
+        steps = deployment_order(geant_problem)
+        # A handful of monitors already deliver most of the optimum.
+        by_k = {s.num_monitors: s.fraction_of_optimum for s in steps}
+        assert by_k[4] > 0.9
+        assert by_k[max(by_k)] == pytest.approx(1.0, rel=1e-9)
+
+
+class TestHeuristicsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import run_heuristics
+
+        return run_heuristics(budgets=(2, 6, 10))
+
+    def test_elimination_converges_to_joint(self, result):
+        last = result.points[-1]
+        assert last.elimination_objective == pytest.approx(
+            result.joint_objective, rel=1e-6
+        )
+
+    def test_elimination_dominates_score_heuristics(self, result):
+        for point in result.points:
+            assert point.elimination_objective >= point.coverage_objective - 1e-6
+            assert point.elimination_objective >= point.density_objective - 1e-6
+
+    def test_objectives_monotone_in_k(self, result):
+        elim = [p.elimination_objective for p in result.points]
+        assert all(b >= a - 1e-9 for a, b in zip(elim, elim[1:]))
+
+    def test_format_renders(self, result):
+        assert "joint optimum" in result.format()
+
+    def test_budget_validation(self):
+        from repro.experiments import run_heuristics
+
+        with pytest.raises(ValueError):
+            run_heuristics(budgets=(0,))

@@ -1,0 +1,111 @@
+"""Tests for the netsampling CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommands:
+    def test_show_geant(self, capsys):
+        assert main(["topology", "show", "geant"]) == 0
+        out = capsys.readouterr().out
+        assert "GEANT-2004: 23 nodes, 72 links" in out
+        assert "UK" in out
+
+    def test_export_json_round_trips(self, capsys, tmp_path):
+        assert main(["topology", "export", "abilene", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        path = tmp_path / "abilene.json"
+        path.write_text(out)
+        assert main(["topology", "show", str(path)]) == 0
+        assert "11 nodes" in capsys.readouterr().out
+
+    def test_export_edgelist(self, capsys):
+        assert main(["topology", "export", "geant", "--format", "edgelist"]) == 0
+        out = capsys.readouterr().out
+        assert "UK FR" in out
+
+    def test_unknown_topology(self):
+        with pytest.raises(SystemExit, match="unknown topology"):
+            main(["topology", "show", "nonexistent"])
+
+
+class TestSolveCommand:
+    def test_geant_defaults_to_janet(self, capsys):
+        code = main(["solve", "--theta", "100000", "--method", "slsqp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "active monitors" in out
+        assert "worst OD pair: JANET-" in out
+
+    def test_json_output(self, capsys):
+        code = main(["solve", "--theta", "100000", "--method", "slsqp",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"]
+        assert payload["budget_used_packets"] <= 100_000 * (1 + 1e-9)
+        assert "JANET-LU" in payload["od_utilities"]
+
+    def test_custom_od_pairs(self, capsys):
+        code = main([
+            "solve", "--topology", "abilene", "--theta", "10000",
+            "--od", "NYC:LAX:5000", "--od", "SEA:ATL:300",
+            "--background", "100000", "--seed", "1", "--method", "slsqp",
+        ])
+        assert code == 0
+        assert "active monitors" in capsys.readouterr().out
+
+    def test_non_geant_requires_od(self):
+        with pytest.raises(SystemExit, match="--od is required"):
+            main(["solve", "--topology", "abilene", "--theta", "1000"])
+
+    def test_bad_od_spec(self):
+        with pytest.raises(SystemExit, match="bad --od"):
+            main(["solve", "--topology", "abilene", "--theta", "1000",
+                  "--od", "NYC:LAX"])
+        with pytest.raises(SystemExit, match="PPS must be a number"):
+            main(["solve", "--topology", "abilene", "--theta", "1000",
+                  "--od", "NYC:LAX:fast"])
+
+    def test_quantize_flag(self, capsys):
+        code = main(["solve", "--theta", "100000", "--method", "slsqp",
+                     "--quantize", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        for rate in payload["monitors"].values():
+            assert rate > 0
+            n = round(1.0 / rate)
+            assert rate == pytest.approx(1.0 / n)
+
+    def test_restrict_to_node(self, capsys):
+        code = main(["solve", "--theta", "100000", "--method", "slsqp",
+                     "--restrict-to-node", "UK", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(name.startswith("UK->") for name in payload["monitors"])
+
+
+class TestExperimentsCommand:
+    def test_figure1(self, capsys):
+        assert main(["experiments", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "splice points" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "bogus"])
+
+    def test_export_dir_writes_files(self, capsys, tmp_path):
+        outdir = tmp_path / "results"
+        assert main(
+            ["experiments", "figure1", "--export-dir", str(outdir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[exported" in out
+        assert (outdir / "figure1.csv").exists()
+        header = (outdir / "figure1.csv").read_text().splitlines()[0]
+        assert header.startswith("rho,")

@@ -1,0 +1,112 @@
+"""Tests for traffic/topology dynamics (diurnal, anomaly, failure)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    diurnal_factor,
+    fail_link,
+    inject_anomaly,
+    janet_task,
+    scale_diurnal,
+)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return janet_task()
+
+
+class TestDiurnal:
+    def test_peak_at_afternoon(self):
+        assert diurnal_factor(15.0) == pytest.approx(1.0)
+
+    def test_trough_at_night(self):
+        assert diurnal_factor(3.0) == pytest.approx(0.4)
+
+    def test_periodic(self):
+        assert diurnal_factor(1.0) == pytest.approx(diurnal_factor(25.0))
+
+    def test_trough_validated(self):
+        with pytest.raises(ValueError):
+            diurnal_factor(3.0, trough=0.0)
+
+    def test_scale_diurnal_scales_everything(self, task):
+        night = scale_diurnal(task, 3.0)
+        factor = diurnal_factor(3.0)
+        np.testing.assert_allclose(night.od_sizes_pps, task.od_sizes_pps * factor)
+        np.testing.assert_allclose(
+            night.link_loads_pps, task.link_loads_pps * factor
+        )
+        assert night.network is task.network  # topology untouched
+
+
+class TestAnomaly:
+    def test_spike_raises_od_and_path_loads(self, task):
+        spiked = inject_anomaly(task, od_index=0, magnitude=10.0)
+        assert spiked.od_sizes_pps[0] == pytest.approx(task.od_sizes_pps[0] * 10)
+        extra = task.od_sizes_pps[0] * 9.0
+        path = np.flatnonzero(task.routing.matrix[0])
+        for link in path:
+            assert spiked.link_loads_pps[link] == pytest.approx(
+                task.link_loads_pps[link] + extra
+            )
+
+    def test_other_ods_untouched(self, task):
+        spiked = inject_anomaly(task, od_index=0, magnitude=10.0)
+        np.testing.assert_allclose(
+            spiked.od_sizes_pps[1:], task.od_sizes_pps[1:]
+        )
+
+    def test_off_path_loads_untouched(self, task):
+        spiked = inject_anomaly(task, od_index=0, magnitude=10.0)
+        off_path = np.flatnonzero(task.routing.matrix[0] == 0)
+        np.testing.assert_allclose(
+            spiked.link_loads_pps[off_path], task.link_loads_pps[off_path]
+        )
+
+    def test_validation(self, task):
+        with pytest.raises(ValueError):
+            inject_anomaly(task, 0, 0.0)
+        with pytest.raises(IndexError):
+            inject_anomaly(task, 99, 2.0)
+
+
+class TestFailLink:
+    def test_circuit_removed_both_directions(self, task):
+        failed = fail_link(task, "UK", "FR")
+        assert not failed.network.has_link("UK", "FR")
+        assert not failed.network.has_link("FR", "UK")
+        assert failed.network.num_links == task.network.num_links - 2
+
+    def test_all_od_pairs_rerouted(self, task):
+        failed = fail_link(task, "UK", "FR")
+        assert failed.routing.num_od_pairs == task.num_od_pairs
+        # Every pair still has a path (row sums >= 1 hop).
+        assert np.all(failed.routing.matrix.sum(axis=1) >= 1)
+
+    def test_loads_move_with_reroute(self, task):
+        failed = fail_link(task, "UK", "FR")
+        # The UK->NL link must now carry more (FR transit moved away).
+        old = task.link_loads_pps[task.network.link_between("UK", "NL").index]
+        new = failed.link_loads_pps[
+            failed.network.link_between("UK", "NL").index
+        ]
+        assert new > old
+
+    def test_od_sizes_preserved(self, task):
+        failed = fail_link(task, "UK", "FR")
+        np.testing.assert_allclose(failed.od_sizes_pps, task.od_sizes_pps)
+
+    def test_disconnecting_failure_raises(self):
+        from repro import ODPair, make_task
+        from repro.topology import line_network
+
+        net = line_network(3)
+        chain = make_task(net, [ODPair("n0", "n2")], [100.0])
+        with pytest.raises(ValueError, match="disconnects"):
+            fail_link(chain, "n0", "n1")
+
+    def test_unknown_circuit_raises(self, task):
+        with pytest.raises(KeyError):
+            fail_link(task, "UK", "CY")

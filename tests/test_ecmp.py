@@ -1,0 +1,85 @@
+"""Tests for the ECMP routing extension."""
+
+import numpy as np
+import pytest
+
+from repro.routing import ODPair, ecmp_routing_matrix, ecmp_split_fractions
+from repro.topology import Network, line_network
+
+
+@pytest.fixture()
+def diamond() -> Network:
+    """Two equal-cost two-hop paths S->A->D and S->B->D."""
+    net = Network("diamond")
+    for name in "SABD":
+        net.add_node(name)
+    net.add_link("S", "A")
+    net.add_link("S", "B")
+    net.add_link("A", "D")
+    net.add_link("B", "D")
+    return net
+
+
+class TestSplitFractions:
+    def test_even_split_on_diamond(self, diamond):
+        fractions = ecmp_split_fractions(diamond, "S", "D")
+        by_name = {diamond.link(i).name: f for i, f in fractions.items()}
+        assert by_name == pytest.approx(
+            {"S->A": 0.5, "S->B": 0.5, "A->D": 0.5, "B->D": 0.5}
+        )
+
+    def test_single_path_gets_full_fraction(self):
+        net = line_network(3)
+        fractions = ecmp_split_fractions(net, "n0", "n2")
+        assert sorted(fractions.values()) == [1.0, 1.0]
+
+    def test_weighted_path_not_split(self, diamond):
+        # Make the B branch more expensive: all traffic goes via A.
+        net = Network("asym")
+        for name in "SABD":
+            net.add_node(name)
+        net.add_link("S", "A", weight=1.0)
+        net.add_link("S", "B", weight=2.0)
+        net.add_link("A", "D", weight=1.0)
+        net.add_link("B", "D", weight=1.0)
+        fractions = ecmp_split_fractions(net, "S", "D")
+        by_name = {net.link(i).name: f for i, f in fractions.items()}
+        assert by_name == pytest.approx({"S->A": 1.0, "A->D": 1.0})
+
+    def test_unreachable_destination_raises(self):
+        net = Network()
+        net.add_node("A")
+        net.add_node("B")
+        with pytest.raises(ValueError, match="no route"):
+            ecmp_split_fractions(net, "A", "B")
+
+    def test_flow_conservation_on_larger_graph(self):
+        # Three parallel equal-cost branches: inflow at D sums to 1.
+        net = Network()
+        for name in ("S", "X", "Y", "Z", "D"):
+            net.add_node(name)
+        for mid in ("X", "Y", "Z"):
+            net.add_link("S", mid)
+            net.add_link(mid, "D")
+        fractions = ecmp_split_fractions(net, "S", "D")
+        inflow = sum(
+            f for i, f in fractions.items() if net.link(i).dst == "D"
+        )
+        assert inflow == pytest.approx(1.0)
+
+
+class TestEcmpRoutingMatrix:
+    def test_fractional_rows_sum_to_expected_exposure(self, diamond):
+        rm = ecmp_routing_matrix(diamond, [ODPair("S", "D")])
+        # The pair crosses 2 hops, each split in half: total exposure 2.0.
+        assert rm.matrix.sum() == pytest.approx(2.0)
+        assert np.all(rm.matrix <= 1.0)
+
+    def test_matches_shortest_path_when_unique(self):
+        from repro.routing import RoutingMatrix
+
+        net = line_network(4)
+        ods = [ODPair("n0", "n3")]
+        ecmp = ecmp_routing_matrix(net, ods)
+        single = RoutingMatrix.from_shortest_paths(net, ods)
+        np.testing.assert_allclose(ecmp.matrix, single.matrix)

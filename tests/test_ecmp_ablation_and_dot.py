@@ -1,0 +1,61 @@
+"""Tests for the ECMP routing ablation and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_ecmp_ablation
+from repro.topology import geant_network, network_to_dot
+
+
+class TestEcmpAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ecmp_ablation()
+
+    def test_some_pairs_actually_split(self, result):
+        assert len(result.split_od_names) >= 5
+
+    def test_both_solutions_converged(self, result):
+        assert result.single.diagnostics.converged
+        assert result.ecmp.diagnostics.converged
+
+    def test_ecmp_costs_a_little_objective(self, result):
+        # Splitting exposes pairs fractionally, so the same budget buys
+        # at most the single-path utility; the optimizer limits the
+        # damage to a few percent.
+        assert result.objective_ratio <= 1.0 + 1e-9
+        assert result.objective_ratio > 0.95
+
+    def test_optimizer_widens_placement_under_ecmp(self, result):
+        assert (
+            result.ecmp.num_active_monitors
+            >= result.single.num_active_monitors
+        )
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "Routing-model ablation" in text
+        assert "ECMP-split OD pairs" in text
+
+
+class TestDotExport:
+    def test_plain_topology(self):
+        net = geant_network()
+        dot = network_to_dot(net)
+        assert dot.startswith('digraph "GEANT-2004"')
+        assert '"UK" -> "FR"' in dot
+        assert dot.count("->") == net.num_links
+        assert "red" not in dot
+
+    def test_active_monitors_highlighted(self):
+        net = geant_network()
+        index = net.link_between("FR", "LU").index
+        dot = network_to_dot(net, rates={index: 0.0077})
+        assert 'color=red' in dot
+        assert "0.7700%" in dot
+
+    def test_threshold_suppresses_tiny_rates(self):
+        net = geant_network()
+        index = net.link_between("FR", "LU").index
+        dot = network_to_dot(net, rates={index: 1e-12})
+        assert "red" not in dot

@@ -1,0 +1,113 @@
+"""Tests for the effective-sampling-rate models (eq. 1 vs eq. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    approximation_error,
+    exact_effective_rates,
+    linear_effective_rates,
+)
+
+
+def simple_routing():
+    # Two OD pairs over three links; first crosses links 0+1, second link 2.
+    return np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+
+
+class TestLinearModel:
+    def test_matrix_vector_product(self):
+        rho = linear_effective_rates(simple_routing(), np.array([0.1, 0.2, 0.3]))
+        np.testing.assert_allclose(rho, [0.3, 0.3])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            linear_effective_rates(simple_routing(), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            linear_effective_rates(np.zeros(3), np.zeros(3))
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            linear_effective_rates(simple_routing(), np.array([0.1, -0.1, 0.0]))
+        with pytest.raises(ValueError):
+            linear_effective_rates(simple_routing(), np.array([1.1, 0.0, 0.0]))
+
+
+class TestExactModel:
+    def test_single_monitor_equals_rate(self):
+        routing = np.array([[1.0, 0.0]])
+        rho = exact_effective_rates(routing, np.array([0.25, 0.9]))
+        assert rho[0] == pytest.approx(0.25)
+
+    def test_two_monitors_inclusion_exclusion(self):
+        routing = np.array([[1.0, 1.0]])
+        rho = exact_effective_rates(routing, np.array([0.5, 0.5]))
+        assert rho[0] == pytest.approx(1 - 0.5 * 0.5)
+
+    def test_rate_one_dominates(self):
+        routing = np.array([[1.0, 1.0]])
+        rho = exact_effective_rates(routing, np.array([1.0, 0.3]))
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_fractional_ecmp_exponent(self):
+        # Half the packets exposed to a monitor at rate p: miss prob
+        # is (1-p)^0.5.
+        routing = np.array([[0.5]])
+        rho = exact_effective_rates(routing, np.array([0.36]))
+        assert rho[0] == pytest.approx(1 - 0.64**0.5)
+
+
+@st.composite
+def routing_and_rates(draw):
+    num_od = draw(st.integers(min_value=1, max_value=5))
+    num_links = draw(st.integers(min_value=1, max_value=8))
+    routing = draw(
+        arrays(
+            float, (num_od, num_links),
+            elements=st.sampled_from([0.0, 1.0]),
+        )
+    )
+    rates = draw(
+        arrays(
+            float, (num_links,),
+            elements=st.floats(min_value=0.0, max_value=0.99),
+        )
+    )
+    return routing, rates
+
+
+class TestModelRelationProperties:
+    @given(routing_and_rates())
+    @settings(max_examples=100, deadline=None)
+    def test_linear_upper_bounds_exact(self, data):
+        routing, rates = data
+        gap = approximation_error(routing, rates)
+        assert np.all(gap >= -1e-12)
+
+    @given(routing_and_rates())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_stays_in_unit_interval(self, data):
+        routing, rates = data
+        rho = exact_effective_rates(routing, rates)
+        assert np.all(rho >= -1e-12)
+        assert np.all(rho <= 1.0 + 1e-12)
+
+    @given(st.floats(min_value=1e-6, max_value=0.02))
+    @settings(max_examples=50)
+    def test_gap_negligible_at_backbone_rates(self, p):
+        # §IV-B: at rates ~0.01 with ≤2 monitors per OD, the linear
+        # approximation is tight — gap is O(p²).
+        routing = np.array([[1.0, 1.0]])
+        gap = approximation_error(routing, np.array([p, p]))
+        assert gap[0] == pytest.approx(p * p, rel=1e-6)
+
+    def test_agreement_for_single_monitor(self):
+        routing = np.array([[1.0, 0.0], [0.0, 1.0]])
+        rates = np.array([0.7, 0.01])
+        np.testing.assert_allclose(
+            linear_effective_rates(routing, rates),
+            exact_effective_rates(routing, rates),
+        )

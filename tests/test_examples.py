@@ -1,0 +1,35 @@
+"""Every shipped example must run end to end and print its headline."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> snippet its output must contain.
+EXPECTED = {
+    "quickstart.py": "KKT certified optimal",
+    "janet_geant.py": "paper anchors",
+    "capacity_planning.py": "capacity inflation",
+    "anomaly_detection.py": "detection probability",
+    "netflow_pipeline.py": "exported flow records",
+    "dynamic_reoptimization.py": "headline",
+    "robust_placement.py": "robust configuration",
+    "tomogravity_bootstrap.py": "takeaway",
+    "multi_task_budget.py": "watchlist worst utility",
+}
+
+
+def test_every_example_has_an_expectation():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED[script].lower() in out.lower(), script

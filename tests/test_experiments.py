@@ -1,0 +1,126 @@
+"""Integration tests for the experiment harness (reduced repetitions)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_comparison,
+    run_convergence,
+    run_figure1,
+    run_figure2,
+    run_table1,
+)
+
+
+class TestFigure1:
+    def test_curves_and_annotations(self):
+        result = run_figure1(num_points=101)
+        assert set(result.curves) == {"S=500", "S=2000"}
+        for label, curve in result.curves.items():
+            assert curve[0] == pytest.approx(0.0, abs=1e-12)
+            assert np.all(np.diff(curve) > 0)
+            x0, m0 = result.splice_points[label]
+            assert 0 < x0 < 0.01
+            assert m0 == pytest.approx(2 / 3, abs=2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_figure1(num_points=1)
+        with pytest.raises(ValueError):
+            run_figure1(average_sizes=(1.0,))
+
+    def test_format_contains_annotations(self):
+        text = run_figure1(num_points=21).format()
+        assert "x0" in text
+        assert "S=500" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(runs=5, seed=1)
+
+    def test_paper_anchor_few_active_monitors(self, result):
+        # Table I lists 10 active links of 72.
+        assert 5 <= len(result.link_rates) <= 15
+
+    def test_paper_anchor_low_rates(self, result):
+        # "sampling rates are extremely low ... around 0.9%" at most.
+        assert result.max_rate < 0.02
+
+    def test_paper_anchor_accuracy(self, result):
+        # Paper: average accuracy above ~0.89 for any OD pair; allow
+        # slack for the small Monte-Carlo run count here.
+        assert result.average_accuracy > 0.85
+
+    def test_highest_rate_serves_smallest_ods(self, result):
+        # The max-rate link must be one monitoring a small OD pair.
+        max_link = max(result.link_rates, key=result.link_rates.get)
+        small_od_links = set()
+        for row in result.rows:
+            if row.size_pps <= 100:
+                small_od_links.update(row.monitored_links)
+        assert max_link in small_od_links
+
+    def test_contributions_sum_to_one(self, result):
+        assert sum(result.link_contributions.values()) == pytest.approx(1.0)
+
+    def test_rows_cover_all_ods(self, result):
+        assert len(result.rows) == 20
+        assert all(row.monitored_links for row in result.rows)
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "JANET-LU" in text
+        assert "share of theta" in text
+
+
+class TestConvergence:
+    def test_small_run_statistics(self):
+        stats = run_convergence(runs=5, seed=3)
+        assert stats.runs == 5
+        assert 0 <= stats.convergence_fraction <= 1
+        assert stats.convergence_fraction >= 0.8  # expect mostly converged
+        assert stats.iterations.shape == (5,)
+        assert "Convergence" in stats.format()
+
+    def test_run_count_validated(self):
+        with pytest.raises(ValueError):
+            run_convergence(runs=0)
+
+
+class TestComparison:
+    def test_access_link_needs_more_capacity(self):
+        result = run_comparison()
+        # Paper: ~70% more; accept the right order of magnitude.
+        assert 1.2 <= result.capacity_inflation <= 3.0
+        assert result.smallest_od == "JANET-LU"
+        assert "capacity inflation" in result.format()
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        thetas = (20_000.0, 100_000.0, 500_000.0)
+        return run_figure2(thetas=thetas, runs=5, seed=11)
+
+    def test_accuracy_grows_with_theta(self, result):
+        averages = [p.average for p in result.optimal]
+        assert averages[-1] > averages[0]
+
+    def test_optimal_beats_restricted_on_worst_od(self, result):
+        # The paper's headline: restricted placement collapses on small
+        # OD pairs at moderate capacity.
+        worst_opt = [p.worst for p in result.optimal]
+        worst_uk = [p.worst for p in result.restricted]
+        assert worst_opt[0] > worst_uk[0]
+
+    def test_restricted_links_are_uk(self, result):
+        assert all(name.startswith("UK->") for name in result.restricted_links)
+
+    def test_format_renders(self, result):
+        assert "Figure 2" in result.format()
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            run_figure2(thetas=(0.0,), runs=1)

@@ -1,0 +1,111 @@
+"""Tests for experiment-result exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import (
+    run_comparison,
+    run_convergence,
+    run_figure1,
+    run_figure2,
+    run_table1,
+)
+from repro.experiments.export import (
+    comparison_to_dict,
+    convergence_to_dict,
+    figure1_to_csv,
+    figure2_to_csv,
+    table1_to_dict,
+    write_csv,
+    write_json,
+)
+
+
+class TestFigure1Csv:
+    def test_rows_and_columns(self):
+        result = run_figure1(num_points=11)
+        rows = list(csv.reader(io.StringIO(figure1_to_csv(result))))
+        assert rows[0] == ["rho", "S=500", "S=2000"]
+        assert len(rows) == 12
+        assert float(rows[1][1]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFigure2Csv:
+    def test_one_row_per_theta(self):
+        result = run_figure2(thetas=(50_000.0, 200_000.0), runs=3, seed=0)
+        rows = list(csv.reader(io.StringIO(figure2_to_csv(result))))
+        assert len(rows) == 3
+        assert rows[1][0] == "50000"
+        assert 0.0 < float(rows[1][1]) <= 1.0
+
+
+class TestTable1Dict:
+    def test_round_trips_through_json(self):
+        result = run_table1(runs=3, seed=0)
+        payload = table1_to_dict(result)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["summary"]["active_monitors"] == len(result.link_rates)
+        assert len(parsed["od_pairs"]) == 20
+        names = {od["name"] for od in parsed["od_pairs"]}
+        assert "JANET-LU" in names
+
+
+class TestScalarDicts:
+    def test_convergence_dict(self):
+        stats = run_convergence(runs=3, seed=0)
+        payload = convergence_to_dict(stats)
+        assert payload["runs"] == 3
+        assert len(payload["iterations"]) == 3
+
+    def test_comparison_dict(self):
+        payload = comparison_to_dict(run_comparison())
+        assert payload["capacity_inflation"] > 1.0
+
+
+class TestExtensionExporters:
+    def test_dynamic_dict(self):
+        from repro.experiments import run_dynamic
+        from repro.experiments.export import dynamic_to_dict
+
+        payload = json.loads(json.dumps(dynamic_to_dict(run_dynamic())))
+        assert len(payload["events"]) == 4
+        assert "static_budget_overrun" in payload["events"][0]
+
+    def test_failures_csv(self):
+        from repro.experiments import run_failure_sweep
+        from repro.experiments.export import failures_to_csv
+
+        rows = list(csv.reader(io.StringIO(failures_to_csv(run_failure_sweep()))))
+        assert rows[0] == ["circuit", "static_worst", "reopt_worst", "recoverable"]
+        assert len(rows) > 10
+
+    def test_generality_dict(self):
+        from repro.experiments import run_generality
+        from repro.experiments.export import generality_to_dict
+
+        payload = generality_to_dict(run_generality())
+        assert {row["topology"] for row in payload["rows"]} == {
+            "GEANT-2004", "Abilene-2004", "NSFNET-1991",
+        }
+
+    def test_heuristics_csv(self):
+        from repro.experiments import run_heuristics
+        from repro.experiments.export import heuristics_to_csv
+
+        result = run_heuristics(budgets=(2, 10))
+        rows = list(csv.reader(io.StringIO(heuristics_to_csv(result))))
+        assert len(rows) == 3
+        assert float(rows[-1][3]) == pytest.approx(
+            result.joint_objective, rel=1e-4
+        )
+
+
+class TestWriters:
+    def test_write_csv_and_json(self, tmp_path):
+        write_csv("a,b\n1,2\n", tmp_path / "x.csv")
+        assert (tmp_path / "x.csv").read_text().startswith("a,b")
+        write_json({"k": 1}, tmp_path / "x.json")
+        assert json.loads((tmp_path / "x.json").read_text()) == {"k": 1}

@@ -1,0 +1,103 @@
+"""Tests for the extension experiments (dynamic, practical) and warm start."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_gradient_projection
+from repro.experiments import run_dynamic, run_practical
+
+
+class TestWarmStart:
+    def test_warm_start_from_optimum_converges_immediately(self, geant_problem):
+        cold = solve_gradient_projection(geant_problem)
+        warm = solve_gradient_projection(
+            geant_problem, warm_start=cold.rates
+        )
+        assert warm.diagnostics.converged
+        assert warm.diagnostics.iterations <= 5
+        assert warm.objective_value == pytest.approx(
+            cold.objective_value, rel=1e-9
+        )
+
+    def test_warm_start_from_garbage_still_converges(self, geant_problem):
+        rng = np.random.default_rng(0)
+        garbage = rng.uniform(0, 1, geant_problem.num_links)
+        solution = solve_gradient_projection(geant_problem, warm_start=garbage)
+        assert solution.diagnostics.converged
+        cold = solve_gradient_projection(geant_problem)
+        assert solution.objective_value == pytest.approx(
+            cold.objective_value, rel=1e-7
+        )
+
+    def test_warm_start_shape_validated(self, geant_problem):
+        with pytest.raises(ValueError, match="warm start"):
+            solve_gradient_projection(geant_problem, warm_start=np.zeros(3))
+
+
+class TestDynamicExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dynamic()
+
+    def test_reoptimization_never_worse(self, result):
+        for event in result.events:
+            assert event.reopt_objective >= event.static_objective - 1e-6
+
+    def test_failure_event_hurts_static_config_most(self, result):
+        failure = [e for e in result.events if e.label.startswith("failure")][0]
+        # The frozen config loses a monitored link: worst OD collapses,
+        # re-optimization recovers it.
+        assert failure.static_worst_utility < 0.8
+        assert failure.reopt_worst_utility > 0.9
+
+    def test_static_config_violates_or_wastes_budget(self, result):
+        overruns = [e.static_budget_overrun for e in result.events]
+        # Night traffic: budget wasted (<< 1); anomaly: overrun (> 1).
+        assert min(overruns) < 0.8
+        assert max(overruns) > 1.0
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "static obj" in text
+        assert "failure" in text
+
+
+class TestPracticalExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_practical(thetas=(20_000.0, 100_000.0, 500_000.0))
+
+    def test_quantization_loss_negligible(self, result):
+        assert result.quantization.relative_loss < 0.01
+
+    def test_quantized_budget_respected(self, result):
+        q = result.quantization.solution
+        assert q.budget_used_packets <= q.problem.theta_packets * (1 + 1e-9)
+
+    def test_shadow_price_decreasing(self, result):
+        prices = [p.shadow_price for p in result.response]
+        assert all(b <= a * 1.01 for a, b in zip(prices, prices[1:]))
+
+    def test_worst_utility_increasing_in_theta(self, result):
+        worst = [p.worst_utility for p in result.response]
+        assert all(b >= a - 1e-9 for a, b in zip(worst, worst[1:]))
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "Quantization" in text
+        assert "shadow price" in text
+        assert "alpha cap" in text
+
+    def test_tight_alpha_forces_wider_placement(self, result):
+        by_alpha = {p.alpha: p for p in result.alpha_sweep}
+        loose = by_alpha[max(by_alpha)]
+        tight = by_alpha[min(by_alpha)]
+        assert tight.active_monitors > loose.active_monitors
+        assert tight.max_rate <= min(by_alpha) + 1e-12
+        assert tight.objective <= loose.objective + 1e-9
+
+    def test_alpha_sweep_validation(self):
+        from repro.experiments.practical import run_alpha_sweep
+
+        with pytest.raises(ValueError):
+            run_alpha_sweep(alphas=(0.0,))

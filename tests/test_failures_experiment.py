@@ -1,0 +1,106 @@
+"""Tests for the single-failure sweep and trajectory-sampling ablation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_failure_sweep
+from repro.sampling import simulate_sampled_counts
+
+
+class TestFailureSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_failure_sweep()
+
+    def test_sorted_by_damage(self, result):
+        worst = [impact.static_worst_utility for impact in result.impacts]
+        assert worst == sorted(worst)
+
+    def test_core_failures_most_damaging(self, result):
+        # The circuits the frozen config leans on (UK<->FR and its FR
+        # detours) top the damage ranking.
+        top = {impact.circuit for impact in result.impacts[:3]}
+        assert "FR<->UK" in top
+
+    def test_reoptimization_recovers_everywhere(self, result):
+        # Note: the frozen configuration can nominally edge out the
+        # re-optimization on a few failures — but only by overspending
+        # the budget on the post-failure loads, which the re-optimizer
+        # is not allowed to do.  The invariant is that re-optimization
+        # always restores a high worst-OD utility *within* budget.
+        for impact in result.impacts:
+            assert impact.reopt_worst_utility > 0.9
+
+    def test_spoke_failure_disconnects(self, result):
+        # FR<->LU is LU's only attachment: its failure splits the task.
+        assert "FR<->LU" in result.disconnecting
+
+    def test_most_circuits_are_harmless_to_freeze(self, result):
+        harmless = sum(
+            1 for impact in result.impacts if impact.worst_utility_drop < 0.01
+        )
+        assert harmless > len(result.impacts) / 2
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "Single-failure sweep" in text
+        assert "task-disconnecting" in text
+
+
+class TestTrajectorySamplingMode:
+    def test_trajectory_rate_is_max_over_monitors(self):
+        routing = np.array([[1.0, 1.0]])
+        sizes = np.array([1_000_000])
+        rates = np.array([0.01, 0.03])
+        rng = np.random.default_rng(0)
+        counts = np.array([
+            simulate_sampled_counts(
+                routing, sizes, rates, rng, mode="trajectory"
+            )[0]
+            for _ in range(40)
+        ])
+        assert counts.mean() == pytest.approx(1_000_000 * 0.03, rel=0.02)
+
+    def test_trajectory_below_independent(self):
+        # Independence strictly beats trajectory sampling whenever two
+        # monitors watch the same pair — the value of the paper's
+        # assumption, measured.
+        routing = np.array([[1.0, 1.0]])
+        sizes = np.array([1_000_000])
+        rates = np.array([0.02, 0.02])
+        rng = np.random.default_rng(1)
+        independent = np.mean([
+            simulate_sampled_counts(routing, sizes, rates, rng)[0]
+            for _ in range(40)
+        ])
+        trajectory = np.mean([
+            simulate_sampled_counts(
+                routing, sizes, rates, rng, mode="trajectory"
+            )[0]
+            for _ in range(40)
+        ])
+        assert independent > trajectory
+
+    def test_single_monitor_modes_agree(self):
+        routing = np.array([[1.0, 0.0]])
+        sizes = np.array([500_000])
+        rates = np.array([0.05, 0.0])
+        rng = np.random.default_rng(2)
+        independent = np.mean([
+            simulate_sampled_counts(routing, sizes, rates, rng)[0]
+            for _ in range(30)
+        ])
+        trajectory = np.mean([
+            simulate_sampled_counts(
+                routing, sizes, rates, rng, mode="trajectory"
+            )[0]
+            for _ in range(30)
+        ])
+        assert independent == pytest.approx(trajectory, rel=0.02)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            simulate_sampled_counts(
+                np.array([[1.0]]), np.array([10]), np.array([0.1]),
+                np.random.default_rng(0), mode="quantum",
+            )

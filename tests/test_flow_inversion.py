@@ -1,0 +1,158 @@
+"""Tests for sampled-flow inversion (DLT-style estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    detection_probability,
+    estimate_flow_count_syn,
+    estimate_flow_count_unbiased,
+    estimate_total_packets,
+    invert_size_distribution,
+)
+
+
+class TestDetectionProbability:
+    def test_known_values(self):
+        assert detection_probability(1, 0.5) == pytest.approx(0.5)
+        assert detection_probability(2, 0.5) == pytest.approx(0.75)
+
+    def test_vectorized_monotone_in_size(self):
+        probs = detection_probability(np.arange(1, 100), 0.01)
+        assert np.all(np.diff(probs) > 0)
+        assert np.all(probs <= 1.0)
+
+    def test_full_rate(self):
+        assert detection_probability(5, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_probability(5, 0.0)
+        with pytest.raises(ValueError):
+            detection_probability(-1, 0.5)
+
+
+class TestTotalPackets:
+    def test_inversion(self):
+        assert estimate_total_packets(100, 0.01) == pytest.approx(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_total_packets(1, 0.0)
+        with pytest.raises(ValueError):
+            estimate_total_packets(-1, 0.5)
+
+
+def simulate_records(
+    rng: np.random.Generator, sizes: np.ndarray, rate: float
+) -> np.ndarray:
+    """Per-flow sampled packet counts (zeros removed)."""
+    sampled = rng.binomial(sizes, rate)
+    return sampled[sampled > 0]
+
+
+class TestUnbiasedFlowCount:
+    def test_unbiased_at_half_rate(self):
+        # At p = 1/2 the alternating weights stay bounded (|ratio| = 1:
+        # f(j) is 0 for even j, 2 for odd j) and the estimator is usable.
+        rng = np.random.default_rng(0)
+        sizes = np.minimum(
+            1 + (rng.pareto(1.3, size=20_000) * 3).astype(np.int64), 1000
+        )
+        estimates = []
+        for _ in range(40):
+            records = simulate_records(rng, sizes, 0.5)
+            estimates.append(
+                estimate_flow_count_unbiased(records, 0.5).estimate
+            )
+        assert np.mean(estimates) == pytest.approx(20_000, rel=0.03)
+
+    def test_exactly_corrects_single_packet_population(self):
+        # All 1-packet flows: f(1) = 1/p, the plain HT inversion.
+        rng = np.random.default_rng(1)
+        sizes = np.ones(50_000, dtype=np.int64)
+        records = simulate_records(rng, sizes, 0.1)
+        naive = len(records)
+        corrected = estimate_flow_count_unbiased(records, 0.1).estimate
+        assert naive < 0.15 * 50_000
+        assert corrected == pytest.approx(50_000, rel=0.05)
+
+    def test_weight_formula(self):
+        result = estimate_flow_count_unbiased([1, 2], 0.5)
+        # f(1) = 1 - (-1) = 2; f(2) = 1 - 1 = 0.
+        assert result.estimate == pytest.approx(2.0)
+        assert result.detected_flows == 2
+
+    def test_naive_count_is_biased_low(self):
+        # The phenomenon the estimators exist for: detected << actual.
+        rng = np.random.default_rng(2)
+        sizes = np.full(10_000, 2, dtype=np.int64)
+        records = simulate_records(rng, sizes, 0.1)
+        assert len(records) < 0.3 * 10_000
+
+    def test_empty_records(self):
+        assert estimate_flow_count_unbiased([], 0.5).estimate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_flow_count_unbiased([1], 0.0)
+        with pytest.raises(ValueError):
+            estimate_flow_count_unbiased([0], 0.5)
+
+
+class TestSynFlowCount:
+    def test_unbiased_at_router_rates(self):
+        # The practical estimator works at p = 1/1000 where the
+        # distribution-free one is hopeless.
+        rng = np.random.default_rng(3)
+        flows = 200_000
+        rate = 1 / 1000
+        estimates = []
+        for _ in range(30):
+            sampled_syns = rng.binomial(flows, rate)
+            estimates.append(
+                estimate_flow_count_syn(sampled_syns, rate).estimate
+            )
+        assert np.mean(estimates) == pytest.approx(flows, rel=0.05)
+
+    def test_fields(self):
+        result = estimate_flow_count_syn(10, 0.01)
+        assert result.estimate == pytest.approx(1000.0)
+        assert result.method == "syn"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_flow_count_syn(1, 0.0)
+        with pytest.raises(ValueError):
+            estimate_flow_count_syn(-1, 0.5)
+
+
+class TestSizeDistributionInversion:
+    def test_recovers_two_point_mixture(self):
+        rng = np.random.default_rng(2)
+        # 70% of flows have 2 packets, 30% have 20 — well separated.
+        sizes = np.where(rng.random(400_000) < 0.7, 2, 20).astype(np.int64)
+        rate = 0.25
+        records = simulate_records(rng, sizes, rate)
+        pi = invert_size_distribution(records, rate, max_size=25)
+        assert pi[1] == pytest.approx(0.7, abs=0.08)   # size 2
+        assert pi[19] == pytest.approx(0.3, abs=0.08)  # size 20
+
+    def test_returns_probability_vector(self):
+        rng = np.random.default_rng(3)
+        sizes = np.full(10_000, 5, dtype=np.int64)
+        records = simulate_records(rng, sizes, 0.5)
+        pi = invert_size_distribution(records, 0.5, max_size=10)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)
+        assert pi[4] > 0.8  # mass concentrates on size 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            invert_size_distribution([], 0.5, 10)
+        with pytest.raises(ValueError):
+            invert_size_distribution([1], 0.0, 10)
+        with pytest.raises(ValueError):
+            invert_size_distribution([1], 0.5, 0)
+        with pytest.raises(ValueError):
+            invert_size_distribution([0], 0.5, 10)

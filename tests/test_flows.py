@@ -1,0 +1,131 @@
+"""Tests for flow-size models and flow generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    BoundedParetoFlowSizes,
+    ConstantFlowSizes,
+    EmpiricalFlowSizes,
+    Flow,
+    LognormalFlowSizes,
+    generate_flows,
+    mean_inverse_size,
+)
+
+
+class TestFlowDataclass:
+    def test_requires_at_least_one_packet(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, od_index=0, packets=0, bytes=0, start_time=0, end_time=1)
+
+    def test_requires_causal_times(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, od_index=0, packets=1, bytes=500, start_time=5, end_time=1)
+
+
+class TestSizeModels:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        sizes = ConstantFlowSizes(7).sample(rng, 10)
+        assert np.all(sizes == 7)
+        assert ConstantFlowSizes(7).mean == 7.0
+
+    def test_constant_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ConstantFlowSizes(0)
+
+    def test_lognormal_mean_close(self):
+        rng = np.random.default_rng(1)
+        model = LognormalFlowSizes(mean_packets=50.0, sigma=1.0)
+        sizes = model.sample(rng, 200_000)
+        assert sizes.min() >= 1
+        assert sizes.mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LognormalFlowSizes(mean_packets=0.5)
+        with pytest.raises(ValueError):
+            LognormalFlowSizes(sigma=-1)
+
+    def test_bounded_pareto_respects_bounds(self):
+        rng = np.random.default_rng(2)
+        model = BoundedParetoFlowSizes(shape=1.2, minimum=2, maximum=1000)
+        sizes = model.sample(rng, 50_000)
+        assert sizes.min() >= 2
+        assert sizes.max() <= 1000
+
+    def test_bounded_pareto_mean_formula(self):
+        rng = np.random.default_rng(3)
+        model = BoundedParetoFlowSizes(shape=1.5, minimum=1, maximum=10_000)
+        sizes = model.sample(rng, 500_000)
+        assert sizes.mean() == pytest.approx(model.mean, rel=0.05)
+
+    def test_bounded_pareto_heavy_tail(self):
+        rng = np.random.default_rng(4)
+        sizes = BoundedParetoFlowSizes(shape=1.1).sample(rng, 100_000)
+        # Elephants: the top 1% of flows carry a large share of packets.
+        top = np.sort(sizes)[-len(sizes) // 100 :]
+        assert top.sum() > 0.3 * sizes.sum()
+
+    def test_bounded_pareto_validates(self):
+        with pytest.raises(ValueError):
+            BoundedParetoFlowSizes(shape=0)
+        with pytest.raises(ValueError):
+            BoundedParetoFlowSizes(minimum=10, maximum=10)
+
+    def test_empirical_resamples_population(self):
+        rng = np.random.default_rng(5)
+        model = EmpiricalFlowSizes([1, 10, 100])
+        sizes = model.sample(rng, 10_000)
+        assert set(np.unique(sizes)) <= {1, 10, 100}
+        assert model.mean == pytest.approx(37.0)
+
+    def test_empirical_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            EmpiricalFlowSizes([])
+        with pytest.raises(ValueError):
+            EmpiricalFlowSizes([0, 5])
+
+
+class TestMeanInverseSize:
+    def test_known_value(self):
+        assert mean_inverse_size([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_average_500_matches_figure1(self):
+        # Constant size 500 gives the paper's c = 0.002 regime.
+        assert mean_inverse_size([500] * 10) == pytest.approx(0.002)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            mean_inverse_size([])
+        with pytest.raises(ValueError):
+            mean_inverse_size([5, 0])
+
+
+class TestGenerateFlows:
+    @given(st.integers(min_value=0, max_value=5000), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_total_packets_exact(self, target, seed):
+        rng = np.random.default_rng(seed)
+        flows = generate_flows(0, target, LognormalFlowSizes(20.0, 1.0), rng)
+        assert sum(f.packets for f in flows) == target
+
+    def test_flow_ids_unique_and_sequential(self):
+        rng = np.random.default_rng(0)
+        flows = generate_flows(3, 500, ConstantFlowSizes(10), rng, first_flow_id=100)
+        ids = [f.flow_id for f in flows]
+        assert ids == list(range(100, 100 + len(flows)))
+        assert all(f.od_index == 3 for f in flows)
+
+    def test_times_inside_interval(self):
+        rng = np.random.default_rng(1)
+        flows = generate_flows(0, 2000, ConstantFlowSizes(10), rng, interval_seconds=60.0)
+        for flow in flows:
+            assert 0.0 <= flow.start_time <= flow.end_time <= 60.0
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            generate_flows(0, -1, ConstantFlowSizes(1), np.random.default_rng(0))

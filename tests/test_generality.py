@@ -1,0 +1,39 @@
+"""Tests for the topology-generality experiment."""
+
+import pytest
+
+from repro.experiments import run_generality
+
+
+class TestGenerality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_generality()
+
+    def test_covers_three_topologies(self, result):
+        names = [row.topology for row in result.rows]
+        assert names == ["GEANT-2004", "Abilene-2004", "NSFNET-1991"]
+
+    def test_sparse_placement_everywhere(self, result):
+        # The paper's structural claim holds on all three maps: only a
+        # minority of links host monitors.
+        for row in result.rows:
+            assert row.active_fraction < 0.5, row.topology
+
+    def test_sub_percent_rates_everywhere(self, result):
+        for row in result.rows:
+            assert row.max_rate < 0.02, row.topology
+
+    def test_balanced_utilities_everywhere(self, result):
+        for row in result.rows:
+            assert row.worst_utility > 0.85, row.topology
+            assert row.utility_spread < 0.15, row.topology
+
+    def test_beats_uniform_on_worst_od(self, result):
+        for row in result.rows:
+            assert row.worst_utility > row.uniform_worst_utility, row.topology
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "Topology generality" in text
+        assert "NSFNET" in text

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ODPair,
+    SamplingExperiment,
+    SamplingProblem,
+    abilene_network,
+    check_kkt,
+    make_task,
+    solve,
+)
+from repro.traffic import (
+    ConstantFlowSizes,
+    NetFlowCollector,
+    NetFlowConfig,
+    NetFlowMonitor,
+    generate_flows,
+)
+
+
+class TestPipelineOnChain(object):
+    def test_solve_evaluate_roundtrip(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        solution = solve(problem)
+        assert solution.diagnostics.converged
+        experiment = SamplingExperiment(
+            chain_task.routing.matrix, chain_task.od_sizes_packets
+        )
+        result = experiment.run(solution.rates, runs=20, seed=0)
+        assert result.average_accuracy > 0.7
+
+
+class TestPipelineOnAbilene:
+    """The full stack on a second real topology (robustness, §V-C)."""
+
+    @pytest.fixture(scope="class")
+    def task(self):
+        net = abilene_network()
+        od_pairs = [
+            ODPair("NYC", "LAX"), ODPair("NYC", "SEA"), ODPair("WDC", "SNV"),
+            ODPair("ATL", "DEN"), ODPair("CHI", "HOU"),
+        ]
+        sizes = [20_000.0, 5_000.0, 1_200.0, 300.0, 80.0]
+        return make_task(
+            net, od_pairs, sizes, background_pps=300_000.0, seed=42,
+            access_node="NYC",
+        )
+
+    def test_solver_certifies_optimum(self, task):
+        problem = SamplingProblem.from_task(task, theta_packets=50_000.0)
+        solution = solve(problem)
+        assert solution.diagnostics.converged
+        assert check_kkt(problem, solution.rates, tolerance=1e-5).satisfied
+
+    def test_placement_is_sparse(self, task):
+        problem = SamplingProblem.from_task(task, theta_packets=50_000.0)
+        solution = solve(problem)
+        assert solution.num_active_monitors < task.network.num_links / 2
+
+    def test_monte_carlo_accuracy_reasonable(self, task):
+        problem = SamplingProblem.from_task(task, theta_packets=50_000.0)
+        solution = solve(problem)
+        experiment = SamplingExperiment(
+            task.routing.matrix, task.od_sizes_packets
+        )
+        result = experiment.run(solution.rates, runs=20, seed=5)
+        assert result.average_accuracy > 0.8
+
+
+class TestNetFlowPipeline:
+    """Flows → per-link monitors → collector → estimated OD sizes."""
+
+    def test_collector_reconstructs_od_sizes(self, chain_task):
+        rng = np.random.default_rng(0)
+        sizes = np.rint(chain_task.od_sizes_packets).astype(int)
+
+        # Build per-OD flow populations.
+        flows_by_od = []
+        next_id = 0
+        for k, total in enumerate(sizes):
+            flows = generate_flows(
+                k, int(total), ConstantFlowSizes(100), rng, first_flow_id=next_id
+            )
+            next_id += len(flows) + 1
+            flows_by_od.append(flows)
+
+        # Monitor every traversed link at rate 0.05.
+        rate = 0.05
+        collector = NetFlowCollector(sampling_rate=rate, bin_seconds=300.0)
+        config = NetFlowConfig(sampling_rate=rate)
+        routing = chain_task.routing.matrix
+        for link_index in chain_task.routing.traversed_link_indices():
+            monitor = NetFlowMonitor(link_index, config)
+            for k, flows in enumerate(flows_by_od):
+                if routing[k, link_index] > 0:
+                    collector.ingest(monitor.observe(flows, rng))
+
+        estimates = collector.estimated_od_sizes(chain_task.num_od_pairs)
+        np.testing.assert_allclose(estimates, sizes, rtol=0.25)
+
+
+class TestRestrictedVsJointOnAbilene:
+    def test_joint_optimum_dominates_any_restriction(self):
+        net = abilene_network()
+        od_pairs = [ODPair("NYC", "LAX"), ODPair("SEA", "ATL")]
+        task = make_task(net, od_pairs, [5000.0, 100.0],
+                         background_pps=100_000.0, seed=3)
+        problem = SamplingProblem.from_task(task, theta_packets=10_000.0)
+        joint = solve(problem)
+        from repro.baselines import solve_restricted
+
+        rng = np.random.default_rng(0)
+        candidates = np.flatnonzero(problem.candidate_mask)
+        for _ in range(5):
+            subset = rng.choice(
+                candidates, size=max(1, len(candidates) // 2), replace=False
+            )
+            restricted = solve_restricted(problem, subset.tolist())
+            assert (
+                restricted.objective_value <= joint.objective_value + 1e-9
+            )

@@ -1,0 +1,81 @@
+"""Tests for the standalone KKT certifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    check_kkt,
+    solve_gradient_projection,
+)
+
+
+def simple_problem(theta=60.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, theta, utilities, interval_seconds=1.0)
+
+
+class TestCertification:
+    def test_optimum_satisfies_kkt(self):
+        problem = simple_problem()
+        solution = solve_gradient_projection(problem)
+        report = check_kkt(problem, solution.rates)
+        assert report.satisfied
+        assert report.stationarity_residual < 1e-6
+        assert report.worst_multiplier >= -1e-6
+        assert report.feasibility_residual < 1e-9
+
+    def test_feasible_non_optimum_fails_stationarity(self):
+        problem = simple_problem()
+        # Uniform feasible point: satisfies constraints, not optimality.
+        loads = problem.link_loads_pps
+        rate = problem.theta_rate_pps / loads.sum()
+        p = np.full(3, rate)
+        report = check_kkt(problem, p)
+        assert not report.satisfied
+        assert report.feasibility_residual < 1e-9
+        assert report.stationarity_residual > 1e-6
+
+    def test_infeasible_point_fails_capacity(self):
+        problem = simple_problem()
+        report = check_kkt(problem, np.zeros(3))
+        assert not report.satisfied
+        assert report.feasibility_residual == pytest.approx(1.0)
+
+    def test_bound_violation_detected(self):
+        problem = simple_problem()
+        p = np.array([-0.01, 0.05, 0.05])
+        report = check_kkt(problem, p)
+        assert report.bound_violation > 0
+        assert not report.satisfied
+
+    def test_shape_validated(self):
+        problem = simple_problem()
+        with pytest.raises(ValueError, match="shape"):
+            check_kkt(problem, np.zeros(5))
+
+    def test_lambda_is_shadow_price_of_capacity(self):
+        # Increasing theta by d raises the optimum by ~lambda * d.
+        problem = simple_problem(theta=60.0)
+        sol = solve_gradient_projection(problem)
+        lam = check_kkt(problem, sol.rates).lam
+        delta = 0.5
+        bumped = solve_gradient_projection(problem.with_theta(60.0 + delta))
+        gain = bumped.objective_value - sol.objective_value
+        assert gain == pytest.approx(lam * delta, rel=0.05)
+
+    def test_wrongly_deactivated_monitor_fails_kkt(self):
+        # Force all budget onto the expensive shared link, leaving the
+        # cheap link 2 off: a negative multiplier must be detected.
+        problem = simple_problem()
+        loads = problem.link_loads_pps
+        p = np.zeros(3)
+        p[0] = problem.theta_rate_pps / loads[0]
+        report = check_kkt(problem, p)
+        assert not report.satisfied

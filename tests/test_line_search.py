@@ -1,0 +1,167 @@
+"""Tests for the safeguarded Newton line search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import newton_line_search
+from repro.core.line_search import golden_section_line_search
+
+
+def quadratic(peak: float):
+    """φ(t) = -(t - peak)²: slope 2(peak - t), curvature -2."""
+    return (lambda t: 2 * (peak - t), lambda t: -2.0)
+
+
+class TestInteriorMaximum:
+    def test_finds_quadratic_peak(self):
+        slope, curvature = quadratic(0.3)
+        result = newton_line_search(slope, curvature, t_max=1.0)
+        assert result.step == pytest.approx(0.3, abs=1e-8)
+        assert not result.hit_boundary
+
+    def test_newton_is_exact_on_quadratics(self):
+        # One Newton step solves a quadratic: very few iterations.
+        slope, curvature = quadratic(0.42)
+        result = newton_line_search(slope, curvature, t_max=10.0)
+        assert result.newton_iterations <= 3
+
+    @given(st.floats(min_value=0.01, max_value=0.9))
+    @settings(max_examples=50)
+    def test_random_quadratic_peaks(self, peak):
+        slope, curvature = quadratic(peak)
+        result = newton_line_search(slope, curvature, t_max=1.0)
+        assert result.step == pytest.approx(peak, abs=1e-6)
+
+    def test_nonquadratic_concave_function(self):
+        # φ(t) = log(1 + t) - t/2: maximum at t = 1.
+        slope = lambda t: 1 / (1 + t) - 0.5
+        curvature = lambda t: -1 / (1 + t) ** 2
+        result = newton_line_search(slope, curvature, t_max=5.0)
+        assert result.step == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBoundaryCases:
+    def test_boundary_hit_when_slope_positive_throughout(self):
+        slope, curvature = quadratic(5.0)
+        result = newton_line_search(slope, curvature, t_max=1.0)
+        assert result.step == 1.0
+        assert result.hit_boundary
+
+    def test_zero_slope_stays_put(self):
+        result = newton_line_search(lambda t: 0.0, lambda t: -1.0, t_max=1.0)
+        assert result.step == 0.0
+        assert not result.hit_boundary
+
+    def test_negative_slope_stays_put(self):
+        result = newton_line_search(lambda t: -1.0, lambda t: -1.0, t_max=1.0)
+        assert result.step == 0.0
+
+    def test_t_max_zero_reports_boundary(self):
+        slope, curvature = quadratic(1.0)
+        result = newton_line_search(slope, curvature, t_max=0.0)
+        assert result.step == 0.0
+        assert result.hit_boundary
+
+    def test_negative_t_max_rejected(self):
+        with pytest.raises(ValueError):
+            newton_line_search(lambda t: 1.0, lambda t: -1.0, t_max=-1.0)
+
+    def test_unbounded_ray_with_eventual_descent(self):
+        slope, curvature = quadratic(100.0)
+        result = newton_line_search(slope, curvature, t_max=float("inf"))
+        assert result.step == pytest.approx(100.0, rel=1e-6)
+
+    def test_unbounded_ray_never_descending_raises(self):
+        with pytest.raises(ValueError, match="never turns negative"):
+            newton_line_search(lambda t: 1.0, lambda t: 0.0, t_max=float("inf"))
+
+
+class TestGoldenSection:
+    @staticmethod
+    def parabola(peak):
+        return (
+            lambda t: -((t - peak) ** 2),  # value
+            lambda t: 2 * (peak - t),  # slope
+        )
+
+    def test_finds_quadratic_peak(self):
+        value, slope = self.parabola(0.3)
+        result = golden_section_line_search(value, slope, t_max=1.0)
+        assert result.step == pytest.approx(0.3, abs=1e-6)
+        assert not result.hit_boundary
+
+    def test_boundary_hit(self):
+        value, slope = self.parabola(5.0)
+        result = golden_section_line_search(value, slope, t_max=1.0)
+        assert result.step == 1.0
+        assert result.hit_boundary
+
+    def test_non_ascent_stays_put(self):
+        value, slope = self.parabola(-1.0)
+        result = golden_section_line_search(value, slope, t_max=1.0)
+        assert result.step == 0.0
+
+    def test_unbounded_ray(self):
+        value, slope = self.parabola(40.0)
+        result = golden_section_line_search(value, slope, t_max=float("inf"))
+        assert result.step == pytest.approx(40.0, rel=1e-4)
+
+    def test_agrees_with_newton_on_nonquadratic(self):
+        # φ(t) = log(1+t) - t/2, max at t = 1.
+        value = lambda t: np.log1p(t) - t / 2
+        slope = lambda t: 1 / (1 + t) - 0.5
+        curvature = lambda t: -1 / (1 + t) ** 2
+        golden = golden_section_line_search(value, slope, t_max=5.0)
+        newton = newton_line_search(slope, curvature, t_max=5.0)
+        assert golden.step == pytest.approx(newton.step, abs=1e-5)
+
+    def test_solver_reaches_same_optimum_with_golden(self, geant_problem):
+        from repro.core import (
+            GradientProjectionOptions,
+            solve_gradient_projection,
+        )
+
+        newton_sol = solve_gradient_projection(geant_problem)
+        golden_sol = solve_gradient_projection(
+            geant_problem,
+            options=GradientProjectionOptions(line_search="golden"),
+        )
+        assert golden_sol.diagnostics.converged
+        assert golden_sol.objective_value == pytest.approx(
+            newton_sol.objective_value, rel=1e-8
+        )
+        # Inexact line minima cost extra outer iterations — the
+        # DESIGN.md §6 ablation's finding.
+        assert (
+            golden_sol.diagnostics.iterations
+            > newton_sol.diagnostics.iterations
+        )
+
+    def test_options_validate_line_search_choice(self):
+        from repro.core import GradientProjectionOptions
+
+        with pytest.raises(ValueError, match="line_search"):
+            GradientProjectionOptions(line_search="fibonacci")
+
+
+class TestSafeguard:
+    def test_flat_curvature_regions_fall_back_to_bisection(self):
+        # Piecewise: slope constant then dropping — Newton's model is
+        # useless where curvature is 0; bisection must still find the root.
+        def slope(t):
+            return 1.0 if t < 0.6 else 1.0 - 20 * (t - 0.6)
+
+        def curvature(t):
+            return 0.0 if t < 0.6 else -20.0
+
+        result = newton_line_search(slope, curvature, t_max=1.0)
+        assert result.step == pytest.approx(0.65, abs=1e-6)
+
+    def test_steep_functions_converge(self):
+        # Root at t = 1e-6 with huge curvature.
+        slope = lambda t: 1e-6 - t
+        curvature = lambda t: -1.0
+        result = newton_line_search(slope, curvature, t_max=1.0)
+        assert result.step == pytest.approx(1e-6, rel=1e-3)

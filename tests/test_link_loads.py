@@ -1,0 +1,82 @@
+"""Tests for link-load computation from traffic matrices."""
+
+import numpy as np
+import pytest
+
+from repro.routing import ODPair, RoutingMatrix
+from repro.topology import line_network
+from repro.traffic import (
+    TrafficMatrix,
+    add_od_loads,
+    link_loads_from_traffic,
+    utilizations,
+)
+
+
+@pytest.fixture()
+def net():
+    return line_network(4)
+
+
+class TestLinkLoadsFromTraffic:
+    def test_single_demand_loads_path_links(self, net):
+        tm = TrafficMatrix(net, {("n0", "n3"): 100.0})
+        loads = link_loads_from_traffic(net, tm)
+        for a, b in [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]:
+            assert loads[net.link_between(a, b).index] == 100.0
+        # Reverse direction untouched.
+        assert loads[net.link_between("n1", "n0").index] == 0.0
+
+    def test_demands_accumulate_on_shared_links(self, net):
+        tm = TrafficMatrix(net, {("n0", "n3"): 100.0, ("n1", "n2"): 40.0})
+        loads = link_loads_from_traffic(net, tm)
+        assert loads[net.link_between("n1", "n2").index] == 140.0
+
+    def test_wrong_network_rejected(self, net):
+        other = line_network(4)
+        tm = TrafficMatrix(other)
+        with pytest.raises(ValueError, match="different network"):
+            link_loads_from_traffic(net, tm)
+
+    def test_conservation_total(self, net):
+        # Sum of link loads = sum over demands of (pps * path length).
+        tm = TrafficMatrix(net, {("n0", "n2"): 10.0, ("n3", "n0"): 5.0})
+        loads = link_loads_from_traffic(net, tm)
+        assert loads.sum() == pytest.approx(10.0 * 2 + 5.0 * 3)
+
+
+class TestAddOdLoads:
+    def test_adds_routed_od_traffic(self, net):
+        ods = [ODPair("n0", "n2")]
+        routing = RoutingMatrix.from_shortest_paths(net, ods)
+        base = np.zeros(net.num_links)
+        loads = add_od_loads(base, routing, np.array([50.0]))
+        assert loads[net.link_between("n0", "n1").index] == 50.0
+        assert loads[net.link_between("n1", "n2").index] == 50.0
+        assert base.sum() == 0.0  # input untouched
+
+    def test_shape_validation(self, net):
+        routing = RoutingMatrix.from_shortest_paths(net, [ODPair("n0", "n2")])
+        with pytest.raises(ValueError, match="loads vector"):
+            add_od_loads(np.zeros(3), routing, np.array([1.0]))
+        with pytest.raises(ValueError, match="od sizes"):
+            add_od_loads(np.zeros(net.num_links), routing, np.array([1.0, 2.0]))
+
+    def test_negative_sizes_rejected(self, net):
+        routing = RoutingMatrix.from_shortest_paths(net, [ODPair("n0", "n2")])
+        with pytest.raises(ValueError, match="non-negative"):
+            add_od_loads(np.zeros(net.num_links), routing, np.array([-1.0]))
+
+
+class TestUtilizations:
+    def test_ratio(self, net):
+        loads = np.zeros(net.num_links)
+        index = net.link_between("n0", "n1").index
+        capacity = net.link(index).capacity_pps
+        loads[index] = capacity / 2
+        util = utilizations(net, loads)
+        assert util[index] == pytest.approx(0.5)
+
+    def test_shape_checked(self, net):
+        with pytest.raises(ValueError):
+            utilizations(net, np.zeros(net.num_links + 1))

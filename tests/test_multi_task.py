@@ -1,0 +1,116 @@
+"""Tests for merging concurrent measurement tasks and the vectorized
+utility fast path."""
+
+import numpy as np
+import pytest
+
+from repro import ODPair, SamplingProblem, solve
+from repro.core import LogUtility, MeanSquaredRelativeAccuracy, SumUtilityObjective
+from repro.topology import abilene_network
+from repro.traffic import make_task, merge_tasks
+from repro.routing import RoutingMatrix, ShortestPathRouter
+from repro.traffic.workloads import MeasurementTask
+
+
+def build_two_tasks():
+    net = abilene_network()
+    te_task = make_task(
+        net,
+        [ODPair("NYC", "LAX", label="te-1"), ODPair("WDC", "SEA", label="te-2")],
+        [5000.0, 1000.0],
+        background_pps=200_000.0,
+        seed=1,
+    )
+    # Second task over the SAME network object, same loads environment.
+    router = ShortestPathRouter(net)
+    watch_pairs = [ODPair("ATL", "DEN", label="sec-1"), ODPair("CHI", "SNV", label="sec-2")]
+    watch_routing = RoutingMatrix.from_shortest_paths(net, watch_pairs, router=router)
+    watch_task = MeasurementTask(
+        network=net,
+        routing=watch_routing,
+        od_sizes_pps=np.array([100.0, 40.0]),
+        link_loads_pps=te_task.link_loads_pps,
+        interval_seconds=te_task.interval_seconds,
+    )
+    return te_task, watch_task
+
+
+class TestMergeTasks:
+    def test_concatenates_pairs_and_sizes(self):
+        te, watch = build_two_tasks()
+        merged = merge_tasks([te, watch])
+        assert merged.num_od_pairs == 4
+        names = [od.name for od in merged.routing.od_pairs]
+        assert names == ["te-1", "te-2", "sec-1", "sec-2"]
+        np.testing.assert_allclose(
+            merged.od_sizes_pps, [5000.0, 1000.0, 100.0, 40.0]
+        )
+
+    def test_single_task_passthrough(self):
+        te, _ = build_two_tasks()
+        assert merge_tasks([te]) is te
+
+    def test_merged_solves_with_shared_budget(self):
+        te, watch = build_two_tasks()
+        merged = merge_tasks([te, watch])
+        problem = SamplingProblem.from_task(merged, theta_packets=30_000.0)
+        solution = solve(problem)
+        assert solution.diagnostics.converged
+        # Every OD pair from both tasks gets a positive effective rate.
+        assert np.all(solution.effective_rates > 0)
+
+    def test_different_network_rejected(self):
+        te, _ = build_two_tasks()
+        other = make_task(
+            abilene_network(), [ODPair("NYC", "LAX")], [10.0]
+        )
+        with pytest.raises(ValueError, match="same network"):
+            merge_tasks([te, other])
+
+    def test_duplicate_names_rejected(self):
+        te, _ = build_two_tasks()
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_tasks([te, te])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tasks([])
+
+
+class TestVectorizedFastPath:
+    def test_vectorized_matches_loop_for_accuracy_family(self):
+        routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+        utilities = [
+            MeanSquaredRelativeAccuracy(1e-4),
+            MeanSquaredRelativeAccuracy(3e-3),
+        ]
+        fast = SumUtilityObjective(routing, utilities)
+        assert fast._vectorized is not None
+        x = np.array([0.004, 0.0005, 0.03])
+        rho = routing @ x
+        # Reference: direct per-utility evaluation.
+        for method in ("value", "derivative", "second_derivative"):
+            reference = np.array(
+                [getattr(u, method)(r) for u, r in zip(utilities, rho)]
+            )
+            np.testing.assert_allclose(
+                fast._per_od(method, rho), reference, rtol=1e-12
+            )
+
+    def test_mixed_families_fall_back_to_loop(self):
+        routing = np.array([[1.0], [1.0]])
+        utilities = [MeanSquaredRelativeAccuracy(1e-3), LogUtility(10.0)]
+        objective = SumUtilityObjective(routing, utilities)
+        assert objective._vectorized is None
+        assert np.isfinite(objective.value(np.array([0.1])))
+
+    def test_vectorized_covers_splice_boundary(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        routing = np.eye(3)
+        objective = SumUtilityObjective(routing, [u, u, u])
+        x0 = u.splice_point
+        rho = np.array([x0 / 2, x0, x0 * 2])
+        expected = np.array([u.value(r) for r in rho])
+        np.testing.assert_allclose(
+            objective._per_od("value", rho), expected, rtol=1e-12
+        )

@@ -1,0 +1,219 @@
+"""Tests for the sampled-NetFlow simulator (monitor, exporter, collector)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    ConstantFlowSizes,
+    Flow,
+    FlowRecord,
+    NetFlowCollector,
+    NetFlowConfig,
+    NetFlowMonitor,
+    generate_flows,
+    simulate_netflow_on_link,
+)
+
+
+def make_flows(total_packets: int, od_index: int = 0, seed: int = 0) -> list[Flow]:
+    rng = np.random.default_rng(seed)
+    return generate_flows(od_index, total_packets, ConstantFlowSizes(50), rng)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = NetFlowConfig()
+        assert cfg.sampling_rate == pytest.approx(1 / 1000)
+        assert cfg.idle_timeout_s == 30.0
+        assert cfg.export_interval_s == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetFlowConfig(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            NetFlowConfig(sampling_rate=1.5)
+        with pytest.raises(ValueError):
+            NetFlowConfig(idle_timeout_s=0)
+
+
+class TestFlowRecord:
+    def test_requires_sampled_packet(self):
+        with pytest.raises(ValueError):
+            FlowRecord(
+                flow_id=0, od_index=0, link_index=0,
+                start_time=0.0, end_time=1.0,
+                sampled_packets=0, sampled_bytes=0,
+            )
+
+
+class TestMonitor:
+    def test_sampling_fraction_statistically_correct(self):
+        flows = make_flows(200_000)
+        monitor = NetFlowMonitor(0, NetFlowConfig(sampling_rate=0.01))
+        rng = np.random.default_rng(42)
+        records = monitor.observe(flows, rng)
+        sampled = sum(r.sampled_packets for r in records)
+        assert sampled == pytest.approx(2000, rel=0.15)
+
+    def test_small_flow_bias(self):
+        # At rate 1/1000, 1-packet flows almost never leave a record —
+        # the bias against small flows the paper warns about (§V-A).
+        rng = np.random.default_rng(1)
+        flows = [
+            Flow(flow_id=i, od_index=0, packets=1, bytes=500,
+                 start_time=0.0, end_time=1.0)
+            for i in range(5000)
+        ]
+        records = NetFlowMonitor(0).observe(flows, rng)
+        assert len(records) < 30  # ~5 expected
+
+    def test_records_tag_link_and_od(self):
+        flows = make_flows(10_000, od_index=7)
+        records = simulate_netflow_on_link(
+            3, flows, np.random.default_rng(0), NetFlowConfig(sampling_rate=0.05)
+        )
+        assert records
+        assert all(r.link_index == 3 and r.od_index == 7 for r in records)
+
+    def test_idle_timeout_splits_records(self):
+        # One long flow whose two sampled packets are far apart in time
+        # must produce two records.
+        flow = Flow(flow_id=0, od_index=0, packets=100, bytes=50_000,
+                    start_time=0.0, end_time=200.0)
+        monitor = NetFlowMonitor(0, NetFlowConfig(sampling_rate=1.0, idle_timeout_s=1e-6))
+        records = monitor.observe([flow], np.random.default_rng(0))
+        assert len(records) > 1
+        assert sum(r.sampled_packets for r in records) == 100
+
+    def test_full_rate_samples_everything(self):
+        flows = make_flows(5000)
+        monitor = NetFlowMonitor(
+            0,
+            NetFlowConfig(
+                sampling_rate=1.0, idle_timeout_s=1e9, export_interval_s=1e9
+            ),
+        )
+        records = monitor.observe(flows, np.random.default_rng(0))
+        assert sum(r.sampled_packets for r in records) == 5000
+        assert len(records) == len(flows)
+
+    def test_export_interval_splits_long_flows(self):
+        # A flow alive across export boundaries leaves one record per
+        # export interval (paper §V-A: records exported every minute).
+        flow = Flow(flow_id=0, od_index=0, packets=600, bytes=300_000,
+                    start_time=0.0, end_time=180.0)
+        monitor = NetFlowMonitor(
+            0,
+            NetFlowConfig(sampling_rate=1.0, idle_timeout_s=1e9,
+                          export_interval_s=60.0),
+        )
+        records = monitor.observe([flow], np.random.default_rng(0))
+        assert len(records) == 3  # minutes 0, 1, 2
+        assert sum(r.sampled_packets for r in records) == 600
+        for record in records:
+            assert (
+                record.end_time // 60.0 == record.start_time // 60.0
+            )
+
+
+class TestMonitorProperties:
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.floats(min_value=0.001, max_value=1.0),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_records_conserve_and_bound_sampled_packets(
+        self, packets, rate, seed
+    ):
+        flow = Flow(flow_id=0, od_index=0, packets=packets,
+                    bytes=packets * 500, start_time=10.0,
+                    end_time=10.0 + packets / 100.0)
+        monitor = NetFlowMonitor(0, NetFlowConfig(sampling_rate=rate))
+        records = monitor.observe([flow], np.random.default_rng(seed))
+        total = sum(r.sampled_packets for r in records)
+        assert 0 <= total <= packets
+        for record in records:
+            # Record times lie within the flow's lifetime.
+            assert flow.start_time <= record.start_time
+            assert record.end_time <= flow.end_time + 1e-9
+            assert record.sampled_packets >= 1
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_records_are_time_ordered_within_flow(self, seed):
+        flow = Flow(flow_id=0, od_index=0, packets=500, bytes=250_000,
+                    start_time=0.0, end_time=300.0)
+        monitor = NetFlowMonitor(
+            0, NetFlowConfig(sampling_rate=0.5, idle_timeout_s=5.0)
+        )
+        records = monitor.observe([flow], np.random.default_rng(seed))
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.end_time <= later.start_time
+
+
+class TestCollector:
+    def test_estimate_inverts_sampling_rate(self):
+        flows = make_flows(300_000)
+        rate = 0.01
+        monitor = NetFlowMonitor(0, NetFlowConfig(sampling_rate=rate))
+        collector = NetFlowCollector(sampling_rate=rate, bin_seconds=300.0)
+        collector.ingest(monitor.observe(flows, np.random.default_rng(3)))
+        estimate = collector.estimated_od_sizes(num_od_pairs=1)[0]
+        assert estimate == pytest.approx(300_000, rel=0.1)
+
+    def test_binning_by_start_time(self):
+        record = FlowRecord(
+            flow_id=0, od_index=0, link_index=0,
+            start_time=301.0, end_time=302.0,
+            sampled_packets=5, sampled_bytes=2500,
+        )
+        collector = NetFlowCollector(sampling_rate=0.5, bin_seconds=300.0)
+        collector.ingest([record])
+        assert collector.estimated_od_sizes(1, bin_index=0)[0] == 0
+        assert collector.estimated_od_sizes(1, bin_index=1)[0] == pytest.approx(10)
+
+    def test_dedup_collapses_multi_link_duplicates(self):
+        # The same flow reported from two links: dedup keeps one link's
+        # records (lowest index) instead of double counting.
+        base = dict(flow_id=9, od_index=0, start_time=0.0, end_time=1.0,
+                    sampled_packets=10, sampled_bytes=5000)
+        collector = NetFlowCollector(sampling_rate=1.0)
+        collector.ingest([
+            FlowRecord(link_index=2, **base),
+            FlowRecord(link_index=5, **base),
+        ])
+        assert collector.estimated_od_sizes(1)[0] == 10
+        assert collector.estimated_od_sizes(1, deduplicate=False)[0] == 20
+
+    def test_od_index_out_of_range(self):
+        record = FlowRecord(
+            flow_id=0, od_index=3, link_index=0, start_time=0.0, end_time=1.0,
+            sampled_packets=1, sampled_bytes=500,
+        )
+        collector = NetFlowCollector()
+        collector.ingest([record])
+        with pytest.raises(IndexError):
+            collector.estimated_od_sizes(num_od_pairs=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetFlowCollector(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            NetFlowCollector(bin_seconds=-1.0)
+        with pytest.raises(ValueError):
+            NetFlowCollector().estimated_od_sizes(0)
+
+    def test_byte_estimates_track_packets(self):
+        # Constant 500-byte packets: bytes = 500 x packets exactly.
+        flows = make_flows(100_000)
+        rate = 0.05
+        monitor = NetFlowMonitor(0, NetFlowConfig(sampling_rate=rate))
+        collector = NetFlowCollector(sampling_rate=rate, bin_seconds=300.0)
+        collector.ingest(monitor.observe(flows, np.random.default_rng(9)))
+        packets = collector.estimated_od_sizes(1)[0]
+        size_bytes = collector.estimated_od_bytes(1)[0]
+        assert size_bytes == pytest.approx(500 * packets, rel=1e-9)
+        assert packets == pytest.approx(100_000, rel=0.1)

@@ -1,0 +1,47 @@
+"""Tests for the NSFNET topology and a full pipeline run on it."""
+
+import numpy as np
+import pytest
+
+from repro import ODPair, SamplingProblem, make_task, solve
+from repro.routing import ShortestPathRouter
+from repro.topology import NSFNET_POPS, nsfnet_network
+
+
+class TestTopology:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return nsfnet_network()
+
+    def test_dimensions(self, net):
+        assert net.num_nodes == 14
+        assert net.num_links == 42  # 21 duplex trunks
+
+    def test_strongly_connected(self, net):
+        assert net.is_strongly_connected()
+
+    def test_pops_constant(self, net):
+        assert set(NSFNET_POPS) == set(net.node_names)
+
+    def test_coast_to_coast_is_multi_hop(self, net):
+        path = ShortestPathRouter(net).path("WA", "DC")
+        assert path.num_hops >= 3
+
+    def test_cli_knows_nsfnet(self, capsys):
+        from repro.cli import main
+
+        assert main(["topology", "show", "nsfnet"]) == 0
+        assert "14 nodes" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_solve_on_nsfnet(self):
+        net = nsfnet_network()
+        ods = [ODPair("WA", "DC"), ODPair("CA1", "NY"), ODPair("TX", "MI")]
+        task = make_task(net, ods, [2000.0, 500.0, 50.0],
+                         background_pps=50_000.0, seed=2)
+        problem = SamplingProblem.from_task(task, theta_packets=10_000.0)
+        solution = solve(problem)
+        assert solution.diagnostics.converged
+        assert solution.diagnostics.kkt.satisfied
+        assert np.all(solution.effective_rates > 0)

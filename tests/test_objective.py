@@ -1,0 +1,124 @@
+"""Tests for the sum-utility and soft-min objectives."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    SoftMinUtilityObjective,
+    SumUtilityObjective,
+)
+
+ROUTING = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+UTILITIES = [MeanSquaredRelativeAccuracy(0.002), LogUtility(20.0)]
+
+
+def numeric_gradient(objective, x, h=1e-7):
+    grad = np.zeros_like(x)
+    for i in range(x.size):
+        up, down = x.copy(), x.copy()
+        up[i] += h
+        down[i] -= h
+        grad[i] = (objective.value(up) - objective.value(down)) / (2 * h)
+    return grad
+
+
+def numeric_curvature(objective, x, s, h=1e-5):
+    return (
+        objective.value(x + h * s) - 2 * objective.value(x) + objective.value(x - h * s)
+    ) / h**2
+
+
+class TestSumUtility:
+    @pytest.fixture()
+    def objective(self):
+        return SumUtilityObjective(ROUTING, UTILITIES)
+
+    def test_value_is_sum_of_utilities(self, objective):
+        x = np.array([0.1, 0.2, 0.05])
+        rho = ROUTING @ x
+        expected = UTILITIES[0].value(rho[0]) + UTILITIES[1].value(rho[1])
+        assert objective.value(x) == pytest.approx(expected)
+
+    def test_utilities_at(self, objective):
+        x = np.array([0.1, 0.0, 0.0])
+        values = objective.utilities_at(x)
+        assert values.shape == (2,)
+        assert values[1] == pytest.approx(0.0)
+
+    def test_gradient_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.2, 0.05])
+        np.testing.assert_allclose(
+            objective.gradient(x), numeric_gradient(objective, x), rtol=1e-5
+        )
+
+    def test_directional_curvature_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.2, 0.05])
+        s = np.array([1.0, -0.5, 0.25])
+        assert objective.directional_curvature(x, s) == pytest.approx(
+            numeric_curvature(objective, x, s), rel=1e-3
+        )
+
+    def test_curvature_nonpositive(self, objective):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.uniform(0.0, 0.3, size=3)
+            s = rng.normal(size=3)
+            assert objective.directional_curvature(x, s) <= 1e-12
+
+    def test_utility_count_validated(self):
+        with pytest.raises(ValueError, match="utilities"):
+            SumUtilityObjective(ROUTING, UTILITIES[:1])
+
+
+class TestSoftMin:
+    @pytest.fixture()
+    def objective(self):
+        return SoftMinUtilityObjective(ROUTING, UTILITIES, temperature=0.05)
+
+    def test_approaches_minimum_at_low_temperature(self):
+        cold = SoftMinUtilityObjective(ROUTING, UTILITIES, temperature=1e-4)
+        x = np.array([0.1, 0.2, 0.05])
+        rho = ROUTING @ x
+        true_min = min(UTILITIES[0].value(rho[0]), UTILITIES[1].value(rho[1]))
+        assert cold.value(x) == pytest.approx(true_min, abs=1e-3)
+
+    def test_lower_bounds_minimum(self, objective):
+        # Soft-min underestimates the true min (log-sum-exp inequality).
+        x = np.array([0.1, 0.2, 0.05])
+        rho = ROUTING @ x
+        true_min = min(UTILITIES[0].value(rho[0]), UTILITIES[1].value(rho[1]))
+        assert objective.value(x) <= true_min + 1e-12
+
+    def test_gradient_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.2, 0.05])
+        np.testing.assert_allclose(
+            objective.gradient(x), numeric_gradient(objective, x),
+            rtol=1e-4, atol=1e-9,
+        )
+
+    def test_directional_curvature_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.2, 0.05])
+        s = np.array([0.5, 1.0, -0.2])
+        assert objective.directional_curvature(x, s) == pytest.approx(
+            numeric_curvature(objective, x, s), rel=1e-3, abs=1e-6
+        )
+
+    def test_concavity_along_random_rays(self, objective):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = rng.uniform(0.01, 0.3, size=3)
+            s = rng.normal(size=3)
+            assert objective.directional_curvature(x, s) <= 1e-10
+
+    def test_temperature_validated(self):
+        with pytest.raises(ValueError):
+            SoftMinUtilityObjective(ROUTING, UTILITIES, temperature=0.0)
+
+    def test_numerically_stable_for_large_gaps(self):
+        # One utility far below the other must not overflow.
+        x = np.array([0.0, 0.0, 0.5])
+        cold = SoftMinUtilityObjective(ROUTING, UTILITIES, temperature=1e-6)
+        assert np.isfinite(cold.value(x))
+        assert np.all(np.isfinite(cold.gradient(x)))

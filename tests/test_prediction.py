@@ -1,0 +1,76 @@
+"""Tests for analytic accuracy prediction — theory vs simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    SamplingExperiment,
+    predict_for_configuration,
+    predicted_accuracy,
+    predicted_relative_std,
+    predicted_sre,
+)
+
+
+class TestFormulas:
+    def test_sre_formula(self):
+        # S = 10 000, rho = 0.01: E[SRE] = 0.99 / 100 = 0.0099.
+        assert predicted_sre([10_000.0], [0.01])[0] == pytest.approx(0.0099)
+
+    def test_full_sampling_has_zero_error(self):
+        assert predicted_sre([100.0], [1.0])[0] == 0.0
+        assert predicted_accuracy([100.0], [1.0])[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_sre([0.0], [0.5])
+        with pytest.raises(ValueError):
+            predicted_sre([10.0], [0.0])
+        with pytest.raises(ValueError):
+            predicted_sre([10.0, 20.0], [0.5])
+
+    def test_std_is_sqrt_of_sre(self):
+        sre = predicted_sre([5000.0], [0.02])
+        std = predicted_relative_std([5000.0], [0.02])
+        assert std[0] == pytest.approx(np.sqrt(sre[0]))
+
+
+class TestTheoryMatchesSimulation:
+    def test_monte_carlo_sre_matches_prediction(self):
+        sizes = np.array([200_000.0])
+        routing = np.array([[1.0]])
+        rho = 0.005
+        experiment = SamplingExperiment(routing, sizes)
+        result = experiment.run(np.array([rho]), runs=400, seed=0)
+        empirical_sre = float(
+            (((result.estimates[:, 0] - sizes[0]) / sizes[0]) ** 2).mean()
+        )
+        assert empirical_sre == pytest.approx(
+            predicted_sre(sizes, [rho])[0], rel=0.2
+        )
+
+    def test_monte_carlo_accuracy_matches_prediction(self):
+        sizes = np.array([50_000.0, 500_000.0])
+        routing = np.eye(2)
+        rates = np.array([0.01, 0.002])
+        experiment = SamplingExperiment(routing, sizes)
+        result = experiment.run(rates, runs=400, seed=1)
+        predicted = predicted_accuracy(sizes, rates)
+        np.testing.assert_allclose(
+            result.mean_accuracy, predicted, rtol=0.05
+        )
+
+    def test_predict_for_configuration_on_geant(self, geant_task, geant_solution):
+        """Table I's accuracy column is forecastable without simulation."""
+        predicted = predict_for_configuration(
+            geant_task.routing.matrix,
+            geant_solution.rates,
+            geant_task.od_sizes_packets,
+        )
+        experiment = SamplingExperiment(
+            geant_task.routing.matrix, geant_task.od_sizes_packets
+        )
+        measured = experiment.run(
+            geant_solution.rates, runs=100, seed=2
+        ).mean_accuracy
+        np.testing.assert_allclose(measured, predicted, atol=0.03)

@@ -1,0 +1,156 @@
+"""Tests for SamplingProblem validation and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InfeasibleProblemError,
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+)
+
+
+def tiny_problem(theta=300.0, alpha=1.0, monitorable=None, loads=None):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+    loads = np.array([100.0, 200.0, 50.0]) if loads is None else loads
+    utilities = [MeanSquaredRelativeAccuracy(0.001)] * 2
+    return SamplingProblem(
+        routing, loads, theta, utilities, alpha=alpha,
+        interval_seconds=300.0, monitorable=monitorable,
+    )
+
+
+class TestValidation:
+    def test_valid_problem_builds(self):
+        prob = tiny_problem()
+        assert prob.num_od_pairs == 2
+        assert prob.num_links == 3
+
+    def test_routing_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SamplingProblem(np.zeros(3), np.zeros(3), 1.0, [])
+
+    def test_routing_entries_in_unit_interval(self):
+        routing = np.array([[2.0]])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            SamplingProblem(routing, [1.0], 1.0, [MeanSquaredRelativeAccuracy(0.001)])
+
+    def test_load_shape_and_sign(self):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_problem(loads=np.array([1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            tiny_problem(loads=np.array([-1.0, 1.0, 1.0]))
+
+    def test_utility_count_must_match(self):
+        routing = np.array([[1.0]])
+        with pytest.raises(ValueError, match="utilities"):
+            SamplingProblem(routing, [1.0], 1.0, [])
+
+    def test_utility_type_checked(self):
+        routing = np.array([[1.0]])
+        with pytest.raises(TypeError):
+            SamplingProblem(routing, [1.0], 1.0, ["not a utility"])
+
+    def test_alpha_broadcast_and_range(self):
+        prob = tiny_problem(alpha=0.5)
+        np.testing.assert_allclose(prob.alpha, [0.5, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            tiny_problem(alpha=1.5)
+
+    def test_theta_and_interval_positive(self):
+        with pytest.raises(ValueError):
+            tiny_problem(theta=0.0)
+        routing = np.array([[1.0]])
+        with pytest.raises(ValueError):
+            SamplingProblem(
+                routing, [1.0], 1.0,
+                [MeanSquaredRelativeAccuracy(0.001)], interval_seconds=0.0,
+            )
+
+    def test_arrays_immutable(self):
+        prob = tiny_problem()
+        with pytest.raises(ValueError):
+            prob.alpha[0] = 0.9
+
+
+class TestDerivedQuantities:
+    def test_theta_rate_conversion(self):
+        prob = tiny_problem(theta=300.0)
+        assert prob.theta_rate_pps == pytest.approx(1.0)
+
+    def test_traversed_and_candidate_masks(self):
+        prob = tiny_problem()
+        np.testing.assert_array_equal(prob.traversed, [True, True, False])
+        np.testing.assert_array_equal(prob.candidate_mask, [True, True, False])
+
+    def test_monitorable_mask_restricts_candidates(self):
+        prob = tiny_problem(monitorable=[True, False, True])
+        np.testing.assert_array_equal(prob.candidate_mask, [True, False, False])
+
+    def test_zero_load_link_is_free_saturated(self):
+        prob = tiny_problem(loads=np.array([100.0, 0.0, 50.0]))
+        np.testing.assert_array_equal(prob.free_saturated_mask, [False, True, False])
+        np.testing.assert_array_equal(prob.candidate_mask, [True, False, False])
+
+    def test_max_absorbable(self):
+        prob = tiny_problem(alpha=0.5)
+        assert prob.max_absorbable_rate == pytest.approx(0.5 * 300.0)
+
+
+class TestFeasibility:
+    def test_feasible_passes(self):
+        tiny_problem(theta=300.0).check_feasible()
+
+    def test_theta_too_large_infeasible(self):
+        prob = tiny_problem(theta=300.0 * 300.0 * 2)
+        with pytest.raises(InfeasibleProblemError, match="exceeds"):
+            prob.check_feasible()
+
+    def test_no_candidates_infeasible(self):
+        prob = tiny_problem(monitorable=[False, False, False])
+        with pytest.raises(InfeasibleProblemError, match="no candidate"):
+            prob.check_feasible()
+
+    def test_clamped_reduces_theta(self):
+        prob = tiny_problem(theta=1e9)
+        clamped = prob.clamped()
+        clamped.check_feasible()
+        assert clamped.theta_packets == pytest.approx(
+            prob.max_absorbable_rate * 300.0
+        )
+
+    def test_clamped_is_noop_when_feasible(self):
+        prob = tiny_problem(theta=300.0)
+        assert prob.clamped() is prob
+
+
+class TestCopies:
+    def test_restrict_monitors(self):
+        prob = tiny_problem()
+        restricted = prob.restrict_monitors([1])
+        np.testing.assert_array_equal(restricted.candidate_mask, [False, True, False])
+        # Original untouched.
+        np.testing.assert_array_equal(prob.candidate_mask, [True, True, False])
+
+    def test_with_theta(self):
+        prob = tiny_problem(theta=300.0)
+        bigger = prob.with_theta(600.0)
+        assert bigger.theta_packets == 600.0
+        assert prob.theta_packets == 300.0
+
+
+class TestFromTask:
+    def test_builds_paper_utilities(self, geant_task):
+        prob = SamplingProblem.from_task(geant_task, theta_packets=1000.0)
+        assert prob.num_od_pairs == 20
+        assert isinstance(prob.utilities[0], MeanSquaredRelativeAccuracy)
+        assert prob.utilities[0].mean_inverse_size == pytest.approx(
+            float(geant_task.mean_inverse_sizes[0])
+        )
+
+    def test_utility_factory_override(self, geant_task):
+        prob = SamplingProblem.from_task(
+            geant_task, 1000.0, utility_factory=lambda c: LogUtility(1.0 / c)
+        )
+        assert isinstance(prob.utilities[0], LogUtility)

@@ -1,0 +1,35 @@
+"""The public façade: everything advertised in ``repro.__all__`` works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_docstring(self):
+        # The README/module-docstring quickstart must keep working.
+        task = repro.janet_task()
+        problem = repro.SamplingProblem.from_task(task, theta_packets=100_000)
+        solution = repro.solve(problem, method="slsqp")
+        text = solution.summary([l.name for l in task.network.links])
+        assert "active monitors" in text
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.routing
+        import repro.sampling
+        import repro.topology
+        import repro.traffic
+
+        for module in (
+            repro.core, repro.topology, repro.routing, repro.traffic,
+            repro.sampling, repro.baselines, repro.experiments,
+        ):
+            assert module.__all__

@@ -1,0 +1,111 @@
+"""Tests for 1-in-N rate quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    quantize_rates,
+    quantize_solution,
+    solve_gradient_projection,
+)
+
+
+def problem(theta=60.0, alpha=1.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(
+        routing, loads, theta, utilities, alpha=alpha, interval_seconds=1.0
+    )
+
+
+class TestQuantizeRates:
+    def test_exact_grid_points_unchanged(self):
+        rates = np.array([0.5, 0.1, 0.01])
+        quantized, divisors = quantize_rates(rates)
+        np.testing.assert_allclose(quantized, rates)
+        assert divisors.tolist() == [2, 10, 100]
+
+    def test_rounds_to_nearest_divisor(self):
+        quantized, divisors = quantize_rates(np.array([0.3]))
+        assert divisors[0] == 3
+        assert quantized[0] == pytest.approx(1 / 3)
+
+    def test_zero_rate_stays_off(self):
+        quantized, divisors = quantize_rates(np.array([0.0]))
+        assert divisors[0] == 0
+        assert quantized[0] == 0.0
+
+    def test_rate_one(self):
+        quantized, divisors = quantize_rates(np.array([1.0]))
+        assert divisors[0] == 1
+        assert quantized[0] == 1.0
+
+    def test_negligible_rates_turn_off(self):
+        quantized, divisors = quantize_rates(np.array([1e-9]))
+        assert divisors[0] == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_rates(np.array([1.5]))
+        with pytest.raises(ValueError):
+            quantize_rates(np.array([-0.1]))
+
+    @given(st.floats(min_value=1e-6, max_value=1.0))
+    @settings(max_examples=100)
+    def test_quantization_error_bounded(self, rate):
+        quantized, divisors = quantize_rates(np.array([rate]))
+        n = divisors[0]
+        assert n >= 1
+        # Nearest-N rounding: error no worse than the gap to a neighbour.
+        neighbours = [1.0 / max(n - 1, 1), 1.0 / (n + 1)]
+        worst_gap = max(abs(1.0 / n - v) for v in neighbours)
+        assert abs(quantized[0] - rate) <= worst_gap + 1e-12
+
+
+class TestQuantizeSolution:
+    def test_respects_budget(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        result = quantize_solution(prob, solution)
+        assert result.solution.budget_used_rate_pps <= prob.theta_rate_pps * (
+            1 + 1e-9
+        )
+
+    def test_respects_alpha(self):
+        prob = problem(alpha=0.25)
+        solution = solve_gradient_projection(prob)
+        result = quantize_solution(prob, solution)
+        assert np.all(result.solution.rates <= 0.25 + 1e-12)
+
+    def test_loss_small_and_nonnegative(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        result = quantize_solution(prob, solution)
+        assert result.utility_loss >= -1e-9
+        assert result.relative_loss < 0.05
+
+    def test_geant_loss_negligible(self, geant_problem, geant_solution):
+        result = quantize_solution(geant_problem, geant_solution)
+        # Sub-percent loss: 1-in-N granularity is no practical obstacle.
+        assert result.relative_loss < 0.01
+        assert result.solution.budget_used_packets <= (
+            geant_problem.theta_packets * (1 + 1e-9)
+        )
+
+    def test_divisors_consistent_with_rates(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        result = quantize_solution(prob, solution)
+        for rate, n in zip(result.solution.rates, result.divisors):
+            if n > 0:
+                assert rate == pytest.approx(1.0 / n)
+            else:
+                assert rate == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the experiment report formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import ascii_plot, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_number_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.000123], [0.0], [5.5]])
+        assert "1,234,567" in text
+        assert "0.00012" in text
+        assert "5.500" in text
+
+    def test_non_numeric_cells(self):
+        text = format_table(["a"], [["hello"], [42]])
+        assert "hello" in text
+        assert "42" in text
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "x", [1.0, 2.0], {"f": [10.0, 20.0], "g": [30.0, 40.0]}
+        )
+        header = text.splitlines()[0]
+        assert "x" in header and "f" in header and "g" in header
+        assert "40.000" in text
+
+
+class TestAsciiPlot:
+    def test_plots_extremes(self):
+        text = ascii_plot([0, 1, 2], [0.0, 0.5, 1.0], width=20, height=5)
+        assert "*" in text
+        assert text.count("\n") >= 5
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([0, 1], [1.0, 1.0])
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], [1.0])
+        with pytest.raises(ValueError):
+            ascii_plot([], [])
+
+    def test_label_included(self):
+        text = ascii_plot([0, 1], [0.0, 1.0], label="curve")
+        assert text.splitlines()[0] == "curve"

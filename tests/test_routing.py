@@ -1,0 +1,171 @@
+"""Tests for paths, shortest-path routing and the routing matrix."""
+
+import numpy as np
+import pytest
+
+from repro.routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
+from repro.topology import Network, geant_network, line_network
+
+
+class TestPath:
+    def test_from_nodes_resolves_links(self, triangle_network):
+        path = Path.from_nodes(triangle_network, ["A", "B", "C"])
+        assert path.origin == "A"
+        assert path.destination == "C"
+        assert path.num_hops == 2
+        assert path.cost == 2.0
+
+    def test_link_count_must_match(self):
+        with pytest.raises(ValueError, match="nodes require"):
+            Path(nodes=("A", "B"), link_indices=(), cost=0.0)
+
+    def test_loop_rejected(self):
+        with pytest.raises(ValueError, match="revisits"):
+            Path(nodes=("A", "B", "A"), link_indices=(0, 1), cost=2.0)
+
+    def test_traverses(self, triangle_network):
+        path = Path.from_nodes(triangle_network, ["A", "B"])
+        index = triangle_network.link_between("A", "B").index
+        assert path.traverses(index)
+        assert not path.traverses(index + 1)
+
+    def test_links_resolution(self, triangle_network):
+        path = Path.from_nodes(triangle_network, ["A", "B", "C"])
+        links = path.links(triangle_network)
+        assert [l.name for l in links] == ["A->B", "B->C"]
+
+
+class TestShortestPathRouter:
+    def test_prefers_lower_weight(self):
+        net = Network()
+        for name in "SMD":
+            net.add_node(name)
+        net.add_link("S", "D", weight=10.0)
+        net.add_link("S", "M", weight=1.0)
+        net.add_link("M", "D", weight=1.0)
+        path = ShortestPathRouter(net).path("S", "D")
+        assert path.nodes == ("S", "M", "D")
+        assert path.cost == 2.0
+
+    def test_deterministic_tie_break(self, triangle_network):
+        # A->C has a direct link (cost 1) — never take the detour.
+        path = ShortestPathRouter(triangle_network).path("A", "C")
+        assert path.nodes == ("A", "C")
+
+    def test_tie_break_is_lexicographic(self):
+        net = Network()
+        for name in ("S", "B", "Z", "D"):
+            net.add_node(name)
+        net.add_link("S", "B")
+        net.add_link("S", "Z")
+        net.add_link("B", "D")
+        net.add_link("Z", "D")
+        path = ShortestPathRouter(net).path("S", "D")
+        assert path.nodes == ("S", "B", "D")  # "B" < "Z"
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_node("A")
+        net.add_node("B")
+        with pytest.raises(ValueError, match="no route"):
+            ShortestPathRouter(net).path("A", "B")
+
+    def test_unknown_node_raises(self, triangle_network):
+        with pytest.raises(KeyError):
+            ShortestPathRouter(triangle_network).path("A", "Z")
+
+    def test_paths_from_returns_full_tree(self):
+        net = line_network(4)
+        tree = ShortestPathRouter(net).paths_from("n0")
+        assert set(tree) == {"n0", "n1", "n2", "n3"}
+        assert tree["n3"].num_hops == 3
+
+    def test_cache_invalidation(self, triangle_network):
+        router = ShortestPathRouter(triangle_network)
+        router.path("A", "C")
+        router.invalidate()
+        assert router.path("A", "C").nodes == ("A", "C")
+
+    def test_geant_all_pairs_reachable(self):
+        net = geant_network()
+        router = ShortestPathRouter(net)
+        tree = router.paths_from("UK")
+        assert len(tree) == net.num_nodes
+
+
+class TestODPair:
+    def test_label_used_as_name(self):
+        od = ODPair("UK", "NL", label="JANET-NL")
+        assert od.name == "JANET-NL"
+        assert ODPair("UK", "NL").name == "UK->NL"
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            ODPair("A", "A")
+
+
+class TestRoutingMatrix:
+    @pytest.fixture()
+    def setup(self):
+        net = line_network(4)
+        ods = [ODPair("n0", "n3"), ODPair("n1", "n2")]
+        return net, ods, RoutingMatrix.from_shortest_paths(net, ods)
+
+    def test_binary_entries_match_paths(self, setup):
+        net, ods, rm = setup
+        assert rm.matrix.shape == (2, net.num_links)
+        row0 = rm.matrix[0]
+        assert row0.sum() == 3  # n0->n3 crosses three links
+        assert rm.matrix[1].sum() == 1
+
+    def test_matrix_is_read_only(self, setup):
+        _, _, rm = setup
+        with pytest.raises(ValueError):
+            rm.matrix[0, 0] = 5
+
+    def test_traversed_links(self, setup):
+        net, _, rm = setup
+        traversed = rm.traversed_link_indices()
+        assert len(traversed) == 3  # forward chain links only
+
+    def test_od_pairs_on_link(self, setup):
+        net, ods, rm = setup
+        middle = net.link_between("n1", "n2").index
+        assert rm.od_pairs_on_link(middle) == ods
+
+    def test_row_of(self, setup):
+        _, ods, rm = setup
+        assert rm.row_of(ods[1]) == 1
+        with pytest.raises(ValueError):
+            rm.row_of(ODPair("n3", "n0"))
+
+    def test_path_of(self, setup):
+        _, _, rm = setup
+        assert rm.path_of(0).num_hops == 3
+
+    def test_restrict_links_column_order(self, setup):
+        net, _, rm = setup
+        middle = net.link_between("n1", "n2").index
+        first = net.link_between("n0", "n1").index
+        sub = rm.restrict_links([middle, first])
+        assert sub.shape == (2, 2)
+        np.testing.assert_array_equal(sub[:, 0], rm.matrix[:, middle])
+
+    def test_from_paths_validates_endpoints(self):
+        net = line_network(3)
+        od = ODPair("n0", "n2")
+        wrong = Path.from_nodes(net, ["n0", "n1"])
+        with pytest.raises(ValueError, match="does not connect"):
+            RoutingMatrix.from_paths(net, [od], [wrong])
+
+    def test_shape_mismatch_rejected(self):
+        net = line_network(3)
+        with pytest.raises(ValueError, match="shape"):
+            RoutingMatrix(net, [ODPair("n0", "n2")], np.zeros((2, net.num_links)))
+
+    def test_fraction_out_of_range_rejected(self):
+        net = line_network(3)
+        bad = np.zeros((1, net.num_links))
+        bad[0, 0] = 1.5
+        with pytest.raises(ValueError, match="fractions"):
+            RoutingMatrix(net, [ODPair("n0", "n2")], bad)

@@ -1,0 +1,43 @@
+"""Integration: every registered experiment runs end to end (quick mode)."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, EXPORTERS, main
+
+#: Anchors expected in each experiment's quick output.
+EXPECTED_SNIPPETS = {
+    "figure1": "splice points",
+    "table1": "Table I",
+    "convergence": "Convergence statistics",
+    "comparison": "capacity inflation",
+    "figure2": "Figure 2",
+    "dynamic": "Static vs re-optimized",
+    "practical": "Quantization",
+    "closed-loop": "adaptive",
+    "bias": "ground-truth bias",
+    "inference": "tomogravity",
+    "generality": "Topology generality",
+    "failures": "Single-failure sweep",
+    "ecmp": "Routing-model ablation",
+    "heuristics": "joint optimum",
+}
+
+
+def test_every_experiment_is_registered_with_a_snippet():
+    assert set(EXPECTED_SNIPPETS) == set(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs_quick(name, capsys):
+    assert main([name, "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert EXPECTED_SNIPPETS[name].lower() in out.lower(), name
+
+
+def test_exporters_subset_of_experiments():
+    assert set(EXPORTERS) <= set(EXPERIMENTS)
+
+
+def test_runner_export_dir(tmp_path, capsys):
+    assert main(["comparison", "--export-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "comparison.json").exists()

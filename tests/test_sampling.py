@@ -1,0 +1,219 @@
+"""Tests for the Monte-Carlo sampling evaluation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    AccuracyStats,
+    PacketDeduplicator,
+    SamplingExperiment,
+    SizeEstimate,
+    absolute_relative_error,
+    accuracy,
+    estimate_size,
+    estimate_sizes,
+    packet_digest,
+    simulate_packet_level,
+    simulate_sampled_counts,
+    squared_relative_error,
+    summarize_accuracy,
+)
+
+
+class TestAccuracyMetrics:
+    def test_perfect_estimate(self):
+        assert accuracy(100.0, 100.0) == 1.0
+        assert absolute_relative_error(100.0, 100.0) == 0.0
+        assert squared_relative_error(100.0, 100.0) == 0.0
+
+    def test_known_values(self):
+        assert accuracy(90.0, 100.0) == pytest.approx(0.9)
+        assert squared_relative_error(90.0, 100.0) == pytest.approx(0.01)
+
+    def test_vectorized(self):
+        result = accuracy(np.array([90.0, 110.0]), np.array([100.0, 100.0]))
+        np.testing.assert_allclose(result, [0.9, 0.9])
+
+    def test_nonpositive_actual_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(1.0, 0.0)
+
+    def test_stats_from_samples(self):
+        stats = AccuracyStats.from_samples(np.array([0.8, 0.9, 1.0]))
+        assert stats.mean == pytest.approx(0.9)
+        assert stats.minimum == 0.8
+        assert stats.runs == 3
+
+    def test_stats_reject_empty(self):
+        with pytest.raises(ValueError):
+            AccuracyStats.from_samples(np.array([]))
+
+    def test_summarize_shape_check(self):
+        with pytest.raises(ValueError):
+            summarize_accuracy(np.zeros((3, 2)), np.array([1.0]))
+
+
+class TestEstimator:
+    def test_inversion(self):
+        assert estimate_size(50, 0.5) == 100.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            estimate_size(50, 0.0)
+        with pytest.raises(ValueError):
+            estimate_size(50, 1.5)
+
+    def test_vectorized_inversion_with_zero_rates(self):
+        counts = np.array([10.0, 0.0])
+        rates = np.array([0.1, 0.0])
+        np.testing.assert_allclose(estimate_sizes(counts, rates), [100.0, 0.0])
+
+    def test_nonzero_count_at_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="zero sampling rate"):
+            estimate_sizes(np.array([1.0]), np.array([0.0]))
+
+    def test_confidence_interval_covers_truth_mostly(self):
+        rng = np.random.default_rng(0)
+        actual, rate = 100_000, 0.01
+        covered = 0
+        runs = 200
+        for _ in range(runs):
+            count = rng.binomial(actual, rate)
+            if SizeEstimate.from_count(count, rate, confidence=0.95).covers(actual):
+                covered += 1
+        assert covered / runs > 0.9
+
+    def test_size_estimate_validation(self):
+        with pytest.raises(ValueError):
+            SizeEstimate.from_count(5, 0.5, confidence=1.5)
+
+
+class TestSimulatedCounts:
+    def test_unbiased_with_dedup(self):
+        routing = np.array([[1.0, 1.0]])
+        sizes = np.array([1_000_000])
+        rng = np.random.default_rng(1)
+        counts = np.array([
+            simulate_sampled_counts(routing, sizes, np.array([0.01, 0.02]), rng)[0]
+            for _ in range(50)
+        ])
+        exact_rho = 1 - 0.99 * 0.98
+        assert counts.mean() == pytest.approx(sizes[0] * exact_rho, rel=0.02)
+
+    def test_without_dedup_counts_every_detection(self):
+        routing = np.array([[1.0, 1.0]])
+        sizes = np.array([1_000_000])
+        rng = np.random.default_rng(2)
+        counts = np.array([
+            simulate_sampled_counts(
+                routing, sizes, np.array([0.01, 0.02]), rng, deduplicate=False
+            )[0]
+            for _ in range(50)
+        ])
+        assert counts.mean() == pytest.approx(sizes[0] * 0.03, rel=0.02)
+
+    def test_zero_rates_give_zero_counts(self):
+        routing = np.array([[1.0, 0.0]])
+        counts = simulate_sampled_counts(
+            routing, np.array([1000]), np.array([0.0, 0.5]),
+            np.random.default_rng(0),
+        )
+        assert counts[0] == 0
+
+    def test_matches_packet_level_simulation(self):
+        # The binomial shortcut agrees with literal per-packet draws.
+        routing_row = np.array([1.0, 1.0, 0.0])
+        rates = np.array([0.05, 0.1, 0.5])
+        size = 20_000
+        rng = np.random.default_rng(3)
+        fast = np.array([
+            simulate_sampled_counts(
+                routing_row[np.newaxis, :], np.array([size]), rates, rng
+            )[0]
+            for _ in range(30)
+        ])
+        slow = np.array([
+            simulate_packet_level(routing_row, size, rates, rng)
+            for _ in range(30)
+        ])
+        exact_rho = 1 - 0.95 * 0.9
+        assert fast.mean() == pytest.approx(size * exact_rho, rel=0.05)
+        assert slow.mean() == pytest.approx(size * exact_rho, rel=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sampled_counts(
+                np.eye(2), np.array([10]), np.array([0.1, 0.1]),
+                np.random.default_rng(0),
+            )
+
+
+class TestSamplingExperiment:
+    def test_estimates_near_truth(self):
+        routing = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sizes = np.array([500_000.0, 50_000.0])
+        experiment = SamplingExperiment(routing, sizes)
+        result = experiment.run(np.array([0.01, 0.05]), runs=50, seed=0)
+        np.testing.assert_allclose(result.estimates.mean(axis=0), sizes, rtol=0.05)
+        assert result.average_accuracy > 0.9
+
+    def test_zero_rate_od_scores_zero_accuracy(self):
+        routing = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sizes = np.array([1000.0, 1000.0])
+        experiment = SamplingExperiment(routing, sizes)
+        result = experiment.run(np.array([0.5, 0.0]), runs=5, seed=1)
+        assert result.mean_accuracy[1] == pytest.approx(0.0)
+        assert result.worst_od_accuracy == pytest.approx(0.0)
+
+    def test_reproducible_for_seed(self):
+        routing = np.array([[1.0]])
+        experiment = SamplingExperiment(routing, np.array([10_000.0]))
+        a = experiment.run(np.array([0.01]), runs=3, seed=7)
+        b = experiment.run(np.array([0.01]), runs=3, seed=7)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_run_count_validated(self):
+        experiment = SamplingExperiment(np.array([[1.0]]), np.array([100.0]))
+        with pytest.raises(ValueError):
+            experiment.run(np.array([0.1]), runs=0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_accuracy_improves_with_rate(self, tens):
+        # Higher sampling rate → (stochastically) better accuracy.
+        routing = np.array([[1.0]])
+        sizes = np.array([100_000.0])
+        experiment = SamplingExperiment(routing, sizes)
+        low = experiment.run(np.array([0.001]), runs=30, seed=tens)
+        high = experiment.run(np.array([0.1]), runs=30, seed=tens)
+        assert high.average_accuracy > low.average_accuracy
+
+
+class TestDeduplicator:
+    def test_duplicates_detected(self):
+        dedup = PacketDeduplicator()
+        assert not dedup.is_duplicate(1, 1)
+        assert dedup.is_duplicate(1, 1)
+        assert not dedup.is_duplicate(1, 2)
+        assert dedup.distinct_packets == 2
+
+    def test_filter_stream(self):
+        dedup = PacketDeduplicator()
+        stream = [(1, 1), (1, 2), (1, 1), (2, 1)]
+        assert list(dedup.filter(stream)) == [(1, 1), (1, 2), (2, 1)]
+
+    def test_reset(self):
+        dedup = PacketDeduplicator()
+        dedup.is_duplicate(1, 1)
+        dedup.reset()
+        assert not dedup.is_duplicate(1, 1)
+
+    def test_digest_deterministic_and_salted(self):
+        assert packet_digest(5, 9) == packet_digest(5, 9)
+        assert packet_digest(5, 9) != packet_digest(5, 9, salt=1)
+
+    def test_digest_spreads_bits(self):
+        digests = {packet_digest(0, seq) for seq in range(10_000)}
+        assert len(digests) == 10_000

@@ -1,0 +1,68 @@
+"""Tests for the SciPy reference solvers and the solve() façade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    solve,
+    solve_scipy,
+)
+
+
+def problem():
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, 60.0, utilities, interval_seconds=1.0)
+
+
+class TestScipySolvers:
+    @pytest.mark.parametrize("method", ["SLSQP", "trust-constr"])
+    def test_solves_with_kkt(self, method):
+        solution = solve_scipy(problem(), method=method)
+        assert solution.diagnostics.converged
+        assert solution.diagnostics.kkt is not None
+        assert solution.diagnostics.kkt.satisfied
+        assert solution.budget_used_rate_pps == pytest.approx(60.0, rel=1e-6)
+
+    def test_methods_agree(self):
+        a = solve_scipy(problem(), method="SLSQP")
+        b = solve_scipy(problem(), method="trust-constr")
+        assert a.objective_value == pytest.approx(b.objective_value, rel=1e-6)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            solve_scipy(problem(), method="nelder-mead")
+
+    def test_diagnostics_labelled(self):
+        solution = solve_scipy(problem(), method="SLSQP")
+        assert solution.diagnostics.method == "scipy:SLSQP"
+
+
+class TestSolveFacade:
+    def test_default_is_gradient_projection(self):
+        solution = solve(problem())
+        assert solution.diagnostics.method == "gradient_projection"
+
+    @pytest.mark.parametrize("method", ["slsqp", "trust-constr"])
+    def test_scipy_methods_dispatch(self, method):
+        solution = solve(problem(), method=method)
+        assert solution.diagnostics.method.startswith("scipy:")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(problem(), method="bogus")
+
+    def test_all_methods_reach_same_objective(self):
+        values = {
+            method: solve(problem(), method=method).objective_value
+            for method in ("gradient_projection", "slsqp", "trust-constr")
+        }
+        baseline = values["gradient_projection"]
+        for value in values.values():
+            assert value == pytest.approx(baseline, rel=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for shadow prices, capacity response and marginal link values."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    capacity_response,
+    marginal_link_values,
+    shadow_price,
+    solve_gradient_projection,
+)
+
+
+def problem(theta=60.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, theta, utilities, interval_seconds=1.0)
+
+
+class TestShadowPrice:
+    def test_positive_at_optimum(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        assert shadow_price(prob, solution) > 0
+
+    def test_predicts_objective_gain(self):
+        prob = problem(theta=60.0)
+        solution = solve_gradient_projection(prob)
+        lam = shadow_price(prob, solution)
+        delta = 1.0
+        bumped = solve_gradient_projection(prob.with_theta(61.0))
+        assert bumped.objective_value - solution.objective_value == pytest.approx(
+            lam * delta, rel=0.1
+        )
+
+
+class TestCapacityResponse:
+    def test_objective_increasing_and_concave_in_theta(self):
+        prob = problem()
+        thetas = [20.0, 40.0, 80.0, 160.0]
+        points = capacity_response(prob, thetas, method="slsqp")
+        objectives = [p.objective for p in points]
+        assert all(b >= a - 1e-12 for a, b in zip(objectives, objectives[1:]))
+        gains = np.diff(objectives) / np.diff(thetas)
+        assert all(b <= a + 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_shadow_price_non_increasing(self):
+        prob = problem()
+        points = capacity_response(prob, [20.0, 40.0, 80.0], method="slsqp")
+        prices = [p.shadow_price for p in points]
+        assert all(b <= a * 1.01 for a, b in zip(prices, prices[1:]))
+
+    def test_clamps_oversized_theta(self):
+        prob = problem()
+        big = prob.max_absorbable_rate * 10
+        points = capacity_response(prob, [big], method="slsqp")
+        assert points[0].objective > 0
+
+    def test_rejects_nonpositive_theta(self):
+        with pytest.raises(ValueError):
+            capacity_response(problem(), [0.0])
+
+
+class TestMarginalLinkValues:
+    def test_active_links_sit_at_shadow_price(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        lam = shadow_price(prob, solution)
+        values = marginal_link_values(prob, solution)
+        for i in solution.active_link_indices:
+            if solution.rates[i] < prob.alpha[i] - 1e-9:
+                assert values[i] == pytest.approx(lam, rel=1e-4)
+
+    def test_inactive_links_below_shadow_price(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        lam = shadow_price(prob, solution)
+        values = marginal_link_values(prob, solution)
+        candidates = np.flatnonzero(prob.candidate_mask)
+        for i in candidates:
+            if solution.rates[i] <= 1e-9:
+                assert values[i] <= lam * (1 + 1e-6)
+
+    def test_non_candidates_get_zero(self):
+        prob = problem()
+        solution = solve_gradient_projection(prob)
+        values = marginal_link_values(prob, solution)
+        # No link beyond the candidates here, but shape must match.
+        assert values.shape == (prob.num_links,)

@@ -1,0 +1,78 @@
+"""Tests for the SamplingSolution reporting object."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    SamplingSolution,
+    SolverDiagnostics,
+)
+
+
+def make_solution(rates):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([100.0, 200.0, 50.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-4),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    problem = SamplingProblem(routing, loads, 30.0, utilities, interval_seconds=1.0)
+    diagnostics = SolverDiagnostics(
+        method="test", iterations=1, constraint_releases=0,
+        converged=True, objective_value=0.0,
+    )
+    return SamplingSolution(problem=problem, rates=np.asarray(rates, float),
+                            diagnostics=diagnostics)
+
+
+class TestViews:
+    def test_effective_rates_linear(self):
+        sol = make_solution([0.1, 0.05, 0.0])
+        np.testing.assert_allclose(sol.effective_rates, [0.15, 0.05])
+
+    def test_exact_rates_below_linear(self):
+        sol = make_solution([0.1, 0.05, 0.0])
+        assert np.all(sol.exact_effective_rates <= sol.effective_rates + 1e-12)
+
+    def test_active_links_threshold(self):
+        sol = make_solution([0.1, 0.0, 1e-12])
+        assert sol.active_link_indices == [0]
+        assert sol.num_active_monitors == 1
+
+    def test_monitors_per_od(self):
+        sol = make_solution([0.1, 0.05, 0.0])
+        np.testing.assert_array_equal(sol.monitors_per_od(), [2, 1])
+
+    def test_budget_accounting(self):
+        sol = make_solution([0.1, 0.05, 0.2])
+        assert sol.budget_used_rate_pps == pytest.approx(
+            0.1 * 100 + 0.05 * 200 + 0.2 * 50
+        )
+        assert sol.budget_used_packets == pytest.approx(sol.budget_used_rate_pps)
+
+    def test_contribution_fractions_sum_to_one(self):
+        sol = make_solution([0.1, 0.05, 0.2])
+        assert sol.contribution_fractions.sum() == pytest.approx(1.0)
+
+    def test_contributions_zero_when_nothing_sampled(self):
+        sol = make_solution([0.0, 0.0, 0.0])
+        np.testing.assert_allclose(sol.contribution_fractions, 0.0)
+
+    def test_objective_is_sum_of_utilities(self):
+        sol = make_solution([0.1, 0.05, 0.0])
+        assert sol.objective_value == pytest.approx(float(sol.od_utilities.sum()))
+
+    def test_rates_validated_and_frozen(self):
+        with pytest.raises(ValueError):
+            make_solution([0.1])
+        sol = make_solution([0.1, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            sol.rates[0] = 0.5
+
+    def test_summary_mentions_active_links(self):
+        sol = make_solution([0.1, 0.0, 0.0])
+        text = sol.summary(link_names=["L0", "L1", "L2"])
+        assert "L0" in text
+        assert "L1" not in text.split("active monitors")[1]

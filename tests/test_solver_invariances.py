@@ -1,0 +1,122 @@
+"""Property tests: structural invariances of the optimization.
+
+These pin down what the optimum *means* rather than specific numbers:
+scaling symmetries, permutation equivariance, monotonicity in the
+budget, and independence from the solver's path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    solve_gradient_projection,
+)
+from tests.conftest import make_random_problem
+
+
+def base_problem(theta=60.0):
+    routing = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    loads = np.array([1000.0, 1100.0, 100.0])
+    utilities = [
+        MeanSquaredRelativeAccuracy(1e-5),
+        MeanSquaredRelativeAccuracy(1e-3),
+    ]
+    return SamplingProblem(routing, loads, theta, utilities, interval_seconds=1.0)
+
+
+class TestScalingInvariance:
+    def test_load_and_theta_scale_together(self):
+        """Scaling all loads and θ by the same factor leaves p* unchanged.
+
+        The constraint Σ p U = θ' and the utility (a function of ρ = R p
+        only) are both invariant, so the optimum must be too.
+        """
+        prob = base_problem()
+        scaled = SamplingProblem(
+            prob.routing,
+            prob.link_loads_pps * 7.0,
+            prob.theta_packets * 7.0,
+            prob.utilities,
+            interval_seconds=prob.interval_seconds,
+        )
+        a = solve_gradient_projection(prob)
+        b = solve_gradient_projection(scaled)
+        np.testing.assert_allclose(a.rates, b.rates, atol=1e-8)
+
+    def test_interval_rescaling_equivalence(self):
+        """θ packets per T seconds ≡ k·θ packets per k·T seconds."""
+        prob = base_problem()
+        stretched = SamplingProblem(
+            prob.routing,
+            prob.link_loads_pps,
+            prob.theta_packets * 5.0,
+            prob.utilities,
+            interval_seconds=prob.interval_seconds * 5.0,
+        )
+        a = solve_gradient_projection(prob)
+        b = solve_gradient_projection(stretched)
+        np.testing.assert_allclose(a.rates, b.rates, atol=1e-8)
+
+
+class TestPermutationEquivariance:
+    def test_link_relabelling_permutes_solution(self):
+        prob = base_problem()
+        perm = np.array([2, 0, 1])
+        permuted = SamplingProblem(
+            prob.routing[:, perm],
+            prob.link_loads_pps[perm],
+            prob.theta_packets,
+            prob.utilities,
+            interval_seconds=prob.interval_seconds,
+        )
+        a = solve_gradient_projection(prob)
+        b = solve_gradient_projection(permuted)
+        np.testing.assert_allclose(b.rates, a.rates[perm], atol=1e-8)
+
+    def test_od_reordering_does_not_change_rates(self):
+        prob = base_problem()
+        swapped = SamplingProblem(
+            prob.routing[::-1],
+            prob.link_loads_pps,
+            prob.theta_packets,
+            list(prob.utilities[::-1]),
+            interval_seconds=prob.interval_seconds,
+        )
+        a = solve_gradient_projection(prob)
+        b = solve_gradient_projection(swapped)
+        np.testing.assert_allclose(a.rates, b.rates, atol=1e-8)
+
+
+class TestBudgetMonotonicity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_objective_nondecreasing_in_theta(self, seed):
+        problem = make_random_problem(seed + 40)
+        thetas = problem.theta_packets * np.array([0.5, 1.0, 2.0])
+        values = [
+            solve_gradient_projection(problem.with_theta(t)).objective_value
+            for t in thetas
+        ]
+        assert values[0] <= values[1] + 1e-9
+        assert values[1] <= values[2] + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_effective_rates_bounded_by_path_alpha(self, seed):
+        problem = make_random_problem(seed + 60)
+        solution = solve_gradient_projection(problem)
+        path_caps = problem.routing @ problem.alpha
+        assert np.all(solution.effective_rates <= path_caps + 1e-9)
+
+
+class TestPathIndependence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_warm_and_cold_starts_agree(self, seed):
+        problem = make_random_problem(seed + 80)
+        cold = solve_gradient_projection(problem)
+        rng = np.random.default_rng(seed)
+        warm_point = rng.uniform(0, 1, problem.num_links) * problem.alpha
+        warm = solve_gradient_projection(problem, warm_start=warm_point)
+        assert warm.objective_value == pytest.approx(
+            cold.objective_value, rel=1e-7
+        )

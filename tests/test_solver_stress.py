@@ -1,0 +1,206 @@
+"""Stress and degenerate-case tests for the gradient-projection solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GradientProjectionOptions,
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    check_kkt,
+    solve_gradient_projection,
+    solve_scipy,
+)
+
+
+def msra(c):
+    return MeanSquaredRelativeAccuracy(c)
+
+
+class TestDegenerateShapes:
+    def test_single_link_single_od(self):
+        problem = SamplingProblem(
+            np.array([[1.0]]), [100.0], 5.0, [msra(1e-3)], interval_seconds=1.0
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        # Only one feasible point: p = theta'/U.
+        assert solution.rates[0] == pytest.approx(0.05)
+
+    def test_all_ods_on_same_single_link(self):
+        routing = np.ones((5, 1))
+        problem = SamplingProblem(
+            routing, [1000.0], 10.0,
+            [msra(10 ** (-k - 2)) for k in range(5)], interval_seconds=1.0,
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        assert solution.rates[0] == pytest.approx(0.01)
+
+    def test_theta_at_exact_saturation(self):
+        # theta == sum(alpha * U): the unique feasible point is p = alpha.
+        routing = np.array([[1.0, 1.0]])
+        loads = np.array([100.0, 50.0])
+        alpha = np.array([0.2, 0.5])
+        problem = SamplingProblem(
+            routing, loads, float(alpha @ loads),
+            [msra(1e-3)], alpha=alpha, interval_seconds=1.0,
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        np.testing.assert_allclose(solution.rates, alpha, atol=1e-9)
+
+    def test_tiny_theta(self):
+        problem = SamplingProblem(
+            np.array([[1.0, 1.0]]), [1000.0, 10.0], 1e-6,
+            [msra(1e-4)], interval_seconds=1.0,
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        assert solution.budget_used_rate_pps == pytest.approx(1e-6, rel=1e-6)
+        # The budget lands on the cheap (lightly loaded) link.
+        assert solution.rates[1] > solution.rates[0]
+
+    def test_extreme_c_spread(self):
+        # c spanning 7 orders of magnitude: gradients span ~14 orders.
+        routing = np.eye(4)
+        loads = np.array([100.0, 100.0, 100.0, 100.0])
+        utilities = [msra(c) for c in (1e-9, 1e-6, 1e-4, 0.4)]
+        problem = SamplingProblem(
+            routing, loads, 8.0, utilities, interval_seconds=1.0
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        assert check_kkt(problem, solution.rates, tolerance=1e-4).satisfied
+        # Rates ordered with c: harder-to-measure pairs sample harder.
+        assert np.all(np.diff(solution.rates) > 0)
+
+    def test_identical_parallel_ods_get_identical_rates(self):
+        routing = np.eye(3)
+        problem = SamplingProblem(
+            routing, [100.0, 100.0, 100.0], 6.0,
+            [msra(1e-3)] * 3, interval_seconds=1.0,
+        )
+        solution = solve_gradient_projection(problem)
+        assert np.ptp(solution.rates) < 1e-9
+
+    def test_wide_fan_out_many_ods(self):
+        # 100 OD pairs over 40 links on a random bipartite-ish routing.
+        rng = np.random.default_rng(0)
+        routing = (rng.random((100, 40)) < 0.15).astype(float)
+        routing[routing.sum(axis=1) == 0, 0] = 1.0  # every OD routed
+        loads = rng.uniform(100.0, 50_000.0, size=40)
+        utilities = [msra(float(c)) for c in rng.uniform(1e-6, 1e-3, 100)]
+        problem = SamplingProblem(
+            routing, loads, 0.001 * float(loads.sum()),
+            utilities, interval_seconds=1.0,
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        reference = solve_scipy(problem, method="SLSQP")
+        assert solution.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-6
+        )
+
+
+class TestEcmpThroughSolver:
+    def test_fractional_routing_matrix_solves(self):
+        from repro.routing import ODPair, ecmp_routing_matrix
+        from repro.topology import Network
+
+        net = Network("diamond")
+        for name in "SABD":
+            net.add_node(name)
+        net.add_link("S", "A")
+        net.add_link("S", "B")
+        net.add_link("A", "D")
+        net.add_link("B", "D")
+        routing = ecmp_routing_matrix(net, [ODPair("S", "D")])
+        loads = np.full(net.num_links, 500.0)
+        problem = SamplingProblem(
+            routing.matrix, loads, 4.0, [msra(1e-3)], interval_seconds=1.0
+        )
+        solution = solve_gradient_projection(problem)
+        assert solution.diagnostics.converged
+        # With a 50/50 split every link contributes half its rate.
+        assert solution.effective_rates[0] == pytest.approx(
+            0.5 * solution.rates.sum(), rel=1e-9
+        )
+
+    @staticmethod
+    def _diamond():
+        from repro.routing import ODPair, RoutingMatrix, ecmp_routing_matrix
+        from repro.topology import Network
+
+        net = Network("diamond")
+        for name in "SABD":
+            net.add_node(name)
+        net.add_link("S", "A")
+        net.add_link("S", "B")
+        net.add_link("A", "D")
+        net.add_link("B", "D")
+        pair = [ODPair("S", "D")]
+        return net, ecmp_routing_matrix(net, pair), RoutingMatrix.from_shortest_paths(net, pair)
+
+    def test_ecmp_splitting_hurts_under_cross_traffic(self):
+        """With exogenous per-link loads, ECMP halves monitoring
+        efficiency: the pair's packets spread over twice the links, but
+        each sampled budget unit still pays the full cross-traffic
+        load.  Single-path routing concentrates the pair where the
+        budget buys the most."""
+        net, ecmp, single = self._diamond()
+        loads = np.full(net.num_links, 500.0)  # cross-traffic dominated
+        u = [msra(1e-3)]
+        sol_ecmp = solve_gradient_projection(
+            SamplingProblem(ecmp.matrix, loads, 4.0, u, interval_seconds=1.0)
+        )
+        sol_single = solve_gradient_projection(
+            SamplingProblem(single.matrix, loads, 4.0, u, interval_seconds=1.0)
+        )
+        assert sol_single.effective_rates[0] == pytest.approx(
+            2 * sol_ecmp.effective_rates[0], rel=1e-6
+        )
+        assert sol_single.objective_value > sol_ecmp.objective_value
+
+    def test_ecmp_neutral_when_loads_are_own_traffic(self):
+        """When links carry only the pair's own (split) traffic, the
+        budget cost of a unit of effective rate is identical under both
+        routings, so the optima coincide."""
+        net, ecmp, single = self._diamond()
+        traffic = 1000.0
+        u = [msra(1e-3)]
+        sol_ecmp = solve_gradient_projection(
+            SamplingProblem(
+                ecmp.matrix, ecmp.matrix[0] * traffic, 4.0, u,
+                interval_seconds=1.0,
+            )
+        )
+        sol_single = solve_gradient_projection(
+            SamplingProblem(
+                single.matrix, single.matrix[0] * traffic, 4.0, u,
+                interval_seconds=1.0,
+            )
+        )
+        assert sol_ecmp.objective_value == pytest.approx(
+            sol_single.objective_value, rel=1e-9
+        )
+
+
+class TestSolverRobustnessKnobs:
+    def test_loose_tolerance_still_feasible(self):
+        problem = SamplingProblem(
+            np.array([[1.0, 1.0]]), [100.0, 10.0], 1.0,
+            [msra(1e-3)], interval_seconds=1.0,
+        )
+        options = GradientProjectionOptions(tolerance=1e-3)
+        solution = solve_gradient_projection(problem, options=options)
+        assert solution.budget_used_rate_pps == pytest.approx(1.0, rel=1e-6)
+
+    def test_very_tight_tolerance_converges(self):
+        problem = SamplingProblem(
+            np.array([[1.0, 1.0]]), [100.0, 10.0], 1.0,
+            [msra(1e-3)], interval_seconds=1.0,
+        )
+        options = GradientProjectionOptions(tolerance=1e-13)
+        solution = solve_gradient_projection(problem, options=options)
+        assert solution.diagnostics.converged

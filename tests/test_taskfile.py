@@ -1,0 +1,104 @@
+"""Tests for declarative task files and the CLI --task-file flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.topology import abilene_network
+from repro.traffic import load_task_file, task_from_dict
+
+VALID = {
+    "topology": "abilene",
+    "interval_seconds": 300,
+    "background_pps": 100_000,
+    "seed": 3,
+    "access_node": "NYC",
+    "od_pairs": [
+        {"origin": "NYC", "destination": "LAX", "pps": 5000},
+        {"origin": "SEA", "destination": "ATL", "pps": 300, "label": "susp"},
+    ],
+}
+
+
+def resolver(name: str):
+    assert name == "abilene"
+    return abilene_network()
+
+
+class TestTaskFromDict:
+    def test_builds_task(self):
+        task = task_from_dict(VALID, resolver)
+        assert task.num_od_pairs == 2
+        assert task.access_node == "NYC"
+        assert task.routing.od_pairs[1].name == "susp"
+        assert task.od_sizes_pps[0] == 5000.0
+
+    def test_defaults(self):
+        minimal = {
+            "topology": "abilene",
+            "od_pairs": [{"origin": "NYC", "destination": "LAX", "pps": 10}],
+        }
+        task = task_from_dict(minimal, resolver)
+        assert task.interval_seconds == 300.0
+        assert task.access_node is None
+
+    def test_missing_keys(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            task_from_dict({"topology": "abilene"}, resolver)
+
+    def test_empty_od_list(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            task_from_dict({"topology": "abilene", "od_pairs": []}, resolver)
+
+    def test_malformed_od(self):
+        bad = {"topology": "abilene", "od_pairs": [{"origin": "NYC"}]}
+        with pytest.raises(ValueError, match=r"od_pairs\[0\]"):
+            task_from_dict(bad, resolver)
+
+    def test_nonpositive_pps(self):
+        bad = {
+            "topology": "abilene",
+            "od_pairs": [{"origin": "NYC", "destination": "LAX", "pps": 0}],
+        }
+        with pytest.raises(ValueError, match="positive"):
+            task_from_dict(bad, resolver)
+
+
+class TestLoadTaskFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "task.json"
+        path.write_text(json.dumps(VALID))
+        task = load_task_file(path, resolver)
+        assert task.num_od_pairs == 2
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_task_file(path, resolver)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="top level"):
+            load_task_file(path, resolver)
+
+
+class TestCliTaskFile:
+    def test_solve_from_task_file(self, tmp_path, capsys):
+        path = tmp_path / "task.json"
+        path.write_text(json.dumps(VALID))
+        code = main([
+            "solve", "--task-file", str(path), "--theta", "10000",
+            "--method", "slsqp", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"]
+        assert "susp" in payload["od_utilities"]
+
+    def test_missing_file_errors_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--task-file", "/nonexistent.json",
+                  "--theta", "1000"])

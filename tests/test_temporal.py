@@ -1,0 +1,96 @@
+"""Tests for multi-interval trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import TraceEvent, diurnal_factor, generate_trace, janet_task
+
+
+@pytest.fixture(scope="module")
+def base():
+    return janet_task()
+
+
+class TestTraceEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            TraceEvent(kind="meteor", start_interval=0, duration_intervals=1)
+        with pytest.raises(ValueError):
+            TraceEvent(kind="anomaly", start_interval=-1, duration_intervals=1)
+        with pytest.raises(ValueError, match="endpoints"):
+            TraceEvent(kind="failure", start_interval=0, duration_intervals=1)
+
+    def test_active_window(self):
+        event = TraceEvent(kind="anomaly", start_interval=2, duration_intervals=3)
+        assert not event.active_at(1)
+        assert event.active_at(2)
+        assert event.active_at(4)
+        assert not event.active_at(5)
+
+
+class TestGenerateTrace:
+    def test_interval_count_and_indexing(self, base):
+        trace = list(generate_trace(base, num_intervals=5, seed=0))
+        assert [t.index for t in trace] == [0, 1, 2, 3, 4]
+
+    def test_hours_advance_with_interval_length(self, base):
+        trace = list(generate_trace(base, num_intervals=3, start_hour=6.0, seed=0))
+        step = base.interval_seconds / 3600.0
+        assert trace[1].hour_of_day == pytest.approx(6.0 + step)
+
+    def test_diurnal_scaling_visible(self, base):
+        # Without noise, sizes scale exactly by the diurnal factor.
+        trace = list(
+            generate_trace(base, num_intervals=1, start_hour=3.0,
+                           noise_sigma=0.0, seed=0)
+        )
+        factor = diurnal_factor(3.0)
+        np.testing.assert_allclose(
+            trace[0].task.od_sizes_pps, base.od_sizes_pps * factor
+        )
+
+    def test_noise_is_reproducible(self, base):
+        a = list(generate_trace(base, num_intervals=3, seed=5))
+        b = list(generate_trace(base, num_intervals=3, seed=5))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.task.od_sizes_pps, y.task.od_sizes_pps)
+
+    def test_loads_track_sizes(self, base):
+        # Task loads = diurnal background + routed noisy OD sizes.
+        trace = list(generate_trace(base, num_intervals=1, seed=1))
+        task = trace[0].task
+        routed = task.routing.matrix.T @ task.od_sizes_pps
+        assert np.all(task.link_loads_pps >= routed - 1e-9)
+
+    def test_anomaly_event_applied_during_window(self, base):
+        events = [
+            TraceEvent(kind="anomaly", start_interval=1,
+                       duration_intervals=1, od_index=0, magnitude=50.0)
+        ]
+        trace = list(
+            generate_trace(base, num_intervals=3, noise_sigma=0.0,
+                           events=events, seed=0)
+        )
+        assert trace[0].active_events == ()
+        assert trace[1].active_events
+        ratio = (
+            trace[1].task.od_sizes_pps[0] / trace[0].task.od_sizes_pps[0]
+        ) * (diurnal_factor(trace[0].hour_of_day) / diurnal_factor(trace[1].hour_of_day))
+        assert ratio == pytest.approx(50.0, rel=1e-6)
+
+    def test_failure_event_changes_topology(self, base):
+        events = [
+            TraceEvent(kind="failure", start_interval=0,
+                       duration_intervals=1, node_a="UK", node_b="FR")
+        ]
+        trace = list(
+            generate_trace(base, num_intervals=2, events=events, seed=0)
+        )
+        assert trace[0].task.network.num_links == base.network.num_links - 2
+        assert trace[1].task.network.num_links == base.network.num_links
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            list(generate_trace(base, num_intervals=0))
+        with pytest.raises(ValueError):
+            list(generate_trace(base, num_intervals=1, noise_sigma=-1.0))

@@ -1,0 +1,75 @@
+"""Tests for random/synthetic topology generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    full_mesh_network,
+    line_network,
+    random_scale_free_network,
+    random_waxman_network,
+    ring_network,
+    star_network,
+)
+
+
+class TestDeterministicShapes:
+    def test_ring(self):
+        net = ring_network(5)
+        assert net.num_nodes == 5
+        assert net.num_links == 10
+        assert all(net.degree(n) == 2 for n in net.node_names)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_network(2)
+
+    def test_star(self):
+        net = star_network(4)
+        assert net.num_nodes == 5
+        assert net.degree("hub") == 4
+        assert net.degree("leaf0") == 1
+
+    def test_full_mesh(self):
+        net = full_mesh_network(4)
+        assert net.num_links == 4 * 3
+
+    def test_line(self):
+        net = line_network(3)
+        assert net.num_links == 4
+        assert net.is_strongly_connected()
+
+    def test_line_too_short(self):
+        with pytest.raises(ValueError):
+            line_network(1)
+
+
+class TestRandomGenerators:
+    @given(st.integers(min_value=4, max_value=25), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_waxman_strongly_connected(self, n, seed):
+        net = random_waxman_network(n, seed=seed)
+        assert net.num_nodes == n
+        assert net.is_strongly_connected()
+
+    @given(st.integers(min_value=4, max_value=25), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_free_strongly_connected(self, n, seed):
+        net = random_scale_free_network(n, seed=seed)
+        assert net.num_nodes == n
+        assert net.is_strongly_connected()
+
+    def test_waxman_deterministic_for_seed(self):
+        a = random_waxman_network(12, seed=3)
+        b = random_waxman_network(12, seed=3)
+        assert [(l.src, l.dst) for l in a.links] == [(l.src, l.dst) for l in b.links]
+
+    def test_waxman_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_waxman_network(1)
+
+    def test_scale_free_hubs_exist(self):
+        net = random_scale_free_network(30, seed=1)
+        degrees = sorted(net.degree(n) for n in net.node_names)
+        assert degrees[-1] >= 2 * degrees[0]

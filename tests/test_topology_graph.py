@@ -1,0 +1,140 @@
+"""Unit tests for the directed network model."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import Link, LinkSpeed, Network
+
+
+@pytest.fixture()
+def net() -> Network:
+    net = Network("t")
+    net.add_node("A")
+    net.add_node("B", region="west")
+    net.add_node("C")
+    net.add_link("A", "B", capacity_pps=100.0, weight=2.0)
+    net.add_link("B", "C")
+    return net
+
+
+class TestConstruction:
+    def test_nodes_registered(self, net):
+        assert net.num_nodes == 3
+        assert net.node("B").region == "west"
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(ValueError, match="duplicate node"):
+            net.add_node("A")
+
+    def test_link_indices_are_dense_and_ordered(self, net):
+        assert [link.index for link in net.links] == [0, 1]
+        third = net.add_link("C", "A")
+        assert third.index == 2
+
+    def test_link_requires_existing_nodes(self, net):
+        with pytest.raises(KeyError):
+            net.add_link("A", "Z")
+        with pytest.raises(KeyError):
+            net.add_link("Z", "A")
+
+    def test_self_loop_rejected(self, net):
+        with pytest.raises(ValueError, match="self-loop"):
+            net.add_link("A", "A")
+
+    def test_parallel_link_rejected(self, net):
+        with pytest.raises(ValueError, match="duplicate link"):
+            net.add_link("A", "B")
+
+    def test_duplex_adds_both_directions(self):
+        net = Network()
+        net.add_node("X")
+        net.add_node("Y")
+        forward, backward = net.add_duplex_link("X", "Y", weight=3.0)
+        assert (forward.src, forward.dst) == ("X", "Y")
+        assert (backward.src, backward.dst) == ("Y", "X")
+        assert forward.weight == backward.weight == 3.0
+
+
+class TestLookup:
+    def test_link_between(self, net):
+        link = net.link_between("A", "B")
+        assert link.capacity_pps == 100.0
+        assert link.name == "A->B"
+
+    def test_missing_link_raises(self, net):
+        with pytest.raises(KeyError, match="no link"):
+            net.link_between("C", "A")
+
+    def test_link_by_index_bounds(self, net):
+        assert net.link(1).dst == "C"
+        with pytest.raises(IndexError):
+            net.link(5)
+
+    def test_out_in_links(self, net):
+        assert [l.dst for l in net.out_links("B")] == ["C"]
+        assert [l.src for l in net.in_links("B")] == ["A"]
+        assert len(net.adjacent_links("B")) == 2
+
+    def test_neighbors_and_degree(self, net):
+        assert net.neighbors("A") == ["B"]
+        assert net.degree("A") == 1
+
+    def test_unknown_node_raises(self, net):
+        with pytest.raises(KeyError):
+            net.out_links("Z")
+
+    def test_contains_and_iter(self, net):
+        assert "A" in net
+        assert "Z" not in net
+        assert [l.index for l in net] == [0, 1]
+
+
+class TestConversion:
+    def test_networkx_round_trip(self, net):
+        graph = net.to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        rebuilt = Network.from_networkx(graph, name="copy")
+        assert rebuilt.num_nodes == net.num_nodes
+        assert rebuilt.num_links == net.num_links
+        assert rebuilt.link_between("A", "B").weight == 2.0
+        assert rebuilt.node("B").region == "west"
+
+    def test_from_undirected_doubles_links(self):
+        graph = nx.Graph()
+        graph.add_edge("u", "v", weight=1.5)
+        net = Network.from_networkx(graph)
+        assert net.num_links == 2
+        assert net.has_link("u", "v") and net.has_link("v", "u")
+
+    def test_strong_connectivity(self, net):
+        assert not net.is_strongly_connected()
+        net.add_link("C", "A")
+        assert net.is_strongly_connected()
+
+    def test_single_node_is_connected(self):
+        net = Network()
+        net.add_node("solo")
+        assert net.is_strongly_connected()
+
+
+class TestValidation:
+    def test_validate_loads_accepts_dense_vector(self, net):
+        net.validate_loads([50.0, 10.0])
+
+    def test_validate_loads_rejects_overload(self, net):
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            net.validate_loads([150.0, 0.0])
+
+    def test_validate_loads_rejects_negative(self, net):
+        with pytest.raises(ValueError, match="negative load"):
+            net.validate_loads({0: -1.0})
+
+    def test_link_speeds_ordered(self):
+        assert LinkSpeed.OC3 < LinkSpeed.OC12 < LinkSpeed.OC48 < LinkSpeed.OC192
+
+
+class TestLinkDataclass:
+    def test_name_format(self):
+        link = Link(index=0, src="S", dst="D")
+        assert link.name == "S->D"
+        assert str(link) == "S->D"

@@ -1,0 +1,69 @@
+"""Tests for topology serialization (JSON and edge-list formats)."""
+
+import pytest
+
+from repro.topology import (
+    geant_network,
+    load_network,
+    network_from_edge_list,
+    network_from_json,
+    network_to_edge_list,
+    network_to_json,
+    save_network,
+)
+
+
+class TestJsonRoundTrip:
+    def test_geant_round_trips_losslessly(self):
+        net = geant_network()
+        rebuilt = network_from_json(network_to_json(net))
+        assert rebuilt.name == net.name
+        assert rebuilt.num_nodes == net.num_nodes
+        assert rebuilt.num_links == net.num_links
+        for original, copy in zip(net.links, rebuilt.links):
+            assert (original.src, original.dst) == (copy.src, copy.dst)
+            assert original.index == copy.index
+            assert original.capacity_pps == copy.capacity_pps
+            assert original.weight == copy.weight
+
+    def test_regions_preserved(self):
+        net = geant_network()
+        rebuilt = network_from_json(network_to_json(net))
+        assert rebuilt.node("NY").region == "america"
+
+    def test_file_round_trip(self, tmp_path):
+        net = geant_network()
+        path = tmp_path / "geant.json"
+        save_network(net, path)
+        assert load_network(path).num_links == net.num_links
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        net = geant_network()
+        rebuilt = network_from_edge_list(network_to_edge_list(net), name="copy")
+        assert rebuilt.num_links == net.num_links
+        assert rebuilt.link_between("UK", "FR").weight == pytest.approx(
+            net.link_between("UK", "FR").weight
+        )
+
+    def test_parses_defaults_and_comments(self):
+        text = """
+        # comment line
+        A B            # defaults: weight 1, OC-48
+        B C 2.5
+        C A 1.0 5000
+        """
+        net = network_from_edge_list(text)
+        assert net.num_nodes == 3
+        assert net.link_between("A", "B").weight == 1.0
+        assert net.link_between("B", "C").weight == 2.5
+        assert net.link_between("C", "A").capacity_pps == 5000.0
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            network_from_edge_list("justonenode")
+
+    def test_nodes_created_on_first_mention(self):
+        net = network_from_edge_list("X Y\nY X")
+        assert net.is_strongly_connected()

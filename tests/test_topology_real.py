@@ -1,0 +1,84 @@
+"""Tests for the GEANT and Abilene topologies against the paper's facts."""
+
+import pytest
+
+from repro.topology import (
+    ABILENE_POPS,
+    GEANT_POPS,
+    UK_ACCESS_NODE,
+    abilene_network,
+    geant_network,
+)
+from repro.traffic.workloads import JANET_OD_SIZES_PPS
+
+
+class TestGeant:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return geant_network()
+
+    def test_paper_dimensions(self, net):
+        # §V: "22 of the 72 unidirectional links of GEANT", 23 PoPs.
+        assert net.num_nodes == 23
+        assert net.num_links == 72
+
+    def test_strongly_connected(self, net):
+        assert net.is_strongly_connected()
+
+    def test_uk_has_exactly_six_intra_geant_links(self, net):
+        # §V-C: the restricted baseline balances over six UK links.
+        assert net.degree(UK_ACCESS_NODE) == 6
+
+    def test_all_janet_destinations_present(self, net):
+        for pop in JANET_OD_SIZES_PPS:
+            assert net.has_node(pop), pop
+
+    def test_table1_links_exist(self, net):
+        # The links Table I activates must exist in the topology.
+        for a, b in [
+            ("UK", "FR"), ("UK", "SE"), ("UK", "NL"), ("UK", "NY"),
+            ("SE", "PL"), ("UK", "PT"), ("IT", "IL"), ("FR", "BE"),
+            ("FR", "LU"), ("CZ", "SK"),
+        ]:
+            assert net.has_link(a, b), f"{a}->{b}"
+            assert net.has_link(b, a), f"{b}->{a}"
+
+    def test_duplex_symmetry(self, net):
+        for link in net.links:
+            assert net.has_link(link.dst, link.src)
+
+    def test_pop_regions(self, net):
+        assert net.node("NY").region == "america"
+        assert net.node("DE").region == "europe"
+
+    def test_small_pops_on_slow_links(self, net):
+        # LU hangs off FR on an OC-3 — the lightly-loaded-spoke property.
+        from repro.topology import LinkSpeed
+
+        assert net.link_between("FR", "LU").capacity_pps == LinkSpeed.OC3
+        assert net.link_between("CZ", "SK").capacity_pps == LinkSpeed.OC3
+
+    def test_pops_constant_matches_network(self, net):
+        assert set(GEANT_POPS) == set(net.node_names)
+
+
+class TestAbilene:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return abilene_network()
+
+    def test_dimensions(self, net):
+        assert net.num_nodes == 11
+        assert net.num_links == 28  # 14 duplex circuits
+
+    def test_strongly_connected(self, net):
+        assert net.is_strongly_connected()
+
+    def test_pops_constant_matches_network(self, net):
+        assert set(ABILENE_POPS) == set(net.node_names)
+
+    def test_coast_to_coast_multi_hop(self, net):
+        from repro.routing import ShortestPathRouter
+
+        path = ShortestPathRouter(net).path("NYC", "LAX")
+        assert path.num_hops >= 3

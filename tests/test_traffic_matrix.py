@@ -1,0 +1,115 @@
+"""Tests for traffic matrices and the gravity model."""
+
+import numpy as np
+import pytest
+
+from repro.topology import line_network
+from repro.traffic import TrafficMatrix, gravity_traffic_matrix, lognormal_node_masses
+
+
+@pytest.fixture()
+def net():
+    return line_network(4)
+
+
+class TestTrafficMatrix:
+    def test_set_and_get(self, net):
+        tm = TrafficMatrix(net)
+        tm.set_demand("n0", "n3", 100.0)
+        assert tm.demand("n0", "n3") == 100.0
+        assert tm.demand("n3", "n0") == 0.0
+
+    def test_zero_removes_entry(self, net):
+        tm = TrafficMatrix(net, {("n0", "n1"): 5.0})
+        tm.set_demand("n0", "n1", 0.0)
+        assert len(tm) == 0
+
+    def test_add_accumulates(self, net):
+        tm = TrafficMatrix(net)
+        tm.add_demand("n0", "n1", 5.0)
+        tm.add_demand("n0", "n1", 7.0)
+        assert tm.demand("n0", "n1") == 12.0
+
+    def test_rejects_unknown_node(self, net):
+        with pytest.raises(KeyError):
+            TrafficMatrix(net).set_demand("n0", "zz", 1.0)
+
+    def test_rejects_intra_node(self, net):
+        with pytest.raises(ValueError, match="intra-node"):
+            TrafficMatrix(net).set_demand("n0", "n0", 1.0)
+
+    def test_rejects_negative(self, net):
+        with pytest.raises(ValueError, match="negative"):
+            TrafficMatrix(net).set_demand("n0", "n1", -1.0)
+
+    def test_total_and_scaled(self, net):
+        tm = TrafficMatrix(net, {("n0", "n1"): 10.0, ("n1", "n2"): 30.0})
+        assert tm.total_pps == 40.0
+        doubled = tm.scaled(2.0)
+        assert doubled.total_pps == 80.0
+        assert tm.total_pps == 40.0  # original untouched
+
+    def test_scaled_rejects_negative_factor(self, net):
+        with pytest.raises(ValueError):
+            TrafficMatrix(net).scaled(-1.0)
+
+    def test_merged(self, net):
+        a = TrafficMatrix(net, {("n0", "n1"): 10.0})
+        b = TrafficMatrix(net, {("n0", "n1"): 5.0, ("n2", "n3"): 1.0})
+        merged = a.merged(b)
+        assert merged.demand("n0", "n1") == 15.0
+        assert merged.demand("n2", "n3") == 1.0
+
+    def test_merge_requires_same_network(self, net):
+        other = line_network(4)
+        with pytest.raises(ValueError, match="different networks"):
+            TrafficMatrix(net).merged(TrafficMatrix(other))
+
+    def test_items_sorted(self, net):
+        tm = TrafficMatrix(net, {("n2", "n3"): 1.0, ("n0", "n1"): 2.0})
+        assert [key for key, _ in tm.items()] == [("n0", "n1"), ("n2", "n3")]
+
+
+class TestGravityModel:
+    def test_total_matches(self, net):
+        tm = gravity_traffic_matrix(net, 1000.0, seed=1)
+        assert tm.total_pps == pytest.approx(1000.0)
+
+    def test_gravity_proportionality(self, net):
+        masses = {"n0": 4.0, "n1": 1.0, "n2": 1.0, "n3": 0.0}
+        tm = gravity_traffic_matrix(net, 600.0, masses=masses)
+        # n0<->n1 demand is 4x the n1<->n2 demand.
+        assert tm.demand("n0", "n1") == pytest.approx(4 * tm.demand("n1", "n2"))
+        # Zero-mass node neither sends nor receives.
+        assert tm.demand("n0", "n3") == 0.0
+        assert tm.demand("n3", "n0") == 0.0
+
+    def test_deterministic_for_seed(self, net):
+        a = gravity_traffic_matrix(net, 100.0, seed=9)
+        b = gravity_traffic_matrix(net, 100.0, seed=9)
+        assert dict(a.items()) == dict(b.items())
+
+    def test_zero_total_gives_empty_matrix(self, net):
+        assert len(gravity_traffic_matrix(net, 0.0, seed=1)) == 0
+
+    def test_unknown_mass_node_rejected(self, net):
+        with pytest.raises(KeyError):
+            gravity_traffic_matrix(net, 1.0, masses={"bogus": 1.0})
+
+    def test_negative_mass_rejected(self, net):
+        with pytest.raises(ValueError):
+            gravity_traffic_matrix(net, 1.0, masses={"n0": -1.0})
+
+    def test_symmetric_masses_give_symmetric_demands(self, net):
+        masses = {name: 1.0 for name in net.node_names}
+        tm = gravity_traffic_matrix(net, 120.0, masses=masses)
+        assert tm.demand("n0", "n3") == pytest.approx(tm.demand("n3", "n0"))
+
+    def test_lognormal_masses_positive(self, net):
+        masses = lognormal_node_masses(net, seed=2, sigma=1.0)
+        assert set(masses) == set(net.node_names)
+        assert all(m > 0 for m in masses.values())
+
+    def test_lognormal_sigma_zero_uniform(self, net):
+        masses = lognormal_node_masses(net, seed=2, sigma=0.0)
+        assert len(set(masses.values())) == 1

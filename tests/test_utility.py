@@ -1,0 +1,168 @@
+"""Tests for the utility-function family (§IV-C), incl. Figure 1 anchors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExponentialUtility,
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    accuracy_utilities,
+)
+
+#: Strategy for valid mean inverse sizes (c in (0, 0.5)).
+c_values = st.floats(min_value=1e-7, max_value=0.4)
+rho_values = st.floats(min_value=0.0, max_value=1.0)
+
+ALL_UTILITIES = [
+    MeanSquaredRelativeAccuracy(0.002),
+    MeanSquaredRelativeAccuracy(1e-5),
+    LogUtility(50.0),
+    # Moderate steepness: steeper settings are mathematically fine but
+    # saturate below float resolution, breaking finite-difference checks.
+    ExponentialUtility(8.0),
+]
+
+
+class TestSpliceClosedForm:
+    def test_x0_formula(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        assert u.splice_point == pytest.approx(3 * 0.002 / 1.002)
+
+    def test_figure1_annotations(self):
+        # Average size 500 (c = 0.002): M(x0) ≈ 0.668 — Figure 1.
+        u500 = MeanSquaredRelativeAccuracy(1 / 500)
+        assert u500.splice_value == pytest.approx(0.668, abs=5e-4)
+        # Larger flows approach 2/3 ≈ 0.666…0.667.
+        u_large = MeanSquaredRelativeAccuracy(1e-6)
+        assert u_large.splice_value == pytest.approx(2 / 3, abs=1e-5)
+
+    @given(c_values)
+    @settings(max_examples=50)
+    def test_quadratic_expansion_hits_zero_at_origin(self, c):
+        u = MeanSquaredRelativeAccuracy(c)
+        assert u.value(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    @given(c_values)
+    @settings(max_examples=50)
+    def test_c2_continuity_at_splice(self, c):
+        u = MeanSquaredRelativeAccuracy(c)
+        x0 = u.splice_point
+        eps = x0 * 1e-7
+        assert u.value(x0 - eps) == pytest.approx(u.value(x0 + eps), rel=1e-5)
+        assert u.derivative(x0 - eps) == pytest.approx(
+            u.derivative(x0 + eps), rel=1e-4
+        )
+        assert u.second_derivative(x0 - eps) == pytest.approx(
+            u.second_derivative(x0 + eps), rel=1e-3
+        )
+
+    def test_invalid_c_rejected(self):
+        for bad in (0.0, -0.1, 0.5, 1.0):
+            with pytest.raises(ValueError):
+                MeanSquaredRelativeAccuracy(bad)
+
+
+class TestRegularityProperties:
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: type(u).__name__)
+    def test_zero_at_origin(self, utility):
+        assert utility.value(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: type(u).__name__)
+    def test_strictly_increasing(self, utility):
+        rho = np.linspace(0.0, 1.0, 500)
+        values = np.asarray(utility.value(rho))
+        assert np.all(np.diff(values) > 0)
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: type(u).__name__)
+    def test_strictly_concave(self, utility):
+        rho = np.linspace(0.0, 1.0, 500)
+        slopes = np.asarray(utility.derivative(rho))
+        assert np.all(np.diff(slopes) < 1e-12)
+        assert np.all(np.asarray(utility.second_derivative(rho)) < 0)
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: type(u).__name__)
+    def test_derivative_matches_finite_difference(self, utility):
+        rho = np.linspace(0.01, 0.99, 50)
+        h = 1e-7
+        numeric = (np.asarray(utility.value(rho + h)) - np.asarray(utility.value(rho - h))) / (2 * h)
+        np.testing.assert_allclose(utility.derivative(rho), numeric, rtol=1e-4)
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: type(u).__name__)
+    def test_second_derivative_matches_finite_difference(self, utility):
+        rho = np.linspace(0.01, 0.99, 50)
+        h = 1e-5
+        numeric = (
+            np.asarray(utility.derivative(rho + h))
+            - np.asarray(utility.derivative(rho - h))
+        ) / (2 * h)
+        np.testing.assert_allclose(
+            utility.second_derivative(rho), numeric, rtol=1e-3, atol=1e-8
+        )
+
+    def test_scalar_in_scalar_out(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        assert isinstance(u.value(0.5), float)
+        assert isinstance(u.derivative(0.5), float)
+
+    def test_epsilon_negative_rho_clamped(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        assert u.value(-1e-15) == pytest.approx(0.0, abs=1e-12)
+
+    def test_material_negative_rho_rejected(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        with pytest.raises(ValueError):
+            u.value(-0.01)
+
+
+class TestAccuracySemantics:
+    def test_expected_sre_formula(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        assert u.expected_sre(0.5) == pytest.approx(0.002 * 0.5 / 0.5)
+
+    def test_utility_equals_accuracy_above_splice(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        rho = 0.1
+        assert u.value(rho) == pytest.approx(float(u.accuracy(rho)))
+
+    def test_utility_at_one_is_one(self):
+        # Sampling everything: no error, accuracy exactly 1.
+        u = MeanSquaredRelativeAccuracy(0.01)
+        assert u.value(1.0) == pytest.approx(1.0)
+
+    @given(c_values, st.floats(min_value=0.05, max_value=0.99))
+    @settings(max_examples=50)
+    def test_rate_for_utility_inverts(self, c, target_fraction):
+        u = MeanSquaredRelativeAccuracy(c)
+        target = target_fraction * (1.0 + c)
+        rho = u.rate_for_utility(target)
+        assert u.value(rho) == pytest.approx(target, rel=1e-6, abs=1e-9)
+
+    def test_rate_for_utility_edges(self):
+        u = MeanSquaredRelativeAccuracy(0.002)
+        assert u.rate_for_utility(0.0) == 0.0
+        with pytest.raises(ValueError):
+            u.rate_for_utility(1.1)
+
+
+class TestAlternativeUtilities:
+    def test_log_utility_validation(self):
+        with pytest.raises(ValueError):
+            LogUtility(0.0)
+
+    def test_exponential_saturates_at_one(self):
+        u = ExponentialUtility(steepness=1000.0)
+        assert u.value(0.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialUtility(-1.0)
+
+
+class TestFactory:
+    def test_accuracy_utilities_vector(self):
+        utilities = accuracy_utilities([0.001, 0.002])
+        assert len(utilities) == 2
+        assert utilities[1].mean_inverse_size == 0.002

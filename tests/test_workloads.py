@@ -1,0 +1,109 @@
+"""Tests for measurement-task construction (the JANET workload)."""
+
+import numpy as np
+import pytest
+
+from repro import ODPair, make_task
+from repro.topology import line_network
+from repro.traffic import JANET_OD_SIZES_PPS, MeasurementTask, janet_task
+
+
+class TestJanetTask:
+    def test_paper_task_shape(self, geant_task):
+        # §V-B: 20 OD pairs through the UK PoP.
+        assert geant_task.num_od_pairs == 20
+        assert geant_task.access_node == "UK"
+        assert all(od.origin == "UK" for od in geant_task.routing.od_pairs)
+
+    def test_od_size_spectrum_matches_paper(self, geant_task):
+        sizes = geant_task.od_sizes_pps
+        # Largest (NL) > 30 000, smallest (LU) ~ 20 pkt/s, sum 57 933.
+        assert sizes.max() > 30_000
+        assert sizes.min() == pytest.approx(20.0)
+        assert sizes.sum() == pytest.approx(57_933.0)
+
+    def test_traversed_links_near_paper_count(self, geant_task):
+        # Paper: the OD pairs traverse 22 of the 72 unidirectional links.
+        traversed = geant_task.routing.traversed_link_indices()
+        assert 18 <= len(traversed) <= 26
+
+    def test_labels_follow_paper(self, geant_task):
+        names = [od.name for od in geant_task.routing.od_pairs]
+        assert "JANET-NL" in names
+        assert "JANET-LU" in names
+
+    def test_loads_within_capacity(self, geant_task):
+        geant_task.network.validate_loads(geant_task.link_loads_pps)
+
+    def test_task_traffic_included_in_loads(self):
+        light = janet_task(background_pps=0.0)
+        # With no background, loads are exactly the routed OD traffic.
+        expected = light.routing.matrix.T @ light.od_sizes_pps
+        np.testing.assert_allclose(light.link_loads_pps, expected)
+
+    def test_interval_conversion(self, geant_task):
+        np.testing.assert_allclose(
+            geant_task.od_sizes_packets, geant_task.od_sizes_pps * 300.0
+        )
+        np.testing.assert_allclose(
+            geant_task.mean_inverse_sizes, 1.0 / geant_task.od_sizes_packets
+        )
+
+    def test_access_link_load_is_od_sum(self, geant_task):
+        assert geant_task.access_link_load_pps == pytest.approx(57_933.0)
+
+    def test_access_link_indices_are_uk_out_links(self, geant_task):
+        indices = geant_task.access_link_indices()
+        assert len(indices) == 6
+        for index in indices:
+            assert geant_task.network.link(index).src == "UK"
+
+    def test_seed_perturbs_loads_not_sizes(self, geant_task):
+        seeded = janet_task(seed=5)
+        np.testing.assert_allclose(seeded.od_sizes_pps, geant_task.od_sizes_pps)
+        assert not np.allclose(seeded.link_loads_pps, geant_task.link_loads_pps)
+
+    def test_custom_sizes(self):
+        task = janet_task(od_sizes_pps={"NL": 100.0, "LU": 10.0})
+        assert task.num_od_pairs == 2
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(KeyError, match="not in GEANT"):
+            janet_task(od_sizes_pps={"XX": 1.0})
+
+    def test_sizes_table_is_paper_order(self):
+        assert list(JANET_OD_SIZES_PPS)[:3] == ["NL", "NY", "DE"]
+        assert list(JANET_OD_SIZES_PPS)[-1] == "LU"
+
+
+class TestMakeTask:
+    def test_builds_without_background(self):
+        net = line_network(3)
+        task = make_task(net, [ODPair("n0", "n2")], [100.0])
+        assert isinstance(task, MeasurementTask)
+        assert task.link_loads_pps.max() == 100.0
+        assert task.access_node is None
+
+    def test_validation_catches_mismatches(self):
+        net = line_network(3)
+        with pytest.raises(ValueError):
+            make_task(net, [ODPair("n0", "n2")], [100.0, 5.0])
+
+    def test_zero_size_rejected(self):
+        net = line_network(3)
+        with pytest.raises(ValueError, match="positive"):
+            make_task(net, [ODPair("n0", "n2")], [0.0])
+
+    def test_arrays_read_only(self):
+        net = line_network(3)
+        task = make_task(net, [ODPair("n0", "n2")], [10.0])
+        with pytest.raises(ValueError):
+            task.od_sizes_pps[0] = 1.0
+        with pytest.raises(ValueError):
+            task.link_loads_pps[0] = 1.0
+
+    def test_access_links_require_access_node(self):
+        net = line_network(3)
+        task = make_task(net, [ODPair("n0", "n2")], [10.0])
+        with pytest.raises(ValueError, match="no single access node"):
+            task.access_link_indices()
