@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import solve_theta_sweep
 from repro.experiments import run_figure2
 
 THETAS = tuple(float(t) for t in np.geomspace(5_000, 2_000_000, 7))
@@ -27,3 +28,23 @@ def test_figure2_sweep(benchmark):
     assert abs(worst_opt[-1] - worst_uk[-1]) < 0.15
     print()
     print(result.format())
+
+
+@pytest.mark.benchmark(group="figure2-sweep")
+def test_theta_sweep_warm(benchmark, geant_problem):
+    solutions = benchmark.pedantic(
+        lambda: solve_theta_sweep(geant_problem, THETAS, warm_start=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(s.diagnostics.converged for s in solutions)
+
+
+@pytest.mark.benchmark(group="figure2-sweep")
+def test_theta_sweep_cold(benchmark, geant_problem):
+    solutions = benchmark.pedantic(
+        lambda: solve_theta_sweep(geant_problem, THETAS, warm_start=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(s.diagnostics.converged for s in solutions)

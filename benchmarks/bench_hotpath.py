@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: sparse backend, incremental rays, warm sweeps.
+
+Times the gradient-projection solver on paper-scale and synthetic
+instances, comparing the seed implementation's inner loop (dense
+routing storage, full ``R(x + t s)`` matvec at every line-search
+trial, cold starts everywhere) against the optimized hot path (CSR
+routing operator, O(K) incremental ray trials, warm-started sweeps).
+Results go to a machine-readable JSON file so later PRs have a perf
+trajectory to defend.
+
+Run from a checkout (the package must be importable, e.g.
+``pip install -e .`` or ``PYTHONPATH=src``)::
+
+    python benchmarks/bench_hotpath.py                 # full run
+    python benchmarks/bench_hotpath.py --quick         # CI smoke
+    python benchmarks/bench_hotpath.py --output out.json
+
+The ``solver`` entries time one full solve per variant; the ``sweep``
+entries time a θ ladder solved cold-per-point versus warm-chained.
+Every entry records the objective agreement between variants, so a
+speedup that broke correctness would show up in the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro import ODPair, SamplingProblem, janet_task, make_task
+from repro.core import (
+    GradientProjectionOptions,
+    RoutingOperator,
+    SumUtilityObjective,
+    solve_gradient_projection,
+    solve_theta_sweep,
+)
+from repro.topology import random_waxman_network
+
+#: Options replicating the seed inner loop: every line-search trial
+#: re-evaluates the objective from scratch.
+BASELINE_OPTIONS = GradientProjectionOptions(incremental_ray=False)
+OPTIMIZED_OPTIONS = GradientProjectionOptions()
+
+
+def build_waxman_problem(
+    num_nodes: int, num_od: int, seed: int
+) -> SamplingProblem:
+    """A synthetic WAN instance in the style of the scaling benches."""
+    rng = np.random.default_rng(seed)
+    net = random_waxman_network(num_nodes, seed=seed)
+    names = net.node_names
+    pairs: list[ODPair] = []
+    seen: set[tuple[str, str]] = set()
+    while len(pairs) < num_od:
+        a, b = rng.choice(len(names), size=2, replace=False)
+        key = (names[int(a)], names[int(b)])
+        if key not in seen:
+            seen.add(key)
+            pairs.append(ODPair(*key))
+    sizes = rng.uniform(100.0, 30_000.0, size=num_od)
+    task = make_task(net, pairs, sizes, background_pps=500_000.0, seed=seed)
+    theta = 0.002 * float(task.link_loads_pps.sum()) * task.interval_seconds
+    return SamplingProblem.from_task(task, theta_packets=theta)
+
+
+def dense_baseline_objective(problem: SamplingProblem) -> SumUtilityObjective:
+    """The seed's objective: dense storage, sliced from the dense R."""
+    cand = np.flatnonzero(problem.candidate_mask)
+    dense = RoutingOperator.from_matrix(
+        problem.routing[:, cand], prefer="dense"
+    )
+    return SumUtilityObjective(dense, problem.utilities)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_solver(name: str, problem: SamplingProblem, repeats: int) -> dict:
+    """Time one solve: seed-style baseline vs optimized hot path."""
+    baseline_s, baseline = _best_of(
+        lambda: solve_gradient_projection(
+            problem,
+            options=BASELINE_OPTIONS,
+            objective=dense_baseline_objective(problem),
+        ),
+        repeats,
+    )
+    optimized_s, optimized = _best_of(
+        lambda: solve_gradient_projection(problem, options=OPTIMIZED_OPTIONS),
+        repeats,
+    )
+    candidate_op = problem.candidate_routing_op()
+    rate_gap = float(np.abs(baseline.rates - optimized.rates).max())
+    objective_gap = abs(
+        baseline.objective_value - optimized.objective_value
+    ) / max(abs(baseline.objective_value), 1e-12)
+    return {
+        "kind": "solver",
+        "name": name,
+        "links": problem.num_links,
+        "od_pairs": problem.num_od_pairs,
+        "candidate_links": int(problem.candidate_mask.sum()),
+        "routing_density": problem.routing_op.density,
+        "optimized_backend": candidate_op.backend,
+        "baseline_seconds": baseline_s,
+        "optimized_seconds": optimized_s,
+        "speedup": baseline_s / optimized_s if optimized_s > 0 else None,
+        "baseline_iterations": baseline.diagnostics.iterations,
+        "optimized_iterations": optimized.diagnostics.iterations,
+        "both_converged": bool(
+            baseline.diagnostics.converged and optimized.diagnostics.converged
+        ),
+        "max_rate_gap": rate_gap,
+        "relative_objective_gap": objective_gap,
+    }
+
+
+def bench_sweep(
+    name: str, problem: SamplingProblem, thetas: list[float], repeats: int
+) -> dict:
+    """Time a θ ladder: cold per point vs warm-started chain."""
+    cold_s, cold = _best_of(
+        lambda: solve_theta_sweep(
+            problem, thetas, options=BASELINE_OPTIONS, warm_start=False
+        ),
+        repeats,
+    )
+    warm_s, warm = _best_of(
+        lambda: solve_theta_sweep(
+            problem, thetas, options=OPTIMIZED_OPTIONS, warm_start=True
+        ),
+        repeats,
+    )
+    objective_gap = max(
+        abs(c.objective_value - w.objective_value)
+        / max(abs(c.objective_value), 1e-12)
+        for c, w in zip(cold, warm)
+    )
+    return {
+        "kind": "sweep",
+        "name": name,
+        "points": len(thetas),
+        "links": problem.num_links,
+        "od_pairs": problem.num_od_pairs,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "cold_iterations": sum(s.diagnostics.iterations for s in cold),
+        "warm_iterations": sum(s.diagnostics.iterations for s in warm),
+        "max_relative_objective_gap": objective_gap,
+    }
+
+
+def run_benchmarks(quick: bool = False, repeats: int | None = None) -> dict:
+    repeats = repeats or (1 if quick else 3)
+    geant = SamplingProblem.from_task(janet_task(), theta_packets=100_000)
+    if quick:
+        large = build_waxman_problem(num_nodes=24, num_od=80, seed=42)
+        sweep_problem = geant
+        sweep_thetas = list(np.geomspace(20_000, 500_000, 4))
+    else:
+        large = build_waxman_problem(num_nodes=80, num_od=1200, seed=42)
+        sweep_problem = large
+        sweep_thetas = list(
+            np.geomspace(
+                0.2 * large.theta_packets, 5.0 * large.theta_packets, 8
+            )
+        )
+
+    entries = [
+        bench_solver("geant-janet", geant, repeats),
+        bench_solver(
+            "waxman-quick" if quick else "waxman-large-sparse", large, repeats
+        ),
+        bench_sweep(
+            "theta-sweep-quick" if quick else "theta-sweep-large",
+            sweep_problem,
+            sweep_thetas,
+            repeats,
+        ),
+    ]
+    return {
+        "benchmark": "hotpath",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances, one repeat (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per variant (default: 3, 1 with --quick)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for entry in report["entries"]:
+        if entry["kind"] == "solver":
+            print(
+                f"[solver] {entry['name']}: "
+                f"{entry['links']} links x {entry['od_pairs']} OD "
+                f"(density {entry['routing_density']:.3f}, "
+                f"{entry['optimized_backend']}) "
+                f"baseline {entry['baseline_seconds']:.3f}s -> "
+                f"optimized {entry['optimized_seconds']:.3f}s "
+                f"({entry['speedup']:.1f}x, rate gap {entry['max_rate_gap']:.2e})"
+            )
+        else:
+            print(
+                f"[sweep]  {entry['name']}: {entry['points']} points "
+                f"cold {entry['cold_seconds']:.3f}s -> "
+                f"warm {entry['warm_seconds']:.3f}s "
+                f"({entry['speedup']:.1f}x, "
+                f"iterations {entry['cold_iterations']} -> "
+                f"{entry['warm_iterations']})"
+            )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

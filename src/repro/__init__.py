@@ -66,6 +66,13 @@ from .core import (
     shadow_price,
     solve_robust,
 )
+from .core import (
+    RoutingOperator,
+    WarmStartChain,
+    solve_batch,
+    solve_chain,
+    solve_theta_sweep,
+)
 from .inference import estimate_traffic_matrix, gravity_prior
 from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
 from .sampling import SamplingExperiment, accuracy, estimate_sizes
@@ -100,6 +107,11 @@ __all__ = [
     "KKTReport",
     "linear_effective_rates",
     "exact_effective_rates",
+    "RoutingOperator",
+    "WarmStartChain",
+    "solve_chain",
+    "solve_theta_sweep",
+    "solve_batch",
     # substrates
     "Network",
     "geant_network",

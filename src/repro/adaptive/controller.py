@@ -25,10 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.gradient_projection import (
-    GradientProjectionOptions,
-    solve_gradient_projection,
-)
+from ..core.batch import WarmStartChain
+from ..core.gradient_projection import GradientProjectionOptions
 from ..core.problem import SamplingProblem
 from ..core.solution import SamplingSolution
 from ..core.utility import accuracy_utilities
@@ -93,7 +91,9 @@ class AdaptiveController:
                 raise ValueError("initial sizes do not match OD count")
             self._smoothed = np.maximum(sizes, config.min_size_packets)
         self._num_od = num_od_pairs
-        self._previous_rates: np.ndarray | None = None
+        # The chain carries the warm start between control intervals
+        # and cold-starts across topology changes automatically.
+        self._chain = WarmStartChain(options=config.solver_options)
         self._interval = 0
 
     @property
@@ -134,16 +134,7 @@ class AdaptiveController:
             alpha=self.config.alpha,
             interval_seconds=task.interval_seconds,
         ).clamped()
-        warm = self._previous_rates
-        if warm is not None and warm.shape != (problem.num_links,):
-            # Topology changed (e.g. a failure event): cold start.
-            warm = None
-        solution = solve_gradient_projection(
-            problem,
-            options=self.config.solver_options,
-            warm_start=warm,
-        )
-        self._previous_rates = solution.rates
+        solution = self._chain.solve(problem)
         self._interval += 1
         return solution
 

@@ -30,7 +30,9 @@ def uniform_solution(problem: SamplingProblem) -> SamplingSolution:
     rates[cand] = x
     rates[problem.free_saturated_mask] = problem.alpha[problem.free_saturated_mask]
 
-    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    objective = SumUtilityObjective(
+        problem.candidate_routing_op(), problem.utilities
+    )
     diagnostics = SolverDiagnostics(
         method="baseline:uniform",
         iterations=0,

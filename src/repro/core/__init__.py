@@ -1,6 +1,7 @@
 """Core optimizer: the paper's joint placement-and-sampling contribution."""
 
 from .active_set import ActiveSet, Multipliers
+from .batch import WarmStartChain, solve_batch, solve_chain, solve_theta_sweep
 from .effective_rate import (
     approximation_error,
     exact_effective_rates,
@@ -15,10 +16,21 @@ from .kkt import KKTReport, check_kkt
 from .line_search import (
     LineSearchResult,
     golden_section_line_search,
+    line_search_along_ray,
     newton_line_search,
 )
-from .objective import Objective, SoftMinUtilityObjective, SumUtilityObjective
+from .objective import (
+    Objective,
+    ObjectiveRay,
+    SoftMinUtilityObjective,
+    SumUtilityObjective,
+)
 from .problem import InfeasibleProblemError, SamplingProblem
+from .routing_op import (
+    DenseRoutingOperator,
+    RoutingOperator,
+    SparseRoutingOperator,
+)
 from .quantization import QuantizationResult, quantize_rates, quantize_solution
 from .robust import RobustProblem, build_robust_problem, solve_robust
 from .scipy_solver import solve_scipy
@@ -55,8 +67,16 @@ __all__ = [
     "ExponentialUtility",
     "accuracy_utilities",
     "Objective",
+    "ObjectiveRay",
     "SumUtilityObjective",
     "SoftMinUtilityObjective",
+    "RoutingOperator",
+    "DenseRoutingOperator",
+    "SparseRoutingOperator",
+    "WarmStartChain",
+    "solve_chain",
+    "solve_theta_sweep",
+    "solve_batch",
     "linear_effective_rates",
     "exact_effective_rates",
     "approximation_error",
@@ -67,6 +87,7 @@ __all__ = [
     "LineSearchResult",
     "newton_line_search",
     "golden_section_line_search",
+    "line_search_along_ray",
     "quantize_rates",
     "quantize_solution",
     "QuantizationResult",

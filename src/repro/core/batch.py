@@ -1,0 +1,159 @@
+"""Families of solves: warm-started chains, θ sweeps, parallel batches.
+
+The paper's evaluation repeatedly solves *families* of closely related
+problems — the capacity sweep behind Figure 2, per-interval
+re-optimization under traffic change (§I's motivation), failure
+scenarios.  Two structural facts make families much cheaper than
+independent solves:
+
+* adjacent instances have nearby optima, so chaining each solution
+  into the next solve as a warm start (projected onto the new feasible
+  set) collapses the iteration count;
+* instances *across* families are independent, so they fan out over a
+  process pool.
+
+:class:`WarmStartChain` is the stateful primitive (the adaptive
+controller holds one across control intervals); :func:`solve_chain`
+and :func:`solve_theta_sweep` run a whole family through a chain; and
+:func:`solve_batch` distributes independent problems over
+``concurrent.futures`` workers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .gradient_projection import (
+    GradientProjectionOptions,
+    solve_gradient_projection,
+)
+from .problem import SamplingProblem
+from .solution import SamplingSolution
+from .solver import solve
+
+__all__ = [
+    "WarmStartChain",
+    "solve_chain",
+    "solve_theta_sweep",
+    "solve_batch",
+]
+
+
+class WarmStartChain:
+    """Solve successive problems, warm-starting each from the last optimum.
+
+    Warm starts apply only to the gradient-projection method (the SciPy
+    reference solvers take no starting point through the façade) and
+    only when the link count is unchanged — a topology change (e.g. a
+    failure scenario) silently falls back to a cold start, which is
+    exactly the semantics re-optimization loops need.
+    """
+
+    def __init__(
+        self,
+        method: str = "gradient_projection",
+        options: GradientProjectionOptions | None = None,
+        warm_start: bool = True,
+    ) -> None:
+        self._method = method
+        self._options = options
+        self._warm_start = warm_start
+        self._previous_rates: np.ndarray | None = None
+
+    @property
+    def previous_rates(self) -> np.ndarray | None:
+        """The last optimum's full-length rate vector (or None)."""
+        return self._previous_rates
+
+    def reset(self) -> None:
+        """Forget the chain state; the next solve starts cold."""
+        self._previous_rates = None
+
+    def solve(self, problem: SamplingProblem) -> SamplingSolution:
+        warm = None
+        if (
+            self._warm_start
+            and self._method == "gradient_projection"
+            and self._previous_rates is not None
+            and self._previous_rates.shape == (problem.num_links,)
+        ):
+            warm = self._previous_rates
+        if self._method == "gradient_projection":
+            solution = solve_gradient_projection(
+                problem, options=self._options, warm_start=warm
+            )
+        else:
+            solution = solve(problem, method=self._method, options=self._options)
+        self._previous_rates = solution.rates
+        return solution
+
+
+def solve_chain(
+    problems: Iterable[SamplingProblem],
+    method: str = "gradient_projection",
+    options: GradientProjectionOptions | None = None,
+    warm_start: bool = True,
+) -> list[SamplingSolution]:
+    """Solve an ordered family, chaining warm starts between neighbours."""
+    chain = WarmStartChain(method=method, options=options, warm_start=warm_start)
+    return [chain.solve(problem) for problem in problems]
+
+
+def solve_theta_sweep(
+    problem: SamplingProblem,
+    thetas: Sequence[float],
+    clamp: bool = True,
+    method: str = "gradient_projection",
+    options: GradientProjectionOptions | None = None,
+    warm_start: bool = True,
+) -> list[SamplingSolution]:
+    """Solve ``problem`` across a capacity sweep (Figure 2's shape).
+
+    Each point re-uses the previous point's optimum as a warm start —
+    adjacent capacities have adjacent optima, so the sweep costs far
+    fewer iterations than independent solves.  With ``clamp`` (default)
+    capacities beyond what the candidate links can absorb saturate
+    instead of raising, which is how sweep curves plateau.
+    """
+    instances = []
+    for theta in thetas:
+        if theta <= 0:
+            raise ValueError("theta values must be positive")
+        instance = problem.with_theta(float(theta))
+        instances.append(instance.clamped() if clamp else instance)
+    return solve_chain(
+        instances, method=method, options=options, warm_start=warm_start
+    )
+
+
+def _solve_single(
+    payload: tuple[SamplingProblem, str, GradientProjectionOptions | None],
+) -> SamplingSolution:
+    problem, method, options = payload
+    return solve(problem, method=method, options=options)
+
+
+def solve_batch(
+    problems: Sequence[SamplingProblem],
+    processes: int | None = None,
+    method: str = "gradient_projection",
+    options: GradientProjectionOptions | None = None,
+) -> list[SamplingSolution]:
+    """Solve independent problems, optionally across a process pool.
+
+    ``processes`` is the worker count; ``None`` or ``1`` solves
+    sequentially in-process (no pool overhead, easier debugging).
+    Ordering of the results always matches the input.  Use this for
+    *independent* instances — scenario grids, per-topology batches;
+    for ordered families where neighbours inform each other, prefer
+    :func:`solve_chain`.
+    """
+    payloads = [(problem, method, options) for problem in problems]
+    if not processes or processes <= 1 or len(problems) <= 1:
+        return [_solve_single(payload) for payload in payloads]
+    workers = min(processes, len(problems))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_solve_single, payloads))

@@ -22,7 +22,7 @@ import numpy as np
 
 from .active_set import ActiveSet
 from .kkt import check_kkt
-from .line_search import golden_section_line_search, newton_line_search
+from .line_search import line_search_along_ray
 from .objective import Objective, SumUtilityObjective
 from .problem import SamplingProblem
 from .solution import SamplingSolution, SolverDiagnostics
@@ -48,6 +48,10 @@ class GradientProjectionOptions:
     polak_ribiere: bool = True
     kkt_tolerance: float = 1e-6
     line_search: str = "newton"
+    #: Evaluate line-search trials through the objective's incremental
+    #: ray (O(K) per trial).  Off = recompute ``R(x + t s)`` at every
+    #: trial — the pre-optimization behaviour, kept for benchmarking.
+    incremental_ray: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -131,7 +135,9 @@ def solve_gradient_projection(
     loads = problem.link_loads_pps[cand]
     alpha = problem.alpha[cand]
     if objective is None:
-        objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+        objective = SumUtilityObjective(
+            problem.candidate_routing_op(), problem.utilities
+        )
 
     if warm_start is not None:
         warm_start = np.asarray(warm_start, dtype=float)
@@ -202,25 +208,18 @@ def solve_gradient_projection(
             prev_direction = None
             continue
 
-        slope_fn = lambda t: float(  # noqa: E731 - tight closure
-            objective.gradient(x + t * direction) @ direction
-        )
-        if options.line_search == "newton":
-            result = newton_line_search(
-                slope=slope_fn,
-                curvature=lambda t: objective.directional_curvature(
-                    x + t * direction, direction
-                ),
-                t_max=t_max,
-                tolerance=options.line_search_tolerance,
-            )
+        # ρ₀ was just computed for the gradient, so building the ray
+        # costs one extra matvec (δ = R s); each trial is then O(K).
+        if options.incremental_ray:
+            ray = objective.along_ray(x, direction)
         else:
-            result = golden_section_line_search(
-                value=lambda t: objective.value(x + t * direction),
-                slope=slope_fn,
-                t_max=t_max,
-                tolerance=options.line_search_tolerance,
-            )
+            ray = Objective.along_ray(objective, x, direction)
+        result = line_search_along_ray(
+            ray,
+            t_max,
+            method=options.line_search,
+            tolerance=options.line_search_tolerance,
+        )
         x = x + result.step * direction
         np.clip(x, 0.0, alpha, out=x)
         _restore_capacity(x, active, loads, problem.theta_rate_pps)
@@ -241,7 +240,20 @@ def solve_gradient_projection(
     rates[cand] = x
     rates[problem.free_saturated_mask] = problem.alpha[problem.free_saturated_mask]
 
-    kkt = check_kkt(problem, rates, tolerance=options.kkt_tolerance) if converged else None
+    # At convergence the loop's last gradient was evaluated at the
+    # final x, and rates[cand] == x exactly — hand both to the KKT
+    # check so it certifies without recomputing ρ or ∇f.
+    kkt = (
+        check_kkt(
+            problem,
+            rates,
+            tolerance=options.kkt_tolerance,
+            objective=objective,
+            gradient=g,
+        )
+        if converged
+        else None
+    )
     diagnostics = SolverDiagnostics(
         method="gradient_projection",
         iterations=iterations,

@@ -55,6 +55,7 @@ def check_kkt(
     p: np.ndarray,
     tolerance: float = 1e-6,
     objective: Objective | None = None,
+    gradient: np.ndarray | None = None,
 ) -> KKTReport:
     """Verify the KKT conditions for a full-length rate vector ``p``.
 
@@ -64,6 +65,11 @@ def check_kkt(
 
     ``tolerance`` is relative: residuals are normalized by the gradient
     magnitude, multipliers by the gradient/load scale.
+
+    ``gradient`` optionally supplies ``∇f`` at ``p[cand]`` when the
+    caller has already evaluated it (the solver certifies its final
+    iterate this way); it is trusted, so it must belong to the same
+    objective and point.
     """
     p = np.asarray(p, dtype=float)
     if p.shape != (problem.num_links,):
@@ -76,7 +82,9 @@ def check_kkt(
     alpha = problem.alpha[cand]
 
     if objective is None:
-        objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+        objective = SumUtilityObjective(
+            problem.candidate_routing_op(), problem.utilities
+        )
 
     bound_violation = float(
         max(np.maximum(-x, 0.0).max(initial=0.0), np.maximum(x - alpha, 0.0).max(initial=0.0))
@@ -89,7 +97,12 @@ def check_kkt(
     # Classify bound activity with a tolerance proportional to alpha.
     active.sync_with_point(x, atol=max(1e-9, 1e-6 * float(alpha.min())))
 
-    g = objective.gradient(x)
+    if gradient is None:
+        g = objective.gradient(x)
+    else:
+        g = np.asarray(gradient, dtype=float)
+        if g.shape != x.shape:
+            raise ValueError("precomputed gradient does not match candidates")
     scale = max(1.0, float(np.abs(g).max()))
     mult = active.multipliers(g)
 

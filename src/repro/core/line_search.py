@@ -12,9 +12,17 @@ leaves it, so the search is robust even where the curvature is tiny.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-__all__ = ["LineSearchResult", "newton_line_search", "golden_section_line_search"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .objective import ObjectiveRay
+
+__all__ = [
+    "LineSearchResult",
+    "line_search_along_ray",
+    "newton_line_search",
+    "golden_section_line_search",
+]
 
 #: 1/φ and 1/φ² — the golden-section interval ratios.
 _INV_PHI = 0.6180339887498949
@@ -32,6 +40,37 @@ class LineSearchResult:
     step: float
     hit_boundary: bool
     newton_iterations: int
+
+
+def line_search_along_ray(
+    ray: "ObjectiveRay",
+    t_max: float,
+    method: str = "newton",
+    tolerance: float = 1e-10,
+) -> LineSearchResult:
+    """Run the configured 1-D search on an objective ray.
+
+    The ray (see :meth:`~repro.core.objective.Objective.along_ray`)
+    presents ``φ``, ``φ'`` and ``φ''`` of the restriction; with the
+    incremental routed rays each trial point costs ``O(K)`` adds
+    instead of a matvec, which is where the solver's inner-loop
+    complexity changes.
+    """
+    if method == "newton":
+        return newton_line_search(
+            slope=ray.slope,
+            curvature=ray.curvature,
+            t_max=t_max,
+            tolerance=tolerance,
+        )
+    if method == "golden":
+        return golden_section_line_search(
+            value=ray.value,
+            slope=ray.slope,
+            t_max=t_max,
+            tolerance=tolerance,
+        )
+    raise ValueError(f"unknown line-search method {method!r}")
 
 
 def newton_line_search(

@@ -6,10 +6,15 @@ non-differentiable, so we ship it as a smooth soft-min, preserving the
 concavity and C² regularity the solver needs.
 
 Objectives expose exactly what the gradient-projection solver consumes:
-value, gradient, and the second *directional* derivative along a search
-direction (for the Newton line search).  All of them operate on a
-vector ``x`` of sampling rates for an arbitrary column subset of the
-routing matrix (the solver restricts to candidate links).
+value, gradient, the second *directional* derivative along a search
+direction (for the Newton line search), and :meth:`Objective.along_ray`
+— a one-dimensional restriction ``φ(t) = f(x + t s)`` whose routed
+implementations precompute ``ρ₀ = R x`` and ``δ = R s`` once so every
+line-search trial costs ``O(K)`` instead of a fresh matvec.  All of
+them operate on a vector ``x`` of sampling rates for an arbitrary
+column subset of the routing matrix (the solver restricts to candidate
+links); the routing argument may be a dense array, a SciPy sparse
+matrix, or a :class:`~repro.core.routing_op.RoutingOperator`.
 """
 
 from __future__ import annotations
@@ -18,9 +23,15 @@ from typing import Sequence
 
 import numpy as np
 
+from .routing_op import RoutingOperator
 from .utility import MeanSquaredRelativeAccuracy, UtilityFunction
 
-__all__ = ["Objective", "SumUtilityObjective", "SoftMinUtilityObjective"]
+__all__ = [
+    "Objective",
+    "ObjectiveRay",
+    "SumUtilityObjective",
+    "SoftMinUtilityObjective",
+]
 
 
 class _VectorizedAccuracy:
@@ -63,6 +74,49 @@ class _VectorizedAccuracy:
         return np.where(rho >= self.x0, hyperbolic, self.d2)
 
 
+class ObjectiveRay:
+    """The restriction ``φ(t) = f(x + t s)`` of an objective to a ray.
+
+    Line searches consume exactly this surface: ``value`` (golden
+    section), ``slope`` ``φ'(t)`` and ``curvature`` ``φ''(t)``
+    (Newton).
+    """
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def slope(self, t: float) -> float:
+        raise NotImplementedError
+
+    def curvature(self, t: float) -> float:
+        raise NotImplementedError
+
+
+class _GenericRay(ObjectiveRay):
+    """Fallback ray: full objective evaluations at every trial point.
+
+    This is the pre-optimization inner loop — each trial pays the
+    complete ``R (x + t s)`` matvec — kept as the correctness reference
+    and as the baseline the hot-path benchmark measures against.
+    """
+
+    def __init__(self, objective: "Objective", x: np.ndarray, s: np.ndarray):
+        self._objective = objective
+        self._x = x
+        self._s = s
+
+    def value(self, t: float) -> float:
+        return self._objective.value(self._x + t * self._s)
+
+    def slope(self, t: float) -> float:
+        return float(self._objective.gradient(self._x + t * self._s) @ self._s)
+
+    def curvature(self, t: float) -> float:
+        return self._objective.directional_curvature(
+            self._x + t * self._s, self._s
+        )
+
+
 class Objective:
     """Concave C² objective ``f(x)`` with ``x`` = link sampling rates."""
 
@@ -76,20 +130,35 @@ class Objective:
         """``d²/dt² f(x + t s)`` at ``t = 0`` (non-positive)."""
         raise NotImplementedError
 
+    def along_ray(self, x: np.ndarray, s: np.ndarray) -> ObjectiveRay:
+        """Restriction of ``f`` to ``t ↦ x + t s``.
+
+        Subclasses built on a routing operator override this with an
+        incremental evaluator; the default recomputes from scratch.
+        """
+        return _GenericRay(
+            self, np.asarray(x, dtype=float), np.asarray(s, dtype=float)
+        )
+
 
 class _RoutedObjective(Objective):
     """Shared plumbing: ``ρ = R x`` plus per-OD utilities."""
 
-    def __init__(self, routing: np.ndarray, utilities: Sequence[UtilityFunction]):
-        routing = np.asarray(routing, dtype=float)
-        if routing.ndim != 2:
-            raise ValueError("routing must be 2-D")
-        if routing.shape[0] != len(utilities):
+    def __init__(self, routing, utilities: Sequence[UtilityFunction]):
+        operator = RoutingOperator.from_matrix(routing)
+        if operator.shape[0] != len(utilities):
             raise ValueError(
-                f"{len(utilities)} utilities for {routing.shape[0]} OD rows"
+                f"{len(utilities)} utilities for {operator.shape[0]} OD rows"
             )
-        self._routing = routing
+        self._operator = operator
+        self._dense_routing: np.ndarray | None = None
         self._utilities = list(utilities)
+        # One-entry ρ memo: value/gradient/utilities_at at the same
+        # point share a single ``R x`` (the compare is O(n), the matvec
+        # O(nnz)); keyed by content so in-place mutation of the
+        # caller's x simply misses.
+        self._rho_point: np.ndarray | None = None
+        self._rho_value: np.ndarray | None = None
         # Fast path: the paper's homogeneous accuracy-utility family
         # evaluates vectorized; mixed families fall back to the loop.
         if all(
@@ -101,22 +170,91 @@ class _RoutedObjective(Objective):
 
     @property
     def routing(self) -> np.ndarray:
-        return self._routing
+        """Dense ``K x n`` routing array (materialized on demand)."""
+        if self._dense_routing is None:
+            dense = self._operator.toarray()
+            dense.setflags(write=False)
+            self._dense_routing = dense
+        return self._dense_routing
+
+    @property
+    def routing_operator(self) -> RoutingOperator:
+        return self._operator
 
     @property
     def utilities(self) -> list[UtilityFunction]:
         return list(self._utilities)
 
     def rho(self, x: np.ndarray) -> np.ndarray:
-        """Linear effective rates ``R x``."""
-        return self._routing @ np.asarray(x, dtype=float)
+        """Linear effective rates ``R x`` (memoized for the last x)."""
+        x = np.asarray(x, dtype=float)
+        if (
+            self._rho_point is not None
+            and x.shape == self._rho_point.shape
+            and np.array_equal(x, self._rho_point)
+        ):
+            return self._rho_value
+        rho = self._operator.matvec(x)
+        rho.setflags(write=False)
+        self._rho_point = x.copy()
+        self._rho_value = rho
+        return rho
 
     def _per_od(self, method: str, rho: np.ndarray) -> np.ndarray:
         if self._vectorized is not None:
             return getattr(self._vectorized, method)(rho)
-        return np.array(
-            [getattr(u, method)(r) for u, r in zip(self._utilities, rho)]
+        out = np.empty(len(self._utilities))
+        for k, utility in enumerate(self._utilities):
+            out[k] = getattr(utility, method)(rho[k])
+        return out
+
+
+class _RoutedRay(ObjectiveRay):
+    """Incremental ray over ``ρ(t) = ρ₀ + t δ``.
+
+    ``ρ₀ = R x`` and ``δ = R s`` are computed once at construction;
+    every trial point then reduces to an ``O(K)`` axpy plus the per-OD
+    utility formulas — the full matvec never recurs.  The ρ vector of
+    the most recent ``t`` is kept so Newton's slope+curvature pair at
+    the same trial shares one evaluation.
+    """
+
+    def __init__(self, objective: "_RoutedObjective", x: np.ndarray, s: np.ndarray):
+        self._objective = objective
+        self._rho0 = objective.rho(x)
+        self._delta = objective.routing_operator.matvec(
+            np.asarray(s, dtype=float)
         )
+        self._last_t: float | None = None
+        self._last_rho: np.ndarray | None = None
+
+    @property
+    def delta(self) -> np.ndarray:
+        """``δ = R s`` — per-OD rate change per unit step."""
+        return self._delta
+
+    def rho_at(self, t: float) -> np.ndarray:
+        if t != self._last_t:
+            self._last_rho = self._rho0 + t * self._delta
+            self._last_t = t
+        return self._last_rho
+
+
+class _SumUtilityRay(_RoutedRay):
+    def value(self, t: float) -> float:
+        objective = self._objective
+        values = objective._per_od("value", self.rho_at(t))
+        return float(objective._weights @ values)
+
+    def slope(self, t: float) -> float:
+        objective = self._objective
+        slopes = objective._per_od("derivative", self.rho_at(t))
+        return float((objective._weights * slopes) @ self._delta)
+
+    def curvature(self, t: float) -> float:
+        objective = self._objective
+        curvatures = objective._per_od("second_derivative", self.rho_at(t))
+        return float((objective._weights * self._delta**2) @ curvatures)
 
 
 class SumUtilityObjective(_RoutedObjective):
@@ -130,7 +268,7 @@ class SumUtilityObjective(_RoutedObjective):
 
     def __init__(
         self,
-        routing: np.ndarray,
+        routing,
         utilities: Sequence[UtilityFunction],
         weights: np.ndarray | Sequence[float] | None = None,
     ):
@@ -152,19 +290,51 @@ class SumUtilityObjective(_RoutedObjective):
         return float(self._weights @ self._per_od("value", self.rho(x)))
 
     def utilities_at(self, x: np.ndarray) -> np.ndarray:
-        """Per-OD (unweighted) utility values ``M_k(ρ_k)``."""
+        """Per-OD (unweighted) utility values ``M_k(ρ_k)``.
+
+        Shares the ρ memo with :meth:`value` and :meth:`gradient`, so
+        reporting utilities right after a solve costs no extra matvec.
+        """
         return self._per_od("value", self.rho(x))
 
     def gradient(self, x: np.ndarray) -> np.ndarray:
         """``∇f = Rᵀ (w ∘ M'(ρ))``."""
         slopes = self._per_od("derivative", self.rho(x))
-        return self._routing.T @ (self._weights * slopes)
+        return self._operator.rmatvec(self._weights * slopes)
 
     def directional_curvature(self, x: np.ndarray, s: np.ndarray) -> float:
         """``Σ_k w_k (R s)_k² · M_k''(ρ_k)`` — separable chain rule."""
-        d = self._routing @ np.asarray(s, dtype=float)
+        d = self._operator.matvec(np.asarray(s, dtype=float))
         curvatures = self._per_od("second_derivative", self.rho(x))
         return float((self._weights * d**2) @ curvatures)
+
+    def along_ray(self, x: np.ndarray, s: np.ndarray) -> ObjectiveRay:
+        return _SumUtilityRay(self, np.asarray(x, dtype=float), s)
+
+
+class _SoftMinRay(_RoutedRay):
+    def value(self, t: float) -> float:
+        objective = self._objective
+        values = objective._per_od("value", self.rho_at(t))
+        return objective._value_from_utilities(values)
+
+    def slope(self, t: float) -> float:
+        objective = self._objective
+        rho = self.rho_at(t)
+        values = objective._per_od("value", rho)
+        slopes = objective._per_od("derivative", rho)
+        weights = objective._weights(values)
+        return float(weights @ (slopes * self._delta))
+
+    def curvature(self, t: float) -> float:
+        objective = self._objective
+        rho = self.rho_at(t)
+        values = objective._per_od("value", rho)
+        slopes = objective._per_od("derivative", rho)
+        curvatures = objective._per_od("second_derivative", rho)
+        return objective._curvature_terms(
+            values, slopes, curvatures, self._delta
+        )
 
 
 class SoftMinUtilityObjective(_RoutedObjective):
@@ -178,7 +348,7 @@ class SoftMinUtilityObjective(_RoutedObjective):
 
     def __init__(
         self,
-        routing: np.ndarray,
+        routing,
         utilities: Sequence[UtilityFunction],
         temperature: float = 0.01,
     ):
@@ -194,30 +364,44 @@ class SoftMinUtilityObjective(_RoutedObjective):
         w = np.exp(z)
         return w / w.sum()
 
-    def value(self, x: np.ndarray) -> float:
-        values = self._per_od("value", self.rho(x))
+    def _value_from_utilities(self, values: np.ndarray) -> float:
         z = -values / self.temperature
         zmax = z.max()
         return float(-self.temperature * (zmax + np.log(np.exp(z - zmax).sum())))
 
-    def gradient(self, x: np.ndarray) -> np.ndarray:
-        rho = self.rho(x)
-        values = self._per_od("value", rho)
-        slopes = self._per_od("derivative", rho)
+    def _curvature_terms(
+        self,
+        values: np.ndarray,
+        slopes: np.ndarray,
+        curvatures: np.ndarray,
+        d: np.ndarray,
+    ) -> float:
         weights = self._weights(values)
-        return self._routing.T @ (weights * slopes)
-
-    def directional_curvature(self, x: np.ndarray, s: np.ndarray) -> float:
-        rho = self.rho(x)
-        d = self._routing @ np.asarray(s, dtype=float)
-        values = self._per_od("value", rho)
-        slopes = self._per_od("derivative", rho)
-        curvatures = self._per_od("second_derivative", rho)
-        weights = self._weights(values)
-        du = d * slopes  # d/dt of each M_k along s
+        du = d * slopes  # d/dt of each M_k along the ray
         mean_du = float(weights @ du)
         # d²f/dt² = Σ w_k ü_k − (1/T)(Σ w_k u̇_k² − (Σ w_k u̇_k)²)
         return float(
             weights @ (d**2 * curvatures)
             - (weights @ du**2 - mean_du**2) / self.temperature
         )
+
+    def value(self, x: np.ndarray) -> float:
+        return self._value_from_utilities(self._per_od("value", self.rho(x)))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        rho = self.rho(x)
+        values = self._per_od("value", rho)
+        slopes = self._per_od("derivative", rho)
+        weights = self._weights(values)
+        return self._operator.rmatvec(weights * slopes)
+
+    def directional_curvature(self, x: np.ndarray, s: np.ndarray) -> float:
+        rho = self.rho(x)
+        d = self._operator.matvec(np.asarray(s, dtype=float))
+        values = self._per_od("value", rho)
+        slopes = self._per_od("derivative", rho)
+        curvatures = self._per_od("second_derivative", rho)
+        return self._curvature_terms(values, slopes, curvatures, d)
+
+    def along_ray(self, x: np.ndarray, s: np.ndarray) -> ObjectiveRay:
+        return _SoftMinRay(self, np.asarray(x, dtype=float), s)

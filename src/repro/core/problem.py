@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .routing_op import RoutingOperator
 from .utility import MeanSquaredRelativeAccuracy, UtilityFunction, accuracy_utilities
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,13 +67,12 @@ class SamplingProblem:
         interval_seconds: float = 300.0,
         monitorable: np.ndarray | Sequence[bool] | None = None,
     ) -> None:
-        routing = np.asarray(routing, dtype=float)
-        if routing.ndim != 2:
-            raise ValueError("routing matrix must be 2-D")
-        num_od, num_links = routing.shape
+        routing_op = RoutingOperator.from_matrix(routing)
+        num_od, num_links = routing_op.shape
         if num_od == 0 or num_links == 0:
             raise ValueError("need at least one OD pair and one link")
-        if np.any(routing < 0) or np.any(routing > 1):
+        lo, hi = routing_op.entry_range()
+        if lo < 0 or hi > 1:
             raise ValueError("routing entries must lie in [0, 1]")
 
         loads = np.asarray(link_loads_pps, dtype=float)
@@ -109,26 +109,59 @@ class SamplingProblem:
             if mask.shape != (num_links,):
                 raise ValueError("monitorable mask does not match link count")
 
-        self.routing = routing
+        self._routing_op = routing_op
+        self._routing_dense: np.ndarray | None = None
+        self._candidate_op: RoutingOperator | None = None
         self.link_loads_pps = loads
         self.theta_packets = float(theta_packets)
         self.interval_seconds = float(interval_seconds)
         self.utilities = list(utilities)
         self.alpha = alpha_vec
         self.monitorable = mask
-        for array in (self.routing, self.link_loads_pps, self.alpha, self.monitorable):
+        for array in (self.link_loads_pps, self.alpha, self.monitorable):
             array.setflags(write=False)
 
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
     @property
+    def routing(self) -> np.ndarray:
+        """Dense ``F x L`` routing array (materialized on demand).
+
+        The canonical storage is :attr:`routing_op`, which may be
+        sparse; this property exists for consumers that index or
+        reshape the matrix directly.
+        """
+        if self._routing_dense is None:
+            dense = self._routing_op.toarray()
+            dense.setflags(write=False)
+            self._routing_dense = dense
+        return self._routing_dense
+
+    @property
+    def routing_op(self) -> RoutingOperator:
+        """The routing matrix as a backend-selected linear operator."""
+        return self._routing_op
+
+    def candidate_routing_op(self) -> RoutingOperator:
+        """Operator over the candidate-link columns (cached).
+
+        This is what the solvers build their objectives on: slicing
+        happens once per problem, in the operator's native storage.
+        """
+        if self._candidate_op is None:
+            self._candidate_op = self._routing_op.restrict_columns(
+                np.flatnonzero(self.candidate_mask)
+            )
+        return self._candidate_op
+
+    @property
     def num_od_pairs(self) -> int:
-        return self.routing.shape[0]
+        return self._routing_op.shape[0]
 
     @property
     def num_links(self) -> int:
-        return self.routing.shape[1]
+        return self._routing_op.shape[1]
 
     @property
     def theta_rate_pps(self) -> float:
@@ -138,7 +171,7 @@ class SamplingProblem:
     @property
     def traversed(self) -> np.ndarray:
         """Boolean mask of links crossed by at least one OD pair (L)."""
-        return self.routing.sum(axis=0) > 0
+        return self._routing_op.column_sums() > 0
 
     @property
     def candidate_mask(self) -> np.ndarray:
@@ -191,7 +224,7 @@ class SamplingProblem:
         if self.theta_packets <= max_packets:
             return self
         return SamplingProblem(
-            self.routing,
+            self._routing_op,
             self.link_loads_pps,
             max_packets,
             self.utilities,
@@ -206,7 +239,7 @@ class SamplingProblem:
         for index in link_indices:
             mask[int(index)] = True
         return SamplingProblem(
-            self.routing,
+            self._routing_op,
             self.link_loads_pps,
             self.theta_packets,
             self.utilities,
@@ -218,7 +251,7 @@ class SamplingProblem:
     def with_theta(self, theta_packets: float) -> "SamplingProblem":
         """A copy with a different capacity θ."""
         return SamplingProblem(
-            self.routing,
+            self._routing_op,
             self.link_loads_pps,
             theta_packets,
             self.utilities,

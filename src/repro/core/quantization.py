@@ -84,7 +84,9 @@ def quantize_solution(
         quantized[i] = 1.0 / divisors[i] if divisors[i] > 0 else 0.0
 
     cand = np.flatnonzero(problem.candidate_mask)
-    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    objective = SumUtilityObjective(
+        problem.candidate_routing_op(), problem.utilities
+    )
     loads = problem.link_loads_pps
     budget = problem.theta_rate_pps
 

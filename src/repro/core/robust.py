@@ -160,8 +160,7 @@ def solve_robust(
       utility, maximizing the worst corner of the scenario set.
     """
     problem = robust.problem
-    cand = np.flatnonzero(problem.candidate_mask)
-    routing = problem.routing[:, cand]
+    routing = problem.candidate_routing_op()
     if objective == "mean":
         row_weights = np.repeat(robust.scenario_weights, robust.num_od_pairs)
         built = SumUtilityObjective(routing, problem.utilities, weights=row_weights)

@@ -46,7 +46,9 @@ def solve_scipy(
     loads = problem.link_loads_pps[cand]
     alpha = problem.alpha[cand]
     if objective is None:
-        objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+        objective = SumUtilityObjective(
+            problem.candidate_routing_op(), problem.utilities
+        )
 
     x0 = initial_feasible_point(loads, alpha, problem.theta_rate_pps)
 

@@ -92,7 +92,9 @@ def marginal_link_values(
     Links with zero load or outside the monitorable set get value 0.
     """
     cand = np.flatnonzero(problem.candidate_mask)
-    objective = SumUtilityObjective(problem.routing[:, cand], problem.utilities)
+    objective = SumUtilityObjective(
+        problem.candidate_routing_op(), problem.utilities
+    )
     g = objective.gradient(solution.rates[cand])
     values = np.zeros(problem.num_links)
     values[cand] = g / problem.link_loads_pps[cand]

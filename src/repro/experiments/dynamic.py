@@ -23,10 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.batch import WarmStartChain
 from ..core.objective import SumUtilityObjective
 from ..core.problem import SamplingProblem
-from ..core.solver import solve
-from ..core.gradient_projection import solve_gradient_projection
 from ..traffic.dynamics import fail_link, inject_anomaly, scale_diurnal
 from ..traffic.workloads import MeasurementTask, janet_task
 from .reporting import format_table
@@ -108,10 +107,17 @@ def run_dynamic(
     anomaly_magnitude: float = 30.0,
     failed_circuit: tuple[str, str] = ("UK", "FR"),
 ) -> DynamicResult:
-    """Run the static-vs-reoptimized scenario on the JANET task."""
+    """Run the static-vs-reoptimized scenario on the JANET task.
+
+    Re-optimization runs through a :class:`WarmStartChain`: each event
+    warm-starts from the previously deployed configuration (and falls
+    back to a cold start across the topology-changing failure event),
+    which is how an operator would actually roll re-optimization.
+    """
     baseline = janet_task()
     baseline_problem = SamplingProblem.from_task(baseline, theta_packets)
-    baseline_solution = solve(baseline_problem)
+    chain = WarmStartChain()
+    baseline_solution = chain.solve(baseline_problem)
     names = [link.name for link in baseline.network.links]
     rates_by_name = {
         names[i]: float(baseline_solution.rates[i])
@@ -135,16 +141,12 @@ def run_dynamic(
     ]
 
     events = []
-    previous_rates = baseline_solution.rates
     for label, task in scenario:
         problem = SamplingProblem.from_task(task, theta_packets).clamped()
         static_obj, static_worst, static_budget = _evaluate_static(
             problem, rates_by_name, task
         )
-        warm = None
-        if task.network.num_links == baseline.network.num_links:
-            warm = previous_rates
-        reopt = solve_gradient_projection(problem, warm_start=warm)
+        reopt = chain.solve(problem)
         events.append(
             DynamicEventResult(
                 label=label,

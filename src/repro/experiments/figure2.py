@@ -16,9 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.restricted import solve_restricted
+from ..core.batch import solve_theta_sweep
 from ..core.problem import SamplingProblem
-from ..core.solver import solve
 from ..sampling.simulator import SamplingExperiment
 from ..traffic.workloads import MeasurementTask, janet_task
 from .reporting import format_series
@@ -95,7 +94,9 @@ def run_figure2(
 
     Capacities beyond what a configuration's candidate links can absorb
     are clamped to saturation (the configuration simply cannot use more
-    budget), which is how the restricted curve plateaus.
+    budget), which is how the restricted curve plateaus.  Each sweep
+    runs through :func:`~repro.core.batch.solve_theta_sweep`, so
+    adjacent capacities warm-start each other.
     """
     task = task or janet_task()
     if task.access_node is None:
@@ -103,19 +104,22 @@ def run_figure2(
     uk_links = task.access_link_indices()
     names = [task.network.links[i].name for i in uk_links]
 
+    base = SamplingProblem.from_task(task, thetas[0])
+    optimal = solve_theta_sweep(base, thetas, method=method)
+    restricted = solve_theta_sweep(
+        base.restrict_monitors(uk_links), thetas, method=method
+    )
+
     optimal_points: list[Figure2Point] = []
     restricted_points: list[Figure2Point] = []
     for index, theta in enumerate(thetas):
-        if theta <= 0:
-            raise ValueError("theta values must be positive")
-        problem = SamplingProblem.from_task(task, theta).clamped()
-        opt = solve(problem, method=method)
         optimal_points.append(
-            _evaluate(task, opt.rates, theta, runs, seed + index)
+            _evaluate(task, optimal[index].rates, theta, runs, seed + index)
         )
-        restr = solve_restricted(problem, uk_links, method=method)
         restricted_points.append(
-            _evaluate(task, restr.rates, theta, runs, seed + 1000 + index)
+            _evaluate(
+                task, restricted[index].rates, theta, runs, seed + 1000 + index
+            )
         )
     return Figure2Result(
         optimal=optimal_points,

@@ -13,6 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core.routing_op import RoutingOperator
 from ..topology.graph import Network
 from .paths import Path
 from .shortest_path import ShortestPathRouter
@@ -73,6 +74,7 @@ class RoutingMatrix:
         self._matrix = matrix
         self._matrix.setflags(write=False)
         self._paths = list(paths) if paths is not None else None
+        self._operator: RoutingOperator | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -137,6 +139,24 @@ class RoutingMatrix:
         """The (read-only) ``F x L`` array of routing fractions."""
         return self._matrix
 
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero routing entries (paths are short, so
+        backbone matrices sit well under a few percent)."""
+        return self.operator().density
+
+    def operator(self, prefer: str | None = None) -> RoutingOperator:
+        """The matrix as a backend-selected linear operator.
+
+        The default (auto) selection is cached; forcing a backend via
+        ``prefer`` builds a fresh operator.
+        """
+        if prefer is not None:
+            return RoutingOperator.from_matrix(self._matrix, prefer=prefer)
+        if self._operator is None:
+            self._operator = RoutingOperator.from_matrix(self._matrix)
+        return self._operator
+
     def path_of(self, row: int) -> Path:
         """The explicit path of OD pair ``row`` (if built from paths)."""
         if self._paths is None:
@@ -164,6 +184,13 @@ class RoutingMatrix:
         """Columns of ``R`` for the given links, preserving their order."""
         cols = list(link_indices)
         return self._matrix[:, cols]
+
+    def restrict_links_operator(
+        self, link_indices: Iterable[int]
+    ) -> RoutingOperator:
+        """Operator over the given link columns — the cheap slicing
+        path: the cut happens in the operator's native storage."""
+        return self.operator().restrict_columns(list(link_indices))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,151 @@
+"""Tests for warm-started chains, θ sweeps and parallel batches.
+
+Warm starting is an acceleration, never a semantics change: every test
+here pins the warm path to the cold path's optimum, and the sweep
+tests additionally pin the iteration savings that justify the chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SamplingProblem, janet_task
+from repro.core import (
+    GradientProjectionOptions,
+    WarmStartChain,
+    solve_batch,
+    solve_chain,
+    solve_gradient_projection,
+    solve_theta_sweep,
+)
+from repro.traffic.dynamics import fail_link, scale_diurnal
+
+THETAS = [30_000.0, 60_000.0, 120_000.0, 240_000.0]
+
+
+class TestThetaSweep:
+    def test_warm_matches_cold_optimum(self, geant_problem):
+        warm = solve_theta_sweep(geant_problem, THETAS, warm_start=True)
+        cold = solve_theta_sweep(geant_problem, THETAS, warm_start=False)
+        assert len(warm) == len(THETAS)
+        for w, c in zip(warm, cold):
+            assert w.diagnostics.converged and c.diagnostics.converged
+            assert w.objective_value == pytest.approx(
+                c.objective_value, rel=1e-8
+            )
+            np.testing.assert_allclose(w.rates, c.rates, atol=1e-6)
+
+    def test_warm_start_saves_iterations(self, geant_problem):
+        warm = solve_theta_sweep(geant_problem, THETAS, warm_start=True)
+        cold = solve_theta_sweep(geant_problem, THETAS, warm_start=False)
+        assert sum(s.diagnostics.iterations for s in warm) < sum(
+            s.diagnostics.iterations for s in cold
+        )
+
+    def test_rejects_nonpositive_theta(self, geant_problem):
+        with pytest.raises(ValueError, match="positive"):
+            solve_theta_sweep(geant_problem, [50_000.0, 0.0])
+
+    def test_unclamped_sweep_keeps_theta(self, geant_problem):
+        solutions = solve_theta_sweep(geant_problem, THETAS[:2], clamp=False)
+        assert len(solutions) == 2
+
+
+class TestWarmStartChain:
+    def test_chain_reaches_cold_optimum(self, geant_problem):
+        chain = WarmStartChain()
+        first = chain.solve(geant_problem)
+        again = chain.solve(geant_problem)
+        reference = solve_gradient_projection(geant_problem)
+        assert again.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-9
+        )
+        np.testing.assert_allclose(again.rates, reference.rates, atol=1e-7)
+        # The second solve starts at the optimum: it must converge in
+        # (nearly) no iterations.
+        assert again.diagnostics.iterations < first.diagnostics.iterations
+
+    def test_topology_change_cold_starts(self, geant_task):
+        theta = 100_000.0
+        chain = WarmStartChain()
+        chain.solve(SamplingProblem.from_task(geant_task, theta))
+        assert chain.previous_rates is not None
+        failed = fail_link(geant_task, "UK", "FR")
+        solution = chain.solve(
+            SamplingProblem.from_task(failed, theta).clamped()
+        )
+        assert solution.diagnostics.converged
+        reference = solve_gradient_projection(
+            SamplingProblem.from_task(failed, theta).clamped()
+        )
+        assert solution.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-8
+        )
+
+    def test_reset_forgets_state(self, geant_problem):
+        chain = WarmStartChain()
+        chain.solve(geant_problem)
+        chain.reset()
+        assert chain.previous_rates is None
+
+    def test_non_gradient_method_never_warm_starts(self, geant_problem):
+        pytest.importorskip("scipy")
+        chain = WarmStartChain(method="slsqp")
+        solution = chain.solve(geant_problem)
+        assert chain.previous_rates is not None
+        assert solution.rates.shape == (geant_problem.num_links,)
+
+    def test_respects_solver_options(self, geant_problem):
+        options = GradientProjectionOptions(max_iterations=3)
+        chain = WarmStartChain(options=options)
+        solution = chain.solve(geant_problem)
+        assert solution.diagnostics.iterations <= 3
+
+
+class TestSolveChain:
+    def test_chain_over_diurnal_tasks(self, geant_task):
+        theta = 100_000.0
+        problems = [
+            SamplingProblem.from_task(
+                scale_diurnal(geant_task, hour), theta
+            ).clamped()
+            for hour in (3.0, 9.0, 15.0)
+        ]
+        chained = solve_chain(problems)
+        independent = [solve_gradient_projection(p) for p in problems]
+        for c, ref in zip(chained, independent):
+            assert c.objective_value == pytest.approx(
+                ref.objective_value, rel=1e-8
+            )
+
+
+class TestSolveBatch:
+    def test_sequential_matches_chainless_solves(self, geant_problem):
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS[:2]
+        ]
+        batch = solve_batch(problems)
+        for solution, problem in zip(batch, problems):
+            reference = solve_gradient_projection(problem)
+            assert solution.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-10
+            )
+
+    def test_process_pool_matches_sequential(self):
+        theta = 100_000.0
+        task = janet_task()
+        problems = [
+            SamplingProblem.from_task(task, theta),
+            SamplingProblem.from_task(scale_diurnal(task, 3.0), theta).clamped(),
+        ]
+        sequential = solve_batch(problems, processes=1)
+        parallel = solve_batch(problems, processes=2)
+        for seq, par in zip(sequential, parallel):
+            np.testing.assert_allclose(par.rates, seq.rates, atol=1e-12)
+            assert par.objective_value == pytest.approx(
+                seq.objective_value, rel=1e-12
+            )
+
+    def test_single_problem_skips_pool(self, geant_problem):
+        solutions = solve_batch([geant_problem], processes=8)
+        assert len(solutions) == 1
+        assert solutions[0].diagnostics.converged

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    ExponentialUtility,
     LogUtility,
     MeanSquaredRelativeAccuracy,
     SoftMinUtilityObjective,
@@ -122,3 +123,58 @@ class TestSoftMin:
         cold = SoftMinUtilityObjective(ROUTING, UTILITIES, temperature=1e-6)
         assert np.isfinite(cold.value(x))
         assert np.all(np.isfinite(cold.gradient(x)))
+
+
+class TestMixedUtilityFallback:
+    """Heterogeneous utilities exercise the per-OD scalar fallback."""
+
+    ROUTING = np.array(
+        [
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ]
+    )
+    UTILITIES = [
+        MeanSquaredRelativeAccuracy(0.002),
+        LogUtility(20.0),
+        ExponentialUtility(15.0),
+    ]
+
+    @pytest.fixture()
+    def objective(self):
+        return SumUtilityObjective(self.ROUTING, self.UTILITIES)
+
+    def test_utilities_match_scalar_evaluation(self, objective):
+        x = np.array([0.1, 0.25, 0.05, 0.3])
+        rho = self.ROUTING @ x
+        expected = [u.value(r) for u, r in zip(self.UTILITIES, rho)]
+        np.testing.assert_allclose(objective.utilities_at(x), expected)
+        assert objective.value(x) == pytest.approx(sum(expected))
+
+    def test_gradient_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.25, 0.05, 0.3])
+        np.testing.assert_allclose(
+            objective.gradient(x), numeric_gradient(objective, x), rtol=1e-5
+        )
+
+    def test_curvature_matches_finite_difference(self, objective):
+        x = np.array([0.1, 0.25, 0.05, 0.3])
+        s = np.array([0.5, -0.2, 1.0, 0.1])
+        assert objective.directional_curvature(x, s) == pytest.approx(
+            numeric_curvature(objective, x, s), rel=1e-3
+        )
+
+    def test_ray_matches_direct_evaluation(self, objective):
+        x = np.array([0.1, 0.25, 0.05, 0.3])
+        s = np.array([0.2, 0.1, 0.3, 0.05])
+        ray = objective.along_ray(x, s)
+        for t in (0.0, 0.4, 1.0):
+            point = x + t * s
+            assert ray.value(t) == pytest.approx(objective.value(point))
+            assert ray.slope(t) == pytest.approx(
+                float(objective.gradient(point) @ s)
+            )
+            assert ray.curvature(t) == pytest.approx(
+                objective.directional_curvature(point, s)
+            )

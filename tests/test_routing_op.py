@@ -1,0 +1,254 @@
+"""Property tests for the routing-operator backends and ray evaluation.
+
+The sparse backend and the incremental rays are pure performance
+machinery: every observable quantity — matvecs, objective values,
+gradients, curvatures, and ultimately the optimal rates — must agree
+with the dense from-scratch reference to floating-point noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ODPair, SamplingProblem, janet_task, make_task
+from repro.core import (
+    LogUtility,
+    MeanSquaredRelativeAccuracy,
+    RoutingOperator,
+    SoftMinUtilityObjective,
+    SumUtilityObjective,
+    solve_gradient_projection,
+)
+from repro.core.objective import Objective
+from repro.core.routing_op import (
+    DENSITY_THRESHOLD,
+    MIN_AUTO_SPARSE_SIZE,
+    DenseRoutingOperator,
+    SparseRoutingOperator,
+)
+from repro.topology import abilene_network, nsfnet_network
+
+
+def random_routing(seed: int, num_od: int = 12, num_links: int = 24) -> np.ndarray:
+    """A routing-like matrix: sparse rows of fractional [0, 1] entries."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_od, num_links))
+    mask = rng.uniform(size=matrix.shape) < 0.2
+    for k in range(num_od):
+        if not mask[k].any():
+            mask[k, rng.integers(num_links)] = True
+    matrix[mask] = rng.uniform(0.2, 1.0, size=int(mask.sum()))
+    return matrix
+
+
+def mixed_utilities(num_od: int) -> list:
+    return [
+        MeanSquaredRelativeAccuracy(0.002) if k % 2 == 0 else LogUtility(20.0)
+        for k in range(num_od)
+    ]
+
+
+class TestBackendEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matvec_and_rmatvec_match_dense(self, seed):
+        matrix = random_routing(seed)
+        dense = RoutingOperator.from_matrix(matrix, prefer="dense")
+        sparse = RoutingOperator.from_matrix(matrix, prefer="sparse")
+        rng = np.random.default_rng(seed + 1)
+        x = rng.uniform(0.0, 1.0, size=matrix.shape[1])
+        y = rng.uniform(-1.0, 1.0, size=matrix.shape[0])
+        np.testing.assert_allclose(
+            sparse.matvec(x), dense.matvec(x), rtol=1e-13, atol=1e-14
+        )
+        np.testing.assert_allclose(
+            sparse.rmatvec(y), dense.rmatvec(y), rtol=1e-13, atol=1e-14
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_restrict_columns_matches_slicing(self, seed):
+        matrix = random_routing(seed)
+        rng = np.random.default_rng(seed + 2)
+        cols = rng.choice(
+            matrix.shape[1], size=matrix.shape[1] // 2, replace=False
+        )
+        for prefer in ("dense", "sparse"):
+            op = RoutingOperator.from_matrix(matrix, prefer=prefer)
+            restricted = op.restrict_columns(cols)
+            assert restricted.backend == prefer
+            np.testing.assert_array_equal(
+                restricted.toarray(), matrix[:, cols]
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_objective_surface_matches_across_backends(self, seed):
+        matrix = random_routing(seed)
+        utilities = mixed_utilities(matrix.shape[0])
+        rng = np.random.default_rng(seed + 3)
+        x = rng.uniform(0.0, 0.4, size=matrix.shape[1])
+        s = rng.normal(size=matrix.shape[1])
+        for cls in (SumUtilityObjective, SoftMinUtilityObjective):
+            dense_obj = cls(
+                RoutingOperator.from_matrix(matrix, prefer="dense"), utilities
+            )
+            sparse_obj = cls(
+                RoutingOperator.from_matrix(matrix, prefer="sparse"), utilities
+            )
+            assert sparse_obj.value(x) == pytest.approx(
+                dense_obj.value(x), rel=1e-12, abs=1e-12
+            )
+            np.testing.assert_allclose(
+                sparse_obj.gradient(x), dense_obj.gradient(x),
+                rtol=1e-11, atol=1e-12,
+            )
+            assert sparse_obj.directional_curvature(x, s) == pytest.approx(
+                dense_obj.directional_curvature(x, s), rel=1e-10, abs=1e-12
+            )
+
+    def test_column_sums_and_entry_range(self):
+        matrix = random_routing(5)
+        for prefer in ("dense", "sparse"):
+            op = RoutingOperator.from_matrix(matrix, prefer=prefer)
+            np.testing.assert_allclose(op.column_sums(), matrix.sum(axis=0))
+            lo, hi = op.entry_range()
+            assert lo == pytest.approx(matrix.min())
+            assert hi == pytest.approx(matrix.max())
+            assert op.nnz == np.count_nonzero(matrix)
+
+
+class TestBackendSelection:
+    def test_small_dense_matrix_stays_dense(self):
+        op = RoutingOperator.from_matrix(np.eye(4))
+        assert isinstance(op, DenseRoutingOperator)
+
+    def test_large_sparse_matrix_goes_csr(self):
+        side = int(np.ceil(np.sqrt(MIN_AUTO_SPARSE_SIZE))) + 1
+        op = RoutingOperator.from_matrix(np.eye(side))
+        assert isinstance(op, SparseRoutingOperator)
+
+    def test_large_dense_matrix_stays_dense(self):
+        side = int(np.ceil(np.sqrt(MIN_AUTO_SPARSE_SIZE))) + 1
+        dense = np.full((side, side), 0.5)
+        assert dense.size >= MIN_AUTO_SPARSE_SIZE
+        assert RoutingOperator.from_matrix(dense).backend == "dense"
+        assert 1.0 > DENSITY_THRESHOLD
+
+    def test_prefer_overrides_auto_selection(self):
+        matrix = np.eye(3)
+        assert RoutingOperator.from_matrix(matrix, prefer="sparse").backend == "sparse"
+        big = np.zeros((100, 100))
+        big[0, 0] = 1.0
+        assert RoutingOperator.from_matrix(big, prefer="dense").backend == "dense"
+
+    def test_existing_operator_passes_through(self):
+        op = RoutingOperator.from_matrix(np.eye(3), prefer="sparse")
+        assert RoutingOperator.from_matrix(op) is op
+        converted = RoutingOperator.from_matrix(op, prefer="dense")
+        assert converted.backend == "dense"
+        np.testing.assert_array_equal(converted.toarray(), op.toarray())
+
+    def test_scipy_sparse_input_accepted(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        csr = sparse.csr_matrix(random_routing(9))
+        op = RoutingOperator.from_matrix(csr)
+        assert op.backend == "sparse"
+        np.testing.assert_allclose(op.toarray(), csr.toarray())
+
+    def test_invalid_prefer_rejected(self):
+        with pytest.raises(ValueError, match="prefer"):
+            RoutingOperator.from_matrix(np.eye(2), prefer="blocked")
+
+
+class TestAlongRay:
+    @pytest.mark.parametrize("cls", [SumUtilityObjective, SoftMinUtilityObjective])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        t=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ray_matches_direct_evaluation(self, cls, seed, t):
+        matrix = random_routing(seed)
+        objective = cls(matrix, mixed_utilities(matrix.shape[0]))
+        rng = np.random.default_rng(seed + 4)
+        x = rng.uniform(0.0, 0.3, size=matrix.shape[1])
+        # A direction keeping x + t s within [0, 1] for t in [0, 1].
+        s = rng.uniform(0.0, 0.5, size=matrix.shape[1])
+        ray = objective.along_ray(x, s)
+        point = x + t * s
+        assert ray.value(t) == pytest.approx(
+            objective.value(point), rel=1e-11, abs=1e-12
+        )
+        assert ray.slope(t) == pytest.approx(
+            float(objective.gradient(point) @ s), rel=1e-9, abs=1e-10
+        )
+        assert ray.curvature(t) == pytest.approx(
+            objective.directional_curvature(point, s), rel=1e-9, abs=1e-10
+        )
+
+    def test_generic_ray_matches_specialized(self):
+        matrix = random_routing(11)
+        objective = SumUtilityObjective(matrix, mixed_utilities(matrix.shape[0]))
+        rng = np.random.default_rng(12)
+        x = rng.uniform(0.0, 0.3, size=matrix.shape[1])
+        s = rng.uniform(0.0, 0.5, size=matrix.shape[1])
+        fast = objective.along_ray(x, s)
+        generic = Objective.along_ray(objective, x, s)
+        for t in (0.0, 0.25, 0.8):
+            assert fast.value(t) == pytest.approx(generic.value(t), rel=1e-12)
+            assert fast.slope(t) == pytest.approx(generic.slope(t), rel=1e-10)
+            assert fast.curvature(t) == pytest.approx(
+                generic.curvature(t), rel=1e-10
+            )
+
+
+def topology_problem(network, theta_fraction: float = 0.002) -> SamplingProblem:
+    """A gravity-ish task over every 3rd node pair of a real topology."""
+    names = network.node_names
+    pairs = [
+        ODPair(a, b)
+        for i, a in enumerate(names)
+        for j, b in enumerate(names)
+        if i != j and (i + j) % 3 == 0
+    ]
+    rng = np.random.default_rng(hash(network.name) % 2**32)
+    sizes = rng.uniform(100.0, 20_000.0, size=len(pairs))
+    task = make_task(network, pairs, sizes, background_pps=200_000.0, seed=1)
+    theta = theta_fraction * float(task.link_loads_pps.sum()) * task.interval_seconds
+    return SamplingProblem.from_task(task, theta_packets=theta)
+
+
+@pytest.mark.parametrize(
+    "problem_builder",
+    [
+        pytest.param(
+            lambda: SamplingProblem.from_task(janet_task(), 100_000.0),
+            id="geant",
+        ),
+        pytest.param(lambda: topology_problem(abilene_network()), id="abilene"),
+        pytest.param(lambda: topology_problem(nsfnet_network()), id="nsfnet"),
+    ],
+)
+def test_backends_agree_on_optimal_rates(problem_builder):
+    """Dense and sparse solves land on the same optimum (ISSUE criterion)."""
+    problem = problem_builder()
+    solutions = {}
+    for prefer in ("dense", "sparse"):
+        operator = RoutingOperator.from_matrix(
+            problem.routing[:, np.flatnonzero(problem.candidate_mask)],
+            prefer=prefer,
+        )
+        objective = SumUtilityObjective(operator, problem.utilities)
+        solutions[prefer] = solve_gradient_projection(
+            problem, objective=objective
+        )
+    assert solutions["dense"].diagnostics.converged
+    assert solutions["sparse"].diagnostics.converged
+    np.testing.assert_allclose(
+        solutions["sparse"].rates, solutions["dense"].rates, atol=1e-8
+    )
+    assert solutions["sparse"].objective_value == pytest.approx(
+        solutions["dense"].objective_value, rel=1e-10
+    )
