@@ -40,6 +40,7 @@ from repro.core import (
     solve_gradient_projection,
     solve_theta_sweep,
 )
+from repro.obs import collecting_metrics
 from repro.topology import random_waxman_network
 
 #: Options replicating the seed inner loop: every line-search trial
@@ -88,6 +89,35 @@ def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
     return best, result
 
 
+#: Counters worth publishing next to the timings: the operation counts
+#: that *explain* a speedup (or betray a regression that timing noise
+#: would hide).
+_COUNTER_KEYS = (
+    "routing.matvec.dense",
+    "routing.matvec.sparse",
+    "routing.rmatvec.dense",
+    "routing.rmatvec.sparse",
+    "objective.rho.memo_hit",
+    "objective.rho.memo_miss",
+    "batch.warm_start.hit",
+    "batch.warm_start.miss",
+    "solver.gp.iterations",
+    "solver.gp.solves",
+)
+
+
+def _count_operations(fn: Callable[[], object]) -> dict:
+    """Run ``fn`` once with the metrics registry on; return its counters.
+
+    Runs *outside* the timed repeats so instrumentation overhead —
+    however small — never touches the published timings.
+    """
+    with collecting_metrics(reset=True) as registry:
+        fn()
+        counters = registry.snapshot()["counters"]
+    return {key: counters[key] for key in _COUNTER_KEYS if key in counters}
+
+
 def bench_solver(name: str, problem: SamplingProblem, repeats: int) -> dict:
     """Time one solve: seed-style baseline vs optimized hot path."""
     baseline_s, baseline = _best_of(
@@ -107,6 +137,18 @@ def bench_solver(name: str, problem: SamplingProblem, repeats: int) -> dict:
     objective_gap = abs(
         baseline.objective_value - optimized.objective_value
     ) / max(abs(baseline.objective_value), 1e-12)
+    operation_counts = {
+        "baseline": _count_operations(
+            lambda: solve_gradient_projection(
+                problem,
+                options=BASELINE_OPTIONS,
+                objective=dense_baseline_objective(problem),
+            )
+        ),
+        "optimized": _count_operations(
+            lambda: solve_gradient_projection(problem, options=OPTIMIZED_OPTIONS)
+        ),
+    }
     return {
         "kind": "solver",
         "name": name,
@@ -125,6 +167,7 @@ def bench_solver(name: str, problem: SamplingProblem, repeats: int) -> dict:
         ),
         "max_rate_gap": rate_gap,
         "relative_objective_gap": objective_gap,
+        "operation_counts": operation_counts,
     }
 
 
@@ -149,6 +192,18 @@ def bench_sweep(
         / max(abs(c.objective_value), 1e-12)
         for c, w in zip(cold, warm)
     )
+    operation_counts = {
+        "cold": _count_operations(
+            lambda: solve_theta_sweep(
+                problem, thetas, options=BASELINE_OPTIONS, warm_start=False
+            )
+        ),
+        "warm": _count_operations(
+            lambda: solve_theta_sweep(
+                problem, thetas, options=OPTIMIZED_OPTIONS, warm_start=True
+            )
+        ),
+    }
     return {
         "kind": "sweep",
         "name": name,
@@ -161,6 +216,7 @@ def bench_sweep(
         "cold_iterations": sum(s.diagnostics.iterations for s in cold),
         "warm_iterations": sum(s.diagnostics.iterations for s in warm),
         "max_relative_objective_gap": objective_gap,
+        "operation_counts": operation_counts,
     }
 
 

@@ -30,6 +30,9 @@ Packages
     Access-link, restricted-set, uniform and two-phase comparators.
 ``repro.experiments``
     One module per paper table/figure.
+``repro.obs``
+    Observability: per-iteration solver traces, a metrics registry,
+    structured logging, JSONL run manifests (``netsampling trace``).
 """
 
 from .adaptive import AdaptiveController, ControllerConfig, run_closed_loop
@@ -74,6 +77,24 @@ from .core import (
     solve_theta_sweep,
 )
 from .inference import estimate_traffic_matrix, gravity_prior
+from .obs import (
+    IterationRecord,
+    MetricsRegistry,
+    RunManifest,
+    SolverTrace,
+    collecting_metrics,
+    compare_manifests,
+    configure_logging,
+    disable_metrics,
+    enable_metrics,
+    fingerprint_problem,
+    get_logger,
+    get_metrics,
+    read_manifest,
+    summarize_manifest,
+    tracing,
+    write_manifest,
+)
 from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
 from .sampling import SamplingExperiment, accuracy, estimate_sizes
 from .topology import Network, abilene_network, geant_network
@@ -146,4 +167,21 @@ __all__ = [
     "shadow_price",
     "estimate_traffic_matrix",
     "gravity_prior",
+    # observability
+    "SolverTrace",
+    "IterationRecord",
+    "tracing",
+    "MetricsRegistry",
+    "get_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "collecting_metrics",
+    "configure_logging",
+    "get_logger",
+    "RunManifest",
+    "fingerprint_problem",
+    "write_manifest",
+    "read_manifest",
+    "summarize_manifest",
+    "compare_manifests",
 ]

@@ -30,7 +30,12 @@ from ..core.gradient_projection import GradientProjectionOptions
 from ..core.problem import SamplingProblem
 from ..core.solution import SamplingSolution
 from ..core.utility import accuracy_utilities
+from ..obs.logsetup import get_logger
+from ..obs.metrics import METRICS
+from ..obs.trace import SolverTrace
 from ..traffic.workloads import MeasurementTask
+
+logger = get_logger(__name__)
 
 __all__ = ["ControllerConfig", "IntervalReport", "AdaptiveController"]
 
@@ -82,6 +87,7 @@ class AdaptiveController:
         config: ControllerConfig,
         num_od_pairs: int,
         initial_sizes_packets: np.ndarray | None = None,
+        trace: SolverTrace | None = None,
     ) -> None:
         self.config = config
         self._smoothed: np.ndarray | None = None
@@ -92,8 +98,10 @@ class AdaptiveController:
             self._smoothed = np.maximum(sizes, config.min_size_packets)
         self._num_od = num_od_pairs
         # The chain carries the warm start between control intervals
-        # and cold-starts across topology changes automatically.
-        self._chain = WarmStartChain(options=config.solver_options)
+        # and cold-starts across topology changes automatically; the
+        # optional trace spans the whole closed-loop run, one solve
+        # scope per control interval.
+        self._chain = WarmStartChain(options=config.solver_options, trace=trace)
         self._interval = 0
 
     @property
@@ -135,6 +143,13 @@ class AdaptiveController:
             interval_seconds=task.interval_seconds,
         ).clamped()
         solution = self._chain.solve(problem)
+        METRICS.increment("adaptive.plans")
+        if not solution.diagnostics.converged:
+            logger.warning(
+                "interval %d plan did not converge: %s",
+                self._interval,
+                solution.diagnostics.message,
+            )
         self._interval += 1
         return solution
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.effective_rate import linear_effective_rates
+from ..obs.trace import SolverTrace
 from ..sampling.estimator import estimate_sizes
 from ..sampling.simulator import simulate_sampled_counts
 from ..traffic.temporal import TraceInterval
@@ -80,6 +81,7 @@ def run_closed_loop(
     config: ControllerConfig,
     seed: int | None = None,
     initial_sizes_packets: np.ndarray | None = None,
+    solver_trace: SolverTrace | None = None,
 ) -> LoopResult:
     """Run the adaptive loop over a trace, against a frozen baseline.
 
@@ -87,7 +89,8 @@ def run_closed_loop(
     the same information the controller has at that point) and never
     touched again; a failure event simply leaves its monitors dark, as
     it would in reality.  Rates are carried across topology changes by
-    link name.
+    link name.  ``solver_trace`` captures every per-interval
+    re-optimization, one solve scope per control interval.
     """
     if not trace:
         raise ValueError("empty trace")
@@ -96,6 +99,7 @@ def run_closed_loop(
         config,
         num_od_pairs=trace[0].task.num_od_pairs,
         initial_sizes_packets=initial_sizes_packets,
+        trace=solver_trace,
     )
 
     static_rates_by_name: dict[str, float] | None = None

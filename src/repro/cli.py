@@ -1,19 +1,26 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     netsampling topology {show,export} <name>     # inspect topologies
     netsampling solve ...                         # run the optimizer
     netsampling experiments [name ...] [--quick]  # regenerate the paper
+    netsampling trace {summary,compare} ...       # inspect run manifests
 
 Examples::
 
     netsampling topology show geant
     netsampling topology export geant --format edgelist > geant.txt
     netsampling solve --topology geant --theta 100000
+    netsampling solve --theta 100000 --trace-out run.jsonl
     netsampling solve --topology abilene --theta 20000 \\
         --od NYC:LAX:5000 --od SEA:ATL:300 --background 200000
     netsampling experiments table1 comparison --quick
+    netsampling trace summary run.jsonl
+    netsampling trace compare before.jsonl after.jsonl
+
+Results go to stdout; diagnostics (``--log-level``) and trace-written
+notices go to stderr, so ``--json`` output stays machine-parseable.
 """
 
 from __future__ import annotations
@@ -27,6 +34,18 @@ import numpy as np
 from .baselines import solve_restricted
 from .core import SamplingProblem, quantize_solution, solve
 from .experiments.runner import EXPERIMENTS
+from .obs import (
+    SolverTrace,
+    collecting_metrics,
+    compare_manifests,
+    configure_logging,
+    fingerprint_problem,
+    get_logger,
+    read_manifest,
+    summarize_manifest,
+    tracing,
+    write_manifest,
+)
 from .routing import ODPair
 from .topology import (
     Network,
@@ -40,6 +59,10 @@ from .topology import (
 from .traffic import janet_task, make_task
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger("cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 _BUILTIN_TOPOLOGIES = {
     "geant": geant_network,
@@ -77,11 +100,21 @@ def _parse_od(spec: str) -> tuple[str, str, float]:
     return parts[0], parts[1], pps
 
 
+def _add_log_level(parser: argparse.ArgumentParser, default=None) -> None:
+    kwargs = {"default": default} if default else {"default": argparse.SUPPRESS}
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVELS, metavar="LEVEL",
+        help="stderr logging threshold (debug, info, warning, error)",
+        **kwargs,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="netsampling",
         description="Optimal network-wide packet sampling (CoNEXT 2006).",
     )
+    _add_log_level(parser, default="warning")
     sub = parser.add_subparsers(dest="command", required=True)
 
     topo = sub.add_parser("topology", help="inspect or export topologies")
@@ -122,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="round rates to deployable 1-in-N sampling")
     slv.add_argument("--json", action="store_true", dest="as_json",
                      help="machine-readable output")
+    slv.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                     help="write a per-iteration run manifest "
+                          "(trace + metrics + fingerprint) as JSONL")
+    _add_log_level(slv)
 
     exp = sub.add_parser("experiments", help="regenerate paper experiments")
     exp.add_argument("names", nargs="*", choices=[*EXPERIMENTS, []],
@@ -129,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--quick", action="store_true")
     exp.add_argument("--export-dir", default=None, metavar="DIR",
                      help="also write CSV/JSON for exportable experiments")
+    exp.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                     help="capture every solve of the selected experiments "
+                          "into one JSONL run manifest")
+    _add_log_level(exp)
+
+    trc = sub.add_parser("trace", help="inspect solver run manifests")
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    summ = trc_sub.add_parser("summary", help="digest one manifest")
+    summ.add_argument("manifest", help="JSONL manifest from --trace-out")
+    comp = trc_sub.add_parser("compare", help="diff two manifests")
+    comp.add_argument("manifest_a")
+    comp.add_argument("manifest_b")
     return parser
 
 
@@ -180,16 +229,57 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
 
     problem = SamplingProblem.from_task(task, args.theta, alpha=args.alpha)
-    if args.restrict_to_node:
-        links = [
-            link.index for link in task.network.out_links(args.restrict_to_node)
-        ]
-        solution = solve_restricted(problem, links, method=args.method)
-    else:
-        solution = solve(problem, method=args.method)
+    logger.info(
+        "solving %s: %d links, %d OD pairs, theta=%g, method=%s",
+        task.network.name, problem.num_links, problem.num_od_pairs,
+        args.theta, args.method,
+    )
 
-    if args.quantize:
-        solution = quantize_solution(problem, solution).solution
+    def _run_solve() -> object:
+        if args.restrict_to_node:
+            links = [
+                link.index
+                for link in task.network.out_links(args.restrict_to_node)
+            ]
+            solution = solve_restricted(problem, links, method=args.method)
+        else:
+            solution = solve(problem, method=args.method)
+        if args.quantize:
+            solution = quantize_solution(problem, solution).solution
+        return solution
+
+    if args.trace_out:
+        # The ambient trace also captures nested solves (restricted,
+        # quantization refinement) without parameter plumbing.
+        trace = SolverTrace(label=f"solve:{task.network.name}")
+        with tracing(trace), collecting_metrics() as registry:
+            solution = _run_solve()
+            metrics_snapshot = registry.snapshot()
+        manifest_path = write_manifest(
+            args.trace_out,
+            trace,
+            metrics=metrics_snapshot,
+            fingerprint=fingerprint_problem(
+                problem,
+                topology=task.network.name,
+                seed=args.seed,
+                method=args.method,
+                alpha=args.alpha,
+            ),
+        )
+        logger.info("run manifest written to %s", manifest_path)
+        print(f"[trace written {manifest_path}]", file=sys.stderr)
+    else:
+        solution = _run_solve()
+
+    logger.info(
+        "solved in %d iterations (%.4fs wall, %d line-search trials, "
+        "%d releases)",
+        solution.diagnostics.iterations,
+        solution.diagnostics.wall_time_s,
+        solution.diagnostics.line_search_evaluations,
+        solution.diagnostics.constraint_releases,
+    )
 
     names = [link.name for link in task.network.links]
     if args.as_json:
@@ -197,6 +287,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             "converged": solution.diagnostics.converged,
             "method": solution.diagnostics.method,
             "iterations": solution.diagnostics.iterations,
+            "wall_time_s": solution.diagnostics.wall_time_s,
             "objective": solution.objective_value,
             "budget_used_packets": solution.budget_used_packets,
             "monitors": {
@@ -220,6 +311,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
     from pathlib import Path
 
     from .experiments.runner import EXPORTERS
@@ -228,22 +320,66 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     export_dir = Path(args.export_dir) if args.export_dir else None
     if export_dir is not None:
         export_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(EXPERIMENTS[name](args.quick))
-        if export_dir is not None and name in EXPORTERS:
-            for path in EXPORTERS[name](args.quick, export_dir):
-                print(f"[exported {path}]")
+
+    trace = SolverTrace(label=f"experiments:{','.join(names)}")
+    scope = (
+        tracing(trace) if args.trace_out else nullcontext()
+    )
+    metrics_scope = (
+        collecting_metrics() if args.trace_out else nullcontext()
+    )
+    with scope, metrics_scope as registry:
+        for name in names:
+            logger.info("running experiment %s (quick=%s)", name, args.quick)
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            print(EXPERIMENTS[name](args.quick))
+            if export_dir is not None and name in EXPORTERS:
+                for path in EXPORTERS[name](args.quick, export_dir):
+                    logger.info("exported %s", path)
+                    print(f"[exported {path}]")
+        metrics_snapshot = registry.snapshot() if registry else None
+    if args.trace_out:
+        manifest_path = write_manifest(
+            args.trace_out,
+            trace,
+            metrics=metrics_snapshot,
+            extra={"experiments": names, "quick": args.quick},
+        )
+        logger.info("run manifest written to %s", manifest_path)
+        print(f"[trace written {manifest_path}]", file=sys.stderr)
+    return 0
+
+
+def _read_manifest_arg(path: str):
+    try:
+        return read_manifest(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read manifest {path!r}: {exc}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summary":
+        print(summarize_manifest(_read_manifest_arg(args.manifest)))
+        return 0
+    print(
+        compare_manifests(
+            _read_manifest_arg(args.manifest_a),
+            _read_manifest_arg(args.manifest_b),
+        )
+    )
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", None) or "warning")
     try:
         if args.command == "topology":
             return _cmd_topology(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_experiments(args)
     except BrokenPipeError:
         # Output was piped to a consumer (head, less) that closed early.

@@ -26,6 +26,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.trace import SolverTrace
 from .gradient_projection import (
     GradientProjectionOptions,
     solve_gradient_projection,
@@ -57,10 +59,12 @@ class WarmStartChain:
         method: str = "gradient_projection",
         options: GradientProjectionOptions | None = None,
         warm_start: bool = True,
+        trace: SolverTrace | None = None,
     ) -> None:
         self._method = method
         self._options = options
         self._warm_start = warm_start
+        self._trace = trace
         self._previous_rates: np.ndarray | None = None
 
     @property
@@ -81,12 +85,19 @@ class WarmStartChain:
             and self._previous_rates.shape == (problem.num_links,)
         ):
             warm = self._previous_rates
+        METRICS.increment(
+            "batch.warm_start.hit" if warm is not None else "batch.warm_start.miss"
+        )
         if self._method == "gradient_projection":
             solution = solve_gradient_projection(
-                problem, options=self._options, warm_start=warm
+                problem, options=self._options, warm_start=warm,
+                trace=self._trace,
             )
         else:
-            solution = solve(problem, method=self._method, options=self._options)
+            solution = solve(
+                problem, method=self._method, options=self._options,
+                trace=self._trace,
+            )
         self._previous_rates = solution.rates
         return solution
 
@@ -96,9 +107,17 @@ def solve_chain(
     method: str = "gradient_projection",
     options: GradientProjectionOptions | None = None,
     warm_start: bool = True,
+    trace: SolverTrace | None = None,
 ) -> list[SamplingSolution]:
-    """Solve an ordered family, chaining warm starts between neighbours."""
-    chain = WarmStartChain(method=method, options=options, warm_start=warm_start)
+    """Solve an ordered family, chaining warm starts between neighbours.
+
+    A single ``trace`` spans the whole family — each member solve
+    contributes its own solve scope, so per-solve convergence curves
+    stay separable in the manifest.
+    """
+    chain = WarmStartChain(
+        method=method, options=options, warm_start=warm_start, trace=trace
+    )
     return [chain.solve(problem) for problem in problems]
 
 
@@ -109,6 +128,7 @@ def solve_theta_sweep(
     method: str = "gradient_projection",
     options: GradientProjectionOptions | None = None,
     warm_start: bool = True,
+    trace: SolverTrace | None = None,
 ) -> list[SamplingSolution]:
     """Solve ``problem`` across a capacity sweep (Figure 2's shape).
 
@@ -125,7 +145,8 @@ def solve_theta_sweep(
         instance = problem.with_theta(float(theta))
         instances.append(instance.clamped() if clamp else instance)
     return solve_chain(
-        instances, method=method, options=options, warm_start=warm_start
+        instances, method=method, options=options, warm_start=warm_start,
+        trace=trace,
     )
 
 
@@ -150,10 +171,20 @@ def solve_batch(
     *independent* instances — scenario grids, per-topology batches;
     for ordered families where neighbours inform each other, prefer
     :func:`solve_chain`.
+
+    Observability: pool fan-out is recorded on the parent registry
+    (``batch.pool.tasks`` / ``batch.pool.workers``); counters
+    incremented *inside* worker processes stay in those processes —
+    the metrics registry is deliberately process-local.
     """
     payloads = [(problem, method, options) for problem in problems]
     if not processes or processes <= 1 or len(problems) <= 1:
+        METRICS.increment("batch.sequential.tasks", len(payloads))
         return [_solve_single(payload) for payload in payloads]
     workers = min(processes, len(problems))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_solve_single, payloads))
+    METRICS.increment("batch.pool.tasks", len(payloads))
+    METRICS.increment("batch.pool.dispatches")
+    METRICS.gauge("batch.pool.workers", workers)
+    with METRICS.timer("batch.pool.map"):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_solve_single, payloads))

@@ -17,9 +17,12 @@ continues.  A run aborts after ``max_iterations`` search directions
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.trace import SolverTrace, active_trace
 from .active_set import ActiveSet
 from .kkt import check_kkt
 from .line_search import line_search_along_ray
@@ -102,6 +105,7 @@ def solve_gradient_projection(
     options: GradientProjectionOptions | None = None,
     objective: Objective | None = None,
     warm_start: np.ndarray | None = None,
+    trace: SolverTrace | None = None,
 ) -> SamplingSolution:
     """Solve a :class:`SamplingProblem` with the paper's algorithm.
 
@@ -121,6 +125,12 @@ def solve_gradient_projection(
         optimum) used as the starting point after projection onto the
         new feasible set — re-optimization under traffic change (§I's
         motivation) converges much faster from a warm start.
+    trace:
+        Optional :class:`~repro.obs.trace.SolverTrace` receiving one
+        record per iteration.  ``None`` (default) falls back to the
+        ambiently installed trace (:func:`repro.obs.trace.tracing`);
+        with neither, the loop constructs no records and reads no
+        per-iteration clocks.
 
     Returns
     -------
@@ -128,8 +138,11 @@ def solve_gradient_projection(
         Optimal rates over all network links (zeros on deactivated
         monitors), with convergence diagnostics and a KKT certificate.
     """
+    t_start = perf_counter()
     options = options or GradientProjectionOptions()
     problem.check_feasible()
+    if trace is None:
+        trace = active_trace()
 
     cand = np.flatnonzero(problem.candidate_mask)
     loads = problem.link_loads_pps[cand]
@@ -151,8 +164,42 @@ def solve_gradient_projection(
     active = ActiveSet(loads, alpha)
     active.sync_with_point(x)
 
+    if trace is not None:
+        trace.begin_solve(
+            method="gradient_projection",
+            num_links=problem.num_links,
+            num_od_pairs=problem.num_od_pairs,
+            candidate_links=int(x.size),
+            theta_packets=problem.theta_packets,
+            warm_start=warm_start is not None,
+            objective=type(objective).__name__,
+            backend=getattr(
+                getattr(objective, "routing_operator", None), "backend", ""
+            ),
+            line_search=options.line_search,
+            incremental_ray=options.incremental_ray,
+        )
+
+    def _emit(event: str, step: float, trials: int) -> None:
+        # Emission sites are guarded by ``trace is not None``; the
+        # objective value here shares the ρ memo with the surrounding
+        # gradient/KKT evaluations, so tracing adds no extra matvec.
+        trace.emit(
+            iteration=iterations,
+            event=event,
+            objective=objective.value(x),
+            gradient_norm=gradient_norm,
+            projected_gradient_norm=projected_norm,
+            step_length=step,
+            line_search_trials=trials,
+            active_set_size=int(x.size - active.num_free()),
+            constraint_releases=releases,
+            wall_time_s=perf_counter() - t_start,
+        )
+
     iterations = 0
     releases = 0
+    line_search_evaluations = 0
     converged = False
     message = ""
     prev_projected: np.ndarray | None = None
@@ -162,9 +209,11 @@ def solve_gradient_projection(
         iterations += 1
         g = objective.gradient(x)
         projected = active.project(g)
-        scale = max(1.0, float(np.abs(g).max()))
+        gradient_norm = float(np.abs(g).max())
+        projected_norm = float(np.abs(projected).max())
+        scale = max(1.0, gradient_norm)
 
-        if float(np.abs(projected).max()) <= options.tolerance * scale:
+        if projected_norm <= options.tolerance * scale:
             # Stationary on the current active set: ask the multipliers.
             mult = active.multipliers(g)
             release_tol = options.tolerance * scale
@@ -173,6 +222,8 @@ def solve_gradient_projection(
             if neg_lower.size == 0 and neg_upper.size == 0:
                 converged = True
                 message = "KKT conditions satisfied"
+                if trace is not None:
+                    _emit("converged", 0.0, 0)
                 break
             # §IV-D strategy: release every active constraint whose
             # multiplier is negative and recompute the projection.
@@ -180,6 +231,8 @@ def solve_gradient_projection(
             releases += 1
             prev_projected = None
             prev_direction = None
+            if trace is not None:
+                _emit("release", 0.0, 0)
             continue
 
         # Polak-Ribière blending of successive directions (§IV-D).
@@ -206,6 +259,8 @@ def solve_gradient_projection(
                 _activate_blocking(active, x, direction, int(index))
             prev_projected = None
             prev_direction = None
+            if trace is not None:
+                _emit("pinned", 0.0, 0)
             continue
 
         # ρ₀ was just computed for the gradient, so building the ray
@@ -223,6 +278,7 @@ def solve_gradient_projection(
         x = x + result.step * direction
         np.clip(x, 0.0, alpha, out=x)
         _restore_capacity(x, active, loads, problem.theta_rate_pps)
+        line_search_evaluations += result.newton_iterations
 
         if result.hit_boundary:
             for index in blocking:
@@ -232,6 +288,9 @@ def solve_gradient_projection(
         else:
             prev_projected = projected
             prev_direction = direction
+
+        if trace is not None:
+            _emit("step", result.step, result.newton_iterations)
 
     if not converged:
         message = f"aborted after {iterations} iterations"
@@ -254,6 +313,7 @@ def solve_gradient_projection(
         if converged
         else None
     )
+    wall_time_s = perf_counter() - t_start
     diagnostics = SolverDiagnostics(
         method="gradient_projection",
         iterations=iterations,
@@ -262,7 +322,22 @@ def solve_gradient_projection(
         objective_value=objective.value(x),
         kkt=kkt,
         message=message,
+        wall_time_s=wall_time_s,
+        line_search_evaluations=line_search_evaluations,
     )
+    METRICS.increment("solver.gp.solves")
+    METRICS.increment("solver.gp.iterations", iterations)
+    METRICS.observe_timer("solver.gp.wall_time", wall_time_s)
+    if trace is not None:
+        trace.end_solve(
+            iterations=iterations,
+            constraint_releases=releases,
+            converged=converged,
+            objective_value=diagnostics.objective_value,
+            wall_time_s=wall_time_s,
+            line_search_evaluations=line_search_evaluations,
+            message=message,
+        )
     return SamplingSolution(problem=problem, rates=rates, diagnostics=diagnostics)
 
 

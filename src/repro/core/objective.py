@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
 from .routing_op import RoutingOperator
 from .utility import MeanSquaredRelativeAccuracy, UtilityFunction
 
@@ -193,7 +194,9 @@ class _RoutedObjective(Objective):
             and x.shape == self._rho_point.shape
             and np.array_equal(x, self._rho_point)
         ):
+            METRICS.increment("objective.rho.memo_hit")
             return self._rho_value
+        METRICS.increment("objective.rho.memo_miss")
         rho = self._operator.matvec(x)
         rho.setflags(write=False)
         self._rho_point = x.copy()

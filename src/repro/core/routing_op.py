@@ -29,6 +29,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+
 try:  # pragma: no cover - exercised implicitly on import
     from scipy import sparse as _sparse
 except ImportError:  # pragma: no cover - scipy is present in CI
@@ -178,15 +180,18 @@ class DenseRoutingOperator(RoutingOperator):
         self._matrix = matrix
         self._matrix.setflags(write=False)
         self._transpose: np.ndarray | None = None
+        METRICS.increment("routing.backend.dense")
 
     @property
     def shape(self) -> tuple[int, int]:
         return self._matrix.shape
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.matvec.dense")
         return self._matrix @ np.asarray(x, dtype=float)
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.rmatvec.dense")
         # R.T is a strided view; multiply through a contiguous copy so
         # repeated gradient assemblies stream memory row-major.
         if self._transpose is None:
@@ -227,15 +232,18 @@ class SparseRoutingOperator(RoutingOperator):
         csr.sum_duplicates()
         self._csr = csr
         self._csr_transpose = None
+        METRICS.increment("routing.backend.sparse")
 
     @property
     def shape(self) -> tuple[int, int]:
         return self._csr.shape
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.matvec.sparse")
         return self._csr @ np.asarray(x, dtype=float)
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.rmatvec.sparse")
         if self._csr_transpose is None:
             self._csr_transpose = self._csr.T.tocsr()
         return self._csr_transpose @ np.asarray(y, dtype=float)

@@ -11,6 +11,8 @@ corresponds to the global optimum").
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, minimize
 
@@ -38,6 +40,7 @@ def solve_scipy(
     :class:`SamplingSolution` shape as the gradient-projection solver,
     including a KKT certificate.
     """
+    t_start = perf_counter()
     if method not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
     problem.check_feasible()
@@ -102,5 +105,6 @@ def solve_scipy(
         objective_value=objective.value(x),
         kkt=kkt,
         message=str(result.message),
+        wall_time_s=perf_counter() - t_start,
     )
     return SamplingSolution(problem=problem, rates=rates, diagnostics=diagnostics)

@@ -23,6 +23,11 @@ class SolverDiagnostics:
     ``constraint_releases`` counts the events (§IV-D) where active
     constraints with negative Lagrange multipliers had to be made
     inactive again — the paper reports 1.64 of them per run on average.
+    ``wall_time_s`` (monotonic clock) and ``line_search_evaluations``
+    (total 1-D trial points across all iterations) come from the
+    solver's built-in timing, so every caller gets them without
+    installing a trace; solvers that don't measure them leave the
+    zero defaults.
     """
 
     method: str
@@ -32,6 +37,8 @@ class SolverDiagnostics:
     objective_value: float
     kkt: KKTReport | None = None
     message: str = ""
+    wall_time_s: float = 0.0
+    line_search_evaluations: int = 0
 
 
 @dataclass(frozen=True)

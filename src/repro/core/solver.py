@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..obs.trace import SolverTrace
 from .gradient_projection import GradientProjectionOptions, solve_gradient_projection
 from .objective import Objective
 from .problem import SamplingProblem
@@ -18,6 +19,7 @@ def solve(
     method: str = "gradient_projection",
     objective: Objective | None = None,
     options: GradientProjectionOptions | None = None,
+    trace: SolverTrace | None = None,
 ) -> SamplingSolution:
     """Solve the joint placement-and-rates problem.
 
@@ -34,9 +36,16 @@ def solve(
         :func:`~repro.core.gradient_projection.solve_gradient_projection`).
     options:
         Gradient-projection knobs; ignored by the SciPy methods.
+    trace:
+        Optional per-iteration :class:`~repro.obs.trace.SolverTrace`;
+        honoured by the gradient-projection method only (the SciPy
+        wrappers expose no iteration hook), which also picks up an
+        ambient :func:`~repro.obs.trace.tracing` scope on its own.
     """
     if method == "gradient_projection":
-        return solve_gradient_projection(problem, options=options, objective=objective)
+        return solve_gradient_projection(
+            problem, options=options, objective=objective, trace=trace
+        )
     if method == "slsqp":
         return solve_scipy(problem, method="SLSQP", objective=objective)
     if method == "trust-constr":

@@ -6,17 +6,31 @@ Usage::
     python -m repro.experiments table1     # a single experiment
     python -m repro.experiments figure2 --quick
     python -m repro.experiments figure1 figure2 --export-dir out/
+    python -m repro.experiments dynamic --trace-out dynamic.jsonl
 
 ``--quick`` shrinks Monte-Carlo repetition counts for smoke runs;
 ``--export-dir`` additionally writes machine-readable CSV/JSON files
-for the experiments that support it.
+for the experiments that support it; ``--trace-out`` captures every
+gradient-projection solve the selected experiments perform into one
+JSONL run manifest (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable
+
+from ..obs import (
+    SolverTrace,
+    collecting_metrics,
+    configure_logging,
+    get_logger,
+    tracing,
+    write_manifest,
+)
 
 from .bias import run_bias
 from .closed_loop import run_closed_loop_experiment
@@ -34,6 +48,8 @@ from .practical import run_practical
 from .table1 import run_table1
 
 __all__ = ["main", "EXPERIMENTS"]
+
+logger = get_logger(__name__)
 
 
 def _figure1(quick: bool) -> str:
@@ -241,15 +257,48 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write CSV/JSON files for exportable experiments",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="capture every solve into one JSONL run manifest",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr logging threshold",
+    )
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
     names = args.experiments or list(EXPERIMENTS)
     if args.export_dir is not None:
         args.export_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(EXPERIMENTS[name](args.quick))
-        if args.export_dir is not None and name in EXPORTERS:
-            for path in EXPORTERS[name](args.quick, args.export_dir):
-                print(f"[exported {path}]")
+
+    trace = SolverTrace(label=f"experiments:{','.join(names)}")
+    scope = tracing(trace) if args.trace_out else nullcontext()
+    metrics_scope = collecting_metrics() if args.trace_out else nullcontext()
+    with scope, metrics_scope as registry:
+        for name in names:
+            logger.info("running %s (quick=%s)", name, args.quick)
+            started = time.perf_counter()
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            print(EXPERIMENTS[name](args.quick))
+            logger.info(
+                "%s finished in %.2fs", name, time.perf_counter() - started
+            )
+            if args.export_dir is not None and name in EXPORTERS:
+                for path in EXPORTERS[name](args.quick, args.export_dir):
+                    logger.info("exported %s", path)
+                    print(f"[exported {path}]")
+        metrics_snapshot = registry.snapshot() if registry else None
+    if args.trace_out:
+        manifest_path = write_manifest(
+            args.trace_out,
+            trace,
+            metrics=metrics_snapshot,
+            extra={"experiments": names, "quick": args.quick},
+        )
+        logger.info("run manifest written to %s", manifest_path)
     return 0

@@ -1,0 +1,69 @@
+"""Observability layer: structured tracing, metrics, logging, manifests.
+
+The optimization stack is the system's hot path; this package makes it
+*observable* without slowing it down:
+
+``repro.obs.metrics``
+    A process-local registry of counters, gauges and monotonic timers.
+    Instrumented call sites (routing matvecs, objective memo, batch
+    warm starts) pay a single attribute check when collection is
+    disabled — the default.
+``repro.obs.trace``
+    :class:`SolverTrace` — a per-iteration sink the gradient-projection
+    solver emits :class:`IterationRecord` objects into.  A solve with
+    no trace installed skips record construction entirely.
+``repro.obs.logsetup``
+    ``configure_logging()`` / ``get_logger()`` — one structured
+    ``logging`` hierarchy under the ``repro`` root instead of ad-hoc
+    prints.
+``repro.obs.manifest``
+    Run manifests: trace + metrics + problem fingerprint serialized to
+    JSONL, with summary and compare tooling (``netsampling trace``).
+
+This package deliberately imports nothing from ``repro.core`` so the
+solver stack can depend on it without cycles.
+"""
+
+from .logsetup import configure_logging, get_logger
+from .manifest import (
+    RunManifest,
+    compare_manifests,
+    fingerprint_problem,
+    read_manifest,
+    summarize_manifest,
+    write_manifest,
+)
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    collecting_metrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+from .trace import IterationRecord, SolverTrace, active_trace, tracing
+
+__all__ = [
+    # metrics
+    "MetricsRegistry",
+    "METRICS",
+    "get_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "collecting_metrics",
+    # trace
+    "SolverTrace",
+    "IterationRecord",
+    "tracing",
+    "active_trace",
+    # logging
+    "configure_logging",
+    "get_logger",
+    # manifests
+    "RunManifest",
+    "fingerprint_problem",
+    "write_manifest",
+    "read_manifest",
+    "summarize_manifest",
+    "compare_manifests",
+]

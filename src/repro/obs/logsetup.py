@@ -1,0 +1,85 @@
+"""One ``logging`` hierarchy for the whole package.
+
+Every ``repro`` module logs through ``get_logger(__name__)``; nothing
+in the library configures handlers (library code must not hijack the
+host application's logging).  Entry points — the CLI, the experiments
+runner — call :func:`configure_logging` once, which attaches a single
+stderr handler to the ``repro`` root logger so user-facing results on
+stdout stay machine-parseable while progress/diagnostic lines go to
+stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["configure_logging", "get_logger", "ROOT_LOGGER"]
+
+#: The package's root logger name; all module loggers live under it.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marker attribute identifying the handler configure_logging installed.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the package root; ``get_logger("cli")``
+    and ``get_logger("repro.cli")`` both return ``repro.cli``.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: int | str = "info",
+    stream: IO[str] | None = None,
+    fmt: str = _FORMAT,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Idempotent: calling it again adjusts the level of the handler it
+    installed earlier instead of stacking duplicates; ``force``
+    replaces the handler (e.g. to redirect to a new stream).  Returns
+    the configured root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+
+    existing = [
+        handler
+        for handler in root.handlers
+        if getattr(handler, _HANDLER_MARK, False)
+    ]
+    if existing and not force:
+        for handler in existing:
+            handler.setLevel(level)
+        return root
+    for handler in existing:
+        root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt, datefmt=_DATE_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    # The host application may have its own root configuration; don't
+    # double-print through it.
+    root.propagate = False
+    return root

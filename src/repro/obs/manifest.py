@@ -1,0 +1,355 @@
+"""Run manifests: trace + metrics + problem fingerprint as JSONL.
+
+A manifest is the machine-readable record of what a solve (or a family
+of solves) did: one ``manifest`` header line, a ``solve`` line per
+solve scope, an ``iteration`` line per solver iteration, an optional
+``metrics`` line with a registry snapshot, and a ``summary`` line per
+solve mirroring its final diagnostics.  JSON-per-line keeps the format
+streamable and diff-friendly; ``netsampling trace summary/compare``
+are the human front ends.
+
+Line grammar (each line is one JSON object with a ``record`` key)::
+
+    {"record": "manifest", "schema_version": 1, "package_version": ...,
+     "label": ..., "fingerprint": {...}, "extra": {...}}
+    {"record": "solve", "solve_index": 0, "meta": {...}}
+    {"record": "iteration", "solve_index": 0, "iteration": 1, ...}
+    {"record": "summary", "solve_index": 0, "diagnostics": {...}}
+    {"record": "metrics", "counters": {...}, "gauges": {...},
+     "timers": {...}}
+
+This module imports nothing from ``repro.core``; problems and options
+are fingerprinted duck-typed so the dependency arrow keeps pointing
+from the solver stack into the observability layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .trace import IterationRecord, SolverTrace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunManifest",
+    "fingerprint_problem",
+    "write_manifest",
+    "read_manifest",
+    "summarize_manifest",
+    "compare_manifests",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports this package at import
+    # time, so a module-level import would be circular.
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - only during partial installs
+        return "unknown"
+
+
+def _jsonable(value):
+    """Best-effort conversion of option/metadata values to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+def fingerprint_problem(
+    problem,
+    topology: str | None = None,
+    seed: int | None = None,
+    options=None,
+    **extra,
+) -> dict:
+    """A compact identity of a :class:`SamplingProblem` instance.
+
+    Captures the structural coordinates a regression hunter needs to
+    decide whether two manifests describe comparable runs: sizes, θ,
+    α range, routing sparsity and backend, package version — plus the
+    caller-supplied topology name, RNG seed and solver options.
+    """
+    routing_op = getattr(problem, "routing_op", None)
+    alpha = getattr(problem, "alpha", None)
+    fingerprint = {
+        "package_version": _package_version(),
+        "num_links": int(getattr(problem, "num_links", 0)),
+        "num_od_pairs": int(getattr(problem, "num_od_pairs", 0)),
+        "theta_packets": float(getattr(problem, "theta_packets", 0.0)),
+        "interval_seconds": float(getattr(problem, "interval_seconds", 0.0)),
+    }
+    mask = getattr(problem, "candidate_mask", None)
+    if mask is not None:
+        fingerprint["candidate_links"] = int(mask.sum())
+    if alpha is not None and len(alpha):
+        fingerprint["alpha_min"] = float(min(alpha))
+        fingerprint["alpha_max"] = float(max(alpha))
+    if routing_op is not None:
+        fingerprint["routing_nnz"] = int(routing_op.nnz)
+        fingerprint["routing_density"] = float(routing_op.density)
+        fingerprint["routing_backend"] = routing_op.backend
+    if topology is not None:
+        fingerprint["topology"] = topology
+    if seed is not None:
+        fingerprint["seed"] = int(seed)
+    if options is not None:
+        fingerprint["options"] = _jsonable(options)
+    fingerprint.update({k: _jsonable(v) for k, v in extra.items()})
+    return fingerprint
+
+
+@dataclass
+class RunManifest:
+    """A parsed manifest: header + solves + iterations + metrics."""
+
+    header: dict = field(default_factory=dict)
+    solves: list[dict] = field(default_factory=list)
+    iterations: list[IterationRecord] = field(default_factory=list)
+    metrics: dict | None = None
+
+    @property
+    def fingerprint(self) -> dict:
+        return self.header.get("fingerprint", {})
+
+    @property
+    def label(self) -> str:
+        return self.header.get("label", "")
+
+    def iterations_for(self, solve_index: int) -> list[IterationRecord]:
+        return [r for r in self.iterations if r.solve_index == solve_index]
+
+    def summary_for(self, solve_index: int) -> dict | None:
+        for solve in self.solves:
+            if solve.get("solve_index") == solve_index:
+                return solve.get("summary")
+        return None
+
+    @property
+    def total_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(
+            (s.get("summary") or {}).get("wall_time_s", 0.0)
+            for s in self.solves
+        )
+
+
+def write_manifest(
+    path: str | Path,
+    trace: SolverTrace,
+    metrics: dict | None = None,
+    fingerprint: dict | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Serialize a trace (plus context) to a JSONL manifest file.
+
+    ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict (or None); ``fingerprint`` typically comes from
+    :func:`fingerprint_problem`.  Returns the written path.
+    """
+    path = Path(path)
+    lines: list[dict] = [
+        {
+            "record": "manifest",
+            "schema_version": SCHEMA_VERSION,
+            "package_version": _package_version(),
+            "label": trace.label,
+            "fingerprint": fingerprint or {},
+            "extra": _jsonable(extra or {}),
+        }
+    ]
+    for solve in trace.solves:
+        lines.append(
+            {
+                "record": "solve",
+                "solve_index": solve.solve_index,
+                "meta": _jsonable(solve.meta),
+            }
+        )
+    for record in trace.records:
+        lines.append({"record": "iteration", **record.to_dict()})
+    for solve in trace.solves:
+        if solve.summary is not None:
+            lines.append(
+                {
+                    "record": "summary",
+                    "solve_index": solve.solve_index,
+                    "diagnostics": _jsonable(solve.summary),
+                }
+            )
+    if metrics is not None:
+        lines.append({"record": "metrics", **_jsonable(metrics)})
+    with path.open("w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> RunManifest:
+    """Parse a JSONL manifest back into a :class:`RunManifest`."""
+    manifest = RunManifest()
+    solves_by_index: dict[int, dict] = {}
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+            kind = payload.get("record")
+            if kind == "manifest":
+                manifest.header = payload
+            elif kind == "solve":
+                entry = {
+                    "solve_index": int(payload["solve_index"]),
+                    "meta": payload.get("meta", {}),
+                    "summary": None,
+                }
+                solves_by_index[entry["solve_index"]] = entry
+                manifest.solves.append(entry)
+            elif kind == "iteration":
+                manifest.iterations.append(IterationRecord.from_dict(payload))
+            elif kind == "summary":
+                index = int(payload["solve_index"])
+                entry = solves_by_index.setdefault(
+                    index, {"solve_index": index, "meta": {}, "summary": None}
+                )
+                if entry not in manifest.solves:
+                    manifest.solves.append(entry)
+                entry["summary"] = payload.get("diagnostics", {})
+            elif kind == "metrics":
+                manifest.metrics = {
+                    k: v for k, v in payload.items() if k != "record"
+                }
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record kind {kind!r}"
+                )
+    return manifest
+
+
+def _solve_row(solve: dict, iterations: Sequence[IterationRecord]) -> str:
+    summary = solve.get("summary") or {}
+    meta = solve.get("meta") or {}
+    releases = max(
+        (r.constraint_releases for r in iterations),
+        default=summary.get("constraint_releases", 0),
+    )
+    objective = summary.get("objective_value")
+    if objective is None and iterations:
+        objective = iterations[-1].objective
+    return (
+        f"  solve[{solve['solve_index']}] {meta.get('method', '?')}: "
+        f"{len(iterations)} iterations, {releases} releases, "
+        f"converged={summary.get('converged', '?')}, "
+        f"objective={objective if objective is None else format(objective, '.6f')}, "
+        f"wall={summary.get('wall_time_s', 0.0):.4f}s, "
+        f"ls_evals={summary.get('line_search_evaluations', 0)}"
+    )
+
+
+def summarize_manifest(manifest: RunManifest) -> str:
+    """Human-readable digest of one manifest."""
+    fp = manifest.fingerprint
+    lines = [
+        f"manifest: label={manifest.label!r} "
+        f"schema=v{manifest.header.get('schema_version', '?')} "
+        f"package={manifest.header.get('package_version', '?')}",
+    ]
+    if fp:
+        lines.append(
+            f"  problem: {fp.get('num_links', '?')} links x "
+            f"{fp.get('num_od_pairs', '?')} OD, "
+            f"theta={fp.get('theta_packets', '?')}, "
+            f"topology={fp.get('topology', 'n/a')}, "
+            f"backend={fp.get('routing_backend', '?')}"
+        )
+    lines.append(
+        f"  totals: {len(manifest.solves)} solves, "
+        f"{manifest.total_iterations} iterations, "
+        f"{manifest.total_wall_time_s:.4f}s solver wall time"
+    )
+    for solve in manifest.solves:
+        lines.append(
+            _solve_row(solve, manifest.iterations_for(solve["solve_index"]))
+        )
+    if manifest.metrics:
+        counters = manifest.metrics.get("counters", {})
+        for name in sorted(counters):
+            lines.append(f"  metric {name} = {counters[name]:g}")
+    return "\n".join(lines)
+
+
+def _summary_value(manifest: RunManifest, index: int, key: str, default=0):
+    summary = manifest.summary_for(index) or {}
+    return summary.get(key, default)
+
+
+def compare_manifests(a: RunManifest, b: RunManifest) -> str:
+    """Diff two manifests: per-solve convergence deltas + metric deltas.
+
+    Aligns solves by index — meaningful when both manifests come from
+    the same workload (the fingerprints are printed so mismatched
+    comparisons are self-evident).
+    """
+    lines = [
+        f"A: label={a.label!r} package="
+        f"{a.header.get('package_version', '?')} fingerprint={a.fingerprint}",
+        f"B: label={b.label!r} package="
+        f"{b.header.get('package_version', '?')} fingerprint={b.fingerprint}",
+    ]
+    num = max(len(a.solves), len(b.solves))
+    if len(a.solves) != len(b.solves):
+        lines.append(
+            f"  solve count differs: {len(a.solves)} vs {len(b.solves)}"
+        )
+    for index in range(num):
+        in_a = index < len(a.solves)
+        in_b = index < len(b.solves)
+        if not (in_a and in_b):
+            lines.append(f"  solve[{index}]: only in {'A' if in_a else 'B'}")
+            continue
+        it_a = len(a.iterations_for(index))
+        it_b = len(b.iterations_for(index))
+        rel_a = _summary_value(a, index, "constraint_releases")
+        rel_b = _summary_value(b, index, "constraint_releases")
+        obj_a = _summary_value(a, index, "objective_value", float("nan"))
+        obj_b = _summary_value(b, index, "objective_value", float("nan"))
+        wall_a = _summary_value(a, index, "wall_time_s", 0.0)
+        wall_b = _summary_value(b, index, "wall_time_s", 0.0)
+        lines.append(
+            f"  solve[{index}]: iterations {it_a} -> {it_b} "
+            f"({it_b - it_a:+d}), releases {rel_a} -> {rel_b} "
+            f"({rel_b - rel_a:+d}), objective {obj_a:.6f} -> {obj_b:.6f} "
+            f"({obj_b - obj_a:+.3e}), wall {wall_a:.4f}s -> {wall_b:.4f}s"
+        )
+    counters_a = (a.metrics or {}).get("counters", {})
+    counters_b = (b.metrics or {}).get("counters", {})
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va = counters_a.get(name, 0)
+        vb = counters_b.get(name, 0)
+        if va != vb:
+            lines.append(f"  metric {name}: {va:g} -> {vb:g} ({vb - va:+g})")
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Lightweight process-local metrics: counters, gauges, timers.
+
+The registry is the instrumentation primitive of the observability
+layer: hot-path call sites (routing matvecs, objective memo lookups,
+batch warm starts) increment named counters through the module-level
+:data:`METRICS` singleton.  Collection is **off by default** — a
+disabled registry's ``increment``/``gauge``/``observe_timer`` return
+after one attribute check, so the solver's inner loop pays essentially
+nothing until someone opts in via :func:`enable_metrics` or the
+:func:`collecting_metrics` context manager.
+
+All mutation happens under a single lock, so one registry may be
+shared by threads (the batch layer's thread-based consumers hammer it
+concurrently).  Registries are *process-local*: workers of a
+``ProcessPoolExecutor`` each get their own, and their counts do not
+propagate back to the parent — the batch layer records fan-out on the
+parent side instead (see :func:`repro.core.batch.solve_batch`).
+
+Metric names are dotted strings, ``subsystem.object.event``; the
+catalogue lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "MetricsRegistry",
+    "METRICS",
+    "get_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "collecting_metrics",
+]
+
+
+class _Timer:
+    """Context manager recording one monotonic-clock duration."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe_timer(
+            self._name, time.perf_counter() - self._start
+        )
+
+
+class _NullTimer:
+    """Shared no-op timer handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and duration accumulators."""
+
+    def __init__(self, enabled: bool = True):
+        self._lock = threading.Lock()
+        self._enabled = bool(enabled)
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}  # name -> [count, total_s]
+
+    # -- enablement -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- recording ------------------------------------------------------
+    def increment(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (no-op when disabled)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest observed ``value``."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe_timer(self, name: str, seconds: float) -> None:
+        """Fold one duration into timer ``name``'s count/total."""
+        if not self._enabled:
+            return
+        with self._lock:
+            stats = self._timers.get(name)
+            if stats is None:
+                self._timers[name] = [1, float(seconds)]
+            else:
+                stats[0] += 1
+                stats[1] += float(seconds)
+
+    def timer(self, name: str) -> "_Timer | _NullTimer":
+        """Monotonic-clock scope: ``with registry.timer("solve"): ...``."""
+        if not self._enabled:
+            return _NULL_TIMER
+        return _Timer(self, name)
+
+    # -- reading --------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """All counters whose name starts with ``prefix``, as a copy."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    def snapshot(self) -> dict:
+        """Everything the registry holds, as plain JSON-ready dicts."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: {
+                        "count": int(count),
+                        "total_s": total,
+                        "mean_s": total / count if count else 0.0,
+                    }
+                    for name, (count, total) in self._timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop all recorded values (enablement is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: The process-wide registry all instrumented call sites report to.
+#: Disabled by default so the solver hot path stays unmeasured unless
+#: a caller opts in.
+METRICS = MetricsRegistry(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The global registry (see :data:`METRICS`)."""
+    return METRICS
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn global collection on; returns the registry."""
+    METRICS.enable()
+    return METRICS
+
+
+def disable_metrics() -> MetricsRegistry:
+    """Turn global collection off; recorded values are kept."""
+    METRICS.disable()
+    return METRICS
+
+
+@contextmanager
+def collecting_metrics(reset: bool = True) -> Iterator[MetricsRegistry]:
+    """Enable the global registry within a block, restoring state after.
+
+    With ``reset`` (default) the registry starts the block empty, so a
+    snapshot taken inside covers exactly the block's work::
+
+        with collecting_metrics() as registry:
+            solve(problem)
+            counts = registry.snapshot()["counters"]
+    """
+    was_enabled = METRICS.enabled
+    if reset:
+        METRICS.reset()
+    METRICS.enable()
+    try:
+        yield METRICS
+    finally:
+        if not was_enabled:
+            METRICS.disable()

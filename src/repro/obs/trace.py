@@ -1,0 +1,221 @@
+"""Structured per-iteration solver tracing.
+
+A :class:`SolverTrace` is a sink the gradient-projection solver emits
+one :class:`IterationRecord` into per search iteration — objective,
+gradient norms, step length, line-search trial count, active-set size,
+cumulative constraint releases and wall time.  The paper's own
+convergence analysis (§IV-D: 1.64 constraint releases per run, 98.6 %
+convergence within 2000 iterations) is exactly this kind of signal;
+the trace makes it a first-class, machine-readable artifact instead of
+an anecdote.
+
+Cost model: a solve with no trace installed performs **no record
+construction and no per-iteration clock reads** — the emission sites
+are guarded by a single ``trace is not None`` check.  Tracing is
+therefore safe to leave compiled into the hot path.
+
+Traces can be installed two ways:
+
+* explicitly, by passing ``trace=`` to
+  :func:`~repro.core.gradient_projection.solve_gradient_projection`
+  (or anything that forwards to it: the ``solve`` façade,
+  :class:`~repro.core.batch.WarmStartChain`, chains, sweeps, the
+  adaptive controller);
+* ambiently, via the :func:`tracing` context manager — every solve on
+  the current process that does not carry an explicit trace reports to
+  the installed one.  This is how ``--trace-out`` captures experiment
+  runners without threading a parameter through every call site.
+
+One trace may span many solves (a θ sweep, a closed-loop run): records
+carry a ``solve_index`` and each solve contributes a metadata/summary
+pair, so the manifest layer can reconstruct per-solve convergence
+curves from a flat JSONL file.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "IterationRecord",
+    "SolveRecord",
+    "SolverTrace",
+    "tracing",
+    "active_trace",
+]
+
+#: Iteration events: a line-search ``step``, a multiplier-driven
+#: ``release`` of active constraints, numerical pinning against a
+#: bound (``pinned``), or the terminal KKT-certified ``converged``.
+ITERATION_EVENTS = ("step", "release", "pinned", "converged")
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One gradient-projection iteration, as the solver saw it.
+
+    ``objective`` is evaluated at the iterate the iteration *produced*
+    (post-step for ``step`` events, the unchanged point otherwise), so
+    the final record of a solve reproduces
+    ``SolverDiagnostics.objective_value`` exactly.
+    ``constraint_releases`` is cumulative within the solve.
+    """
+
+    solve_index: int
+    iteration: int
+    event: str
+    objective: float
+    gradient_norm: float
+    projected_gradient_norm: float
+    step_length: float
+    line_search_trials: int
+    active_set_size: int
+    constraint_releases: int
+    wall_time_s: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IterationRecord":
+        return cls(
+            solve_index=int(payload["solve_index"]),
+            iteration=int(payload["iteration"]),
+            event=str(payload["event"]),
+            objective=float(payload["objective"]),
+            gradient_norm=float(payload["gradient_norm"]),
+            projected_gradient_norm=float(payload["projected_gradient_norm"]),
+            step_length=float(payload["step_length"]),
+            line_search_trials=int(payload["line_search_trials"]),
+            active_set_size=int(payload["active_set_size"]),
+            constraint_releases=int(payload["constraint_releases"]),
+            wall_time_s=float(payload["wall_time_s"]),
+        )
+
+
+@dataclass
+class SolveRecord:
+    """Per-solve envelope: metadata at entry, summary at exit.
+
+    ``meta`` is what the solver knew going in (method, sizes, θ, warm
+    start); ``summary`` mirrors the final ``SolverDiagnostics`` and is
+    ``None`` until :meth:`SolverTrace.end_solve` runs.
+    """
+
+    solve_index: int
+    meta: dict = field(default_factory=dict)
+    summary: dict | None = None
+
+
+class SolverTrace:
+    """Collects iteration records across one or more solves.
+
+    Not safe for concurrent emission from multiple threads (a solve is
+    single-threaded, and chained solves are sequential); process-pool
+    workers cannot share one — give each worker its own or trace the
+    sequential path.
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._solves: list[SolveRecord] = []
+        self._records: list[IterationRecord] = []
+
+    # -- solver-facing API ----------------------------------------------
+    def begin_solve(self, **meta) -> int:
+        """Open a new solve scope; returns its ``solve_index``."""
+        index = len(self._solves)
+        self._solves.append(SolveRecord(solve_index=index, meta=dict(meta)))
+        return index
+
+    def emit(
+        self,
+        *,
+        iteration: int,
+        event: str,
+        objective: float,
+        gradient_norm: float,
+        projected_gradient_norm: float,
+        step_length: float,
+        line_search_trials: int,
+        active_set_size: int,
+        constraint_releases: int,
+        wall_time_s: float,
+    ) -> None:
+        """Append one iteration record to the currently open solve."""
+        if not self._solves:
+            self.begin_solve()
+        self._records.append(
+            IterationRecord(
+                solve_index=self._solves[-1].solve_index,
+                iteration=iteration,
+                event=event,
+                objective=float(objective),
+                gradient_norm=float(gradient_norm),
+                projected_gradient_norm=float(projected_gradient_norm),
+                step_length=float(step_length),
+                line_search_trials=int(line_search_trials),
+                active_set_size=int(active_set_size),
+                constraint_releases=int(constraint_releases),
+                wall_time_s=float(wall_time_s),
+            )
+        )
+
+    def end_solve(self, **summary) -> None:
+        """Close the current solve with its diagnostics summary."""
+        if not self._solves:
+            self.begin_solve()
+        self._solves[-1].summary = dict(summary)
+
+    # -- consumer API ---------------------------------------------------
+    @property
+    def records(self) -> list[IterationRecord]:
+        """All iteration records, in emission order (copy)."""
+        return list(self._records)
+
+    @property
+    def solves(self) -> list[SolveRecord]:
+        """All solve envelopes, in order (copy of the list)."""
+        return list(self._solves)
+
+    @property
+    def num_solves(self) -> int:
+        return len(self._solves)
+
+    def iterations_for(self, solve_index: int) -> list[IterationRecord]:
+        """The iteration records of one solve, in order."""
+        return [r for r in self._records if r.solve_index == solve_index]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+#: The ambiently installed trace (or None).  Module-level rather than
+#: thread-local: the solver stack is process-parallel, not
+#: thread-parallel, and a plain global keeps the disabled-path check
+#: to one dictionary-free load.
+_ACTIVE: SolverTrace | None = None
+
+
+def active_trace() -> SolverTrace | None:
+    """The trace installed by :func:`tracing`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(trace: SolverTrace) -> Iterator[SolverTrace]:
+    """Install ``trace`` as the ambient sink for the duration of a block.
+
+    Solves started inside the block that do not carry an explicit
+    ``trace=`` argument report here.  Nesting restores the previous
+    trace on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE = previous

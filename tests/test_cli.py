@@ -88,6 +88,52 @@ class TestSolveCommand:
         assert all(name.startswith("UK->") for name in payload["monitors"])
 
 
+class TestTraceCommands:
+    def _solve_with_trace(self, tmp_path, name, theta):
+        path = tmp_path / name
+        code = main(["solve", "--theta", str(theta), "--json",
+                     "--trace-out", str(path)])
+        assert code == 0
+        return path
+
+    def test_solve_trace_out_writes_manifest(self, capsys, tmp_path):
+        from repro.obs import read_manifest
+
+        path = self._solve_with_trace(tmp_path, "run.jsonl", 100_000)
+        captured = capsys.readouterr()
+        # The JSON result stays on stdout, the trace notice on stderr.
+        payload = json.loads(captured.out)
+        assert "[trace written" in captured.err
+        manifest = read_manifest(path)
+        assert manifest.fingerprint["theta_packets"] == 100_000
+        assert manifest.total_iterations == payload["iterations"]
+        summary = manifest.summary_for(0)
+        assert summary["objective_value"] == payload["objective"]
+        assert manifest.metrics["counters"]["solver.gp.solves"] == 1
+
+    def test_trace_summary(self, capsys, tmp_path):
+        path = self._solve_with_trace(tmp_path, "run.jsonl", 100_000)
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest: label='solve:GEANT-2004'" in out
+        assert "iterations" in out
+        assert "metric solver.gp.solves = 1" in out
+
+    def test_trace_compare(self, capsys, tmp_path):
+        a = self._solve_with_trace(tmp_path, "a.jsonl", 100_000)
+        b = self._solve_with_trace(tmp_path, "b.jsonl", 50_000)
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "solve[0]: iterations" in out
+        assert "objective" in out
+
+    def test_trace_summary_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "summary", str(tmp_path / "absent.jsonl")])
+
+
 class TestExperimentsCommand:
     def test_figure1(self, capsys):
         assert main(["experiments", "figure1"]) == 0

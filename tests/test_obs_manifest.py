@@ -1,0 +1,152 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.core import GradientProjectionOptions, solve_gradient_projection
+from repro.obs import (
+    SolverTrace,
+    collecting_metrics,
+    compare_manifests,
+    fingerprint_problem,
+    read_manifest,
+    summarize_manifest,
+    write_manifest,
+)
+from repro.obs.manifest import SCHEMA_VERSION
+
+from conftest import make_random_problem
+
+
+def _traced_solve(problem, theta_scale=1.0):
+    scaled = problem
+    if theta_scale != 1.0:
+        scaled = problem.with_theta(problem.theta_packets * theta_scale)
+    trace = SolverTrace(label=f"test:{theta_scale}")
+    with collecting_metrics() as registry:
+        solution = solve_gradient_projection(scaled, trace=trace)
+        metrics = registry.snapshot()
+    return scaled, trace, metrics, solution
+
+
+class TestFingerprint:
+    def test_captures_problem_identity(self, geant_problem):
+        fp = fingerprint_problem(
+            geant_problem,
+            topology="geant",
+            seed=7,
+            options=GradientProjectionOptions(),
+        )
+        assert fp["num_links"] == geant_problem.num_links
+        assert fp["num_od_pairs"] == geant_problem.num_od_pairs
+        assert fp["theta_packets"] == geant_problem.theta_packets
+        assert fp["topology"] == "geant"
+        assert fp["seed"] == 7
+        assert fp["package_version"] == __version__
+        assert fp["routing_backend"] in ("dense", "sparse")
+        # Options dataclass flattens to JSON-serializable values.
+        json.dumps(fp)
+
+    def test_extra_fields_pass_through(self, geant_problem):
+        fp = fingerprint_problem(geant_problem, method="slsqp", alpha=1.0)
+        assert fp["method"] == "slsqp"
+        assert fp["alpha"] == 1.0
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_records(self, tmp_path, geant_problem):
+        problem, trace, metrics, solution = _traced_solve(geant_problem)
+        fp = fingerprint_problem(problem, topology="geant")
+        path = write_manifest(
+            tmp_path / "run.jsonl",
+            trace,
+            metrics=metrics,
+            fingerprint=fp,
+            extra={"note": "round-trip"},
+        )
+
+        manifest = read_manifest(path)
+        assert manifest.header["schema_version"] == SCHEMA_VERSION
+        assert manifest.label == trace.label
+        assert manifest.fingerprint == fp
+        assert manifest.header["extra"] == {"note": "round-trip"}
+        # Iteration records survive byte-exactly (floats included).
+        assert manifest.iterations == trace.records
+        assert manifest.total_iterations == solution.diagnostics.iterations
+        summary = manifest.summary_for(0)
+        assert summary["objective_value"] == solution.objective_value
+        assert summary["iterations"] == solution.diagnostics.iterations
+        assert manifest.metrics["counters"] == metrics["counters"]
+        assert manifest.total_wall_time_s == pytest.approx(
+            solution.diagnostics.wall_time_s
+        )
+
+    def test_jsonl_lines_are_tagged(self, tmp_path, geant_problem):
+        _, trace, metrics, _ = _traced_solve(geant_problem)
+        path = write_manifest(tmp_path / "run.jsonl", trace, metrics=metrics)
+        kinds = [
+            json.loads(line)["record"]
+            for line in path.read_text().splitlines()
+        ]
+        assert kinds[0] == "manifest"
+        assert kinds.count("solve") == 1
+        assert kinds.count("summary") == 1
+        assert kinds.count("metrics") == 1
+        assert kinds.count("iteration") == len(trace.records)
+
+    def test_bad_json_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"record": "manifest"}\nnot json\n')
+        with pytest.raises(ValueError, match="broken.jsonl:2"):
+            read_manifest(path)
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_manifest(path)
+
+
+class TestReports:
+    def test_summary_mentions_key_facts(self, tmp_path, geant_problem):
+        problem, trace, metrics, solution = _traced_solve(geant_problem)
+        path = write_manifest(
+            tmp_path / "run.jsonl",
+            trace,
+            metrics=metrics,
+            fingerprint=fingerprint_problem(problem, topology="geant"),
+        )
+        text = summarize_manifest(read_manifest(path))
+        assert f"{solution.diagnostics.iterations} iterations" in text
+        assert "topology=geant" in text
+        assert "metric solver.gp.solves = 1" in text
+
+    def test_compare_shows_deltas(self, tmp_path):
+        problem = make_random_problem(9)
+        _, trace_a, metrics_a, sol_a = _traced_solve(problem, theta_scale=1.0)
+        _, trace_b, metrics_b, sol_b = _traced_solve(problem, theta_scale=0.5)
+        path_a = write_manifest(
+            tmp_path / "a.jsonl", trace_a, metrics=metrics_a
+        )
+        path_b = write_manifest(
+            tmp_path / "b.jsonl", trace_b, metrics=metrics_b
+        )
+        text = compare_manifests(read_manifest(path_a), read_manifest(path_b))
+        assert "solve[0]" in text
+        delta = sol_b.objective_value - sol_a.objective_value
+        assert f"{delta:+.3e}" in text
+
+    def test_compare_flags_solve_count_mismatch(self, tmp_path, geant_problem):
+        _, trace, metrics, _ = _traced_solve(geant_problem)
+        path = write_manifest(tmp_path / "a.jsonl", trace, metrics=metrics)
+        manifest = read_manifest(path)
+        empty = read_manifest(
+            write_manifest(tmp_path / "b.jsonl", SolverTrace())
+        )
+        text = compare_manifests(manifest, empty)
+        assert "solve count differs: 1 vs 0" in text
+        assert "only in A" in text

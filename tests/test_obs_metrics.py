@@ -1,0 +1,166 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import solve_batch, solve_gradient_projection
+from repro.obs import (
+    MetricsRegistry,
+    collecting_metrics,
+    disable_metrics,
+    get_metrics,
+)
+
+from conftest import make_random_problem
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.increment("a.b")
+        registry.increment("a.b", 4)
+        assert registry.counter("a.b") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsRegistry().counter("never.touched") == 0
+
+    def test_gauge_keeps_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge("pool.workers", 2)
+        registry.gauge("pool.workers", 8)
+        assert registry.snapshot()["gauges"]["pool.workers"] == 8
+
+    def test_timer_counts_and_totals(self):
+        registry = MetricsRegistry()
+        registry.observe_timer("t", 0.5)
+        registry.observe_timer("t", 1.5)
+        stats = registry.snapshot()["timers"]["t"]
+        assert stats["count"] == 2
+        assert stats["total_s"] == pytest.approx(2.0)
+        assert stats["mean_s"] == pytest.approx(1.0)
+
+    def test_timer_context_manager_records(self):
+        registry = MetricsRegistry()
+        with registry.timer("scope"):
+            pass
+        stats = registry.snapshot()["timers"]["scope"]
+        assert stats["count"] == 1
+        assert stats["total_s"] >= 0.0
+
+    def test_counters_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.increment("routing.matvec.dense")
+        registry.increment("objective.rho.memo_hit")
+        assert set(registry.counters("routing.")) == {"routing.matvec.dense"}
+
+    def test_reset_clears_values_not_enablement(self):
+        registry = MetricsRegistry()
+        registry.increment("x")
+        registry.reset()
+        assert registry.counter("x") == 0
+        assert registry.enabled
+
+
+class TestDisabledFastPath:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.increment("x")
+        registry.gauge("g", 1.0)
+        registry.observe_timer("t", 1.0)
+        with registry.timer("scope"):
+            pass
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["timers"] == {}
+
+    def test_global_registry_disabled_by_default(self):
+        # The hot path must pay nothing unless a caller opts in.
+        assert not get_metrics().enabled
+
+    def test_disabled_timer_is_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.timer("a") is registry.timer("b")
+
+
+class TestCollectingMetrics:
+    def test_scope_enables_then_restores(self):
+        assert not get_metrics().enabled
+        with collecting_metrics() as registry:
+            assert registry is get_metrics()
+            assert registry.enabled
+            registry.increment("inside")
+            assert registry.counter("inside") == 1
+        assert not get_metrics().enabled
+
+    def test_reset_on_entry(self):
+        registry = get_metrics()
+        registry.enable()
+        registry.increment("stale")
+        try:
+            with collecting_metrics(reset=True) as fresh:
+                assert fresh.counter("stale") == 0
+        finally:
+            disable_metrics()
+            registry.reset()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2_000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                registry.increment("contested")
+                registry.observe_timer("t", 0.001)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert registry.counter("contested") == threads * per_thread
+        assert registry.snapshot()["timers"]["t"]["count"] == threads * per_thread
+
+
+class TestSolverInstrumentation:
+    def test_solve_records_counters(self):
+        problem = make_random_problem(3)
+        with collecting_metrics() as registry:
+            solution = solve_gradient_projection(problem)
+            counters = registry.snapshot()["counters"]
+        assert solution.diagnostics.converged
+        assert counters["solver.gp.solves"] == 1
+        assert counters["solver.gp.iterations"] == solution.diagnostics.iterations
+        # Every iteration evaluates rho at least once via the memo.
+        total_rho = counters.get("objective.rho.memo_hit", 0) + counters.get(
+            "objective.rho.memo_miss", 0
+        )
+        assert total_rho >= solution.diagnostics.iterations
+
+    def test_pool_fanout_recorded_on_parent(self):
+        problems = [make_random_problem(seed) for seed in (11, 12, 13, 14)]
+        with collecting_metrics() as registry:
+            solutions = solve_batch(problems, processes=2)
+            counters = registry.snapshot()["counters"]
+        assert all(s.diagnostics.converged for s in solutions)
+        # Worker-side counts stay process-local; the parent records the
+        # dispatch fan-out instead.
+        assert counters["batch.pool.tasks"] == len(problems)
+        assert counters["batch.pool.dispatches"] == 1
+        assert "solver.gp.solves" not in counters
+
+    def test_sequential_batch_counts_tasks(self):
+        problems = [make_random_problem(seed) for seed in (21, 22)]
+        with collecting_metrics() as registry:
+            solve_batch(problems, processes=1)
+            counters = registry.snapshot()["counters"]
+        assert counters["batch.sequential.tasks"] == 2
+        assert counters["solver.gp.solves"] == 2
