@@ -70,8 +70,12 @@ from .core import (
     solve_robust,
 )
 from .core import (
+    PresolveStats,
+    ReducedProblem,
     RoutingOperator,
     WarmStartChain,
+    check_kkt_family,
+    presolve,
     solve_batch,
     solve_chain,
     solve_theta_sweep,
@@ -130,6 +134,10 @@ __all__ = [
     "exact_effective_rates",
     "RoutingOperator",
     "WarmStartChain",
+    "check_kkt_family",
+    "presolve",
+    "PresolveStats",
+    "ReducedProblem",
     "solve_chain",
     "solve_theta_sweep",
     "solve_batch",

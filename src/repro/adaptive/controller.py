@@ -49,6 +49,11 @@ class ControllerConfig:
     ewma_weight: float = 0.5
     min_size_packets: float = 10.0
     solver_options: GradientProjectionOptions | None = None
+    #: Reduce each interval's problem before solving (exact; see
+    #: :mod:`repro.core.presolve`).  Worth switching on for topologies
+    #: with parallel/bundled links or sparse task coverage, where the
+    #: per-interval solve shrinks substantially.
+    presolve: bool = False
 
     def __post_init__(self) -> None:
         if self.theta_packets <= 0:
@@ -101,7 +106,10 @@ class AdaptiveController:
         # and cold-starts across topology changes automatically; the
         # optional trace spans the whole closed-loop run, one solve
         # scope per control interval.
-        self._chain = WarmStartChain(options=config.solver_options, trace=trace)
+        self._chain = WarmStartChain(
+            options=config.solver_options, trace=trace,
+            presolve=config.presolve,
+        )
         self._interval = 0
 
     @property
@@ -152,6 +160,36 @@ class AdaptiveController:
             )
         self._interval += 1
         return solution
+
+    def evaluate_candidates(
+        self,
+        problem: SamplingProblem,
+        candidate_rates: np.ndarray,
+    ) -> np.ndarray:
+        """Objective value of each candidate configuration, batched.
+
+        ``candidate_rates`` has shape ``(m, num_links)`` — one row per
+        configuration under consideration (keep the deployed rates?
+        re-quantized variants? the fresh optimum?).  All ``m``
+        objectives are evaluated through the stacked ``R X`` kernel
+        (one BLAS/CSR matmat) instead of ``m`` independent matvecs, so
+        ranking a candidate pool costs barely more than scoring one.
+        """
+        from ..core.objective import SumUtilityObjective
+
+        rates = np.asarray(candidate_rates, dtype=float)
+        if rates.ndim != 2 or rates.shape[1] != problem.num_links:
+            raise ValueError(
+                f"candidate rates have shape {rates.shape}, expected "
+                f"(m, {problem.num_links})"
+            )
+        objective = SumUtilityObjective(
+            problem.candidate_routing_op(), problem.utilities
+        )
+        cand = np.flatnonzero(problem.candidate_mask)
+        X = np.ascontiguousarray(rates[:, cand].T)
+        METRICS.increment("adaptive.candidate_evaluations", rates.shape[0])
+        return objective.value_stack(X)
 
     def report(
         self,

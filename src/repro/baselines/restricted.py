@@ -26,18 +26,21 @@ def solve_restricted(
     method: str = "gradient_projection",
     options: GradientProjectionOptions | None = None,
     clamp_theta: bool = True,
+    presolve: bool = False,
 ) -> SamplingSolution:
     """Optimize with monitors restricted to ``link_indices``.
 
     With ``clamp_theta`` (default) a capacity exceeding what the
     restricted set can absorb (``Σ α_i U_i`` over the set) is clamped
     to that maximum — the natural semantics for capacity sweeps, where
-    the restricted configuration simply saturates.
+    the restricted configuration simply saturates.  Restricted problems
+    benefit disproportionately from ``presolve``: every excluded link
+    is eliminated from the decision space before the solver starts.
     """
     restricted = problem.restrict_monitors(link_indices)
     if clamp_theta:
         restricted = restricted.clamped()
-    return solve(restricted, method=method, options=options)
+    return solve(restricted, method=method, options=options, presolve=presolve)
 
 
 def node_adjacent_link_indices(problem_network, node: str) -> list[int]:

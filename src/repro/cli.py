@@ -149,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the gravity background")
     slv.add_argument("--method", default="gradient_projection",
                      choices=("gradient_projection", "slsqp", "trust-constr"))
+    slv.add_argument("--presolve", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="reduce the problem (eliminate/merge links, drop "
+                          "empty OD rows) before solving; exact — the lifted "
+                          "solution has the identical objective "
+                          "(default: on)")
     slv.add_argument("--restrict-to-node", default=None, metavar="NODE",
                      help="only links leaving NODE may host monitors")
     slv.add_argument("--quantize", action="store_true",
@@ -241,9 +247,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 link.index
                 for link in task.network.out_links(args.restrict_to_node)
             ]
-            solution = solve_restricted(problem, links, method=args.method)
+            solution = solve_restricted(
+                problem, links, method=args.method, presolve=args.presolve
+            )
         else:
-            solution = solve(problem, method=args.method)
+            solution = solve(problem, method=args.method, presolve=args.presolve)
         if args.quantize:
             solution = quantize_solution(problem, solution).solution
         return solution

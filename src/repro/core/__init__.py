@@ -12,7 +12,7 @@ from .gradient_projection import (
     initial_feasible_point,
     solve_gradient_projection,
 )
-from .kkt import KKTReport, check_kkt
+from .kkt import KKTReport, check_kkt, check_kkt_family
 from .line_search import (
     LineSearchResult,
     golden_section_line_search,
@@ -25,6 +25,7 @@ from .objective import (
     SoftMinUtilityObjective,
     SumUtilityObjective,
 )
+from .presolve import PresolveStats, ReducedProblem, presolve
 from .problem import InfeasibleProblemError, SamplingProblem
 from .routing_op import (
     DenseRoutingOperator,
@@ -84,6 +85,10 @@ __all__ = [
     "Multipliers",
     "KKTReport",
     "check_kkt",
+    "check_kkt_family",
+    "presolve",
+    "PresolveStats",
+    "ReducedProblem",
     "LineSearchResult",
     "newton_line_search",
     "golden_section_line_search",

@@ -17,21 +17,44 @@ controller holds one across control intervals); :func:`solve_chain`
 and :func:`solve_theta_sweep` run a whole family through a chain; and
 :func:`solve_batch` distributes independent problems over
 ``concurrent.futures`` workers.
+
+Warm starts are guarded by a *structural fingerprint*: the chain
+reuses the previous optimum only when the problem's dimensions,
+candidate set, routing content and bounds all match the instance that
+produced it (θ, the interval length and load *levels* are exempt —
+capacity sweeps and per-interval load drift are the whole point of
+chaining).  A mismatch — a failure scenario on an equal-sized
+topology, a re-routed OD pair — cold-starts silently and counts
+``batch.warm_start.stale``.
+
+Pools ship problems zero-copy where possible: the routing matrix,
+loads and bounds of each distinct problem family are published once
+via :mod:`repro.core.shm` and workers attach read-only, instead of
+re-unpickling megabytes per task.  Heterogeneous utility stacks (or a
+missing ``multiprocessing.shared_memory``) fall back transparently to
+the pickle path.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.manifest import fingerprint_problem
 from ..obs.metrics import METRICS
 from ..obs.trace import SolverTrace
 from .gradient_projection import (
     GradientProjectionOptions,
     solve_gradient_projection,
 )
+from .kkt import check_kkt_family
+from .presolve import ReducedProblem
 from .problem import SamplingProblem
 from .solution import SamplingSolution
 from .solver import solve
@@ -43,15 +66,67 @@ __all__ = [
     "solve_batch",
 ]
 
+#: Fingerprint keys a warm start is allowed to differ on: the capacity
+#: θ and the interval length are exactly what sweeps vary.
+_NON_STRUCTURAL_KEYS = frozenset({"theta_packets", "interval_seconds"})
+
+#: Pool batches at or below this size run inline: two solves never
+#: amortize worker spawn + import cost.
+_INLINE_BATCH_MAX = 2
+
+
+def _structural_fingerprint(problem: SamplingProblem) -> tuple:
+    """Hashable identity of everything a warm start must agree on.
+
+    Builds on :func:`repro.obs.manifest.fingerprint_problem` (sizes,
+    candidate count, α range, routing nnz/backend) and adds content
+    digests of the routing storage, bounds, monitorable mask and the
+    loads' zero pattern — nnz alone cannot distinguish two
+    equal-density failure scenarios.  Load *levels* are deliberately
+    left out: a warm start is only an initial point (the solver
+    projects it onto the new feasible set), and per-interval load
+    drift — diurnal scaling, the adaptive controller's SNMP readouts —
+    is exactly when chaining pays.  A load crossing zero changes the
+    candidate set, which the zero-pattern digest does catch.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    csr = problem.routing_op.tosparse()
+    if csr is not None:
+        digest.update(csr.indptr.tobytes())
+        digest.update(csr.indices.tobytes())
+        digest.update(csr.data.tobytes())
+    else:
+        digest.update(np.ascontiguousarray(problem.routing_op.toarray()).tobytes())
+    digest.update((problem.link_loads_pps > 0).tobytes())
+    digest.update(problem.alpha.tobytes())
+    digest.update(problem.monitorable.tobytes())
+    fingerprint = fingerprint_problem(problem, content_digest=digest.hexdigest())
+    return tuple(
+        sorted(
+            (key, value)
+            for key, value in fingerprint.items()
+            if key not in _NON_STRUCTURAL_KEYS
+        )
+    )
+
 
 class WarmStartChain:
     """Solve successive problems, warm-starting each from the last optimum.
 
     Warm starts apply only to the gradient-projection method (the SciPy
     reference solvers take no starting point through the façade) and
-    only when the link count is unchanged — a topology change (e.g. a
-    failure scenario) silently falls back to a cold start, which is
-    exactly the semantics re-optimization loops need.
+    only while the structural fingerprint of the incoming problem
+    matches the one that produced the previous optimum — θ may change
+    (that is what sweeps do), but a changed routing matrix, load
+    vector, bound vector or monitorable mask cold-starts silently.
+    Stale fallbacks count ``batch.warm_start.stale`` in
+    :data:`~repro.obs.metrics.METRICS`.
+
+    With ``presolve`` enabled each member is reduced first (see
+    :mod:`repro.core.presolve`) and the warm start is carried across
+    the reduction boundary by group-summing the previous full-space
+    optimum; solutions are lifted back, so callers always see
+    full-space optima.
     """
 
     def __init__(
@@ -60,12 +135,15 @@ class WarmStartChain:
         options: GradientProjectionOptions | None = None,
         warm_start: bool = True,
         trace: SolverTrace | None = None,
+        presolve: bool = False,
     ) -> None:
         self._method = method
         self._options = options
         self._warm_start = warm_start
         self._trace = trace
+        self._presolve = presolve
         self._previous_rates: np.ndarray | None = None
+        self._previous_fingerprint: tuple | None = None
 
     @property
     def previous_rates(self) -> np.ndarray | None:
@@ -75,31 +153,58 @@ class WarmStartChain:
     def reset(self) -> None:
         """Forget the chain state; the next solve starts cold."""
         self._previous_rates = None
+        self._previous_fingerprint = None
 
     def solve(self, problem: SamplingProblem) -> SamplingSolution:
         warm = None
-        if (
-            self._warm_start
-            and self._method == "gradient_projection"
-            and self._previous_rates is not None
-            and self._previous_rates.shape == (problem.num_links,)
-        ):
-            warm = self._previous_rates
+        if self._warm_start and self._method == "gradient_projection":
+            fingerprint = _structural_fingerprint(problem)
+            if self._previous_rates is not None:
+                if fingerprint == self._previous_fingerprint:
+                    warm = self._previous_rates
+                else:
+                    METRICS.increment("batch.warm_start.stale")
+            self._previous_fingerprint = fingerprint
         METRICS.increment(
             "batch.warm_start.hit" if warm is not None else "batch.warm_start.miss"
         )
-        if self._method == "gradient_projection":
-            solution = solve_gradient_projection(
+        solution = self._solve_one(problem, warm)
+        self._previous_rates = solution.rates
+        return solution
+
+    def _solve_one(
+        self, problem: SamplingProblem, warm: np.ndarray | None
+    ) -> SamplingSolution:
+        if self._method != "gradient_projection":
+            return solve(
+                problem, method=self._method, options=self._options,
+                trace=self._trace, presolve=self._presolve,
+            )
+        if not self._presolve:
+            return solve_gradient_projection(
                 problem, options=self._options, warm_start=warm,
                 trace=self._trace,
             )
-        else:
-            solution = solve(
-                problem, method=self._method, options=self._options,
+        reduction = problem.presolve()
+        forced = reduction.forced_solution()
+        if forced is not None:
+            return forced
+        if reduction.identity:
+            return solve_gradient_projection(
+                problem, options=self._options, warm_start=warm,
                 trace=self._trace,
             )
-        self._previous_rates = solution.rates
-        return solution
+        warm_reduced = reduction.restrict_rates(warm) if warm is not None else None
+        inner = solve_gradient_projection(
+            reduction.problem, options=self._options,
+            warm_start=warm_reduced, trace=self._trace,
+        )
+        kkt_tolerance = (
+            self._options.kkt_tolerance
+            if self._options is not None
+            else GradientProjectionOptions().kkt_tolerance
+        )
+        return reduction.lift(inner, kkt_tolerance=kkt_tolerance)
 
 
 def solve_chain(
@@ -108,6 +213,7 @@ def solve_chain(
     options: GradientProjectionOptions | None = None,
     warm_start: bool = True,
     trace: SolverTrace | None = None,
+    presolve: bool = False,
 ) -> list[SamplingSolution]:
     """Solve an ordered family, chaining warm starts between neighbours.
 
@@ -116,7 +222,8 @@ def solve_chain(
     stay separable in the manifest.
     """
     chain = WarmStartChain(
-        method=method, options=options, warm_start=warm_start, trace=trace
+        method=method, options=options, warm_start=warm_start, trace=trace,
+        presolve=presolve,
     )
     return [chain.solve(problem) for problem in problems]
 
@@ -129,6 +236,7 @@ def solve_theta_sweep(
     options: GradientProjectionOptions | None = None,
     warm_start: bool = True,
     trace: SolverTrace | None = None,
+    presolve: bool = False,
 ) -> list[SamplingSolution]:
     """Solve ``problem`` across a capacity sweep (Figure 2's shape).
 
@@ -137,6 +245,17 @@ def solve_theta_sweep(
     fewer iterations than independent solves.  With ``clamp`` (default)
     capacities beyond what the candidate links can absorb saturate
     instead of raising, which is how sweep curves plateau.
+
+    ``presolve`` reduces the topology *once* — every reduction is
+    θ-independent — and runs the whole chain in the reduced space,
+    lifting each point back to a full-space solution.  On instances
+    with redundant links this shrinks every member solve; when nothing
+    reduces the sweep is identical to the plain path.  Points the
+    clamp pins to saturation skip the solver entirely
+    (:meth:`ReducedProblem.forced_solution`), and the lifted family is
+    re-certified against the full-space KKT conditions in one stacked
+    pass (:func:`~repro.core.kkt.check_kkt_family`) instead of one
+    gradient assembly per point.
     """
     instances = []
     for theta in thetas:
@@ -144,17 +263,94 @@ def solve_theta_sweep(
             raise ValueError("theta values must be positive")
         instance = problem.with_theta(float(theta))
         instances.append(instance.clamped() if clamp else instance)
+    if presolve:
+        base = problem.presolve()
+        if not base.identity:
+            return _solve_presolved_sweep(
+                base, instances, method=method, options=options,
+                warm_start=warm_start, trace=trace,
+            )
     return solve_chain(
         instances, method=method, options=options, warm_start=warm_start,
         trace=trace,
     )
 
 
+def _solve_presolved_sweep(
+    base: ReducedProblem,
+    instances: Sequence[SamplingProblem],
+    method: str,
+    options: GradientProjectionOptions | None,
+    warm_start: bool,
+    trace: SolverTrace | None,
+) -> list[SamplingSolution]:
+    """Chain a θ sweep through one reduction, certify the family once.
+
+    Per-point full-space re-certification would cost one gradient
+    assembly per θ — a single ``check_kkt_family`` call batches all of
+    them through one rmatmat, which is what keeps the presolved sweep's
+    per-point overhead below the warm chain's marginal solve cost.
+    """
+    reductions = [
+        base.with_theta(instance.theta_packets) for instance in instances
+    ]
+    chain = WarmStartChain(
+        method=method, options=options, warm_start=warm_start, trace=trace,
+    )
+    solutions: list[SamplingSolution | None] = [None] * len(reductions)
+    solved: list[int] = []
+    for index, reduction in enumerate(reductions):
+        forced = reduction.forced_solution()
+        if forced is not None:
+            solutions[index] = forced
+            continue
+        inner = chain.solve(reduction.problem)
+        solutions[index] = reduction.lift(inner)
+        solved.append(index)
+    if solved:
+        kkt_tolerance = (
+            options.kkt_tolerance
+            if options is not None and method == "gradient_projection"
+            else GradientProjectionOptions().kkt_tolerance
+        )
+        reports = check_kkt_family(
+            instances[solved[0]],
+            np.stack([solutions[index].rates for index in solved]),
+            tolerance=kkt_tolerance,
+            theta_rates=[instances[index].theta_rate_pps for index in solved],
+        )
+        for index, report in zip(solved, reports):
+            lifted = solutions[index]
+            solutions[index] = SamplingSolution(
+                problem=lifted.problem,
+                rates=lifted.rates,
+                diagnostics=dataclasses.replace(
+                    lifted.diagnostics, kkt=report
+                ),
+            )
+    return solutions
+
+
 def _solve_single(
-    payload: tuple[SamplingProblem, str, GradientProjectionOptions | None],
+    payload: tuple[SamplingProblem, str, GradientProjectionOptions | None, bool],
 ) -> SamplingSolution:
-    problem, method, options = payload
-    return solve(problem, method=method, options=options)
+    problem, method, options, presolve = payload
+    return solve(problem, method=method, options=options, presolve=presolve)
+
+
+def _solve_shared(payload) -> tuple[np.ndarray, object]:
+    """Pool target for shared-memory tasks: attach, solve, return rates.
+
+    Returns ``(rates, diagnostics)`` rather than the full solution —
+    the parent re-binds them to *its* problem object, so the worker
+    never pickles the problem back across the pipe.
+    """
+    handle, method, options, presolve = payload
+    from .shm import attach_problem
+
+    problem = attach_problem(handle)
+    solution = solve(problem, method=method, options=options, presolve=presolve)
+    return solution.rates, solution.diagnostics
 
 
 def solve_batch(
@@ -162,29 +358,88 @@ def solve_batch(
     processes: int | None = None,
     method: str = "gradient_projection",
     options: GradientProjectionOptions | None = None,
+    presolve: bool = False,
+    shared_memory: bool = True,
+    start_method: str | None = None,
 ) -> list[SamplingSolution]:
     """Solve independent problems, optionally across a process pool.
 
-    ``processes`` is the worker count; ``None`` or ``1`` solves
-    sequentially in-process (no pool overhead, easier debugging).
-    Ordering of the results always matches the input.  Use this for
-    *independent* instances — scenario grids, per-topology batches;
-    for ordered families where neighbours inform each other, prefer
+    ``processes`` is the worker count; ``None`` defaults to
+    ``min(os.cpu_count(), len(problems))``.  Batches of at most two
+    problems (or ``processes <= 1``) always run inline — a pool can
+    never amortize its spawn cost over so few solves.  Ordering of the
+    results always matches the input.  Use this for *independent*
+    instances — scenario grids, per-topology batches; for ordered
+    families where neighbours inform each other, prefer
     :func:`solve_chain`.
 
+    With ``shared_memory`` (default) the pooled path publishes each
+    distinct problem family once via
+    :class:`~repro.core.shm.SharedProblemPool` and sends workers small
+    handles instead of pickled matrices; problems that cannot be
+    shared (heterogeneous utilities) fall back to the pickle path for
+    the whole batch, counted in ``batch.shm.fallback``.
+    ``start_method`` forces a multiprocessing start method
+    (``fork`` / ``forkserver`` / ``spawn``) — CI uses ``forkserver``
+    to shake out shared-memory lifecycle leaks.
+
     Observability: pool fan-out is recorded on the parent registry
-    (``batch.pool.tasks`` / ``batch.pool.workers``); counters
-    incremented *inside* worker processes stay in those processes —
-    the metrics registry is deliberately process-local.
+    (``batch.pool.tasks`` / ``batch.pool.workers``, plus the
+    ``batch.shm.*`` publication counters); counters incremented
+    *inside* worker processes stay in those processes — the metrics
+    registry is deliberately process-local.
     """
-    payloads = [(problem, method, options) for problem in problems]
-    if not processes or processes <= 1 or len(problems) <= 1:
-        METRICS.increment("batch.sequential.tasks", len(payloads))
-        return [_solve_single(payload) for payload in payloads]
+    if processes is None:
+        processes = min(os.cpu_count() or 1, max(len(problems), 1))
+    if processes <= 1 or len(problems) <= _INLINE_BATCH_MAX:
+        METRICS.increment("batch.sequential.tasks", len(problems))
+        return [
+            solve(problem, method=method, options=options, presolve=presolve)
+            for problem in problems
+        ]
+
     workers = min(processes, len(problems))
-    METRICS.increment("batch.pool.tasks", len(payloads))
+    METRICS.increment("batch.pool.tasks", len(problems))
     METRICS.increment("batch.pool.dispatches")
     METRICS.gauge("batch.pool.workers", workers)
+    context = (
+        multiprocessing.get_context(start_method) if start_method else None
+    )
+
+    if shared_memory:
+        from .shm import SharedProblemPool, shared_memory_available
+
+        if shared_memory_available():
+            with SharedProblemPool() as pool:
+                handles = [pool.publish(problem) for problem in problems]
+                if all(handle is not None for handle in handles):
+                    payloads = [
+                        (handle, method, options, presolve)
+                        for handle in handles
+                    ]
+                    avoided = (
+                        sum(handle.payload_bytes for handle in handles)
+                        - pool.bytes_shared
+                    )
+                    METRICS.increment("batch.shm.tasks", len(payloads))
+                    METRICS.increment("batch.shm.dispatches")
+                    METRICS.increment("batch.shm.bytes_avoided", int(avoided))
+                    with METRICS.timer("batch.pool.map"):
+                        with ProcessPoolExecutor(
+                            max_workers=workers, mp_context=context
+                        ) as executor:
+                            results = list(
+                                executor.map(_solve_shared, payloads)
+                            )
+                    return [
+                        SamplingSolution(
+                            problem=problem, rates=rates, diagnostics=diagnostics
+                        )
+                        for problem, (rates, diagnostics) in zip(problems, results)
+                    ]
+        METRICS.increment("batch.shm.fallback")
+
+    payloads = [(problem, method, options, presolve) for problem in problems]
     with METRICS.timer("batch.pool.map"):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_solve_single, payloads))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
+            return list(executor.map(_solve_single, payloads))

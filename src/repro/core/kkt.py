@@ -10,6 +10,7 @@ projection solver and the SciPy reference solvers against each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from .active_set import ActiveSet
 from .objective import Objective, SumUtilityObjective
 from .problem import SamplingProblem
 
-__all__ = ["KKTReport", "check_kkt"]
+__all__ = ["KKTReport", "check_kkt", "check_kkt_family"]
 
 
 @dataclass(frozen=True)
@@ -86,23 +87,33 @@ def check_kkt(
             problem.candidate_routing_op(), problem.utilities
         )
 
-    bound_violation = float(
-        max(np.maximum(-x, 0.0).max(initial=0.0), np.maximum(x - alpha, 0.0).max(initial=0.0))
-    )
-
-    target_rate = problem.theta_rate_pps
-    feasibility_residual = abs(float(x @ loads) - target_rate) / max(target_rate, 1e-12)
-
-    active = ActiveSet(loads, alpha)
-    # Classify bound activity with a tolerance proportional to alpha.
-    active.sync_with_point(x, atol=max(1e-9, 1e-6 * float(alpha.min())))
-
     if gradient is None:
         g = objective.gradient(x)
     else:
         g = np.asarray(gradient, dtype=float)
         if g.shape != x.shape:
             raise ValueError("precomputed gradient does not match candidates")
+    return _report_from_gradient(x, g, loads, alpha, problem.theta_rate_pps, tolerance)
+
+
+def _report_from_gradient(
+    x: np.ndarray,
+    g: np.ndarray,
+    loads: np.ndarray,
+    alpha: np.ndarray,
+    target_rate: float,
+    tolerance: float,
+) -> KKTReport:
+    """Assemble one certificate from a candidate point and its gradient."""
+    bound_violation = float(
+        max(np.maximum(-x, 0.0).max(initial=0.0), np.maximum(x - alpha, 0.0).max(initial=0.0))
+    )
+    feasibility_residual = abs(float(x @ loads) - target_rate) / max(target_rate, 1e-12)
+
+    active = ActiveSet(loads, alpha)
+    # Classify bound activity with a tolerance proportional to alpha.
+    active.sync_with_point(x, atol=max(1e-9, 1e-6 * float(alpha.min())))
+
     scale = max(1.0, float(np.abs(g).max()))
     mult = active.multipliers(g)
 
@@ -135,3 +146,64 @@ def check_kkt(
         feasibility_residual=feasibility_residual,
         bound_violation=bound_violation,
     )
+
+
+def check_kkt_family(
+    problem: SamplingProblem,
+    rates: np.ndarray,
+    tolerance: float = 1e-6,
+    objective: Objective | None = None,
+    theta_rates: np.ndarray | Sequence[float] | None = None,
+) -> list[KKTReport]:
+    """Certify a *family* of full-length rate vectors in one batched pass.
+
+    ``rates`` has shape ``(m, num_links)`` — one row per configuration
+    (e.g. every point of a θ sweep, or every candidate the adaptive
+    controller considers).  All ``m`` gradients are assembled with a
+    single ``Rᵀ Y`` rmatmat through the objective's stacked kernel
+    instead of ``m`` separate rmatvecs; the per-point multiplier checks
+    are then O(candidates) each.
+
+    By default every member is checked against the problem's own
+    ``θ/T``; a family over *different* capacities — a θ sweep — passes
+    its per-member equality targets through ``theta_rates`` (length m,
+    in packets per second).  Everything else a sweep member could vary
+    (routing, loads, bounds) is shared by construction, so one
+    candidate set and one stacked gradient assembly serve the whole
+    family.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 2 or rates.shape[1] != problem.num_links:
+        raise ValueError(
+            f"rates have shape {rates.shape}, expected (m, {problem.num_links})"
+        )
+    if theta_rates is None:
+        targets = np.full(rates.shape[0], problem.theta_rate_pps)
+    else:
+        targets = np.asarray(theta_rates, dtype=float)
+        if targets.shape != (rates.shape[0],):
+            raise ValueError(
+                f"theta_rates have shape {targets.shape}, expected "
+                f"({rates.shape[0]},)"
+            )
+    cand = np.flatnonzero(problem.candidate_mask)
+    loads = problem.link_loads_pps[cand]
+    alpha = problem.alpha[cand]
+    if objective is None:
+        objective = SumUtilityObjective(
+            problem.candidate_routing_op(), problem.utilities
+        )
+    X = np.ascontiguousarray(rates[:, cand].T)  # (candidates, m)
+    if hasattr(objective, "gradient_stack"):
+        gradients = objective.gradient_stack(X)
+    else:  # objectives without a stacked kernel: one rmatvec per member
+        gradients = np.column_stack(
+            [objective.gradient(X[:, j]) for j in range(X.shape[1])]
+        )
+    return [
+        _report_from_gradient(
+            X[:, j], gradients[:, j], loads, alpha,
+            float(targets[j]), tolerance,
+        )
+        for j in range(X.shape[1])
+    ]

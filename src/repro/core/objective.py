@@ -42,6 +42,10 @@ class _VectorizedAccuracy:
     paper's setting), the per-OD Python loop in ``_per_od`` dominates
     solver time; this evaluator computes values/derivatives for all OD
     pairs in single numpy expressions instead.
+
+    Every method accepts ``rho`` of shape ``(K,)`` (one configuration)
+    or ``(K, m)`` (a stack of ``m`` configurations, one per column);
+    the per-OD parameters broadcast along the trailing axis.
     """
 
     def __init__(self, utilities: Sequence[MeanSquaredRelativeAccuracy]):
@@ -51,28 +55,36 @@ class _VectorizedAccuracy:
         self.d1 = self.c / self.x0**2
         self.d2 = -2.0 * self.c / self.x0**3
 
+    def _params(self, rho: np.ndarray):
+        if rho.ndim == 2:
+            return (
+                self.c[:, None], self.x0[:, None], self.a0[:, None],
+                self.d1[:, None], self.d2[:, None],
+            )
+        return self.c, self.x0, self.a0, self.d1, self.d2
+
     def value(self, rho: np.ndarray) -> np.ndarray:
         rho = np.maximum(rho, 0.0)
-        safe = np.maximum(rho, self.x0)
-        hyperbolic = 1.0 + self.c - self.c / safe
-        quadratic = (
-            self.a0 + (rho - self.x0) * self.d1
-            + 0.5 * (rho - self.x0) ** 2 * self.d2
-        )
-        return np.where(rho >= self.x0, hyperbolic, quadratic)
+        c, x0, a0, d1, d2 = self._params(rho)
+        safe = np.maximum(rho, x0)
+        hyperbolic = 1.0 + c - c / safe
+        quadratic = a0 + (rho - x0) * d1 + 0.5 * (rho - x0) ** 2 * d2
+        return np.where(rho >= x0, hyperbolic, quadratic)
 
     def derivative(self, rho: np.ndarray) -> np.ndarray:
         rho = np.maximum(rho, 0.0)
-        safe = np.maximum(rho, self.x0)
-        hyperbolic = self.c / safe**2
-        quadratic = self.d1 + (rho - self.x0) * self.d2
-        return np.where(rho >= self.x0, hyperbolic, quadratic)
+        c, x0, _, d1, d2 = self._params(rho)
+        safe = np.maximum(rho, x0)
+        hyperbolic = c / safe**2
+        quadratic = d1 + (rho - x0) * d2
+        return np.where(rho >= x0, hyperbolic, quadratic)
 
     def second_derivative(self, rho: np.ndarray) -> np.ndarray:
         rho = np.maximum(rho, 0.0)
-        safe = np.maximum(rho, self.x0)
-        hyperbolic = -2.0 * self.c / safe**3
-        return np.where(rho >= self.x0, hyperbolic, self.d2)
+        c, x0, _, _, d2 = self._params(rho)
+        safe = np.maximum(rho, x0)
+        hyperbolic = -2.0 * c / safe**3
+        return np.where(rho >= x0, hyperbolic, d2)
 
 
 class ObjectiveRay:
@@ -211,6 +223,27 @@ class _RoutedObjective(Objective):
             out[k] = getattr(utility, method)(rho[k])
         return out
 
+    def _per_od_stack(self, method: str, rho: np.ndarray) -> np.ndarray:
+        """Per-OD utility quantities for a ``(K, m)`` stack of ρ columns."""
+        if self._vectorized is not None:
+            return getattr(self._vectorized, method)(rho)
+        out = np.empty(rho.shape)
+        for j in range(rho.shape[1]):
+            out[:, j] = self._per_od(method, rho[:, j])
+        return out
+
+    def rho_stack(self, X: np.ndarray) -> np.ndarray:
+        """Effective rates ``R X`` for a stack of rate vectors (n, m).
+
+        One matmat instead of ``m`` matvecs: the batched counterpart of
+        :meth:`rho`, used by sweeps, candidate ranking and family KKT
+        verification.  Not memoized — stacks are one-shot evaluations.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("rho_stack expects a 2-D (links, m) stack")
+        return self._operator.matmat(X)
+
 
 class _RoutedRay(ObjectiveRay):
     """Incremental ray over ``ρ(t) = ρ₀ + t δ``.
@@ -313,6 +346,30 @@ class SumUtilityObjective(_RoutedObjective):
 
     def along_ray(self, x: np.ndarray, s: np.ndarray) -> ObjectiveRay:
         return _SumUtilityRay(self, np.asarray(x, dtype=float), s)
+
+    # -- stacked evaluation (families of configurations) ----------------
+    def value_stack(self, X: np.ndarray) -> np.ndarray:
+        """Objective values of ``m`` rate vectors stacked as columns.
+
+        ``X`` has shape ``(n, m)``; the result has shape ``(m,)``.  One
+        ``R X`` matmat replaces ``m`` matvecs, and the per-OD utility
+        formulas evaluate on the whole ``(K, m)`` ρ block at once.
+        """
+        values = self._per_od_stack("value", self.rho_stack(X))
+        return self._weights @ values
+
+    def utilities_stack(self, X: np.ndarray) -> np.ndarray:
+        """Per-OD (unweighted) utilities of a stack: shape ``(K, m)``."""
+        return self._per_od_stack("value", self.rho_stack(X))
+
+    def gradient_stack(self, X: np.ndarray) -> np.ndarray:
+        """Gradients ``∇f`` of ``m`` rate vectors: shape ``(n, m)``.
+
+        ``Rᵀ (w ∘ M'(ρ))`` with the weighting broadcast across columns
+        — a single rmatmat assembles every gradient of the family.
+        """
+        slopes = self._per_od_stack("derivative", self.rho_stack(X))
+        return self._operator.rmatmat(self._weights[:, None] * slopes)
 
 
 class _SoftMinRay(_RoutedRay):

@@ -1,0 +1,446 @@
+"""Exact presolve: shrink the problem before any solve touches it.
+
+Families of solves (θ sweeps, per-interval re-optimization, failure
+scenarios) repeatedly pay for structure that the optimum provably
+ignores.  Three reductions are exact under the paper's linear
+effective-rate model ``ρ_k = Σ_i r_{k,i} p_i`` (§IV-B):
+
+1. **Link elimination.**  Links outside the candidate set — not
+   monitorable, traversed by no OD pair, zero load, or ``α_i = 0`` —
+   never carry positive sampling at an optimum (non-traversed links
+   add no utility but consume budget; the zero-load "free saturated"
+   links are handled by a closed-form pre-pass).  They are removed
+   from the decision space outright.
+
+2. **Duplicate-column merge.**  Two candidate links with *identical*
+   routing columns and *identical* loads are interchangeable: only the
+   sum ``q = Σ_{i∈G} p_i`` enters every ρ_k (identical columns) and
+   the capacity constraint (identical loads ``U``, so
+   ``Σ_{i∈G} p_i U_i = U·q``).  The group collapses into one aggregate
+   variable with bound ``Σ_{i∈G} α_i``, and any split of ``q``
+   respecting the member bounds lifts back to a full-space optimum —
+   we use the proportional split ``p_i = q·α_i/Σα_G``, which always
+   respects them.  Equal loads are required for exactness: with
+   unequal loads the budget cost of ``q`` would depend on the split,
+   so the merged problem would mis-price capacity.
+
+3. **Row dropping.**  OD rows with no surviving candidate link have
+   ``ρ_k = 0`` for every feasible point; their constant utility
+   ``M_k(0)`` (zero for all conforming utilities) is carried as an
+   objective offset instead of being re-evaluated each iteration.
+
+A fourth structural check detects the *bound-forced* case
+``θ/T = Σ α_i U_i``: the feasible set is then the single point
+``p = α`` on candidates, which :func:`ReducedProblem.forced_solution`
+returns without running a solver.
+
+The merged problem's aggregate bounds can exceed 1, so the reduced
+:class:`~repro.core.problem.SamplingProblem` is built with
+``alpha_ceiling=None``; the solver mathematics is bound-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from .problem import InfeasibleProblemError, SamplingProblem
+from .solution import SamplingSolution
+
+__all__ = ["PresolveStats", "ReducedProblem", "presolve"]
+
+
+@dataclass(frozen=True)
+class PresolveStats:
+    """What a presolve pass removed, merged and kept.
+
+    Attributes
+    ----------
+    original_links / original_od_pairs:
+        Dimensions of the problem handed to :func:`presolve`.
+    candidate_links:
+        Links the solver would have optimized over anyway.
+    links_eliminated:
+        Non-candidate links removed from the decision space.
+    links_merged:
+        Candidate links absorbed into aggregate variables,
+        ``Σ_G (|G| - 1)`` over duplicate groups.
+    merge_groups:
+        Number of groups with more than one member.
+    rows_dropped:
+        OD rows with no surviving candidate link.
+    reduced_links / reduced_od_pairs:
+        Dimensions of the reduced problem.
+    forced_saturated:
+        True when ``θ/T`` equals the maximum absorbable rate, pinning
+        every candidate at its bound.
+    identity:
+        True when nothing reduced: the original problem is reused
+        untouched and ``lift`` is the identity.
+    """
+
+    original_links: int
+    original_od_pairs: int
+    candidate_links: int
+    links_eliminated: int
+    links_merged: int
+    merge_groups: int
+    rows_dropped: int
+    reduced_links: int
+    reduced_od_pairs: int
+    forced_saturated: bool
+    identity: bool
+
+
+class ReducedProblem:
+    """A presolved problem plus the lift map back to full space.
+
+    Instances come from :func:`presolve` (or
+    :meth:`SamplingProblem.presolve`).  ``problem`` is the reduced
+    :class:`SamplingProblem` to hand to any solver; :meth:`lift`
+    converts its solution into a full-space one on the original
+    problem with the identical objective value.
+    """
+
+    def __init__(
+        self,
+        original: SamplingProblem,
+        problem: SamplingProblem,
+        stats: PresolveStats,
+        member_links: np.ndarray,
+        member_col: np.ndarray,
+        member_frac: np.ndarray,
+        objective_offset: float,
+    ) -> None:
+        self.original = original
+        self.problem = problem
+        self.stats = stats
+        # Flat lift tables: for every original candidate link,
+        # which reduced column it belongs to and what fraction of the
+        # aggregate value it receives (α_i / Σ α_G).
+        self._member_links = member_links
+        self._member_col = member_col
+        self._member_frac = member_frac
+        self.objective_offset = float(objective_offset)
+
+    # ------------------------------------------------------------------
+    @property
+    def identity(self) -> bool:
+        """True when the pass reduced nothing and ``problem is original``."""
+        return self.stats.identity
+
+    def with_theta(self, theta_packets: float) -> "ReducedProblem":
+        """This reduction re-targeted at a different capacity θ.
+
+        Every reduction rule is θ-independent (candidate sets, column
+        groups and row coverage never mention θ), so a capacity sweep
+        reduces the topology once and re-uses the lift tables for all
+        points; only the forced-saturation flag is re-evaluated.
+        """
+        original = self.original.with_theta(float(theta_packets))
+        reduced = (
+            original if self.identity
+            else self.problem.with_theta(float(theta_packets))
+        )
+        absorbable = original.max_absorbable_rate
+        forced = (
+            abs(original.theta_rate_pps - absorbable)
+            <= 1e-12 * max(absorbable, 1.0)
+        )
+        stats = dataclasses.replace(self.stats, forced_saturated=forced)
+        return ReducedProblem(
+            original=original,
+            problem=reduced,
+            stats=stats,
+            member_links=self._member_links,
+            member_col=self._member_col,
+            member_frac=self._member_frac,
+            objective_offset=self.objective_offset,
+        )
+
+    def lift_rates(self, reduced_rates: np.ndarray) -> np.ndarray:
+        """Full-length rate vector from a reduced-space one.
+
+        Aggregate values split proportionally to member bounds
+        (``p_i = q·α_i/Σα_G``), free-saturated links sit at ``α_i``,
+        everything else at zero — exactly the structure of a
+        full-space optimum.
+        """
+        reduced_rates = np.asarray(reduced_rates, dtype=float)
+        if self.identity:
+            return reduced_rates.copy()
+        expected = self.problem.num_links
+        if reduced_rates.shape != (expected,):
+            raise ValueError(
+                f"reduced rates have shape {reduced_rates.shape}, "
+                f"expected ({expected},)"
+            )
+        full = np.zeros(self.original.num_links)
+        free = self.original.free_saturated_mask
+        full[free] = self.original.alpha[free]
+        full[self._member_links] = (
+            reduced_rates[self._member_col] * self._member_frac
+        )
+        return full
+
+    def restrict_rates(self, full_rates: np.ndarray) -> np.ndarray:
+        """Reduced-space vector from a full-length one (group sums).
+
+        The adjoint of :meth:`lift_rates` on the aggregate variables —
+        used to carry warm starts across the reduction boundary.
+        """
+        full_rates = np.asarray(full_rates, dtype=float)
+        if self.identity:
+            return full_rates.copy()
+        if full_rates.shape != (self.original.num_links,):
+            raise ValueError(
+                f"full rates have shape {full_rates.shape}, expected "
+                f"({self.original.num_links},)"
+            )
+        reduced = np.zeros(self.problem.num_links)
+        np.add.at(reduced, self._member_col, full_rates[self._member_links])
+        return reduced
+
+    def lift(
+        self, solution: SamplingSolution, kkt_tolerance: float | None = None
+    ) -> SamplingSolution:
+        """Full-space solution from a reduced-space one.
+
+        The diagnostics carry over with the objective value adjusted by
+        the dropped-row offset (zero for conforming utilities, which
+        have ``M(0) = 0``).  When ``kkt_tolerance`` is given and the
+        reduced solve certified its iterate, the lifted point is
+        re-certified against the *original* problem so the certificate
+        refers to the space the caller holds.
+        """
+        if solution.problem is not self.problem:
+            raise ValueError("solution does not belong to this reduced problem")
+        if self.identity:
+            return solution
+        rates = self.lift_rates(solution.rates)
+        diagnostics = solution.diagnostics
+        if self.objective_offset:
+            diagnostics = dataclasses.replace(
+                diagnostics,
+                objective_value=diagnostics.objective_value + self.objective_offset,
+            )
+        if kkt_tolerance is not None and diagnostics.kkt is not None:
+            from .kkt import check_kkt
+
+            diagnostics = dataclasses.replace(
+                diagnostics,
+                kkt=check_kkt(self.original, rates, tolerance=kkt_tolerance),
+            )
+        return SamplingSolution(
+            problem=self.original, rates=rates, diagnostics=diagnostics
+        )
+
+    def forced_solution(self) -> SamplingSolution | None:
+        """The unique feasible point when θ pins every bound, else None.
+
+        When ``θ/T`` equals ``Σ α_i U_i`` over candidates the equality
+        constraint admits exactly one point — all candidates saturated —
+        so no iteration is needed.
+        """
+        if not self.stats.forced_saturated:
+            return None
+        from .objective import SumUtilityObjective
+        from .solution import SolverDiagnostics
+
+        original = self.original
+        rates = np.zeros(original.num_links)
+        cand = original.candidate_mask
+        free = original.free_saturated_mask
+        rates[cand] = original.alpha[cand]
+        rates[free] = original.alpha[free]
+        objective = SumUtilityObjective(
+            original.candidate_routing_op(), original.utilities
+        )
+        value = float(objective.value(original.alpha[cand]))
+        from .kkt import check_kkt
+
+        diagnostics = SolverDiagnostics(
+            method="presolve",
+            iterations=0,
+            constraint_releases=0,
+            converged=True,
+            objective_value=value,
+            kkt=check_kkt(original, rates, objective=objective),
+            message="bound-forced: theta saturates every candidate bound",
+            wall_time_s=0.0,
+            line_search_evaluations=0,
+        )
+        return SamplingSolution(
+            problem=original, rates=rates, diagnostics=diagnostics
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats
+        return (
+            f"ReducedProblem({s.original_links}->{s.reduced_links} links, "
+            f"{s.original_od_pairs}->{s.reduced_od_pairs} rows, "
+            f"merged={s.links_merged}, identity={s.identity})"
+        )
+
+
+def _candidate_column_keys(problem: SamplingProblem, cand: np.ndarray):
+    """Byte-exact (column, load) keys for duplicate-group detection.
+
+    Merging is exact only for *identical* columns and *identical*
+    loads, so the keys hash raw bytes — no tolerance, no false merges.
+    """
+    op = problem.candidate_routing_op()
+    loads = problem.link_loads_pps[cand]
+    csr = op.tosparse()
+    keys = []
+    if csr is not None:
+        csc = csr.tocsc()
+        csc.sort_indices()
+        indptr = csc.indptr
+        for j in range(len(cand)):
+            lo, hi = indptr[j], indptr[j + 1]
+            keys.append(
+                (
+                    csc.indices[lo:hi].tobytes(),
+                    csc.data[lo:hi].tobytes(),
+                    float(loads[j]),
+                )
+            )
+    else:
+        dense = np.asfortranarray(op.toarray())
+        for j in range(len(cand)):
+            keys.append((dense[:, j].tobytes(), float(loads[j])))
+    return keys
+
+
+def presolve(problem: SamplingProblem) -> ReducedProblem:
+    """Reduce ``problem`` exactly; see the module docstring for the rules.
+
+    Raises :class:`InfeasibleProblemError` when there is no candidate
+    link at all (the reduced problem would be empty — the full-space
+    solver would reject the same instance).
+    """
+    METRICS.increment("presolve.runs")
+    num_links = problem.num_links
+    num_rows = problem.num_od_pairs
+    cand = np.flatnonzero(problem.candidate_mask)
+    if cand.size == 0:
+        raise InfeasibleProblemError(
+            "no candidate links: nothing monitorable carries task traffic"
+        )
+
+    # -- duplicate-column groups over candidates -----------------------
+    groups: dict[object, list[int]] = {}
+    for position, key in enumerate(_candidate_column_keys(problem, cand)):
+        groups.setdefault(key, []).append(position)
+    group_positions = list(groups.values())  # insertion-ordered: first-seen
+    representatives = np.array([g[0] for g in group_positions], dtype=int)
+    merge_groups = sum(1 for g in group_positions if len(g) > 1)
+    links_merged = sum(len(g) - 1 for g in group_positions)
+
+    # -- surviving OD rows ---------------------------------------------
+    cand_op = problem.candidate_routing_op()
+    row_coverage = cand_op.matvec(np.ones(cand.size))
+    kept_rows = np.flatnonzero(row_coverage > 0)
+    rows_dropped = num_rows - kept_rows.size
+
+    links_eliminated = num_links - cand.size
+    absorbable = problem.max_absorbable_rate
+    forced = (
+        abs(problem.theta_rate_pps - absorbable)
+        <= 1e-12 * max(absorbable, 1.0)
+    )
+
+    identity = (
+        links_eliminated == 0 and links_merged == 0 and rows_dropped == 0
+    )
+    stats = PresolveStats(
+        original_links=num_links,
+        original_od_pairs=num_rows,
+        candidate_links=int(cand.size),
+        links_eliminated=int(links_eliminated),
+        links_merged=int(links_merged),
+        merge_groups=int(merge_groups),
+        rows_dropped=int(rows_dropped),
+        reduced_links=int(num_links if identity else representatives.size),
+        reduced_od_pairs=int(num_rows if identity else kept_rows.size),
+        forced_saturated=bool(forced),
+        identity=bool(identity),
+    )
+    METRICS.increment("presolve.links_eliminated", int(links_eliminated))
+    METRICS.increment("presolve.links_merged", int(links_merged))
+    METRICS.increment("presolve.rows_dropped", int(rows_dropped))
+    if forced:
+        METRICS.increment("presolve.forced")
+    if identity:
+        METRICS.increment("presolve.identity")
+        empty = np.empty(0, dtype=int)
+        return ReducedProblem(
+            original=problem,
+            problem=problem,
+            stats=stats,
+            member_links=empty,
+            member_col=empty,
+            member_frac=np.empty(0),
+            objective_offset=0.0,
+        )
+
+    # -- reduced routing: representative columns, surviving rows -------
+    csr = cand_op.tosparse()
+    if csr is not None:
+        reduced_routing = csr.tocsc()[:, representatives].tocsr()[kept_rows]
+    else:
+        reduced_routing = cand_op.toarray()[np.ix_(kept_rows, representatives)]
+
+    # -- merged loads and bounds ---------------------------------------
+    alpha_cand = problem.alpha[cand]
+    loads_cand = problem.link_loads_pps[cand]
+    reduced_alpha = np.array(
+        [float(alpha_cand[g].sum()) for g in group_positions]
+    )
+    reduced_loads = loads_cand[representatives]  # identical within a group
+
+    reduced_utilities = [problem.utilities[k] for k in kept_rows]
+    # M(0) = 0 by the UtilityFunction contract, but custom utilities may
+    # deviate; carry the exact constant so lift() preserves objectives.
+    dropped = np.setdiff1d(np.arange(num_rows), kept_rows, assume_unique=True)
+    objective_offset = float(
+        sum(float(problem.utilities[k].value(0.0)) for k in dropped)
+    )
+
+    reduced = SamplingProblem(
+        reduced_routing,
+        reduced_loads,
+        problem.theta_packets,
+        reduced_utilities,
+        alpha=reduced_alpha,
+        interval_seconds=problem.interval_seconds,
+        alpha_ceiling=None,
+    )
+
+    # -- lift tables ----------------------------------------------------
+    member_links = np.concatenate(
+        [cand[np.asarray(g, dtype=int)] for g in group_positions]
+    )
+    member_col = np.concatenate(
+        [np.full(len(g), col, dtype=int) for col, g in enumerate(group_positions)]
+    )
+    fracs = []
+    for col, g in enumerate(group_positions):
+        total = reduced_alpha[col]
+        group_alpha = alpha_cand[np.asarray(g, dtype=int)]
+        fracs.append(group_alpha / total if total > 0 else group_alpha * 0.0)
+    member_frac = np.concatenate(fracs)
+
+    return ReducedProblem(
+        original=problem,
+        problem=reduced,
+        stats=stats,
+        member_links=member_links,
+        member_col=member_col,
+        member_frac=member_frac,
+        objective_offset=objective_offset,
+    )

@@ -11,6 +11,7 @@ from .utility import MeanSquaredRelativeAccuracy, UtilityFunction, accuracy_util
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..traffic.workloads import MeasurementTask
+    from .presolve import ReducedProblem
 
 __all__ = ["SamplingProblem", "InfeasibleProblemError"]
 
@@ -44,6 +45,13 @@ class SamplingProblem:
         excludes access links (§V-C) and the restricted baseline
         monitors only the UK links; both are expressed through this
         mask.  Defaults to all links.
+    alpha_ceiling:
+        Upper validation bound on ``α``.  Physical problems keep the
+        default ``1.0`` (sampling rates are probabilities); presolve's
+        reduced problems pass ``None`` because an aggregate variable
+        standing for a merged link group carries the *combined* bound
+        ``Σ α_i``, which may exceed 1.  The solver mathematics is
+        bound-agnostic, so nothing else changes.
 
     Notes
     -----
@@ -66,6 +74,7 @@ class SamplingProblem:
         alpha: float | np.ndarray | Sequence[float] = 1.0,
         interval_seconds: float = 300.0,
         monitorable: np.ndarray | Sequence[bool] | None = None,
+        alpha_ceiling: float | None = 1.0,
     ) -> None:
         routing_op = RoutingOperator.from_matrix(routing)
         num_od, num_links = routing_op.shape
@@ -94,8 +103,11 @@ class SamplingProblem:
         alpha_vec = np.broadcast_to(
             np.asarray(alpha, dtype=float), (num_links,)
         ).copy()
-        if np.any(alpha_vec < 0) or np.any(alpha_vec > 1):
-            raise ValueError("alpha must lie in [0, 1]")
+        if np.any(alpha_vec < 0) or (
+            alpha_ceiling is not None and np.any(alpha_vec > alpha_ceiling)
+        ):
+            ceiling = alpha_ceiling if alpha_ceiling is not None else "inf"
+            raise ValueError(f"alpha must lie in [0, {ceiling}]")
 
         if theta_packets <= 0:
             raise ValueError("theta must be positive")
@@ -117,6 +129,7 @@ class SamplingProblem:
         self.interval_seconds = float(interval_seconds)
         self.utilities = list(utilities)
         self.alpha = alpha_vec
+        self.alpha_ceiling = alpha_ceiling
         self.monitorable = mask
         for array in (self.link_loads_pps, self.alpha, self.monitorable):
             array.setflags(write=False)
@@ -231,6 +244,7 @@ class SamplingProblem:
             alpha=self.alpha,
             interval_seconds=self.interval_seconds,
             monitorable=self.monitorable,
+            alpha_ceiling=self.alpha_ceiling,
         )
 
     def restrict_monitors(self, link_indices: Iterable[int]) -> "SamplingProblem":
@@ -246,6 +260,7 @@ class SamplingProblem:
             alpha=self.alpha,
             interval_seconds=self.interval_seconds,
             monitorable=self.monitorable & mask,
+            alpha_ceiling=self.alpha_ceiling,
         )
 
     def with_theta(self, theta_packets: float) -> "SamplingProblem":
@@ -258,7 +273,21 @@ class SamplingProblem:
             alpha=self.alpha,
             interval_seconds=self.interval_seconds,
             monitorable=self.monitorable,
+            alpha_ceiling=self.alpha_ceiling,
         )
+
+    def presolve(self) -> "ReducedProblem":
+        """Reduce this problem before solving (see :mod:`repro.core.presolve`).
+
+        Convenience front end for ``presolve(problem)``: eliminates
+        never-traversed links, merges duplicate-column links into
+        aggregate variables, drops unobservable OD rows, and returns a
+        :class:`~repro.core.presolve.ReducedProblem` whose ``lift``
+        restores full-space solutions with the identical objective.
+        """
+        from .presolve import presolve as _presolve
+
+        return _presolve(self)
 
     # ------------------------------------------------------------------
     # constructors

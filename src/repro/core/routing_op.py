@@ -130,6 +130,20 @@ class RoutingOperator:
         """``Rᵀ y`` — per-link accumulation of per-OD quantities."""
         raise NotImplementedError
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """``R X`` for a stack of rate vectors, ``X`` of shape (n, m).
+
+        One BLAS/CSR product evaluates the effective rates of ``m``
+        sampling configurations at once — the kernel behind the batched
+        objective/gradient evaluation (θ sweeps, candidate ranking,
+        family KKT verification).
+        """
+        raise NotImplementedError
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        """``Rᵀ Y`` for a stack of per-OD vectors, ``Y`` of shape (K, m)."""
+        raise NotImplementedError
+
     def restrict_columns(
         self, indices: "np.ndarray | Sequence[int] | Iterable[int]"
     ) -> "RoutingOperator":
@@ -140,6 +154,15 @@ class RoutingOperator:
     def toarray(self) -> np.ndarray:
         """Materialize the dense ``K x n`` array (fresh, writable)."""
         raise NotImplementedError
+
+    def tosparse(self):
+        """The backing SciPy CSR matrix, or ``None`` on the dense backend.
+
+        Presolve and the shared-memory publisher use this to reach the
+        native storage without a dense round trip; treat the result as
+        read-only.
+        """
+        return None
 
     def column_sums(self) -> np.ndarray:
         """``Σ_k r_{k,i}`` per link — traversal totals."""
@@ -200,6 +223,18 @@ class DenseRoutingOperator(RoutingOperator):
             self._transpose = transpose
         return self._transpose @ np.asarray(y, dtype=float)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.matmat.dense")
+        return self._matrix @ np.ascontiguousarray(X, dtype=float)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.rmatmat.dense")
+        if self._transpose is None:
+            transpose = np.ascontiguousarray(self._matrix.T)
+            transpose.setflags(write=False)
+            self._transpose = transpose
+        return self._transpose @ np.ascontiguousarray(Y, dtype=float)
+
     def restrict_columns(self, indices) -> "DenseRoutingOperator":
         cols = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
         return DenseRoutingOperator(self._matrix[:, cols])
@@ -248,6 +283,16 @@ class SparseRoutingOperator(RoutingOperator):
             self._csr_transpose = self._csr.T.tocsr()
         return self._csr_transpose @ np.asarray(y, dtype=float)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.matmat.sparse")
+        return self._csr @ np.ascontiguousarray(X, dtype=float)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        METRICS.increment("routing.rmatmat.sparse")
+        if self._csr_transpose is None:
+            self._csr_transpose = self._csr.T.tocsr()
+        return self._csr_transpose @ np.ascontiguousarray(Y, dtype=float)
+
     def restrict_columns(self, indices) -> "SparseRoutingOperator":
         cols = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
         # Column selection is a CSC-natural operation; route through it
@@ -256,6 +301,9 @@ class SparseRoutingOperator(RoutingOperator):
 
     def toarray(self) -> np.ndarray:
         return self._csr.toarray()
+
+    def tosparse(self):
+        return self._csr
 
     def column_sums(self) -> np.ndarray:
         return np.asarray(self._csr.sum(axis=0)).ravel()

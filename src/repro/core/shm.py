@@ -1,0 +1,338 @@
+"""Zero-copy problem publication over ``multiprocessing.shared_memory``.
+
+A batch of related problems — a scenario grid, every θ of a sweep —
+shares one routing matrix, one load vector, one bound vector.  The
+pickle-per-task pool re-serializes all of it into every worker task;
+for backbone instances that is megabytes of redundant copying per
+solve.  This module publishes each distinct *array family* once into a
+shared-memory segment and hands workers a :class:`ProblemHandle` — a
+few hundred bytes naming the segment plus an offset table — from which
+:func:`attach_problem` rebuilds a :class:`SamplingProblem` whose
+arrays are read-only views straight into the segment.  Workers cache
+attachments per segment, so a family is mapped once per worker
+process no matter how many tasks reference it.
+
+Two restrictions keep the rebuild exact and cheap:
+
+* every OD pair's utility must be a
+  :class:`~repro.core.utility.MeanSquaredRelativeAccuracy` (the
+  paper's utility) — its single ``c`` parameter is what gets shipped;
+  heterogeneous utility stacks fall back to the pickle path.
+* the routing operator is shipped in its native storage (CSR triplet
+  or dense array), so the worker-side operator has the same backend
+  and numerics as the parent's.
+
+Parents must keep the :class:`SharedProblemPool` open until every
+worker task has finished, then :meth:`~SharedProblemPool.close` it to
+unlink the segments.  Workers attach *without* registering in the
+``resource_tracker`` — the parent owns the lifetime; CPython would
+otherwise track each attachment as an ownership and spuriously warn
+or double-unlink on worker exit (bpo-39959).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from .problem import SamplingProblem
+from .utility import MeanSquaredRelativeAccuracy, UtilityFunction
+
+try:  # pragma: no cover - exercised implicitly on import
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shared_memory = None
+
+try:  # pragma: no cover
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover
+    _sparse = None
+
+__all__ = [
+    "ProblemHandle",
+    "SharedProblemPool",
+    "attach_problem",
+    "shared_memory_available",
+]
+
+
+def shared_memory_available() -> bool:
+    """Whether the zero-copy path can engage on this interpreter."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Placement of one array inside a segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ProblemHandle:
+    """A picklable stand-in for a published :class:`SamplingProblem`.
+
+    Carries everything :func:`attach_problem` needs: the segment name,
+    the offset table of the family arrays, and the per-problem scalars
+    (θ, interval, bound ceiling) that differ between members of one
+    family (``with_theta`` copies share every array).
+    ``payload_bytes`` is the family's array footprint — the bytes a
+    pickle-per-task pool would have re-serialized for this task.
+    """
+
+    segment: str
+    backend: str
+    arrays: Mapping[str, _ArraySpec]
+    shape: tuple[int, int]
+    theta_packets: float
+    interval_seconds: float
+    alpha_ceiling: float | None
+    payload_bytes: int
+
+
+def _homogeneous_cs(utilities: Sequence[UtilityFunction]) -> np.ndarray | None:
+    """The ``c`` vector when every utility is the paper's MSRA, else None."""
+    if all(type(u) is MeanSquaredRelativeAccuracy for u in utilities):
+        return np.array([u.mean_inverse_size for u in utilities])
+    return None
+
+
+def _family_arrays(problem: SamplingProblem, cs: np.ndarray):
+    """(backend, ordered name->array dict) of everything shareable."""
+    op = problem.routing_op
+    arrays: dict[str, np.ndarray] = {}
+    csr = op.tosparse()
+    if csr is not None:
+        if not csr.has_sorted_indices:
+            csr = csr.sorted_indices()
+        backend = "sparse"
+        arrays["routing_data"] = csr.data
+        arrays["routing_indices"] = csr.indices
+        arrays["routing_indptr"] = csr.indptr
+    else:
+        backend = "dense"
+        arrays["routing"] = np.ascontiguousarray(op.toarray())
+    arrays["loads"] = problem.link_loads_pps
+    arrays["alpha"] = problem.alpha
+    arrays["monitorable"] = problem.monitorable
+    arrays["mean_inverse_sizes"] = cs
+    return backend, arrays
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedProblemPool:
+    """Parent-side publisher: one segment per distinct array family.
+
+    Families are keyed by the *identity* of the backing objects —
+    ``with_theta`` / ``clamped`` / ``restrict_monitors`` copies share
+    the routing operator and vectors, so a whole sweep publishes one
+    segment.  The pool holds references to the keyed objects, so
+    identity cannot be recycled while it is open.
+
+    Use as a context manager (or call :meth:`close`) — segments are
+    OS resources and must be unlinked by the parent once workers are
+    done.
+    """
+
+    def __init__(self) -> None:
+        if _shared_memory is None:  # pragma: no cover - CPython always has it
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._segments: list[object] = []
+        self._families: dict[tuple, tuple[str, str, dict, tuple, int]] = {}
+        self._keepalive: list[object] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, problem: SamplingProblem) -> ProblemHandle | None:
+        """Publish ``problem``'s family (once) and return its handle.
+
+        Returns ``None`` when the problem cannot be shared (utility
+        stack is not homogeneous MSRA) — the caller should fall back
+        to the pickle path for the whole batch.
+        """
+        cs = _homogeneous_cs(problem.utilities)
+        if cs is None:
+            return None
+        # The routing matrix is keyed by identity (hashing megabytes per
+        # publish would defeat the point; ``with_theta``/``clamped``
+        # copies share the operator object).  The per-link vectors are
+        # keyed by content — problem constructors copy them, so their
+        # ids differ even between members of one family.
+        key = (
+            id(problem.routing_op),
+            problem.link_loads_pps.tobytes(),
+            problem.alpha.tobytes(),
+            problem.monitorable.tobytes(),
+            cs.tobytes(),
+        )
+        if key not in self._families:
+            self._families[key] = self._publish_family(problem, cs)
+            # Pin the routing operator so CPython cannot recycle its id
+            # for as long as the pool (and thus the key) is alive.
+            self._keepalive.append(problem.routing_op)
+        name, backend, specs, shape, nbytes = self._families[key]
+        return ProblemHandle(
+            segment=name,
+            backend=backend,
+            arrays=specs,
+            shape=shape,
+            theta_packets=problem.theta_packets,
+            interval_seconds=problem.interval_seconds,
+            alpha_ceiling=problem.alpha_ceiling,
+            payload_bytes=nbytes,
+        )
+
+    def _publish_family(self, problem: SamplingProblem, cs: np.ndarray):
+        backend, arrays = _family_arrays(problem, cs)
+        specs: dict[str, _ArraySpec] = {}
+        offset = 0
+        for name, array in arrays.items():
+            offset = _align(offset)
+            specs[name] = _ArraySpec(
+                dtype=array.dtype.str, shape=tuple(array.shape), offset=offset
+            )
+            offset += array.nbytes
+        segment = _shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._segments.append(segment)
+        for name, array in arrays.items():
+            spec = specs[name]
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=segment.buf, offset=spec.offset,
+            )
+            view[...] = array
+        METRICS.increment("batch.shm.segments")
+        METRICS.increment("batch.shm.bytes_shared", offset)
+        return segment.name, backend, specs, problem.routing_op.shape, offset
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_shared(self) -> int:
+        """Total bytes published across all families."""
+        return sum(family[4] for family in self._families.values())
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment.  Idempotent."""
+        while self._segments:
+            segment = self._segments.pop()
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._families.clear()
+        self._keepalive.clear()
+
+    def __enter__(self) -> "SharedProblemPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Per-process attachment cache: segment name -> (SharedMemory, arrays).
+#: Keeping the SharedMemory object referenced keeps the mapping alive
+#: for the read-only views handed to problems.
+_ATTACHED: dict[str, tuple[object, dict[str, np.ndarray]]] = {}
+
+
+def _attach_untracked(name: str):
+    """Attach to ``name`` without registering it in the resource tracker.
+
+    CPython registers *attachments* as if they were ownerships
+    (bpo-39959): under ``fork``/``forkserver`` the worker shares the
+    parent's tracker, so a worker-side registration would later be
+    cancelled out against — or double-unlink — the parent's own entry.
+    The parent created the segment and is the only legitimate owner;
+    workers suppress registration entirely for the duration of the
+    attach call.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _skip_shared_memory(target, rtype):  # pragma: no cover - trivial
+        if rtype != "shared_memory":
+            original_register(target, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _attach_segment(handle: ProblemHandle) -> dict[str, np.ndarray]:
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        METRICS.increment("batch.shm.attach_cache_hit")
+        return cached[1]
+    segment = _attach_untracked(handle.segment)
+    arrays: dict[str, np.ndarray] = {}
+    for name, spec in handle.arrays.items():
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype),
+            buffer=segment.buf, offset=spec.offset,
+        )
+        view.setflags(write=False)
+        arrays[name] = view
+    _ATTACHED[handle.segment] = (segment, arrays)
+    METRICS.increment("batch.shm.attach")
+    return arrays
+
+
+def attach_problem(handle: ProblemHandle) -> SamplingProblem:
+    """Rebuild a :class:`SamplingProblem` over the published arrays.
+
+    The returned problem's vectors are zero-copy views into the shared
+    segment; the routing matrix is reassembled in the backend it was
+    published from (CSR triplets are wrapped without copying).
+    """
+    from .utility import accuracy_utilities
+
+    arrays = _attach_segment(handle)
+    if handle.backend == "sparse":
+        if _sparse is None:  # pragma: no cover - parent had scipy
+            raise RuntimeError("worker lacks scipy for a sparse handle")
+        routing = _sparse.csr_matrix(
+            (
+                arrays["routing_data"],
+                arrays["routing_indices"],
+                arrays["routing_indptr"],
+            ),
+            shape=handle.shape,
+            copy=False,
+        )
+        # Published matrices are canonical (sorted, deduplicated);
+        # assert so, else downstream normalization would write into the
+        # read-only shared buffers.
+        routing.has_sorted_indices = True
+        routing.has_canonical_format = True
+    else:
+        routing = arrays["routing"]
+    utilities = accuracy_utilities(arrays["mean_inverse_sizes"])
+    return SamplingProblem(
+        routing,
+        arrays["loads"],
+        handle.theta_packets,
+        utilities,
+        alpha=arrays["alpha"],
+        interval_seconds=handle.interval_seconds,
+        monitorable=arrays["monitorable"],
+        alpha_ceiling=handle.alpha_ceiling,
+    )

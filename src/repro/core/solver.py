@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..obs.trace import SolverTrace
 from .gradient_projection import GradientProjectionOptions, solve_gradient_projection
 from .objective import Objective
 from .problem import SamplingProblem
 from .scipy_solver import solve_scipy
 from .solution import SamplingSolution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .presolve import ReducedProblem
 
 __all__ = ["solve", "SOLVER_METHODS"]
 
@@ -20,6 +25,7 @@ def solve(
     objective: Objective | None = None,
     options: GradientProjectionOptions | None = None,
     trace: SolverTrace | None = None,
+    presolve: "bool | ReducedProblem" = False,
 ) -> SamplingSolution:
     """Solve the joint placement-and-rates problem.
 
@@ -34,6 +40,8 @@ def solve(
         Optional objective override built on the problem's candidate
         routing columns (see
         :func:`~repro.core.gradient_projection.solve_gradient_projection`).
+        Incompatible with a reducing ``presolve``: the override is
+        expressed in the original candidate space.
     options:
         Gradient-projection knobs; ignored by the SciPy methods.
     trace:
@@ -41,7 +49,35 @@ def solve(
         honoured by the gradient-projection method only (the SciPy
         wrappers expose no iteration hook), which also picks up an
         ambient :func:`~repro.obs.trace.tracing` scope on its own.
+    presolve:
+        ``True`` runs :func:`~repro.core.presolve.presolve` first,
+        solves the reduced problem and lifts the solution back (exact:
+        identical objective).  Callers re-solving one topology many
+        times can pass a prebuilt
+        :class:`~repro.core.presolve.ReducedProblem` to amortize the
+        reduction; its ``original`` must be ``problem``.  When nothing
+        reduces the solve is bitwise-identical to ``presolve=False``.
     """
+    if presolve:
+        reduced = _resolve_reduction(problem, presolve)
+        forced = reduced.forced_solution()
+        if forced is not None:
+            return forced
+        if not reduced.identity:
+            if objective is not None:
+                raise ValueError(
+                    "objective override is incompatible with a reducing "
+                    "presolve; pass presolve=False or drop the override"
+                )
+            inner = solve(
+                reduced.problem, method=method, options=options, trace=trace
+            )
+            kkt_tolerance = (
+                options.kkt_tolerance
+                if options is not None and method == "gradient_projection"
+                else GradientProjectionOptions().kkt_tolerance
+            )
+            return reduced.lift(inner, kkt_tolerance=kkt_tolerance)
     if method == "gradient_projection":
         return solve_gradient_projection(
             problem, options=options, objective=objective, trace=trace
@@ -51,3 +87,20 @@ def solve(
     if method == "trust-constr":
         return solve_scipy(problem, method="trust-constr", objective=objective)
     raise ValueError(f"unknown method {method!r}; choose from {SOLVER_METHODS}")
+
+
+def _resolve_reduction(
+    problem: SamplingProblem, presolve: "bool | ReducedProblem"
+) -> "ReducedProblem":
+    """Normalize the ``presolve`` argument into a :class:`ReducedProblem`."""
+    from .presolve import ReducedProblem, presolve as run_presolve
+
+    if presolve is True:
+        return run_presolve(problem)
+    if isinstance(presolve, ReducedProblem):
+        if presolve.original is not problem:
+            raise ValueError(
+                "prebuilt ReducedProblem belongs to a different problem"
+            )
+        return presolve
+    raise TypeError("presolve must be a bool or a ReducedProblem")

@@ -8,7 +8,7 @@ tests additionally pin the iteration savings that justify the chain.
 import numpy as np
 import pytest
 
-from repro import SamplingProblem, janet_task
+from repro import LogUtility, SamplingProblem, janet_task
 from repro.core import (
     GradientProjectionOptions,
     WarmStartChain,
@@ -17,6 +17,7 @@ from repro.core import (
     solve_gradient_projection,
     solve_theta_sweep,
 )
+from repro.obs import collecting_metrics
 from repro.traffic.dynamics import fail_link, scale_diurnal
 
 THETAS = [30_000.0, 60_000.0, 120_000.0, 240_000.0]
@@ -81,6 +82,78 @@ class TestWarmStartChain:
             reference.objective_value, rel=1e-8
         )
 
+    def test_stale_warm_start_detected_by_fingerprint(self, geant_task):
+        """A rerouting that keeps every size must still cold-start.
+
+        This is the regression the fingerprint exists for: swapping two
+        routing columns preserves the link count, the OD count and even
+        the nnz, so any shape- or density-based check would silently
+        reuse the stale optimum.  Only the content digest can tell.
+        """
+        theta = 100_000.0
+        healthy = SamplingProblem.from_task(geant_task, theta)
+        routing = healthy.routing_op.toarray()
+        j, k = 0, next(
+            i for i in range(1, routing.shape[1])
+            if not np.array_equal(routing[:, i], routing[:, 0])
+        )
+        swapped = routing.copy()
+        swapped[:, [j, k]] = swapped[:, [k, j]]
+        rerouted = SamplingProblem(
+            swapped, healthy.link_loads_pps, theta, healthy.utilities
+        )
+        assert rerouted.num_links == healthy.num_links
+        chain = WarmStartChain()
+        with collecting_metrics() as metrics:
+            chain.solve(healthy)
+            chain.solve(rerouted)
+        counters = metrics.counters()
+        assert counters.get("batch.warm_start.stale", 0) == 1
+        assert counters.get("batch.warm_start.hit", 0) == 0
+
+    def test_theta_change_keeps_warm_start(self, geant_problem):
+        chain = WarmStartChain()
+        with collecting_metrics() as metrics:
+            chain.solve(geant_problem)
+            chain.solve(
+                geant_problem.with_theta(0.5 * geant_problem.theta_packets)
+            )
+        counters = metrics.counters()
+        assert counters.get("batch.warm_start.hit", 0) == 1
+        assert counters.get("batch.warm_start.stale", 0) == 0
+
+    def test_diurnal_load_drift_keeps_warm_start(self, geant_task):
+        """Load *levels* are not part of the fingerprint.
+
+        A warm start is only an initial point — the solver projects it
+        onto the new feasible set — so per-interval load drift (the
+        adaptive controller's normal regime) must not cold-start.
+        """
+        theta = 100_000.0
+        chain = WarmStartChain()
+        with collecting_metrics() as metrics:
+            chain.solve(SamplingProblem.from_task(geant_task, theta))
+            chain.solve(
+                SamplingProblem.from_task(
+                    scale_diurnal(geant_task, 9.0), theta
+                ).clamped()
+            )
+        counters = metrics.counters()
+        assert counters.get("batch.warm_start.hit", 0) == 1
+        assert counters.get("batch.warm_start.stale", 0) == 0
+
+    def test_presolve_chain_matches_plain_chain(self, geant_problem):
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS
+        ]
+        plain = solve_chain(problems)
+        reduced = solve_chain(problems, presolve=True)
+        for p, r in zip(plain, reduced):
+            assert r.objective_value == pytest.approx(
+                p.objective_value, rel=1e-9
+            )
+            np.testing.assert_allclose(r.rates, p.rates, atol=1e-6)
+
     def test_reset_forgets_state(self, geant_problem):
         chain = WarmStartChain()
         chain.solve(geant_problem)
@@ -130,13 +203,19 @@ class TestSolveBatch:
                 reference.objective_value, rel=1e-10
             )
 
-    def test_process_pool_matches_sequential(self):
-        theta = 100_000.0
+    @staticmethod
+    def _family(theta: float = 100_000.0) -> list[SamplingProblem]:
+        # Three problems: enough to clear the inline-batch threshold so
+        # the pool genuinely spawns workers.
         task = janet_task()
-        problems = [
+        return [
             SamplingProblem.from_task(task, theta),
             SamplingProblem.from_task(scale_diurnal(task, 3.0), theta).clamped(),
+            SamplingProblem.from_task(scale_diurnal(task, 15.0), theta).clamped(),
         ]
+
+    def test_process_pool_matches_sequential(self):
+        problems = self._family()
         sequential = solve_batch(problems, processes=1)
         parallel = solve_batch(problems, processes=2)
         for seq, par in zip(sequential, parallel):
@@ -145,7 +224,80 @@ class TestSolveBatch:
                 seq.objective_value, rel=1e-12
             )
 
+    def test_shared_memory_pool_matches_pickle_pool(self):
+        problems = self._family()
+        with collecting_metrics() as metrics:
+            shared = solve_batch(problems, processes=2, shared_memory=True)
+        counters = metrics.counters()
+        pickled = solve_batch(problems, processes=2, shared_memory=False)
+        for shm, ref in zip(shared, pickled):
+            np.testing.assert_allclose(shm.rates, ref.rates, atol=1e-12)
+            assert shm.objective_value == pytest.approx(
+                ref.objective_value, rel=1e-12
+            )
+        assert counters.get("batch.shm.tasks", 0) == len(problems)
+        assert counters.get("batch.shm.segments", 0) >= 1
+        assert counters.get("batch.shm.fallback", 0) == 0
+
+    def test_shared_memory_solutions_bind_original_problems(self):
+        problems = self._family()
+        solutions = solve_batch(problems, processes=2, shared_memory=True)
+        for solution, problem in zip(solutions, problems):
+            assert solution.problem is problem
+
+    def test_heterogeneous_utilities_fall_back_to_pickle(self):
+        base = self._family()
+        logs = SamplingProblem(
+            routing=base[0].routing_op.toarray(),
+            link_loads_pps=base[0].link_loads_pps,
+            theta_packets=base[0].theta_packets,
+            utilities=[LogUtility() for _ in range(base[0].num_od_pairs)],
+        )
+        problems = [*base[:2], logs]
+        with collecting_metrics() as metrics:
+            solutions = solve_batch(problems, processes=2, shared_memory=True)
+        counters = metrics.counters()
+        assert counters.get("batch.shm.fallback", 0) == 1
+        for solution, problem in zip(solutions, problems):
+            reference = solve_gradient_projection(problem)
+            assert solution.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-9
+            )
+
+    def test_small_batches_run_inline(self, geant_problem):
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS[:2]
+        ]
+        with collecting_metrics() as metrics:
+            solutions = solve_batch(problems, processes=4)
+        counters = metrics.counters()
+        assert len(solutions) == 2
+        assert counters.get("batch.sequential.tasks", 0) == 2
+        assert counters.get("batch.pool.tasks", 0) == 0
+
     def test_single_problem_skips_pool(self, geant_problem):
         solutions = solve_batch([geant_problem], processes=8)
         assert len(solutions) == 1
         assert solutions[0].diagnostics.converged
+
+    def test_default_processes_inline_on_small_hosts(self, geant_problem):
+        # processes=None sizes the pool to min(cpu_count, len(problems));
+        # whatever the host, the call must succeed and match references.
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS[:3]
+        ]
+        solutions = solve_batch(problems)
+        for solution, problem in zip(solutions, problems):
+            reference = solve_gradient_projection(problem)
+            assert solution.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-10
+            )
+
+    def test_batch_presolve_matches_reference(self):
+        problems = self._family()
+        solutions = solve_batch(problems, presolve=True)
+        for solution, problem in zip(solutions, problems):
+            reference = solve_gradient_projection(problem)
+            assert solution.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-9
+            )

@@ -1,0 +1,253 @@
+"""Tests for the presolve problem reduction.
+
+Presolve is an exact transformation: every test pins the
+reduced-then-lifted solution to the full-space optimum.  Eliminate-only
+reductions (GEANT) must reproduce the full per-link rates bit-for-bit
+up to solver tolerance; merged reductions can only be compared through
+the effective OD rates and the objective, because the full-space
+optimum is non-unique along a duplicate group (the objective is flat
+under redistributing rate between byte-identical columns with equal
+loads).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InfeasibleProblemError,
+    MeanSquaredRelativeAccuracy,
+    SamplingProblem,
+    check_kkt,
+    presolve,
+    solve,
+)
+from repro.core import ReducedProblem, solve_gradient_projection
+from repro.obs import collecting_metrics
+
+from conftest import make_random_problem
+
+
+def _relative_gap(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-30)
+
+
+def _effective(problem: SamplingProblem, rates: np.ndarray) -> np.ndarray:
+    return problem.routing_op.matvec(rates)
+
+
+class TestPresolveGeant:
+    def test_reduction_eliminates_untraversed_links(self, geant_problem):
+        reduction = presolve(geant_problem)
+        stats = reduction.stats
+        assert stats.links_eliminated > 0
+        assert stats.reduced_links < stats.original_links
+        assert stats.reduced_links == (
+            stats.original_links - stats.links_eliminated - stats.links_merged
+        )
+
+    def test_round_trip_matches_full_solve(self, geant_problem, geant_solution):
+        lifted = solve(geant_problem, presolve=True)
+        assert lifted.diagnostics.converged
+        assert (
+            _relative_gap(lifted.objective_value, geant_solution.objective_value)
+            <= 1e-9
+        )
+        # GEANT reduces by elimination only, so the optimum is unique
+        # and the full per-link rates must agree.
+        assert presolve(geant_problem).stats.links_merged == 0
+        np.testing.assert_allclose(
+            lifted.rates, geant_solution.rates, atol=1e-7
+        )
+
+    def test_lifted_solution_is_kkt_certified(self, geant_problem):
+        lifted = solve(geant_problem, presolve=True)
+        report = check_kkt(geant_problem, lifted.rates)
+        assert report.satisfied
+
+    def test_lifted_solution_spends_the_budget(self, geant_problem):
+        lifted = solve(geant_problem, presolve=True)
+        spent = float(lifted.rates @ geant_problem.link_loads_pps)
+        assert spent == pytest.approx(
+            geant_problem.theta_packets / geant_problem.interval_seconds,
+            rel=1e-9,
+        )
+
+    def test_eliminated_links_carry_zero_rate(self, geant_problem):
+        reduction = presolve(geant_problem)
+        lifted = solve(geant_problem, presolve=True)
+        candidate = geant_problem.candidate_mask
+        free = geant_problem.free_saturated_mask
+        dead = ~candidate & ~free
+        assert np.all(lifted.rates[dead] == 0.0)
+        assert reduction.stats.links_eliminated == int(dead.sum())
+
+
+class TestPresolveWaxman:
+    @pytest.mark.parametrize("seed", [3, 11, 29, 47])
+    def test_round_trip_matches_full_solve(self, seed):
+        problem = make_random_problem(seed, num_nodes=10, num_od=8)
+        full = solve_gradient_projection(problem)
+        lifted = solve(problem, presolve=True)
+        assert (
+            _relative_gap(lifted.objective_value, full.objective_value) <= 1e-9
+        )
+        np.testing.assert_allclose(
+            _effective(problem, lifted.rates),
+            _effective(problem, full.rates),
+            rtol=1e-6,
+            atol=1e-9,
+        )
+        assert check_kkt(problem, lifted.rates).satisfied
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_per_link_rates_match_when_no_merges(self, seed):
+        problem = make_random_problem(seed, num_nodes=10, num_od=8)
+        reduction = presolve(problem)
+        if reduction.stats.links_merged:
+            pytest.skip("instance has duplicate columns; optimum non-unique")
+        full = solve_gradient_projection(problem)
+        lifted = solve(problem, presolve=True)
+        np.testing.assert_allclose(lifted.rates, full.rates, atol=1e-7)
+
+
+class TestDegenerateCases:
+    def test_nothing_reducible_is_identity(self):
+        # Every link traversed, all columns distinct, all loads positive:
+        # presolve must detect there is nothing to do.
+        routing = np.array(
+            [
+                [1.0, 0.0, 1.0],
+                [0.0, 1.0, 1.0],
+            ]
+        )
+        problem = SamplingProblem(
+            routing,
+            link_loads_pps=[100.0, 200.0, 300.0],
+            theta_packets=9_000.0,
+            utilities=[MeanSquaredRelativeAccuracy(0.02)] * 2,
+            interval_seconds=300.0,
+        )
+        reduction = presolve(problem)
+        assert reduction.identity
+        assert reduction.stats.links_eliminated == 0
+        assert reduction.stats.links_merged == 0
+        assert reduction.stats.rows_dropped == 0
+        full = solve_gradient_projection(problem)
+        lifted = solve(problem, presolve=True)
+        assert _relative_gap(lifted.objective_value, full.objective_value) == 0.0
+        np.testing.assert_allclose(lifted.rates, full.rates, atol=0.0)
+
+    def test_all_duplicate_columns_merge_to_one_variable(self):
+        # Four byte-identical columns with equal loads collapse into a
+        # single aggregate whose bound is the sum of the member bounds.
+        column = np.array([[1.0], [1.0], [0.0]])
+        routing = np.tile(column, (1, 4))
+        problem = SamplingProblem(
+            routing,
+            link_loads_pps=[500.0] * 4,
+            theta_packets=150_000.0,
+            utilities=[MeanSquaredRelativeAccuracy(0.0125)] * 3,
+            alpha=0.5,
+            alpha_ceiling=None,
+        )
+        reduction = presolve(problem)
+        assert reduction.stats.links_merged == 3
+        assert reduction.stats.merge_groups == 1
+        assert reduction.stats.rows_dropped == 1  # OD 3 traverses nothing
+        assert reduction.problem.num_links == 1
+        assert reduction.problem.alpha[0] == pytest.approx(2.0)
+        full = solve_gradient_projection(problem)
+        lifted = solve(problem, presolve=True)
+        assert (
+            _relative_gap(lifted.objective_value, full.objective_value) <= 1e-9
+        )
+        np.testing.assert_allclose(
+            _effective(problem, lifted.rates),
+            _effective(problem, full.rates),
+            rtol=1e-8,
+            atol=1e-12,
+        )
+        # The lift splits the aggregate proportionally to α, which is
+        # uniform here: all four member links get the same rate.
+        assert np.ptp(lifted.rates) == pytest.approx(0.0, abs=1e-12)
+
+    def test_everything_reducible_forces_saturation(self):
+        # θ equal to the whole candidate set's absorption capacity
+        # leaves no freedom: presolve alone pins every rate to α.
+        routing = np.array([[1.0, 1.0], [1.0, 0.0]])
+        loads = np.array([400.0, 600.0])
+        alpha = 0.25
+        interval = 300.0
+        theta = float(alpha * loads.sum() * interval)
+        problem = SamplingProblem(
+            routing,
+            link_loads_pps=loads,
+            theta_packets=theta,
+            utilities=[MeanSquaredRelativeAccuracy(0.1)] * 2,
+            alpha=alpha,
+        )
+        reduction = presolve(problem)
+        assert reduction.stats.forced_saturated
+        solution = solve(problem, presolve=True)
+        assert solution.diagnostics.method == "presolve"
+        assert solution.diagnostics.iterations == 0
+        np.testing.assert_allclose(solution.rates, [alpha, alpha])
+        assert check_kkt(problem, solution.rates).satisfied
+
+    def test_no_candidates_is_infeasible(self):
+        routing = np.zeros((2, 3))
+        problem = SamplingProblem(
+            routing,
+            link_loads_pps=[1.0, 1.0, 1.0],
+            theta_packets=10.0,
+            utilities=[MeanSquaredRelativeAccuracy(0.1)] * 2,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            presolve(problem)
+
+
+class TestReducedProblemAPI:
+    def test_with_theta_reuses_lift_tables(self, geant_problem):
+        reduction = presolve(geant_problem)
+        rescaled = reduction.with_theta(0.5 * geant_problem.theta_packets)
+        assert rescaled._member_links is reduction._member_links
+        assert rescaled._member_col is reduction._member_col
+        full = solve_gradient_projection(rescaled.original)
+        lifted = solve(rescaled.original, presolve=rescaled)
+        assert (
+            _relative_gap(lifted.objective_value, full.objective_value) <= 1e-9
+        )
+
+    def test_restrict_then_lift_round_trips(self, geant_problem):
+        reduction = presolve(geant_problem)
+        rng = np.random.default_rng(7)
+        reduced_rates = rng.uniform(
+            0.0, 1.0, size=reduction.problem.num_links
+        ) * reduction.problem.alpha
+        recovered = reduction.restrict_rates(
+            reduction.lift_rates(reduced_rates)
+        )
+        np.testing.assert_allclose(recovered, reduced_rates, atol=1e-12)
+
+    def test_lift_rejects_foreign_solutions(self, geant_problem, geant_solution):
+        reduction = presolve(geant_problem)
+        with pytest.raises(ValueError, match="reduced problem"):
+            reduction.lift(geant_solution)
+
+    def test_presolve_on_foreign_reduction_raises(self, geant_problem):
+        other = make_random_problem(3)
+        reduction = presolve(other)
+        with pytest.raises(ValueError):
+            solve(geant_problem, presolve=reduction)
+
+    def test_metrics_counters(self, geant_problem):
+        with collecting_metrics() as metrics:
+            presolve(geant_problem)
+        counters = metrics.counters()
+        assert counters.get("presolve.runs", 0) == 1
+        assert counters.get("presolve.links_eliminated", 0) > 0
+
+    def test_problem_convenience_method(self, geant_problem):
+        reduction = geant_problem.presolve()
+        assert isinstance(reduction, ReducedProblem)
+        assert reduction.original is geant_problem

@@ -1,0 +1,143 @@
+"""Tests for the shared-memory problem pool.
+
+Publish/attach is exercised in-process here — the worker-side attach
+code runs identically whether the handle crossed a process boundary or
+not — and the cross-process path is covered end-to-end by
+``tests/test_batch.py``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import LogUtility, SamplingProblem
+from repro.core import solve_gradient_projection
+from repro.core.utility import accuracy_utilities
+from repro.core.shm import (
+    ProblemHandle,
+    SharedProblemPool,
+    attach_problem,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory missing"
+)
+
+
+class TestPublish:
+    def test_family_publishes_one_segment(self, geant_problem):
+        family = [
+            geant_problem,
+            geant_problem.with_theta(50_000.0),
+            geant_problem.with_theta(25_000.0).clamped(),
+        ]
+        with SharedProblemPool() as pool:
+            handles = [pool.publish(p) for p in family]
+            assert all(h is not None for h in handles)
+            assert pool.num_segments == 1
+            assert pool.bytes_shared > 0
+            assert len({h.segment for h in handles}) == 1
+            # Per-problem scalars stay per-handle.
+            assert [h.theta_packets for h in handles] == [
+                p.theta_packets for p in family
+            ]
+
+    def test_distinct_topologies_get_distinct_segments(self, geant_problem):
+        rng = np.random.default_rng(0)
+        other = SamplingProblem(
+            np.clip(rng.integers(0, 2, size=(4, 6)).astype(float) + np.eye(4, 6), 0.0, 1.0),
+            link_loads_pps=rng.uniform(10.0, 100.0, size=6),
+            theta_packets=500.0,
+            utilities=geant_problem.utilities[:4],
+        )
+        with SharedProblemPool() as pool:
+            pool.publish(geant_problem)
+            pool.publish(other)
+            assert pool.num_segments == 2
+
+    def test_heterogeneous_utilities_return_none(self, geant_problem):
+        mixed = SamplingProblem(
+            geant_problem.routing_op.toarray(),
+            link_loads_pps=geant_problem.link_loads_pps,
+            theta_packets=geant_problem.theta_packets,
+            utilities=[LogUtility()] * geant_problem.num_od_pairs,
+        )
+        with SharedProblemPool() as pool:
+            assert pool.publish(mixed) is None
+
+    def test_close_is_idempotent(self, geant_problem):
+        pool = SharedProblemPool()
+        pool.publish(geant_problem)
+        pool.close()
+        pool.close()
+
+
+class TestAttach:
+    def _round_trip(self, problem: SamplingProblem) -> SamplingProblem:
+        with SharedProblemPool() as pool:
+            handle = pool.publish(problem)
+            assert handle is not None
+            # Handles must survive the pickling a real pool dispatch does.
+            handle = pickle.loads(pickle.dumps(handle))
+            assert isinstance(handle, ProblemHandle)
+            rebuilt = attach_problem(handle)
+            # Solve while the segment is still mapped: the rebuilt
+            # problem views shared memory, it does not own copies.
+            self._assert_equivalent(problem, rebuilt)
+            return rebuilt
+
+    @staticmethod
+    def _assert_equivalent(problem: SamplingProblem, rebuilt: SamplingProblem):
+        assert rebuilt.num_links == problem.num_links
+        assert rebuilt.num_od_pairs == problem.num_od_pairs
+        assert rebuilt.theta_packets == problem.theta_packets
+        assert rebuilt.interval_seconds == problem.interval_seconds
+        np.testing.assert_array_equal(
+            rebuilt.routing_op.toarray(), problem.routing_op.toarray()
+        )
+        np.testing.assert_array_equal(
+            rebuilt.link_loads_pps, problem.link_loads_pps
+        )
+        np.testing.assert_array_equal(rebuilt.alpha, problem.alpha)
+        np.testing.assert_array_equal(rebuilt.monitorable, problem.monitorable)
+        reference = solve_gradient_projection(problem)
+        attached = solve_gradient_projection(rebuilt)
+        assert attached.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-12
+        )
+        np.testing.assert_allclose(attached.rates, reference.rates, atol=1e-12)
+
+    def test_dense_round_trip(self, geant_problem):
+        assert geant_problem.routing_op.tosparse() is None
+        self._round_trip(geant_problem)
+
+    def test_sparse_round_trip(self):
+        from repro.core.routing_op import RoutingOperator
+
+        rng = np.random.default_rng(42)
+        dense = (rng.uniform(size=(80, 90)) < 0.05).astype(float)
+        dense[0] = 1.0  # keep every problem feasible
+        op = RoutingOperator.from_matrix(dense, prefer="sparse")
+        assert op.tosparse() is not None
+        problem = SamplingProblem(
+            dense,
+            link_loads_pps=rng.uniform(100.0, 1000.0, size=90),
+            theta_packets=30_000.0,
+            utilities=accuracy_utilities(rng.uniform(0.01, 0.4, size=80)),
+        )
+        rebuilt = self._round_trip(problem)
+        assert rebuilt.routing_op.tosparse() is not None
+
+    def test_payload_bytes_cover_family_arrays(self, geant_problem):
+        with SharedProblemPool() as pool:
+            handle = pool.publish(geant_problem)
+            expected = (
+                geant_problem.routing_op.toarray().nbytes
+                + geant_problem.link_loads_pps.nbytes
+                + geant_problem.alpha.nbytes
+                + geant_problem.monitorable.nbytes
+                + geant_problem.num_od_pairs * 8
+            )
+            assert handle.payload_bytes == expected
