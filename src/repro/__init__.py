@@ -33,6 +33,10 @@ Packages
 ``repro.obs``
     Observability: per-iteration solver traces, a metrics registry,
     structured logging, JSONL run manifests (``netsampling trace``).
+``repro.resilience``
+    Fault tolerance: supervised solves (timeout / retry / fallback
+    chain), crash-safe sweep checkpoints, deterministic fault
+    injection for chaos testing (``netsampling sweep --chaos``).
 """
 
 from .adaptive import AdaptiveController, ControllerConfig, run_closed_loop
@@ -80,6 +84,7 @@ from .core import (
     solve_chain,
     solve_theta_sweep,
 )
+from .core import SolveAttempt, SolverDiagnostics
 from .inference import estimate_traffic_matrix, gravity_prior
 from .obs import (
     IterationRecord,
@@ -98,6 +103,19 @@ from .obs import (
     summarize_manifest,
     tracing,
     write_manifest,
+)
+from .resilience import (
+    CheckpointMismatchError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SolveTimeoutError,
+    SupervisorError,
+    SupervisorPolicy,
+    SweepCheckpoint,
+    chaos_plan,
+    injected_faults,
+    supervised_solve,
 )
 from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
 from .sampling import SamplingExperiment, accuracy, estimate_sizes
@@ -141,6 +159,20 @@ __all__ = [
     "solve_chain",
     "solve_theta_sweep",
     "solve_batch",
+    "SolverDiagnostics",
+    "SolveAttempt",
+    # resilience
+    "SupervisorPolicy",
+    "supervised_solve",
+    "SolveTimeoutError",
+    "SupervisorError",
+    "SweepCheckpoint",
+    "CheckpointMismatchError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "chaos_plan",
+    "injected_faults",
     # substrates
     "Network",
     "geant_network",

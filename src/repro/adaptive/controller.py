@@ -22,14 +22,18 @@ estimate, and a configurable floor keeps every utility well-defined
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.batch import WarmStartChain
 from ..core.gradient_projection import GradientProjectionOptions
 from ..core.problem import SamplingProblem
-from ..core.solution import SamplingSolution
+from ..core.solution import SamplingSolution, SolverDiagnostics
 from ..core.utility import accuracy_utilities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.supervisor import SupervisorPolicy
 from ..obs.logsetup import get_logger
 from ..obs.metrics import METRICS
 from ..obs.trace import SolverTrace
@@ -54,6 +58,14 @@ class ControllerConfig:
     #: with parallel/bundled links or sparse task coverage, where the
     #: per-interval solve shrinks substantially.
     presolve: bool = False
+    #: Run every interval's solve supervised (timeouts, retries,
+    #: fallback chain — :class:`~repro.resilience.SupervisorPolicy`).
+    policy: "SupervisorPolicy | None" = None
+    #: When even the supervised solve fails, keep the previous
+    #: interval's rates deployed instead of crashing the loop — the
+    #: interval is reported ``held`` and counts
+    #: ``adaptive.held_intervals``.
+    hold_on_failure: bool = True
 
     def __post_init__(self) -> None:
         if self.theta_packets <= 0:
@@ -74,6 +86,9 @@ class IntervalReport:
     actual_sizes_packets: np.ndarray
     solver_iterations: int
     converged: bool
+    #: The interval deployed held-over (or otherwise degraded) rates
+    #: because the solve failed — see ``ControllerConfig.hold_on_failure``.
+    held: bool = False
 
     @property
     def estimation_errors(self) -> np.ndarray:
@@ -108,9 +123,10 @@ class AdaptiveController:
         # scope per control interval.
         self._chain = WarmStartChain(
             options=config.solver_options, trace=trace,
-            presolve=config.presolve,
+            presolve=config.presolve, policy=config.policy,
         )
         self._interval = 0
+        self._last_good_rates: np.ndarray | None = None
 
     @property
     def smoothed_sizes_packets(self) -> np.ndarray | None:
@@ -136,6 +152,14 @@ class AdaptiveController:
         controller's *own* smoothed size estimates for the utilities —
         never the task's ground-truth sizes.  Falls back to the size
         floor when no estimates exist yet (cold start).
+
+        With ``hold_on_failure`` (default) a solve that raises — even
+        after the policy's retries and fallbacks, if one is configured
+        — keeps the previous interval's rates deployed rather than
+        crashing the loop: a sampling configuration that was feasible
+        a few minutes ago beats no configuration at all.  Held
+        intervals come back ``method="held"``, ``degraded=True`` and
+        count ``adaptive.held_intervals``.
         """
         if self._smoothed is None:
             sizes = np.full(self._num_od, self.config.min_size_packets)
@@ -150,7 +174,12 @@ class AdaptiveController:
             alpha=self.config.alpha,
             interval_seconds=task.interval_seconds,
         ).clamped()
-        solution = self._chain.solve(problem)
+        try:
+            solution = self._chain.solve(problem)
+        except Exception:  # noqa: BLE001 - the loop must survive a bad solve
+            if not self.config.hold_on_failure:
+                raise
+            solution = self._held_solution(problem)
         METRICS.increment("adaptive.plans")
         if not solution.diagnostics.converged:
             logger.warning(
@@ -158,8 +187,48 @@ class AdaptiveController:
                 self._interval,
                 solution.diagnostics.message,
             )
+        if solution.diagnostics.method != "held":
+            self._last_good_rates = np.asarray(solution.rates, dtype=float)
         self._interval += 1
         return solution
+
+    def _held_solution(self, problem: SamplingProblem) -> SamplingSolution:
+        """Degraded answer when the interval's solve failed outright.
+
+        Re-deploys the last good rates (clipped into the new interval's
+        bounds — loads drift, so yesterday's rate may exceed today's
+        α·U cap); with nothing to hold, falls back to the feasible
+        uniform configuration.  Chain state is untouched: the next
+        interval warm-starts from the last *good* optimum, not from
+        the held copy.
+        """
+        METRICS.increment("adaptive.held_intervals")
+        held = self._last_good_rates
+        if held is not None and held.shape == (problem.num_links,):
+            rates = np.clip(held, 0.0, problem.alpha * problem.link_loads_pps)
+            rates = rates * problem.monitorable
+            consumed = float(rates @ problem.link_loads_pps)
+            if consumed > problem.theta_rate_pps > 0:
+                rates = rates * (problem.theta_rate_pps / consumed)
+            message = "solve failed; holding previous interval's rates"
+        else:
+            from ..baselines.uniform import uniform_solution
+
+            rates = uniform_solution(problem).rates
+            message = "solve failed with no previous rates; deployed uniform"
+        logger.warning("interval %d: %s", self._interval, message)
+        diagnostics = SolverDiagnostics(
+            method="held",
+            iterations=0,
+            constraint_releases=0,
+            converged=False,
+            objective_value=float("nan"),
+            message=message,
+            degraded=True,
+        )
+        return SamplingSolution(
+            problem=problem, rates=rates, diagnostics=diagnostics
+        )
 
     def evaluate_candidates(
         self,
@@ -208,4 +277,5 @@ class AdaptiveController:
             actual_sizes_packets=task.od_sizes_packets,
             solver_iterations=solution.diagnostics.iterations,
             converged=solution.diagnostics.converged,
+            held=solution.diagnostics.method == "held",
         )

@@ -36,6 +36,8 @@ class LoopIntervalResult:
     adaptive_worst: float
     static_worst: float
     solver_iterations: int
+    #: The controller held previous rates because the solve failed.
+    held: bool = False
 
 
 @dataclass(frozen=True)
@@ -134,6 +136,7 @@ def run_closed_loop(
                 adaptive_worst=float(adaptive_accuracy.min()),
                 static_worst=float(static_accuracy.min()),
                 solver_iterations=plan.diagnostics.iterations,
+                held=plan.diagnostics.method == "held",
             )
         )
     return LoopResult(intervals=results)

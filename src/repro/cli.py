@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     netsampling topology {show,export} <name>     # inspect topologies
     netsampling solve ...                         # run the optimizer
+    netsampling sweep ...                         # θ sweeps (+ --chaos)
     netsampling experiments [name ...] [--quick]  # regenerate the paper
     netsampling trace {summary,compare} ...       # inspect run manifests
 
@@ -15,12 +16,22 @@ Examples::
     netsampling solve --theta 100000 --trace-out run.jsonl
     netsampling solve --topology abilene --theta 20000 \\
         --od NYC:LAX:5000 --od SEA:ATL:300 --background 200000
+    netsampling sweep --theta-min 1e4 --theta-max 1e6 --points 20
+    netsampling sweep --theta-min 1e4 --theta-max 1e6 --points 10 \\
+        --checkpoint sweep.jsonl          # resumable
+    netsampling sweep --theta-min 1e4 --theta-max 1e6 --points 8 --chaos
     netsampling experiments table1 comparison --quick
     netsampling trace summary run.jsonl
     netsampling trace compare before.jsonl after.jsonl
 
 Results go to stdout; diagnostics (``--log-level``) and trace-written
 notices go to stderr, so ``--json`` output stays machine-parseable.
+
+``sweep --chaos`` is the self-checking resilience smoke: it re-runs the
+sweep with a seeded worker kill and a seeded solver hang injected
+(:mod:`repro.resilience.faults`) and fails unless the faulted runs
+reproduce the unfaulted rates exactly, every exact member carries a
+satisfied KKT certificate, and no shared-memory segments leak.
 """
 
 from __future__ import annotations
@@ -166,6 +177,57 @@ def build_parser() -> argparse.ArgumentParser:
                           "(trace + metrics + fingerprint) as JSONL")
     _add_log_level(slv)
 
+    swp = sub.add_parser(
+        "sweep",
+        help="solve a θ capacity sweep (resumable; --chaos self-check)",
+    )
+    swp.add_argument("--topology", default="geant",
+                     help="geant, abilene, or a JSON file (default: geant)")
+    swp.add_argument("--theta-min", type=float, required=True,
+                     help="smallest capacity in the sweep")
+    swp.add_argument("--theta-max", type=float, required=True,
+                     help="largest capacity in the sweep")
+    swp.add_argument("--points", type=int, default=10,
+                     help="number of geometrically spaced θ points")
+    swp.add_argument("--interval", type=float, default=300.0,
+                     help="measurement interval in seconds (default 300)")
+    swp.add_argument("--alpha", type=float, default=1.0,
+                     help="per-link max sampling rate (default 1.0)")
+    swp.add_argument("--od", action="append", default=[],
+                     metavar="ORIGIN:DEST:PPS",
+                     help="OD pair of interest (repeatable); on geant "
+                          "defaults to the paper's JANET task")
+    swp.add_argument("--task-file", default=None, metavar="FILE.json",
+                     help="declarative task document (overrides "
+                          "--topology/--od/--background)")
+    swp.add_argument("--background", type=float, default=None,
+                     help="gravity background traffic in pkt/s")
+    swp.add_argument("--seed", type=int, default=None,
+                     help="seed for the gravity background")
+    swp.add_argument("--method", default="gradient_projection",
+                     choices=("gradient_projection", "slsqp", "trust-constr"))
+    swp.add_argument("--presolve", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="reduce the problem before solving (default: on)")
+    swp.add_argument("--checkpoint", default=None, metavar="FILE.jsonl",
+                     help="append completed points to FILE and resume from "
+                          "it on restart (bitwise-identical to an "
+                          "uninterrupted sweep)")
+    swp.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="supervise each member solve with an S-second "
+                          "wall-clock budget (retries + fallback chain)")
+    swp.add_argument("--retries", type=int, default=1,
+                     help="supervised retries per solve stage (default 1)")
+    swp.add_argument("--chaos", action="store_true",
+                     help="inject a seeded worker kill and solver hang, "
+                          "then verify the sweep still reproduces the "
+                          "unfaulted rates exactly")
+    swp.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed for the injected fault schedule (default 0)")
+    swp.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable output")
+    _add_log_level(swp)
+
     exp = sub.add_parser("experiments", help="regenerate paper experiments")
     exp.add_argument("names", nargs="*", choices=[*EXPERIMENTS, []],
                      help=f"subset of: {', '.join(EXPERIMENTS)}")
@@ -202,38 +264,45 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _build_task(args: argparse.Namespace):
+    """The measurement task shared by ``solve`` and ``sweep``.
+
+    Resolution order: an explicit ``--task-file``, then ``--od`` specs
+    on the chosen topology, then the paper's JANET task on GEANT.
+    """
     if args.task_file:
         from .traffic import load_task_file
 
         try:
-            task = load_task_file(args.task_file, _resolve_topology)
+            return load_task_file(args.task_file, _resolve_topology)
         except (OSError, ValueError) as exc:
             raise SystemExit(str(exc))
-    elif args.od:
+    if args.od:
         net = _resolve_topology(args.topology)
         specs = [_parse_od(spec) for spec in args.od]
         od_pairs = [ODPair(o, d) for o, d, _ in specs]
         sizes = [pps for _, _, pps in specs]
-        task = make_task(
+        return make_task(
             net, od_pairs, sizes,
             background_pps=args.background or 0.0,
             interval_seconds=args.interval,
             seed=args.seed,
         )
-    elif args.topology.lower() == "geant":
+    if args.topology.lower() == "geant":
         kwargs = {"interval_seconds": args.interval}
         if args.background is not None:
             kwargs["background_pps"] = args.background
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        task = janet_task(**kwargs)
-    else:
-        raise SystemExit(
-            "--od is required for non-GEANT topologies (GEANT defaults to "
-            "the paper's JANET task)"
-        )
+        return janet_task(**kwargs)
+    raise SystemExit(
+        "--od is required for non-GEANT topologies (GEANT defaults to "
+        "the paper's JANET task)"
+    )
 
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    task = _build_task(args)
     problem = SamplingProblem.from_task(task, args.theta, alpha=args.alpha)
     logger.info(
         "solving %s: %d links, %d OD pairs, theta=%g, method=%s",
@@ -318,6 +387,171 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if solution.diagnostics.converged else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.batch import solve_theta_sweep
+    from .resilience import SupervisorPolicy
+
+    if args.theta_min <= 0 or args.theta_max < args.theta_min:
+        raise SystemExit("need 0 < --theta-min <= --theta-max")
+    if args.points < 2:
+        raise SystemExit("--points must be at least 2")
+    if args.chaos and args.checkpoint:
+        raise SystemExit("--chaos is a self-contained check; drop --checkpoint")
+    if args.chaos and args.points < 4:
+        raise SystemExit("--chaos needs --points >= 4 to exercise the pool")
+
+    task = _build_task(args)
+    thetas = [
+        float(t)
+        for t in np.geomspace(args.theta_min, args.theta_max, args.points)
+    ]
+    problem = SamplingProblem.from_task(task, thetas[0], alpha=args.alpha)
+    logger.info(
+        "sweeping %s: %d links, %d points in [%g, %g], method=%s",
+        task.network.name, problem.num_links, args.points,
+        args.theta_min, args.theta_max, args.method,
+    )
+
+    policy = None
+    if args.timeout is not None or args.chaos:
+        policy = SupervisorPolicy(
+            timeout_s=args.timeout if args.timeout is not None else 2.0,
+            max_retries=args.retries,
+        )
+    if args.chaos:
+        return _run_chaos_sweep(args, problem, thetas, policy)
+
+    solutions = solve_theta_sweep(
+        problem, thetas, method=args.method, presolve=args.presolve,
+        policy=policy, checkpoint=args.checkpoint,
+    )
+    names = [link.name for link in task.network.links]
+    if args.as_json:
+        payload = [
+            {
+                "theta_packets": theta,
+                "converged": s.diagnostics.converged,
+                "degraded": s.diagnostics.degraded,
+                "objective": s.objective_value,
+                "monitors": {
+                    names[i]: s.rates[i] for i in s.active_link_indices
+                },
+            }
+            for theta, s in zip(thetas, solutions)
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for theta, s in zip(thetas, solutions):
+            status = "ok" if s.diagnostics.converged else "DEGRADED"
+            print(
+                f"theta={theta:>12.1f}  monitors={len(s.active_link_indices):>3d}  "
+                f"objective={s.objective_value:.6f}  [{status}]"
+            )
+    return 0 if all(s.diagnostics.converged for s in solutions) else 1
+
+
+def _run_chaos_sweep(args, problem, thetas, policy) -> int:
+    """``sweep --chaos``: inject faults, verify nothing changed.
+
+    Two faulted re-runs of the same sweep — a seeded worker SIGKILL
+    through the crash-safe pool, and a seeded solver hang through the
+    supervisor — must reproduce their unfaulted twins' rates bitwise,
+    keep every member's KKT certificate satisfied, and leave no
+    shared-memory segments behind.  Exit is non-zero on any violation.
+    """
+    from .core.batch import solve_batch, solve_theta_sweep
+    from .core.shm import live_segment_names
+    from .resilience import chaos_plan, injected_faults
+
+    hang_seconds = 3.0 * policy.timeout_s
+    instances = [problem.with_theta(t).clamped() for t in thetas]
+    with collecting_metrics() as registry:
+        reference = solve_theta_sweep(
+            problem, thetas, method=args.method, presolve=args.presolve,
+            policy=policy,
+        )
+        hang = chaos_plan(
+            args.chaos_seed, len(thetas), hang_seconds=hang_seconds,
+            kill_worker=False,
+        )
+        with injected_faults(hang):
+            hung = solve_theta_sweep(
+                problem, thetas, method=args.method, presolve=args.presolve,
+                policy=policy,
+            )
+        batch_reference = solve_batch(
+            instances, processes=1, method=args.method, presolve=args.presolve
+        )
+        kill = chaos_plan(args.chaos_seed, len(thetas), hang_solve=False)
+        with injected_faults(kill):
+            batch_killed = solve_batch(
+                instances, processes=min(4, len(instances)),
+                method=args.method, presolve=args.presolve,
+            )
+        counters = registry.snapshot()["counters"]
+
+    def _bitwise(a, b) -> bool:
+        return all(
+            np.array_equal(x.rates, y.rates) for x, y in zip(a, b)
+        )
+
+    def _kkt_ok(solutions) -> bool:
+        return all(
+            s.diagnostics.kkt is not None and s.diagnostics.kkt.satisfied
+            for s in solutions
+            if s.diagnostics.converged and not s.diagnostics.degraded
+        )
+
+    checks = {
+        "hang: faulted sweep rates bitwise-equal unfaulted": _bitwise(
+            reference, hung
+        ),
+        "hang: no member degraded": not any(
+            s.diagnostics.degraded for s in hung
+        ),
+        "kill: faulted batch rates bitwise-equal unfaulted": _bitwise(
+            batch_reference, batch_killed
+        ),
+        "kill: no member degraded": not any(
+            s.diagnostics.degraded for s in batch_killed
+        ),
+        "kkt: every exact member carries a satisfied certificate": (
+            _kkt_ok(hung) and _kkt_ok(batch_killed)
+        ),
+        "faults: the hang actually fired and tripped the timeout": (
+            counters.get("faults.injected.solve.hang", 0) >= 1
+            and counters.get("resilience.timeout", 0) >= 1
+        ),
+        "faults: the worker kill actually broke the pool": (
+            counters.get("resilience.pool.broken", 0) >= 1
+        ),
+        "shm: no leaked shared-memory segments": not live_segment_names(),
+    }
+    resilience_counters = {
+        key: value
+        for key, value in sorted(counters.items())
+        if key.startswith(("resilience.", "faults.", "batch.shm."))
+    }
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "passed": all(checks.values()),
+                    "checks": checks,
+                    "counters": resilience_counters,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name, passed in checks.items():
+            print(f"[{'PASS' if passed else 'FAIL'}] {name}")
+        print("\nresilience counters:")
+        for key, value in resilience_counters.items():
+            print(f"  {key} = {value}")
+    return 0 if all(checks.values()) else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
     from pathlib import Path
@@ -386,6 +620,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_topology(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
         return _cmd_experiments(args)

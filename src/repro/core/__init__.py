@@ -41,7 +41,7 @@ from .sensitivity import (
     marginal_link_values,
     shadow_price,
 )
-from .solution import SamplingSolution, SolverDiagnostics
+from .solution import SamplingSolution, SolveAttempt, SolverDiagnostics
 from .solver import SOLVER_METHODS, solve
 from .utility import (
     ExponentialUtility,
@@ -55,6 +55,7 @@ __all__ = [
     "SamplingProblem",
     "InfeasibleProblemError",
     "SamplingSolution",
+    "SolveAttempt",
     "SolverDiagnostics",
     "solve",
     "SOLVER_METHODS",

@@ -41,11 +41,14 @@ import dataclasses
 import hashlib
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..obs.logsetup import get_logger
 from ..obs.manifest import fingerprint_problem
 from ..obs.metrics import METRICS
 from ..obs.trace import SolverTrace
@@ -58,6 +61,11 @@ from .presolve import ReducedProblem
 from .problem import SamplingProblem
 from .solution import SamplingSolution
 from .solver import solve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.supervisor import SupervisorPolicy
+
+logger = get_logger(__name__)
 
 __all__ = [
     "WarmStartChain",
@@ -127,6 +135,12 @@ class WarmStartChain:
     the reduction boundary by group-summing the previous full-space
     optimum; solutions are lifted back, so callers always see
     full-space optima.
+
+    With a ``policy``
+    (:class:`~repro.resilience.supervisor.SupervisorPolicy`) each
+    member solve runs supervised: per-attempt timeout, bounded
+    retries, then the policy's fallback chain — the chain keeps
+    advancing on a degraded answer instead of crashing the family.
     """
 
     def __init__(
@@ -136,12 +150,14 @@ class WarmStartChain:
         warm_start: bool = True,
         trace: SolverTrace | None = None,
         presolve: bool = False,
+        policy: "SupervisorPolicy | None" = None,
     ) -> None:
         self._method = method
         self._options = options
         self._warm_start = warm_start
         self._trace = trace
         self._presolve = presolve
+        self._policy = policy
         self._previous_rates: np.ndarray | None = None
         self._previous_fingerprint: tuple | None = None
 
@@ -154,6 +170,18 @@ class WarmStartChain:
         """Forget the chain state; the next solve starts cold."""
         self._previous_rates = None
         self._previous_fingerprint = None
+
+    def seed(self, problem: SamplingProblem, rates: np.ndarray) -> None:
+        """Prime the chain as if ``problem`` had just solved to ``rates``.
+
+        Checkpoint resume uses this: restoring the completed prefix
+        and seeding the chain from its last optimum makes the resumed
+        sweep's remaining members solve from exactly the warm starts
+        the uninterrupted sweep would have used.
+        """
+        self._previous_rates = np.asarray(rates, dtype=float)
+        if self._warm_start and self._method == "gradient_projection":
+            self._previous_fingerprint = _structural_fingerprint(problem)
 
     def solve(self, problem: SamplingProblem) -> SamplingSolution:
         warm = None
@@ -168,21 +196,50 @@ class WarmStartChain:
         METRICS.increment(
             "batch.warm_start.hit" if warm is not None else "batch.warm_start.miss"
         )
-        solution = self._solve_one(problem, warm)
+        if self._policy is None:
+            solution = self._solve_one(problem, warm)
+        else:
+            solution = self._solve_supervised(problem, warm)
         self._previous_rates = solution.rates
         return solution
 
-    def _solve_one(
+    def _solve_supervised(
         self, problem: SamplingProblem, warm: np.ndarray | None
     ) -> SamplingSolution:
+        """One member through the supervisor: primary (warm) + fallbacks."""
+        from ..resilience.supervisor import (
+            fallback_stages,
+            supervise_stages,
+            with_cooperative_limit,
+        )
+
+        options = self._options
+        if self._method == "gradient_projection":
+            options = with_cooperative_limit(options, self._policy.timeout_s)
+        stages = [
+            (self._method, lambda: self._solve_one(problem, warm, options))
+        ]
+        stages += fallback_stages(
+            problem, self._policy, options=self._options,
+            trace=self._trace, exclude=self._method,
+        )
+        return supervise_stages(stages, self._policy)
+
+    def _solve_one(
+        self,
+        problem: SamplingProblem,
+        warm: np.ndarray | None,
+        options: GradientProjectionOptions | None = None,
+    ) -> SamplingSolution:
+        options = options if options is not None else self._options
         if self._method != "gradient_projection":
             return solve(
-                problem, method=self._method, options=self._options,
+                problem, method=self._method, options=options,
                 trace=self._trace, presolve=self._presolve,
             )
         if not self._presolve:
             return solve_gradient_projection(
-                problem, options=self._options, warm_start=warm,
+                problem, options=options, warm_start=warm,
                 trace=self._trace,
             )
         reduction = problem.presolve()
@@ -191,17 +248,17 @@ class WarmStartChain:
             return forced
         if reduction.identity:
             return solve_gradient_projection(
-                problem, options=self._options, warm_start=warm,
+                problem, options=options, warm_start=warm,
                 trace=self._trace,
             )
         warm_reduced = reduction.restrict_rates(warm) if warm is not None else None
         inner = solve_gradient_projection(
-            reduction.problem, options=self._options,
+            reduction.problem, options=options,
             warm_start=warm_reduced, trace=self._trace,
         )
         kkt_tolerance = (
-            self._options.kkt_tolerance
-            if self._options is not None
+            options.kkt_tolerance
+            if options is not None
             else GradientProjectionOptions().kkt_tolerance
         )
         return reduction.lift(inner, kkt_tolerance=kkt_tolerance)
@@ -214,16 +271,19 @@ def solve_chain(
     warm_start: bool = True,
     trace: SolverTrace | None = None,
     presolve: bool = False,
+    policy: "SupervisorPolicy | None" = None,
 ) -> list[SamplingSolution]:
     """Solve an ordered family, chaining warm starts between neighbours.
 
     A single ``trace`` spans the whole family — each member solve
     contributes its own solve scope, so per-solve convergence curves
-    stay separable in the manifest.
+    stay separable in the manifest.  A ``policy`` runs every member
+    solve supervised (timeout / retries / fallback chain) so one bad
+    member degrades instead of aborting the family.
     """
     chain = WarmStartChain(
         method=method, options=options, warm_start=warm_start, trace=trace,
-        presolve=presolve,
+        presolve=presolve, policy=policy,
     )
     return [chain.solve(problem) for problem in problems]
 
@@ -237,6 +297,8 @@ def solve_theta_sweep(
     warm_start: bool = True,
     trace: SolverTrace | None = None,
     presolve: bool = False,
+    policy: "SupervisorPolicy | None" = None,
+    checkpoint: "str | Path | None" = None,
 ) -> list[SamplingSolution]:
     """Solve ``problem`` across a capacity sweep (Figure 2's shape).
 
@@ -256,6 +318,15 @@ def solve_theta_sweep(
     re-certified against the full-space KKT conditions in one stacked
     pass (:func:`~repro.core.kkt.check_kkt_family`) instead of one
     gradient assembly per point.
+
+    ``checkpoint`` names a JSONL file each completed point is appended
+    to (fsynced per entry); rerunning the same sweep against the same
+    file restores the completed prefix, seeds the warm-start chain
+    from the last restored optimum and solves only the remainder —
+    bitwise-identical to the uninterrupted sweep.  ``policy`` runs
+    each member supervised (see :func:`solve_chain`).  Either option
+    routes through the member-at-a-time chain, bypassing the stacked
+    presolved fast path.
     """
     instances = []
     for theta in thetas:
@@ -263,7 +334,13 @@ def solve_theta_sweep(
             raise ValueError("theta values must be positive")
         instance = problem.with_theta(float(theta))
         instances.append(instance.clamped() if clamp else instance)
-    if presolve:
+    if checkpoint is not None:
+        return _solve_checkpointed_sweep(
+            instances, thetas, checkpoint, method=method, options=options,
+            warm_start=warm_start, trace=trace, presolve=presolve,
+            policy=policy,
+        )
+    if presolve and policy is None:
         base = problem.presolve()
         if not base.identity:
             return _solve_presolved_sweep(
@@ -272,8 +349,64 @@ def solve_theta_sweep(
             )
     return solve_chain(
         instances, method=method, options=options, warm_start=warm_start,
-        trace=trace,
+        trace=trace, presolve=(presolve and policy is not None),
+        policy=policy,
     )
+
+
+def _solve_checkpointed_sweep(
+    instances: Sequence[SamplingProblem],
+    thetas: Sequence[float],
+    checkpoint: "str | Path",
+    method: str,
+    options: GradientProjectionOptions | None,
+    warm_start: bool,
+    trace: SolverTrace | None,
+    presolve: bool,
+    policy: "SupervisorPolicy | None",
+) -> list[SamplingSolution]:
+    """Run a θ sweep against a crash-safe JSONL checkpoint.
+
+    Completed entries restore without re-solving; the chain is seeded
+    with the last restored optimum so the remaining members see the
+    exact warm starts the uninterrupted sweep would have produced —
+    resumed rates are bitwise-equal (JSON float repr round-trips
+    IEEE-754 doubles exactly).
+    """
+    from ..resilience.checkpoint import SweepCheckpoint
+
+    if not instances:
+        return []
+    store = SweepCheckpoint(
+        checkpoint, thetas=[float(t) for t in thetas],
+        num_links=instances[0].num_links, method=method,
+    )
+    completed = store.load()
+    store.write_header()
+    chain = WarmStartChain(
+        method=method, options=options, warm_start=warm_start, trace=trace,
+        presolve=presolve, policy=policy,
+    )
+    kkt_tolerance = (
+        options.kkt_tolerance
+        if options is not None and method == "gradient_projection"
+        else GradientProjectionOptions().kkt_tolerance
+    )
+    solutions: list[SamplingSolution] = []
+    for index, instance in enumerate(instances):
+        entry = completed.get(index)
+        if entry is not None:
+            solution = store.restore_solution(
+                instance, entry, kkt_tolerance=kkt_tolerance
+            )
+            chain.seed(instance, solution.rates)
+            METRICS.increment("resilience.checkpoint.skipped")
+            solutions.append(solution)
+            continue
+        solution = chain.solve(instance)
+        store.append(index, solution)
+        solutions.append(solution)
+    return solutions
 
 
 def _solve_presolved_sweep(
@@ -353,6 +486,123 @@ def _solve_shared(payload) -> tuple[np.ndarray, object]:
     return solution.rates, solution.diagnostics
 
 
+def _pool_run(task):
+    """Pool entry point: arm fault injection, then dispatch by kind.
+
+    ``task`` is ``(kind, payload, index, attempt, plan)``.  The fault
+    plan travels *inside* the task (a forked worker's inherited module
+    state is a snapshot, and spawn-start workers have none), so worker
+    behaviour is governed entirely by what the parent shipped.
+    """
+    kind, payload, index, attempt, plan = task
+    from ..resilience import faults
+
+    if plan is not None:
+        faults.install_faults(plan)
+    else:
+        faults.clear_faults()
+    faults.maybe_fire(faults.SITE_WORKER_EXIT, index=index, attempt=attempt)
+    if kind == "shared":
+        return _solve_shared(payload)
+    return _solve_single(payload)
+
+
+def _run_crash_safe_pool(
+    tasks: Sequence[tuple[int, str, tuple]],
+    workers: int,
+    context,
+    max_pool_restarts: int,
+    task_retries: int,
+    inline_solve: Callable[[int], SamplingSolution],
+) -> dict[int, object]:
+    """Run pool tasks to completion despite dying workers.
+
+    A worker that exits uncleanly (SIGKILL, ``os._exit``) breaks the
+    whole :class:`ProcessPoolExecutor` — every unfinished future raises
+    :class:`BrokenProcessPool`.  This driver keeps already-completed
+    results, re-queues the lost tasks with a bumped attempt counter
+    (so index-keyed injected faults fire exactly once) and restarts a
+    fresh pool, up to ``max_pool_restarts`` times; past that the
+    remainder degrades to inline execution in the parent.  Tasks that
+    *raise* (as opposed to killing their worker) retry up to
+    ``task_retries`` times before going inline.
+
+    Counters: ``resilience.pool.broken`` / ``resilience.pool.requeued``
+    / ``resilience.pool.inline_degraded`` for pool deaths,
+    ``resilience.task.requeued`` / ``resilience.task.inline`` for
+    task-level failures.
+    """
+    from ..resilience import faults as fault_mod
+
+    plan = fault_mod.active_plan()
+    payloads = {index: (kind, payload) for index, kind, payload in tasks}
+    attempts = {index: 0 for index, _, _ in tasks}
+    results: dict[int, object] = {}
+    pending = [index for index, _, _ in tasks]
+    pool_failures = 0
+    while pending:
+        if pool_failures > max_pool_restarts:
+            METRICS.increment("resilience.pool.inline_degraded")
+            logger.warning(
+                "process pool died %d times; solving %d remaining tasks inline",
+                pool_failures, len(pending),
+            )
+            for index in pending:
+                results[index] = inline_solve(index)
+            return results
+        requeue: list[int] = []
+        broken = False
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        ) as executor:
+            futures = {}
+            for index in pending:
+                kind, payload = payloads[index]
+                futures[
+                    executor.submit(
+                        _pool_run, (kind, payload, index, attempts[index], plan)
+                    )
+                ] = index
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                except Exception as exc:  # noqa: BLE001 - isolate task faults
+                    attempts[index] += 1
+                    if attempts[index] <= task_retries:
+                        METRICS.increment("resilience.task.requeued")
+                        logger.warning(
+                            "pool task %d failed (%s); re-queueing", index, exc
+                        )
+                        requeue.append(index)
+                    else:
+                        METRICS.increment("resilience.task.inline")
+                        logger.warning(
+                            "pool task %d failed %d times (%s); solving inline",
+                            index, attempts[index], exc,
+                        )
+                        results[index] = inline_solve(index)
+        if broken:
+            pool_failures += 1
+            METRICS.increment("resilience.pool.broken")
+            lost = [
+                index for index in pending
+                if index not in results and index not in requeue
+            ]
+            for index in lost:
+                attempts[index] += 1
+            METRICS.increment("resilience.pool.requeued", len(lost))
+            logger.warning(
+                "process pool broke; restarting and re-queueing %d lost tasks",
+                len(lost),
+            )
+            requeue.extend(lost)
+        pending = requeue
+    return results
+
+
 def solve_batch(
     problems: Sequence[SamplingProblem],
     processes: int | None = None,
@@ -361,6 +611,8 @@ def solve_batch(
     presolve: bool = False,
     shared_memory: bool = True,
     start_method: str | None = None,
+    max_pool_restarts: int = 2,
+    task_retries: int = 1,
 ) -> list[SamplingSolution]:
     """Solve independent problems, optionally across a process pool.
 
@@ -388,6 +640,14 @@ def solve_batch(
     ``batch.shm.*`` publication counters); counters incremented
     *inside* worker processes stay in those processes — the metrics
     registry is deliberately process-local.
+
+    Crash safety: a worker that dies mid-task (OOM kill, segfault,
+    injected ``worker.exit``) no longer aborts the batch — lost tasks
+    are re-queued onto a fresh pool up to ``max_pool_restarts`` times,
+    tasks that raise retry up to ``task_retries`` times, and past
+    either budget the remainder runs inline in the parent (see
+    :func:`_run_crash_safe_pool` for the counters).  Result ordering
+    still matches the input.
     """
     if processes is None:
         processes = min(os.cpu_count() or 1, max(len(problems), 1))
@@ -406,6 +666,11 @@ def solve_batch(
         multiprocessing.get_context(start_method) if start_method else None
     )
 
+    def _inline(index: int) -> SamplingSolution:
+        return solve(
+            problems[index], method=method, options=options, presolve=presolve
+        )
+
     if shared_memory:
         from .shm import SharedProblemPool, shared_memory_available
 
@@ -413,33 +678,44 @@ def solve_batch(
             with SharedProblemPool() as pool:
                 handles = [pool.publish(problem) for problem in problems]
                 if all(handle is not None for handle in handles):
-                    payloads = [
-                        (handle, method, options, presolve)
-                        for handle in handles
+                    tasks = [
+                        (index, "shared", (handle, method, options, presolve))
+                        for index, handle in enumerate(handles)
                     ]
                     avoided = (
                         sum(handle.payload_bytes for handle in handles)
                         - pool.bytes_shared
                     )
-                    METRICS.increment("batch.shm.tasks", len(payloads))
+                    METRICS.increment("batch.shm.tasks", len(tasks))
                     METRICS.increment("batch.shm.dispatches")
                     METRICS.increment("batch.shm.bytes_avoided", int(avoided))
                     with METRICS.timer("batch.pool.map"):
-                        with ProcessPoolExecutor(
-                            max_workers=workers, mp_context=context
-                        ) as executor:
-                            results = list(
-                                executor.map(_solve_shared, payloads)
-                            )
-                    return [
-                        SamplingSolution(
-                            problem=problem, rates=rates, diagnostics=diagnostics
+                        results = _run_crash_safe_pool(
+                            tasks, workers, context, max_pool_restarts,
+                            task_retries, _inline,
                         )
-                        for problem, (rates, diagnostics) in zip(problems, results)
-                    ]
+                    solutions = []
+                    for index, problem in enumerate(problems):
+                        result = results[index]
+                        if isinstance(result, SamplingSolution):
+                            solutions.append(result)  # inline-degraded task
+                        else:
+                            rates, diagnostics = result
+                            solutions.append(
+                                SamplingSolution(
+                                    problem=problem, rates=rates,
+                                    diagnostics=diagnostics,
+                                )
+                            )
+                    return solutions
         METRICS.increment("batch.shm.fallback")
 
-    payloads = [(problem, method, options, presolve) for problem in problems]
+    tasks = [
+        (index, "single", (problem, method, options, presolve))
+        for index, problem in enumerate(problems)
+    ]
     with METRICS.timer("batch.pool.map"):
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
-            return list(executor.map(_solve_single, payloads))
+        results = _run_crash_safe_pool(
+            tasks, workers, context, max_pool_restarts, task_retries, _inline
+        )
+    return [results[index] for index in range(len(problems))]

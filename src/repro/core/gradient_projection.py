@@ -55,6 +55,13 @@ class GradientProjectionOptions:
     #: ray (O(K) per trial).  Off = recompute ``R(x + t s)`` at every
     #: trial — the pre-optimization behaviour, kept for benchmarking.
     incremental_ray: bool = True
+    #: Cooperative wall-clock budget in seconds (None = unbounded): the
+    #: loop checks its monotonic clock between iterations and aborts
+    #: with ``converged=False`` once exceeded.  The resilience
+    #: supervisor sets this to its per-attempt timeout so slow (rather
+    #: than hung) solves stop themselves instead of being abandoned in
+    #: a watchdog thread.
+    wall_clock_limit_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -63,6 +70,8 @@ class GradientProjectionOptions:
             raise ValueError("tolerances must be positive")
         if self.line_search not in ("newton", "golden"):
             raise ValueError("line_search must be 'newton' or 'golden'")
+        if self.wall_clock_limit_s is not None and self.wall_clock_limit_s <= 0:
+            raise ValueError("wall_clock_limit_s must be positive (or None)")
 
 
 def initial_feasible_point(
@@ -205,7 +214,15 @@ def solve_gradient_projection(
     prev_projected: np.ndarray | None = None
     prev_direction: np.ndarray | None = None
 
+    timed_out = False
     while iterations < options.max_iterations:
+        if (
+            options.wall_clock_limit_s is not None
+            and perf_counter() - t_start > options.wall_clock_limit_s
+        ):
+            timed_out = True
+            METRICS.increment("solver.gp.wall_clock_aborts")
+            break
         iterations += 1
         g = objective.gradient(x)
         projected = active.project(g)
@@ -293,7 +310,12 @@ def solve_gradient_projection(
             _emit("step", result.step, result.newton_iterations)
 
     if not converged:
-        message = f"aborted after {iterations} iterations"
+        message = (
+            f"wall-clock limit {options.wall_clock_limit_s:g}s exceeded "
+            f"after {iterations} iterations"
+            if timed_out
+            else f"aborted after {iterations} iterations"
+        )
 
     rates = np.zeros(problem.num_links)
     rates[cand] = x

@@ -20,6 +20,29 @@ class InfeasibleProblemError(ValueError):
     """The constraint set Ω is empty for the given θ, α and loads."""
 
 
+def _require_finite(name: str, values: np.ndarray) -> None:
+    """Raise a :class:`ValueError` naming the first non-finite entry.
+
+    NaN propagates silently through the solver — comparisons against a
+    NaN load or routing entry are all False, so a poisoned problem
+    "solves" into a non-converging mess instead of failing loudly at
+    construction.  Reject it here with the offending field and index.
+    """
+    values = np.asarray(values)
+    finite = np.isfinite(values)
+    if finite.all():
+        return
+    flat_index = int(np.flatnonzero(~finite.ravel())[0])
+    position = np.unravel_index(flat_index, values.shape)
+    where = "".join(f"[{int(i)}]" for i in position)
+    bad = float(values.ravel()[flat_index])
+    total = int((~finite).sum())
+    raise ValueError(
+        f"{name}{where} is {bad!r} ({total} non-finite "
+        f"entr{'y' if total == 1 else 'ies'}); {name} must be finite"
+    )
+
+
 class SamplingProblem:
     """``max Σ M_k(ρ_k)`` s.t. ``Σ p_i U_i = θ/T``, ``0 <= p_i <= α_i``.
 
@@ -80,6 +103,11 @@ class SamplingProblem:
         num_od, num_links = routing_op.shape
         if num_od == 0 or num_links == 0:
             raise ValueError("need at least one OD pair and one link")
+        csr = routing_op.tosparse()
+        _require_finite(
+            "routing.data" if csr is not None else "routing",
+            csr.data if csr is not None else routing_op.toarray(),
+        )
         lo, hi = routing_op.entry_range()
         if lo < 0 or hi > 1:
             raise ValueError("routing entries must lie in [0, 1]")
@@ -89,8 +117,13 @@ class SamplingProblem:
             raise ValueError(
                 f"loads have shape {loads.shape}, expected ({num_links},)"
             )
+        _require_finite("link_loads_pps", loads)
         if np.any(loads < 0):
-            raise ValueError("link loads must be non-negative")
+            index = int(np.flatnonzero(loads < 0)[0])
+            raise ValueError(
+                f"link_loads_pps[{index}] is {float(loads[index])!r}; link loads "
+                "must be non-negative"
+            )
 
         if len(utilities) != num_od:
             raise ValueError(
@@ -103,16 +136,21 @@ class SamplingProblem:
         alpha_vec = np.broadcast_to(
             np.asarray(alpha, dtype=float), (num_links,)
         ).copy()
+        _require_finite("alpha", alpha_vec)
         if np.any(alpha_vec < 0) or (
             alpha_ceiling is not None and np.any(alpha_vec > alpha_ceiling)
         ):
             ceiling = alpha_ceiling if alpha_ceiling is not None else "inf"
             raise ValueError(f"alpha must lie in [0, {ceiling}]")
 
-        if theta_packets <= 0:
-            raise ValueError("theta must be positive")
-        if interval_seconds <= 0:
-            raise ValueError("interval must be positive")
+        if not np.isfinite(theta_packets) or theta_packets <= 0:
+            raise ValueError(
+                f"theta must be positive and finite, got {theta_packets!r}"
+            )
+        if not np.isfinite(interval_seconds) or interval_seconds <= 0:
+            raise ValueError(
+                f"interval must be positive and finite, got {interval_seconds!r}"
+            )
 
         if monitorable is None:
             mask = np.ones(num_links, dtype=bool)

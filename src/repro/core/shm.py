@@ -32,14 +32,19 @@ or double-unlink on worker exit (bpo-39959).
 
 from __future__ import annotations
 
+import atexit
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.logsetup import get_logger
 from ..obs.metrics import METRICS
 from .problem import SamplingProblem
 from .utility import MeanSquaredRelativeAccuracy, UtilityFunction
+
+logger = get_logger(__name__)
 
 try:  # pragma: no cover - exercised implicitly on import
     from multiprocessing import shared_memory as _shared_memory
@@ -56,12 +61,75 @@ __all__ = [
     "SharedProblemPool",
     "attach_problem",
     "shared_memory_available",
+    "live_segment_names",
+    "sweep_leaked_segments",
 ]
 
 
 def shared_memory_available() -> bool:
     """Whether the zero-copy path can engage on this interpreter."""
     return _shared_memory is not None
+
+
+# ----------------------------------------------------------------------
+# process-local ownership registry
+# ----------------------------------------------------------------------
+#
+# Every segment this process *created* is registered here until its
+# pool unlinks it.  A parent interrupted between publish and close
+# (KeyboardInterrupt mid-batch, an exception escaping before the
+# context manager runs, a worker crash unwinding the stack in an
+# unexpected order) would otherwise leave named segments in /dev/shm
+# forever — they are OS resources, not garbage-collected memory.  The
+# atexit sweep is the last line of defence; orderly closes unregister
+# first, so a clean run sweeps nothing.
+
+_REGISTRY_LOCK = threading.Lock()
+_LIVE_SEGMENTS: dict[str, object] = {}
+_SWEEP_REGISTERED = False
+
+
+def _register_segment(segment: object) -> None:
+    global _SWEEP_REGISTERED
+    with _REGISTRY_LOCK:
+        _LIVE_SEGMENTS[segment.name] = segment
+        if not _SWEEP_REGISTERED:
+            atexit.register(sweep_leaked_segments)
+            _SWEEP_REGISTERED = True
+
+
+def _unregister_segment(name: str) -> None:
+    with _REGISTRY_LOCK:
+        _LIVE_SEGMENTS.pop(name, None)
+
+
+def live_segment_names() -> list[str]:
+    """Names of segments this process owns and has not yet unlinked."""
+    with _REGISTRY_LOCK:
+        return sorted(_LIVE_SEGMENTS)
+
+
+def sweep_leaked_segments() -> int:
+    """Unlink every segment still registered; returns how many leaked.
+
+    Runs automatically at interpreter exit; callable explicitly after
+    a chaos run or a recovered batch failure.  Each recovered segment
+    counts ``batch.shm.leaked_recovered``.
+    """
+    with _REGISTRY_LOCK:
+        leaked = list(_LIVE_SEGMENTS.items())
+        _LIVE_SEGMENTS.clear()
+    for name, segment in leaked:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - platform-specific teardown
+            continue
+        METRICS.increment("batch.shm.leaked_recovered")
+        logger.warning("recovered leaked shared-memory segment %s", name)
+    return len(leaked)
 
 
 @dataclass(frozen=True)
@@ -201,6 +269,7 @@ class SharedProblemPool:
             offset += array.nbytes
         segment = _shared_memory.SharedMemory(create=True, size=max(offset, 1))
         self._segments.append(segment)
+        _register_segment(segment)
         for name, array in arrays.items():
             spec = specs[name]
             view = np.ndarray(
@@ -226,6 +295,7 @@ class SharedProblemPool:
         """Close and unlink every segment.  Idempotent."""
         while self._segments:
             segment = self._segments.pop()
+            _unregister_segment(segment.name)
             segment.close()
             try:
                 segment.unlink()
@@ -282,6 +352,9 @@ def _attach_segment(handle: ProblemHandle) -> dict[str, np.ndarray]:
     if cached is not None:
         METRICS.increment("batch.shm.attach_cache_hit")
         return cached[1]
+    from ..resilience import faults
+
+    faults.maybe_fire(faults.SITE_SHM_ATTACH)
     segment = _attach_untracked(handle.segment)
     arrays: dict[str, np.ndarray] = {}
     for name, spec in handle.arrays.items():

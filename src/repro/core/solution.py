@@ -10,10 +10,27 @@ from .effective_rate import exact_effective_rates, linear_effective_rates
 from .kkt import KKTReport
 from .problem import SamplingProblem
 
-__all__ = ["SolverDiagnostics", "SamplingSolution"]
+__all__ = ["SolveAttempt", "SolverDiagnostics", "SamplingSolution"]
 
 #: Rates below this are treated as "monitor off" when reporting.
 _ACTIVE_RATE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """One attempt the solve supervisor made on a problem.
+
+    ``stage`` is the fallback-chain stage (``"gradient_projection"``,
+    ``"slsqp"``, ``"uniform"``, …); ``attempt`` counts retries within
+    the stage from 0.  ``outcome`` is one of ``"ok"``, ``"error"``,
+    ``"timeout"`` or ``"nonconverged"``.
+    """
+
+    stage: str
+    attempt: int
+    outcome: str
+    message: str = ""
+    wall_time_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -28,6 +45,15 @@ class SolverDiagnostics:
     solver's built-in timing, so every caller gets them without
     installing a trace; solvers that don't measure them leave the
     zero defaults.
+
+    ``degraded`` marks answers that are *not* the exact optimum of the
+    posed problem — a last-resort fallback configuration, a held
+    previous interval, or an accepted non-converged iterate.  Exact
+    solves (gradient projection or a SciPy reference method with a KKT
+    certificate) keep it ``False`` even when they were reached through
+    the supervisor's fallback chain.  ``attempts`` records every
+    attempt a :func:`~repro.resilience.supervised_solve` run made,
+    including the failed ones; unsupervised solves leave it empty.
     """
 
     method: str
@@ -39,6 +65,8 @@ class SolverDiagnostics:
     message: str = ""
     wall_time_s: float = 0.0
     line_search_evaluations: int = 0
+    degraded: bool = False
+    attempts: tuple[SolveAttempt, ...] = ()
 
 
 @dataclass(frozen=True)

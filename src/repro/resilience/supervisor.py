@@ -1,0 +1,367 @@
+"""Fault-tolerant solve supervision: timeouts, retries, fallback chain.
+
+The paper's operational story (§V) re-optimizes on every NetFlow
+interval; a production deployment therefore needs *an* answer every
+interval, even when the exact solver stalls, crashes on bad telemetry,
+or exceeds its time budget.  :func:`supervised_solve` wraps any solve
+in that contract:
+
+1. run the primary method under a wall-clock **timeout** (cooperative
+   inside the gradient-projection loop via
+   ``GradientProjectionOptions.wall_clock_limit_s``, plus a watchdog
+   thread that catches non-cooperative hangs);
+2. **retry** a failed/timed-out attempt with jittered exponential
+   backoff, a bounded number of times;
+3. walk a declarative **fallback chain** — by default the SciPy
+   reference solver, then a feasible uniform configuration — so a
+   degraded answer is always produced rather than no answer
+   (cf. Kallitsis et al.'s cheap approximate fallbacks);
+4. record every attempt in ``SolverDiagnostics.attempts`` and in the
+   ``resilience.*`` counters, and mark non-exact answers
+   ``degraded=True``.
+
+Semantics of *exact* vs *degraded*: the gradient-projection and SciPy
+stages solve the identical convex program, so a converged result from
+any of them is the global optimum — falling back from one to the other
+changes nothing but wall time, and the result stays ``degraded=False``.
+The ``uniform`` stage (and an accepted non-converged final iterate)
+is a feasible but sub-optimal answer and is marked degraded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from random import Random
+from time import perf_counter
+from typing import Callable, Sequence
+
+from ..core.gradient_projection import (
+    GradientProjectionOptions,
+    solve_gradient_projection,
+)
+from ..core.problem import SamplingProblem
+from ..core.scipy_solver import solve_scipy
+from ..core.solution import SamplingSolution, SolveAttempt, SolverDiagnostics
+from ..obs.logsetup import get_logger
+from ..obs.metrics import METRICS
+from ..obs.trace import SolverTrace
+from . import faults
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "SolveTimeoutError",
+    "SupervisorError",
+    "SupervisorPolicy",
+    "supervised_solve",
+    "supervise_stages",
+    "fallback_stages",
+    "with_cooperative_limit",
+    "FALLBACK_STAGES",
+]
+
+#: Stage names a fallback chain may reference.  ``uniform`` is the
+#: terminal degraded stage: a feasible water-filled configuration that
+#: cannot fail for any feasible problem.
+FALLBACK_STAGES = ("gradient_projection", "slsqp", "trust-constr", "uniform")
+
+#: Stages whose converged output is the exact global optimum.
+_EXACT_STAGES = frozenset({"gradient_projection", "slsqp", "trust-constr"})
+
+
+class SolveTimeoutError(RuntimeError):
+    """A supervised solve attempt exceeded its wall-clock budget."""
+
+
+class SupervisorError(RuntimeError):
+    """Every stage of the fallback chain was exhausted without an answer."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Declarative fault-tolerance contract for supervised solves.
+
+    ``timeout_s`` bounds each individual attempt (None = unbounded).
+    ``max_retries`` is per stage, *after* the first attempt.  Backoff
+    before retry ``n`` is ``backoff_s * 2**(n-1)`` scaled by a seeded
+    jitter in ``[1, 1 + backoff_jitter]`` — deterministic for a given
+    ``seed``, so chaos runs reproduce exactly.  ``fallbacks`` is the
+    ordered chain tried after the primary method is exhausted.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 1
+    backoff_s: float = 0.02
+    backoff_jitter: float = 0.5
+    seed: int = 0
+    fallbacks: tuple[str, ...] = ("slsqp", "uniform")
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_jitter < 0:
+            raise ValueError("backoff must be non-negative")
+        for name in self.fallbacks:
+            if name not in FALLBACK_STAGES:
+                raise ValueError(
+                    f"unknown fallback stage {name!r}; pick from {FALLBACK_STAGES}"
+                )
+
+
+def _call_with_timeout(fn: Callable[[], SamplingSolution], timeout_s: float | None):
+    """Run ``fn`` with fault-injection hooks, bounded by ``timeout_s``.
+
+    The watchdog uses a daemon thread joined with a timeout rather
+    than a ``ThreadPoolExecutor`` — abandoned hung attempts must not
+    block interpreter exit.  An abandoned thread keeps running until
+    its hang/solve finishes; its result is discarded.
+    """
+
+    def _attempt() -> SamplingSolution:
+        faults.maybe_fire(faults.SITE_SOLVE_RAISE)
+        faults.maybe_fire(faults.SITE_SOLVE_HANG)
+        return fn()
+
+    if timeout_s is None:
+        return _attempt()
+    box: dict[str, object] = {}
+
+    def _target() -> None:
+        try:
+            box["result"] = _attempt()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in parent
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=_target, name="supervised-solve", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise SolveTimeoutError(
+            f"solve attempt exceeded its {timeout_s:g}s wall-clock budget"
+        )
+    error = box.get("error")
+    if error is not None:
+        raise error  # type: ignore[misc]
+    return box["result"]
+
+
+def supervise_stages(
+    stages: Sequence[tuple[str, Callable[[], SamplingSolution]]],
+    policy: SupervisorPolicy,
+) -> SamplingSolution:
+    """Run an ordered fallback chain of named solve callables.
+
+    The engine behind :func:`supervised_solve`; exposed so callers
+    with their own primary stage (the warm-started chain, the adaptive
+    controller) can reuse the retry/timeout/fallback machinery.
+
+    Attempt outcomes: an exception or timeout retries the same stage
+    (up to ``policy.max_retries``); a *non-converged* result skips
+    straight to the next stage — retrying a deterministic solver on
+    the identical input cannot help.  A non-converged result from the
+    final stage is accepted as a degraded answer (degraded answers
+    beat no answers); only when every stage raises does the supervisor
+    give up with :class:`SupervisorError`.
+    """
+    if not stages:
+        raise ValueError("need at least one stage")
+    attempts: list[SolveAttempt] = []
+    rng = Random(policy.seed)
+    last_error: BaseException | None = None
+    last_nonconverged: SamplingSolution | None = None
+    for stage_index, (name, fn) in enumerate(stages):
+        if stage_index > 0:
+            METRICS.increment("resilience.fallback")
+            logger.warning(
+                "falling back to stage %r after %d failed attempts",
+                name, len(attempts),
+            )
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                METRICS.increment("resilience.retry")
+                delay = policy.backoff_s * (2 ** (attempt - 1))
+                delay *= 1.0 + policy.backoff_jitter * rng.random()
+                if delay > 0:
+                    time.sleep(delay)
+            started = perf_counter()
+            try:
+                solution = _call_with_timeout(fn, policy.timeout_s)
+            except SolveTimeoutError as exc:
+                METRICS.increment("resilience.timeout")
+                logger.warning("stage %r attempt %d timed out", name, attempt)
+                attempts.append(
+                    SolveAttempt(
+                        stage=name, attempt=attempt, outcome="timeout",
+                        message=str(exc),
+                        wall_time_s=perf_counter() - started,
+                    )
+                )
+                last_error = exc
+                continue
+            except Exception as exc:
+                METRICS.increment("resilience.error")
+                logger.warning(
+                    "stage %r attempt %d raised: %s", name, attempt, exc
+                )
+                attempts.append(
+                    SolveAttempt(
+                        stage=name, attempt=attempt, outcome="error",
+                        message=f"{type(exc).__name__}: {exc}",
+                        wall_time_s=perf_counter() - started,
+                    )
+                )
+                last_error = exc
+                continue
+            if not solution.diagnostics.converged:
+                attempts.append(
+                    SolveAttempt(
+                        stage=name, attempt=attempt, outcome="nonconverged",
+                        message=solution.diagnostics.message,
+                        wall_time_s=perf_counter() - started,
+                    )
+                )
+                last_nonconverged = solution
+                break  # deterministic: a retry would not converge either
+            attempts.append(
+                SolveAttempt(
+                    stage=name, attempt=attempt, outcome="ok",
+                    wall_time_s=perf_counter() - started,
+                )
+            )
+            return _annotate(
+                solution,
+                attempts,
+                degraded=name not in _EXACT_STAGES,
+            )
+    if last_nonconverged is not None:
+        METRICS.increment("resilience.accepted_nonconverged")
+        return _annotate(last_nonconverged, attempts, degraded=True)
+    METRICS.increment("resilience.exhausted")
+    names = ", ".join(name for name, _ in stages)
+    raise SupervisorError(
+        f"all stages exhausted after {len(attempts)} attempts "
+        f"(chain: {names})"
+    ) from last_error
+
+
+def _annotate(
+    solution: SamplingSolution,
+    attempts: Sequence[SolveAttempt],
+    degraded: bool,
+) -> SamplingSolution:
+    """Stamp the attempt log and degradation flag onto a solution."""
+    diagnostics = dataclasses.replace(
+        solution.diagnostics,
+        degraded=degraded or solution.diagnostics.degraded,
+        attempts=tuple(attempts),
+    )
+    return SamplingSolution(
+        problem=solution.problem, rates=solution.rates, diagnostics=diagnostics
+    )
+
+
+def _stage_callable(
+    problem: SamplingProblem,
+    name: str,
+    policy: SupervisorPolicy,
+    options: GradientProjectionOptions | None,
+    trace: SolverTrace | None,
+    presolve: bool,
+    warm_start=None,
+) -> Callable[[], SamplingSolution]:
+    if name == "uniform":
+        from ..baselines.uniform import uniform_solution
+
+        return lambda: uniform_solution(problem)
+    if name == "gradient_projection":
+        gp_options = with_cooperative_limit(options, policy.timeout_s)
+        if warm_start is not None or not presolve:
+            return lambda: solve_gradient_projection(
+                problem, options=gp_options, warm_start=warm_start, trace=trace
+            )
+        from ..core.solver import solve
+
+        return lambda: solve(
+            problem, method=name, options=gp_options, trace=trace,
+            presolve=presolve,
+        )
+    scipy_method = {"slsqp": "SLSQP", "trust-constr": "trust-constr"}[name]
+    return lambda: solve_scipy(problem, method=scipy_method)
+
+
+def with_cooperative_limit(
+    options: GradientProjectionOptions | None, timeout_s: float | None
+) -> GradientProjectionOptions | None:
+    """Thread the supervisor's budget into the solver's own clock.
+
+    The gradient-projection loop checks its wall clock between
+    iterations, so a genuinely slow (rather than hung) solve aborts
+    cooperatively and the watchdog thread is never abandoned.
+    """
+    if timeout_s is None:
+        return options
+    base = options or GradientProjectionOptions()
+    if base.wall_clock_limit_s is not None and base.wall_clock_limit_s <= timeout_s:
+        return base
+    return dataclasses.replace(base, wall_clock_limit_s=timeout_s)
+
+
+def fallback_stages(
+    problem: SamplingProblem,
+    policy: SupervisorPolicy,
+    options: GradientProjectionOptions | None = None,
+    trace: SolverTrace | None = None,
+    exclude: str | None = None,
+) -> list[tuple[str, Callable[[], SamplingSolution]]]:
+    """Build the policy's fallback chain as named callables.
+
+    For callers that supply their own primary stage (the warm-started
+    chain) and append the declarative fallbacks behind it; ``exclude``
+    drops the primary's own method from the chain.
+    """
+    return [
+        (name, _stage_callable(problem, name, policy, options, trace, False))
+        for name in policy.fallbacks
+        if name != exclude
+    ]
+
+
+def supervised_solve(
+    problem: SamplingProblem,
+    method: str = "gradient_projection",
+    policy: SupervisorPolicy | None = None,
+    options: GradientProjectionOptions | None = None,
+    trace: SolverTrace | None = None,
+    presolve: bool = False,
+    warm_start=None,
+) -> SamplingSolution:
+    """Solve with retries, per-attempt timeouts and a fallback chain.
+
+    Drop-in for :func:`repro.core.solve` with a fault-tolerance
+    contract: the returned solution is the exact optimum whenever any
+    exact stage succeeded (``degraded=False``), else the best degraded
+    answer the chain produced; :class:`SupervisorError` is raised only
+    when every stage raised.  ``SolverDiagnostics.attempts`` holds the
+    full attempt log.
+    """
+    policy = policy or SupervisorPolicy()
+    stage_names = [method]
+    stage_names += [name for name in policy.fallbacks if name != method]
+    stages = [
+        (
+            name,
+            _stage_callable(
+                problem, name, policy, options, trace, presolve,
+                warm_start=warm_start if name == "gradient_projection" else None,
+            ),
+        )
+        for name in stage_names
+    ]
+    return supervise_stages(stages, policy)

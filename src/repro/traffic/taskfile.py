@@ -21,6 +21,7 @@ Python::
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Callable
 
@@ -59,19 +60,37 @@ def task_from_dict(
             pps = float(spec["pps"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"od_pairs[{index}] malformed: {exc}") from None
-        if pps <= 0:
-            raise ValueError(f"od_pairs[{index}]: pps must be positive")
+        # NaN fails every comparison, so "not > 0" (rather than "<= 0")
+        # is what actually rejects it.
+        if not math.isfinite(pps) or not pps > 0:
+            raise ValueError(
+                f"od_pairs[{index}]: pps must be a positive finite number, "
+                f"got {pps!r}"
+            )
         od_pairs.append(
             ODPair(origin, destination, label=str(spec.get("label", "")))
         )
         sizes.append(pps)
 
+    background_pps = float(payload.get("background_pps", 0.0))
+    if not math.isfinite(background_pps) or background_pps < 0:
+        raise ValueError(
+            f"background_pps must be finite and non-negative, got "
+            f"{background_pps!r}"
+        )
+    interval_seconds = float(payload.get("interval_seconds", 300.0))
+    if not math.isfinite(interval_seconds) or not interval_seconds > 0:
+        raise ValueError(
+            f"interval_seconds must be positive and finite, got "
+            f"{interval_seconds!r}"
+        )
+
     return make_task(
         net,
         od_pairs,
         sizes,
-        background_pps=float(payload.get("background_pps", 0.0)),
-        interval_seconds=float(payload.get("interval_seconds", 300.0)),
+        background_pps=background_pps,
+        interval_seconds=interval_seconds,
         seed=(int(payload["seed"]) if "seed" in payload else None),
         access_node=(
             str(payload["access_node"]) if "access_node" in payload else None

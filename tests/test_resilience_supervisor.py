@@ -1,0 +1,201 @@
+"""Tests for supervised solves: timeouts, retries, the fallback chain.
+
+The supervisor contract: an exact answer whenever any exact stage can
+produce one, a *degraded* answer otherwise, an exception only when
+every stage is exhausted — and a faithful ``attempts`` log either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SamplingProblem,
+    SupervisorError,
+    SupervisorPolicy,
+    solve,
+    supervised_solve,
+)
+from repro.adaptive import AdaptiveController, ControllerConfig
+from repro.obs import collecting_metrics
+from repro.resilience.faults import (
+    SITE_SOLVE_HANG,
+    SITE_SOLVE_RAISE,
+    FaultPlan,
+    FaultSpec,
+    clear_faults,
+    injected_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+@pytest.fixture()
+def small_problem(chain_task) -> SamplingProblem:
+    return SamplingProblem.from_task(chain_task, theta_packets=2000.0).clamped()
+
+
+def _raise_plan(occurrences) -> FaultPlan:
+    return FaultPlan(
+        specs=(
+            FaultSpec(site=SITE_SOLVE_RAISE, hits=frozenset(occurrences)),
+        )
+    )
+
+
+class TestHappyPath:
+    def test_matches_unsupervised_solve(self, small_problem):
+        policy = SupervisorPolicy(timeout_s=30.0)
+        supervised = supervised_solve(small_problem, policy=policy)
+        plain = solve(small_problem)
+        assert supervised.diagnostics.converged
+        assert not supervised.diagnostics.degraded
+        np.testing.assert_array_equal(supervised.rates, plain.rates)
+
+    def test_records_the_single_ok_attempt(self, small_problem):
+        solution = supervised_solve(
+            small_problem, policy=SupervisorPolicy()
+        )
+        attempts = solution.diagnostics.attempts
+        assert [a.outcome for a in attempts] == ["ok"]
+        assert attempts[0].stage == "gradient_projection"
+        assert attempts[0].attempt == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            SupervisorPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisorPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="unknown fallback stage"):
+            SupervisorPolicy(fallbacks=("newton",))
+
+
+class TestRetries:
+    def test_transient_error_retries_same_stage(self, small_problem):
+        policy = SupervisorPolicy(max_retries=1, backoff_s=0.0)
+        with injected_faults(_raise_plan({0})), collecting_metrics() as reg:
+            solution = supervised_solve(small_problem, policy=policy)
+            counters = reg.snapshot()["counters"]
+        assert solution.diagnostics.converged
+        assert not solution.diagnostics.degraded
+        outcomes = [a.outcome for a in solution.diagnostics.attempts]
+        assert outcomes == ["error", "ok"]
+        assert counters["resilience.retry"] == 1
+        assert "resilience.fallback" not in counters
+
+    def test_hang_trips_timeout_then_retry_succeeds(self, small_problem):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site=SITE_SOLVE_HANG,
+                    hits=frozenset({0}),
+                    hang_seconds=5.0,
+                ),
+            )
+        )
+        policy = SupervisorPolicy(
+            timeout_s=0.25, max_retries=1, backoff_s=0.0
+        )
+        with injected_faults(plan), collecting_metrics() as reg:
+            solution = supervised_solve(small_problem, policy=policy)
+            counters = reg.snapshot()["counters"]
+        assert solution.diagnostics.converged
+        outcomes = [a.outcome for a in solution.diagnostics.attempts]
+        assert outcomes == ["timeout", "ok"]
+        assert counters["resilience.timeout"] == 1
+
+
+class TestFallbackChain:
+    def test_falls_back_in_declared_order(self, small_problem):
+        # primary raises on both attempts -> slsqp solves exactly
+        policy = SupervisorPolicy(max_retries=1, backoff_s=0.0)
+        with injected_faults(_raise_plan({0, 1})), collecting_metrics() as reg:
+            solution = supervised_solve(small_problem, policy=policy)
+            counters = reg.snapshot()["counters"]
+        assert solution.diagnostics.converged
+        # an exact fallback is NOT a degraded answer
+        assert not solution.diagnostics.degraded
+        stages = [a.stage for a in solution.diagnostics.attempts]
+        assert stages == ["gradient_projection", "gradient_projection", "slsqp"]
+        assert counters["resilience.fallback"] == 1
+
+    def test_uniform_terminal_stage_is_degraded(self, small_problem):
+        # the only exact stage raises -> the terminal uniform stage answers
+        policy = SupervisorPolicy(max_retries=0, fallbacks=("uniform",))
+        with injected_faults(_raise_plan({0})):
+            solution = supervised_solve(small_problem, policy=policy)
+        assert solution.diagnostics.degraded
+        assert [a.stage for a in solution.diagnostics.attempts] == [
+            "gradient_projection",
+            "uniform",
+        ]
+        # degraded or not, the answer is feasible
+        budget = float(solution.rates @ small_problem.link_loads_pps)
+        assert budget <= small_problem.theta_rate_pps * (1 + 1e-9)
+
+    def test_exhausted_chain_raises_supervisor_error(self, small_problem):
+        policy = SupervisorPolicy(max_retries=0, fallbacks=())
+        with injected_faults(_raise_plan({0})):
+            with pytest.raises(SupervisorError, match="gradient_projection"):
+                supervised_solve(small_problem, policy=policy)
+
+
+class TestAdaptiveHeld:
+    def test_holds_last_good_rates_on_solve_failure(self, chain_task):
+        config = ControllerConfig(
+            theta_packets=2000.0,
+            policy=SupervisorPolicy(max_retries=0, fallbacks=()),
+        )
+        controller = AdaptiveController(
+            config, num_od_pairs=chain_task.num_od_pairs
+        )
+        good = controller.plan(chain_task)
+        assert good.diagnostics.converged
+
+        with injected_faults(_raise_plan({0})), collecting_metrics() as reg:
+            held = controller.plan(chain_task)
+            counters = reg.snapshot()["counters"]
+        assert held.diagnostics.method == "held"
+        assert held.diagnostics.degraded
+        assert not held.diagnostics.converged
+        assert counters["adaptive.held_intervals"] == 1
+        # identical loads -> the held rates are exactly the good ones
+        np.testing.assert_array_equal(held.rates, good.rates)
+        report = controller.report(held, chain_task)
+        assert report.held
+
+        # the loop recovers once the fault clears, warm-starting from
+        # the last *good* optimum rather than the held copy
+        recovered = controller.plan(chain_task)
+        assert recovered.diagnostics.converged
+        assert not recovered.diagnostics.degraded
+
+    def test_first_interval_failure_deploys_uniform(self, chain_task):
+        config = ControllerConfig(
+            theta_packets=2000.0,
+            policy=SupervisorPolicy(max_retries=0, fallbacks=()),
+        )
+        controller = AdaptiveController(
+            config, num_od_pairs=chain_task.num_od_pairs
+        )
+        with injected_faults(_raise_plan({0})):
+            held = controller.plan(chain_task)
+        assert held.diagnostics.method == "held"
+        assert held.rates.max() > 0  # a real configuration, not all-dark
+
+    def test_hold_disabled_propagates_the_error(self, chain_task):
+        config = ControllerConfig(
+            theta_packets=2000.0,
+            policy=SupervisorPolicy(max_retries=0, fallbacks=()),
+            hold_on_failure=False,
+        )
+        controller = AdaptiveController(
+            config, num_od_pairs=chain_task.num_od_pairs
+        )
+        with injected_faults(_raise_plan({0})):
+            with pytest.raises(SupervisorError):
+                controller.plan(chain_task)

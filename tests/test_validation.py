@@ -1,0 +1,122 @@
+"""Input-validation tests: poisoned telemetry must fail loudly.
+
+NaN fails *every* comparison, so a naive ``x <= 0`` guard silently
+waves NaN through and the solver diverges iterations later with no
+hint of the cause.  These tests pin the contract that bad loads,
+routing fractions, θ and task-file fields are rejected at the boundary
+with an error naming the offending field and index.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import MeanSquaredRelativeAccuracy, SamplingProblem
+from repro.traffic.taskfile import task_from_dict
+
+
+def _utilities(n):
+    return [MeanSquaredRelativeAccuracy(0.01) for _ in range(n)]
+
+
+def _problem_args(routing=None, loads=None):
+    if routing is None:
+        routing = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]])
+    if loads is None:
+        loads = np.array([100.0, 200.0, 300.0])
+    return routing, loads
+
+
+class TestProblemValidation:
+    def test_rejects_nan_load_naming_index(self):
+        routing, loads = _problem_args()
+        loads[1] = np.nan
+        with pytest.raises(ValueError, match=r"link_loads_pps\[1\] is nan"):
+            SamplingProblem(routing, loads, 1000.0, _utilities(2))
+
+    def test_rejects_inf_load(self):
+        routing, loads = _problem_args()
+        loads[2] = np.inf
+        with pytest.raises(ValueError, match=r"link_loads_pps\[2\] is inf"):
+            SamplingProblem(routing, loads, 1000.0, _utilities(2))
+
+    def test_rejects_negative_load_naming_index(self):
+        routing, loads = _problem_args()
+        loads[0] = -5.0
+        with pytest.raises(
+            ValueError, match=r"link_loads_pps\[0\].*non-negative"
+        ):
+            SamplingProblem(routing, loads, 1000.0, _utilities(2))
+
+    def test_rejects_nan_in_dense_routing(self):
+        routing, loads = _problem_args()
+        routing[0, 1] = np.nan
+        with pytest.raises(ValueError, match=r"routing\[0\]\[1\] is nan"):
+            SamplingProblem(routing, loads, 1000.0, _utilities(2))
+
+    def test_rejects_nan_in_sparse_routing(self):
+        routing, loads = _problem_args()
+        routing[1, 2] = np.nan
+        with pytest.raises(ValueError, match="routing"):
+            SamplingProblem(
+                sp.csr_matrix(routing), loads, 1000.0, _utilities(2)
+            )
+
+    def test_rejects_nan_theta(self):
+        routing, loads = _problem_args()
+        with pytest.raises(ValueError, match="theta"):
+            SamplingProblem(routing, loads, float("nan"), _utilities(2))
+
+    def test_rejects_nan_alpha(self):
+        routing, loads = _problem_args()
+        with pytest.raises(ValueError, match="alpha"):
+            SamplingProblem(
+                routing, loads, 1000.0, _utilities(2), alpha=float("nan")
+            )
+
+    def test_rejects_nan_interval(self):
+        routing, loads = _problem_args()
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProblem(
+                routing, loads, 1000.0, _utilities(2),
+                interval_seconds=float("nan"),
+            )
+
+
+class TestTaskFileValidation:
+    def _payload(self, **overrides):
+        payload = {
+            "topology": "line",
+            "od_pairs": [{"origin": "n0", "destination": "n3", "pps": 100.0}],
+        }
+        payload.update(overrides)
+        return payload
+
+    def _resolve(self, name):
+        from repro.topology import line_network
+
+        return line_network(4)
+
+    def test_rejects_nan_pps_naming_entry(self):
+        payload = self._payload(
+            od_pairs=[
+                {"origin": "n0", "destination": "n3", "pps": 100.0},
+                {"origin": "n1", "destination": "n2", "pps": float("nan")},
+            ]
+        )
+        with pytest.raises(ValueError, match=r"od_pairs\[1\].*finite"):
+            task_from_dict(payload, self._resolve)
+
+    def test_rejects_inf_background(self):
+        payload = self._payload(background_pps=float("inf"))
+        with pytest.raises(ValueError, match="background_pps"):
+            task_from_dict(payload, self._resolve)
+
+    def test_rejects_nan_interval(self):
+        payload = self._payload(interval_seconds=float("nan"))
+        with pytest.raises(ValueError, match="interval_seconds"):
+            task_from_dict(payload, self._resolve)
+
+    def test_accepts_clean_document(self):
+        task = task_from_dict(self._payload(), self._resolve)
+        assert task.num_od_pairs == 1
