@@ -37,6 +37,10 @@ Packages
     Fault tolerance: supervised solves (timeout / retry / fallback
     chain), crash-safe sweep checkpoints, deterministic fault
     injection for chaos testing (``netsampling sweep --chaos``).
+``repro.verify``
+    Differential correctness: naive reference kernels, a brute-force
+    enumeration solver, randomized backend cross-checks and the golden
+    regression corpus (``netsampling verify``).
 """
 
 from .adaptive import AdaptiveController, ControllerConfig, run_closed_loop
@@ -117,6 +121,7 @@ from .resilience import (
     injected_faults,
     supervised_solve,
 )
+from .rng import DEFAULT_SEED, default_rng, derive_seed, set_default_seed
 from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
 from .sampling import SamplingExperiment, accuracy, estimate_sizes
 from .topology import Network, abilene_network, geant_network
@@ -127,6 +132,7 @@ from .traffic import (
     janet_task,
     make_task,
 )
+from .verify import run_differential_suite, run_golden_suite, run_verification
 
 __version__ = "1.0.0"
 
@@ -224,4 +230,13 @@ __all__ = [
     "read_manifest",
     "summarize_manifest",
     "compare_manifests",
+    # reproducible randomness
+    "DEFAULT_SEED",
+    "default_rng",
+    "derive_seed",
+    "set_default_seed",
+    # verification
+    "run_verification",
+    "run_differential_suite",
+    "run_golden_suite",
 ]

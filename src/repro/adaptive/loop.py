@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.effective_rate import linear_effective_rates
 from ..obs.trace import SolverTrace
+from ..rng import default_rng
 from ..sampling.estimator import estimate_sizes
 from ..sampling.simulator import simulate_sampled_counts
 from ..traffic.temporal import TraceInterval
@@ -96,7 +97,7 @@ def run_closed_loop(
     """
     if not trace:
         raise ValueError("empty trace")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     controller = AdaptiveController(
         config,
         num_od_pairs=trace[0].task.num_od_pairs,

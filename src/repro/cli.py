@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     netsampling topology {show,export} <name>     # inspect topologies
     netsampling solve ...                         # run the optimizer
     netsampling sweep ...                         # θ sweeps (+ --chaos)
     netsampling experiments [name ...] [--quick]  # regenerate the paper
     netsampling trace {summary,compare} ...       # inspect run manifests
+    netsampling verify [--suite quick|full]       # differential checks
 
 Examples::
 
@@ -23,6 +24,8 @@ Examples::
     netsampling experiments table1 comparison --quick
     netsampling trace summary run.jsonl
     netsampling trace compare before.jsonl after.jsonl
+    netsampling verify --suite quick --report verify_report.json
+    netsampling verify --update-golden
 
 Results go to stdout; diagnostics (``--log-level``) and trace-written
 notices go to stderr, so ``--json`` output stays machine-parseable.
@@ -237,7 +240,34 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
                      help="capture every solve of the selected experiments "
                           "into one JSONL run manifest")
+    exp.add_argument("--seed", type=int, default=None,
+                     help="pin the ambient RNG seed for every stochastic "
+                          "component (default: the package seed, 2006)")
     _add_log_level(exp)
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential correctness suites + golden regression corpus",
+    )
+    ver.add_argument("--suite", choices=("quick", "full"), default="quick",
+                     help="quick: CI smoke (50 instances, GEANT golden); "
+                          "full: wider instance pool + whole golden corpus")
+    ver.add_argument("--instances", type=int, default=None,
+                     help="override the suite's differential instance count")
+    ver.add_argument("--seed", type=int, default=None,
+                     help="seed for the random-instance generator "
+                          "(default: the package seed, 2006)")
+    ver.add_argument("--update-golden", action="store_true",
+                     dest="update_golden",
+                     help="regenerate the golden JSON corpus instead of "
+                          "comparing against it")
+    ver.add_argument("--report", default=None, metavar="FILE.json",
+                     help="write the machine-readable report as JSON")
+    ver.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the report JSON on stdout")
+    ver.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                     help="write a run manifest embedding the report")
+    _add_log_level(ver)
 
     trc = sub.add_parser("trace", help="inspect solver run manifests")
     trc_sub = trc.add_subparsers(dest="trace_command", required=True)
@@ -552,12 +582,56 @@ def _run_chaos_sweep(args, problem, thetas, policy) -> int:
     return 0 if all(checks.values()) else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+    from pathlib import Path
+
+    from .rng import get_default_seed, set_default_seed
+    from .verify import run_verification, update_golden
+
+    set_default_seed(args.seed)
+    if args.update_golden:
+        for path in update_golden():
+            print(f"regenerated {path}")
+        return 0
+
+    seed = args.seed if args.seed is not None else get_default_seed()
+    trace = SolverTrace(label=f"verify:{args.suite}")
+    scope = tracing(trace) if args.trace_out else nullcontext()
+    with scope, collecting_metrics() as registry:
+        report = run_verification(
+            suite=args.suite, seed=seed, instances=args.instances
+        )
+        metrics_snapshot = registry.snapshot()
+    payload = report.to_dict()
+
+    if args.report:
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[report written {args.report}]", file=sys.stderr)
+    if args.trace_out:
+        manifest_path = write_manifest(
+            args.trace_out,
+            trace,
+            metrics=metrics_snapshot,
+            extra={"verify": payload},
+        )
+        logger.info("run manifest written to %s", manifest_path)
+        print(f"[trace written {manifest_path}]", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
     from pathlib import Path
 
     from .experiments.runner import EXPORTERS
+    from .rng import set_default_seed
 
+    set_default_seed(args.seed)
     names = args.names or list(EXPERIMENTS)
     export_dir = Path(args.export_dir) if args.export_dir else None
     if export_dir is not None:
@@ -624,6 +698,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         return _cmd_experiments(args)
     except BrokenPipeError:
         # Output was piped to a consumer (head, less) that closed early.

@@ -301,6 +301,32 @@ class SamplingProblem:
             alpha_ceiling=self.alpha_ceiling,
         )
 
+    def with_routing_backend(self, prefer: str) -> "SamplingProblem":
+        """A copy whose routing operator is forced onto one backend.
+
+        ``prefer`` is ``"dense"`` or ``"sparse"``.  The numerical
+        content is identical; only the storage (and therefore the
+        matvec kernels) changes.  The differential-verification
+        harness uses this to solve the same instance through both
+        backends and demand agreement — it is not meant for
+        performance tuning, where ``RoutingOperator.from_matrix``'s
+        automatic selection does better.
+        """
+        if prefer not in ("dense", "sparse"):
+            raise ValueError(
+                f"prefer must be 'dense' or 'sparse', got {prefer!r}"
+            )
+        return SamplingProblem(
+            RoutingOperator.from_matrix(self._routing_op, prefer=prefer),
+            self.link_loads_pps,
+            self.theta_packets,
+            self.utilities,
+            alpha=self.alpha,
+            interval_seconds=self.interval_seconds,
+            monitorable=self.monitorable,
+            alpha_ceiling=self.alpha_ceiling,
+        )
+
     def with_theta(self, theta_packets: float) -> "SamplingProblem":
         """A copy with a different capacity θ."""
         return SamplingProblem(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import default_rng
 from ..traffic.flows import FlowSizeModel, LognormalFlowSizes, generate_flows
 from ..traffic.netflow import NetFlowCollector, NetFlowConfig, NetFlowMonitor
 from .reporting import format_table
@@ -78,7 +79,7 @@ def run_bias(
     sampling_rate: float = 1.0 / 1000.0,
     size_model: FlowSizeModel | None = None,
     repetitions: int = 10,
-    seed: int = 2006,
+    seed: int | None = None,
 ) -> BiasResult:
     """Measure reconstruction bias/variance per OD size.
 
@@ -90,7 +91,7 @@ def run_bias(
     if repetitions < 2:
         raise ValueError("need at least two repetitions")
     size_model = size_model or LognormalFlowSizes(mean_packets=20.0, sigma=1.5)
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     config = NetFlowConfig(sampling_rate=sampling_rate)
 
     rows = []

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.gradient_projection import GradientProjectionOptions
 from ..core.problem import SamplingProblem
 from ..core.solver import solve
+from ..rng import default_rng
 from ..traffic.workloads import JANET_OD_SIZES_PPS, janet_task
 
 __all__ = ["ConvergenceStats", "run_convergence"]
@@ -72,7 +73,7 @@ class ConvergenceStats:
 def run_convergence(
     runs: int = DEFAULT_RUNS,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
-    seed: int = 2006,
+    seed: int | None = None,
 ) -> ConvergenceStats:
     """Run the solver over ``runs`` randomized JANET-style inputs.
 
@@ -83,7 +84,7 @@ def run_convergence(
     """
     if runs < 1:
         raise ValueError("need at least one run")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     iterations = np.zeros(runs, dtype=int)
     releases = np.zeros(runs, dtype=int)
     converged = 0

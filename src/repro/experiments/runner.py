@@ -32,6 +32,7 @@ from ..obs import (
     write_manifest,
 )
 
+from ..rng import set_default_seed
 from .bias import run_bias
 from .closed_loop import run_closed_loop_experiment
 from .comparison import run_comparison
@@ -264,6 +265,13 @@ def main(argv: list[str] | None = None) -> int:
         help="capture every solve into one JSONL run manifest",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="pin the ambient RNG seed for every stochastic component "
+        "(default: the package seed, 2006)",
+    )
+    parser.add_argument(
         "--log-level",
         default="info",
         choices=("debug", "info", "warning", "error"),
@@ -271,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
+    set_default_seed(args.seed)
 
     names = args.experiments or list(EXPERIMENTS)
     if args.export_dir is not None:

@@ -104,6 +104,12 @@ class SweepCheckpoint:
                         "checkpoint %s: dropping truncated final line %d",
                         self.path, lineno,
                     )
+                    # Remove the partial tail from disk as well: a later
+                    # append must start on a clean line boundary, or the
+                    # leftover bytes would fuse with the next entry and
+                    # surface as *interior* corruption after a second
+                    # crash.
+                    self._truncate_partial_tail()
                     continue
                 raise ValueError(
                     f"checkpoint {self.path}:{lineno}: corrupt JSON"
@@ -153,6 +159,16 @@ class SweepCheckpoint:
                 f"checkpoint {self.path} was solved with "
                 f"{header.get('method')!r}, not {self._method!r}"
             )
+
+    def _truncate_partial_tail(self) -> None:
+        """Cut the file back to its last complete line (durably)."""
+        data = self.path.read_bytes()
+        cut = data.rfind(b"\n") + 1
+        if cut < len(data):
+            with self.path.open("r+b") as handle:
+                handle.truncate(cut)
+                handle.flush()
+                os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     def _append_line(self, payload: dict) -> None:

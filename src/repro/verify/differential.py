@@ -1,0 +1,386 @@
+"""Differential harness: every fast path against every other, and all
+of them against the slow reference.
+
+Each check solves (or evaluates) the *same* :class:`SamplingProblem`
+through two independent code paths and demands agreement within the
+documented tolerance (see :data:`TOLERANCES` and
+``docs/verification.md``).  The pairs:
+
+``dense_csr``
+    Gradient-projection optimum with the routing operator forced onto
+    the dense backend vs forced onto the CSR backend.
+``presolve``
+    Full-space solve vs presolved-reduce-solve-lift.
+``stacked``
+    Per-member θ-sweep solves vs the stacked multi-θ sweep kernel.
+``supervised``
+    Direct ``solve`` vs the supervised/fallback wrapper (no faults
+    injected — the wrapper must be a transparent pass-through).
+``reference``
+    Gradient-projection optimum vs the brute-force active-set
+    enumeration (small instances) and the independent SLSQP
+    cross-solve built on the naive kernels.
+
+Comparisons gate on the *objective* (unique at the optimum even when
+the rate vector is degenerate) plus each solution's own KKT
+certificate; rate deltas are recorded for forensics but never gate.
+
+:func:`random_problem` generates seeded random instances, including
+the degenerate shapes that historically break reductions: duplicate
+routing columns, empty OD rows, θ exactly at capacity, α = 0 links,
+zero-load (free-saturated) links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import solve, solve_theta_sweep
+from ..core.kkt import check_kkt
+from ..core.problem import InfeasibleProblemError, SamplingProblem
+from ..core.utility import accuracy_utilities
+from ..obs.metrics import METRICS
+from ..resilience import SupervisorPolicy, supervised_solve
+from ..rng import default_rng
+from .reference import (
+    brute_force_solve,
+    reference_candidate_objective,
+    reference_kkt_residuals,
+    slsqp_cross_solve,
+)
+
+__all__ = [
+    "TOLERANCES",
+    "random_problem",
+    "check_backends",
+    "check_presolve",
+    "check_stacked",
+    "check_supervised",
+    "check_reference",
+    "differential_check",
+    "run_differential_suite",
+]
+
+#: The certified tolerances, all on *relative* objective gaps
+#: (``|a−b| / max(1, |a|, |b|)``) except ``kkt`` (the certificate
+#: tolerance applied to each compared solution).  The policy behind
+#: the numbers is documented in ``docs/verification.md``.
+TOLERANCES: dict[str, float] = {
+    "dense_csr": 1e-7,
+    "presolve": 1e-7,
+    "stacked": 1e-6,
+    "supervised": 1e-9,
+    "brute_force": 1e-6,
+    "slsqp_cross": 1e-5,
+    "kkt": 1e-5,
+}
+
+
+def _rel_gap(a: float, b: float) -> float:
+    return abs(a - b) / max(1.0, abs(a), abs(b))
+
+
+def _candidate_rates(problem: SamplingProblem, rates: np.ndarray) -> np.ndarray:
+    return np.asarray(rates, dtype=float)[
+        np.flatnonzero(problem.candidate_mask)
+    ]
+
+
+def _ref_objective(problem: SamplingProblem, solution) -> float:
+    """The reference-kernel objective of a solution — neutral arbiter."""
+    return reference_candidate_objective(
+        problem, _candidate_rates(problem, solution.rates)
+    )
+
+
+def _kkt_ok(problem: SamplingProblem, solution) -> bool:
+    report = check_kkt(problem, solution.rates, tolerance=TOLERANCES["kkt"])
+    return bool(report.satisfied)
+
+
+# ----------------------------------------------------------------------
+# instance generation
+# ----------------------------------------------------------------------
+
+def random_problem(
+    rng: np.random.Generator,
+    max_links: int = 8,
+    max_od: int = 5,
+    degenerate: bool = False,
+) -> SamplingProblem:
+    """A feasible random instance; ``degenerate=True`` adds edge cases.
+
+    Loads are drawn continuously, so no two links share a load (and no
+    objective slice is flat) unless a degenerate twist deliberately
+    duplicates a column *with* its load.
+    """
+    for _attempt in range(64):
+        num_links = int(rng.integers(3, max_links + 1))
+        num_od = int(rng.integers(2, max_od + 1))
+        routing = (
+            rng.random((num_od, num_links)) < rng.uniform(0.3, 0.7)
+        ).astype(float)
+        for k in range(num_od):
+            if not routing[k].any():
+                routing[k, int(rng.integers(num_links))] = 1.0
+        loads = rng.uniform(50.0, 5000.0, num_links)
+        alpha = rng.uniform(0.3, 1.0, num_links)
+        theta_fraction = float(rng.uniform(0.15, 0.8))
+
+        if degenerate:
+            twists = rng.choice(5, size=int(rng.integers(1, 3)), replace=False)
+            if 0 in twists and num_links >= 2:  # duplicate column + load
+                routing[:, 1] = routing[:, 0]
+                loads[1] = loads[0]
+                alpha[1] = alpha[0]
+            if 1 in twists and num_od >= 2:  # empty OD row
+                routing[0, :] = 0.0
+            if 2 in twists:  # θ exactly at capacity
+                theta_fraction = 1.0
+            if 3 in twists and num_links >= 3:  # α = 0 link
+                alpha[2] = 0.0
+            if 4 in twists and num_links >= 4:  # zero-load traversed link
+                loads[3] = 0.0
+
+        utilities = accuracy_utilities(rng.uniform(0.005, 0.45, num_od))
+        probe = SamplingProblem(
+            routing, loads, 1.0, utilities, alpha=alpha,
+            interval_seconds=300.0,
+        )
+        absorbable = probe.max_absorbable_rate
+        if absorbable <= 0.0:
+            continue
+        theta = theta_fraction * absorbable * probe.interval_seconds
+        problem = probe.with_theta(theta)
+        try:
+            problem.check_feasible()
+        except InfeasibleProblemError:
+            continue
+        return problem
+    raise RuntimeError("could not generate a feasible random instance")
+
+
+# ----------------------------------------------------------------------
+# pairwise checks
+# ----------------------------------------------------------------------
+
+def check_backends(problem: SamplingProblem) -> dict:
+    """Dense routing backend vs CSR routing backend."""
+    dense = solve(problem.with_routing_backend("dense"))
+    sparse = solve(problem.with_routing_backend("sparse"))
+    gap = _rel_gap(_ref_objective(problem, dense), _ref_objective(problem, sparse))
+    return {
+        "pair": "dense_csr",
+        "objective_gap": gap,
+        "max_rate_diff": float(np.abs(dense.rates - sparse.rates).max()),
+        "kkt_ok": _kkt_ok(problem, dense) and _kkt_ok(problem, sparse),
+        "tolerance": TOLERANCES["dense_csr"],
+        "passed": gap <= TOLERANCES["dense_csr"]
+        and _kkt_ok(problem, dense)
+        and _kkt_ok(problem, sparse),
+    }
+
+
+def check_presolve(problem: SamplingProblem) -> dict:
+    """Full-space solve vs presolved-and-lifted solve."""
+    full = solve(problem, presolve=False)
+    lifted = solve(problem, presolve=True)
+    gap = _rel_gap(_ref_objective(problem, full), _ref_objective(problem, lifted))
+    budget = float(lifted.rates @ problem.link_loads_pps)
+    feasibility = abs(budget - problem.theta_rate_pps) / max(
+        problem.theta_rate_pps, 1e-12
+    )
+    return {
+        "pair": "presolve",
+        "objective_gap": gap,
+        "lifted_feasibility": feasibility,
+        "max_rate_diff": float(np.abs(full.rates - lifted.rates).max()),
+        "kkt_ok": _kkt_ok(problem, full) and _kkt_ok(problem, lifted),
+        "tolerance": TOLERANCES["presolve"],
+        "passed": gap <= TOLERANCES["presolve"]
+        and feasibility <= TOLERANCES["kkt"]
+        and _kkt_ok(problem, full)
+        and _kkt_ok(problem, lifted),
+    }
+
+
+def check_stacked(problem: SamplingProblem) -> dict:
+    """Stacked multi-θ sweep members vs one-at-a-time scalar solves."""
+    thetas = [
+        problem.theta_packets * f for f in (0.5, 0.8, 1.0)
+    ]
+    stacked = solve_theta_sweep(problem, thetas, presolve=True)
+    worst = 0.0
+    for theta, member in zip(thetas, stacked):
+        scalar = solve(problem.with_theta(theta).clamped(), presolve=True)
+        worst = max(
+            worst,
+            _rel_gap(
+                _ref_objective(problem, member),
+                _ref_objective(problem, scalar),
+            ),
+        )
+    return {
+        "pair": "stacked",
+        "objective_gap": worst,
+        "members": len(thetas),
+        "tolerance": TOLERANCES["stacked"],
+        "passed": worst <= TOLERANCES["stacked"],
+    }
+
+
+def check_supervised(problem: SamplingProblem) -> dict:
+    """Supervised/fallback wrapper vs direct solve (no faults)."""
+    direct = solve(problem)
+    supervised = supervised_solve(
+        problem, policy=SupervisorPolicy(timeout_s=60.0)
+    )
+    gap = _rel_gap(
+        _ref_objective(problem, direct), _ref_objective(problem, supervised)
+    )
+    return {
+        "pair": "supervised",
+        "objective_gap": gap,
+        "degraded": bool(supervised.diagnostics.degraded),
+        "max_rate_diff": float(
+            np.abs(direct.rates - supervised.rates).max()
+        ),
+        "tolerance": TOLERANCES["supervised"],
+        "passed": gap <= TOLERANCES["supervised"]
+        and not supervised.diagnostics.degraded,
+    }
+
+
+def check_reference(
+    problem: SamplingProblem, max_candidates: int = 10
+) -> dict:
+    """Gradient projection vs brute force (small) and SLSQP cross-solve."""
+    gp = solve(problem)
+    gp_obj = _ref_objective(problem, gp)
+    record: dict = {"pair": "reference", "gp_objective": gp_obj}
+
+    num_candidates = int(problem.candidate_mask.sum())
+    passed = True
+    if num_candidates <= max_candidates:
+        brute = brute_force_solve(problem, max_candidates=max_candidates)
+        record["brute_force_gap"] = _rel_gap(gp_obj, brute.objective)
+        record["brute_force_tolerance"] = TOLERANCES["brute_force"]
+        # The enumeration is exact, so the GP objective must not trail
+        # it — and cannot *beat* it beyond roundoff either.
+        passed = passed and (
+            record["brute_force_gap"] <= TOLERANCES["brute_force"]
+        )
+
+    cross = slsqp_cross_solve(problem)
+    record["slsqp_cross_gap"] = _rel_gap(gp_obj, cross.objective)
+    record["slsqp_cross_tolerance"] = TOLERANCES["slsqp_cross"]
+    passed = passed and (
+        record["slsqp_cross_gap"] <= TOLERANCES["slsqp_cross"]
+    )
+
+    residuals = reference_kkt_residuals(
+        problem, gp.rates, tolerance=TOLERANCES["kkt"]
+    )
+    record["reference_kkt_satisfied"] = residuals["satisfied"]
+    record["passed"] = passed and residuals["satisfied"]
+    return record
+
+
+# ----------------------------------------------------------------------
+# per-instance and whole-suite drivers
+# ----------------------------------------------------------------------
+
+def differential_check(
+    problem: SamplingProblem, include_reference: bool = True
+) -> dict:
+    """Run every applicable pairwise check on one instance."""
+    checks = [
+        check_backends(problem),
+        check_presolve(problem),
+        check_stacked(problem),
+        check_supervised(problem),
+    ]
+    if include_reference:
+        checks.append(check_reference(problem))
+    return {
+        "checks": checks,
+        "passed": all(c["passed"] for c in checks),
+    }
+
+
+def run_differential_suite(
+    instances: int = 50,
+    seed: int | None = None,
+    max_links: int = 6,
+    degenerate_instances: int = 10,
+    include_reference: bool = True,
+) -> dict:
+    """The machine-readable differential report over random instances.
+
+    ``instances`` well-posed instances all get the full check matrix
+    including the brute-force/SLSQP reference comparison;
+    ``degenerate_instances`` additional edge-case instances exercise
+    the backend pairs only (degenerate optima are non-unique, so only
+    the exhaustive pairs are meaningful there).
+    """
+    rng = default_rng(seed)
+    per_pair: dict[str, dict] = {}
+    failures: list[dict] = []
+    reference_checked = 0
+
+    def _absorb(index: int, degenerate: bool, result: dict) -> None:
+        nonlocal reference_checked
+        for record in result["checks"]:
+            pair = record["pair"]
+            bucket = per_pair.setdefault(
+                pair,
+                {
+                    "instances": 0,
+                    "failures": 0,
+                    "max_objective_gap": 0.0,
+                    "tolerance": TOLERANCES.get(pair),
+                },
+            )
+            bucket["instances"] += 1
+            gap = record.get("objective_gap")
+            if gap is None:
+                gap = max(
+                    record.get("brute_force_gap", 0.0),
+                    record.get("slsqp_cross_gap", 0.0),
+                )
+            bucket["max_objective_gap"] = max(
+                bucket["max_objective_gap"], float(gap)
+            )
+            if pair == "reference":
+                reference_checked += 1
+            if not record["passed"]:
+                bucket["failures"] += 1
+                failures.append(
+                    {"instance": index, "degenerate": degenerate, **record}
+                )
+                METRICS.increment("verify.differential.failures")
+        METRICS.increment("verify.differential.instances")
+
+    for index in range(instances):
+        problem = random_problem(rng, max_links=max_links)
+        _absorb(
+            index, False, differential_check(
+                problem, include_reference=include_reference
+            )
+        )
+    for index in range(degenerate_instances):
+        problem = random_problem(rng, max_links=max_links, degenerate=True)
+        _absorb(
+            instances + index, True,
+            differential_check(problem, include_reference=False),
+        )
+
+    return {
+        "seed": seed,
+        "instances": instances + degenerate_instances,
+        "degenerate_instances": degenerate_instances,
+        "reference_instances": reference_checked,
+        "pairs": per_pair,
+        "failures": failures,
+        "passed": not failures,
+    }

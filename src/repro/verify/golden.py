@@ -1,0 +1,256 @@
+"""Golden regression corpus: versioned solved artifacts for real maps.
+
+A golden artifact freezes everything a regression hunter needs from a
+canonical solve — the full rate vector, the objective, the KKT gap,
+and the problem's structural fingerprint — as reviewable JSON under
+``src/repro/verify/_golden/``.  :func:`compare_golden` re-solves the
+case and diffs against the artifact with the tolerances in
+:data:`GOLDEN_TOLERANCES`; a legitimate behavior change (new solver
+default, recalibrated workload) regenerates the corpus with
+``netsampling verify --update-golden`` and ships the diff in the same
+commit, where review sees exactly what moved.
+
+Structural fingerprint keys (link/OD counts, θ, routing nnz) must
+match *exactly* — a drifted fingerprint means the case definition
+changed, which no tolerance should paper over.  ``package_version``
+and the routing backend are recorded but not compared.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core import check_kkt, solve
+from ..core.problem import SamplingProblem
+from ..obs.manifest import fingerprint_problem
+from ..obs.metrics import METRICS
+from .reference import reference_candidate_objective
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_SCHEMA_VERSION",
+    "GOLDEN_TOLERANCES",
+    "golden_case_names",
+    "build_golden_case",
+    "solve_golden_case",
+    "compare_golden",
+    "update_golden",
+    "run_golden_suite",
+]
+
+GOLDEN_DIR = Path(__file__).with_name("_golden")
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Comparison tolerances: objective and KKT gaps are relative, rates
+#: absolute (rates live in [0, 1]).  Roomier than the differential
+#: tolerances because golden artifacts must survive BLAS/numpy version
+#: drift across CI images, not just run-to-run noise.
+GOLDEN_TOLERANCES: dict[str, float] = {
+    "objective": 1e-7,
+    "rates": 1e-6,
+    "kkt_gap": 1e-6,
+}
+
+#: Fingerprint keys that must match bit-for-bit.
+_STRUCTURAL_KEYS = (
+    "num_links",
+    "num_od_pairs",
+    "theta_packets",
+    "interval_seconds",
+    "candidate_links",
+    "routing_nnz",
+    "topology",
+)
+
+
+def _geant_problem(theta_packets: float) -> tuple[str, SamplingProblem]:
+    from ..traffic import janet_task
+
+    task = janet_task()
+    return task.network.name, SamplingProblem.from_task(task, theta_packets)
+
+
+def _nsfnet_problem() -> tuple[str, SamplingProblem]:
+    from ..routing import ODPair
+    from ..topology import nsfnet_network
+    from ..traffic import make_task
+
+    net = nsfnet_network()
+    od_pairs = [
+        ODPair("WA", "NY"),
+        ODPair("CA1", "DC"),
+        ODPair("TX", "IL"),
+        ODPair("MI", "GA"),
+        ODPair("CO", "NJ"),
+    ]
+    sizes = [8_000.0, 5_000.0, 3_000.0, 1_500.0, 900.0]
+    task = make_task(net, od_pairs, sizes, background_pps=60_000.0, seed=2006)
+    return net.name, SamplingProblem.from_task(task, theta_packets=50_000.0)
+
+
+_CASES = {
+    "geant": lambda: _geant_problem(100_000.0),
+    "geant-lowcap": lambda: _geant_problem(20_000.0),
+    "nsfnet": _nsfnet_problem,
+}
+
+
+def golden_case_names() -> list[str]:
+    """The canonical case names, in corpus order."""
+    return list(_CASES)
+
+
+def build_golden_case(name: str) -> tuple[str, SamplingProblem]:
+    """(topology name, problem) for a corpus case."""
+    try:
+        builder = _CASES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown golden case {name!r}; know {sorted(_CASES)}"
+        ) from None
+    return builder()
+
+
+def _artifact_path(name: str, directory: Path | None = None) -> Path:
+    return (directory or GOLDEN_DIR) / f"{name}.json"
+
+
+def solve_golden_case(name: str) -> dict:
+    """Solve a case and assemble its artifact dict."""
+    topology, problem = build_golden_case(name)
+    solution = solve(problem, presolve=True)
+    kkt = check_kkt(problem, solution.rates, tolerance=1e-6)
+    cand = np.flatnonzero(problem.candidate_mask)
+    return {
+        "schema_version": GOLDEN_SCHEMA_VERSION,
+        "case": name,
+        "method": solution.diagnostics.method,
+        "converged": bool(solution.diagnostics.converged),
+        "objective": reference_candidate_objective(
+            problem, solution.rates[cand]
+        ),
+        "budget_used_packets": float(solution.budget_used_packets),
+        "active_links": len(solution.active_link_indices),
+        "rates": [float(r) for r in solution.rates],
+        "kkt": {
+            "satisfied": bool(kkt.satisfied),
+            "lam": float(kkt.lam),
+            "stationarity_residual": float(kkt.stationarity_residual),
+            "feasibility_residual": float(kkt.feasibility_residual),
+            "bound_violation": float(kkt.bound_violation),
+            "worst_multiplier": float(kkt.worst_multiplier),
+        },
+        "fingerprint": fingerprint_problem(problem, topology=topology),
+    }
+
+
+def compare_golden(
+    name: str,
+    directory: Path | None = None,
+    tolerances: dict[str, float] | None = None,
+) -> dict:
+    """Re-solve ``name`` and diff against its stored artifact."""
+    tolerances = {**GOLDEN_TOLERANCES, **(tolerances or {})}
+    path = _artifact_path(name, directory)
+    result: dict = {"case": name, "artifact": str(path)}
+    if not path.exists():
+        result.update(
+            passed=False,
+            missing=True,
+            message="no golden artifact; run `netsampling verify "
+            "--update-golden`",
+        )
+        METRICS.increment("verify.golden.missing")
+        return result
+    stored = json.loads(path.read_text())
+    fresh = solve_golden_case(name)
+
+    diffs: dict[str, dict] = {}
+    objective_gap = abs(fresh["objective"] - stored["objective"]) / max(
+        1.0, abs(stored["objective"])
+    )
+    diffs["objective"] = {
+        "stored": stored["objective"],
+        "fresh": fresh["objective"],
+        "gap": objective_gap,
+        "tolerance": tolerances["objective"],
+        "ok": objective_gap <= tolerances["objective"],
+    }
+    stored_rates = np.asarray(stored["rates"], dtype=float)
+    fresh_rates = np.asarray(fresh["rates"], dtype=float)
+    if stored_rates.shape == fresh_rates.shape:
+        rate_gap = float(np.abs(stored_rates - fresh_rates).max())
+    else:
+        rate_gap = float("inf")
+    diffs["rates"] = {
+        "gap": rate_gap,
+        "tolerance": tolerances["rates"],
+        "ok": rate_gap <= tolerances["rates"],
+    }
+    kkt_gap = max(
+        fresh["kkt"]["stationarity_residual"],
+        fresh["kkt"]["feasibility_residual"],
+        fresh["kkt"]["bound_violation"],
+        -fresh["kkt"]["worst_multiplier"],
+    )
+    diffs["kkt_gap"] = {
+        "fresh": kkt_gap,
+        "tolerance": tolerances["kkt_gap"],
+        "ok": kkt_gap <= tolerances["kkt_gap"]
+        and fresh["kkt"]["satisfied"],
+    }
+    structural_mismatches = {
+        key: {
+            "stored": stored["fingerprint"].get(key),
+            "fresh": fresh["fingerprint"].get(key),
+        }
+        for key in _STRUCTURAL_KEYS
+        if stored["fingerprint"].get(key) != fresh["fingerprint"].get(key)
+    }
+    diffs["fingerprint"] = {
+        "mismatches": structural_mismatches,
+        "ok": not structural_mismatches,
+    }
+
+    result.update(
+        missing=False,
+        converged=fresh["converged"],
+        diffs=diffs,
+        passed=fresh["converged"] and all(d["ok"] for d in diffs.values()),
+    )
+    METRICS.increment(
+        "verify.golden.passed" if result["passed"] else "verify.golden.failed"
+    )
+    return result
+
+
+def update_golden(
+    names: list[str] | None = None, directory: Path | None = None
+) -> list[Path]:
+    """Regenerate artifacts; returns the written paths."""
+    directory = directory or GOLDEN_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names or golden_case_names():
+        artifact = solve_golden_case(name)
+        path = _artifact_path(name, directory)
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def run_golden_suite(
+    names: list[str] | None = None, directory: Path | None = None
+) -> dict:
+    """Compare every requested case; the golden section of the report."""
+    cases = [
+        compare_golden(name, directory=directory)
+        for name in names or golden_case_names()
+    ]
+    return {
+        "cases": cases,
+        "passed": all(case["passed"] for case in cases),
+    }

@@ -1,0 +1,140 @@
+"""The ``netsampling verify`` suites: differential + golden, one report.
+
+``quick`` is the CI smoke (every backend pair on 50 randomized small
+instances with the brute-force/SLSQP reference cross-check, plus the
+GEANT golden comparison); ``full`` widens the instance pool, raises
+the link count, and compares the whole golden corpus.  Both return a
+:class:`VerificationReport` whose ``to_dict()`` is the machine-readable
+artifact CI uploads and ``repro.obs`` manifests embed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..obs.metrics import METRICS
+from .differential import TOLERANCES, run_differential_suite
+from .golden import run_golden_suite
+
+__all__ = ["SUITES", "VerificationReport", "run_verification"]
+
+#: Suite shapes: differential instance counts and golden case lists.
+SUITES: dict[str, dict] = {
+    "quick": {
+        "instances": 50,
+        "degenerate_instances": 10,
+        "max_links": 6,
+        "golden_cases": ["geant"],
+    },
+    "full": {
+        "instances": 120,
+        "degenerate_instances": 30,
+        "max_links": 8,
+        "golden_cases": None,  # the whole corpus
+    },
+}
+
+
+@dataclass
+class VerificationReport:
+    """Everything one verification run established."""
+
+    suite: str
+    seed: int | None
+    differential: dict
+    golden: dict
+    wall_time_s: float
+    tolerances: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.differential["passed"] and self.golden["passed"])
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "seed": self.seed,
+            "passed": self.passed,
+            "wall_time_s": self.wall_time_s,
+            "tolerances": self.tolerances,
+            "differential": self.differential,
+            "golden": self.golden,
+        }
+
+    def summary(self) -> str:
+        """Human-readable digest for the CLI."""
+        lines = [
+            f"verification suite {self.suite!r} "
+            f"({'PASS' if self.passed else 'FAIL'}, "
+            f"{self.wall_time_s:.1f}s)"
+        ]
+        for pair, stats in sorted(self.differential["pairs"].items()):
+            status = "PASS" if stats["failures"] == 0 else "FAIL"
+            tolerance = stats.get("tolerance")
+            bound = f" <= {tolerance:g}" if tolerance is not None else ""
+            lines.append(
+                f"  [{status}] {pair:>11}: {stats['instances']} instances, "
+                f"max gap {stats['max_objective_gap']:.3e}{bound}"
+            )
+        lines.append(
+            f"  reference cross-checks: "
+            f"{self.differential['reference_instances']} instances"
+        )
+        for case in self.golden["cases"]:
+            status = "PASS" if case["passed"] else "FAIL"
+            if case.get("missing"):
+                detail = "missing artifact"
+            else:
+                detail = (
+                    f"objective gap "
+                    f"{case['diffs']['objective']['gap']:.3e}, "
+                    f"rate gap {case['diffs']['rates']['gap']:.3e}"
+                )
+            lines.append(f"  [{status}] golden:{case['case']}: {detail}")
+        return "\n".join(lines)
+
+
+def run_verification(
+    suite: str = "quick",
+    seed: int | None = None,
+    instances: int | None = None,
+) -> VerificationReport:
+    """Run one named suite and assemble the report.
+
+    ``instances`` overrides the suite's differential instance count
+    (the degenerate pool scales proportionally, minimum one).
+    """
+    try:
+        shape = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; know {sorted(SUITES)}"
+        ) from None
+    count = shape["instances"] if instances is None else int(instances)
+    if count < 1:
+        raise ValueError("need at least one differential instance")
+    degenerate = max(
+        1, round(count * shape["degenerate_instances"] / shape["instances"])
+    )
+
+    started = time.perf_counter()
+    differential = run_differential_suite(
+        instances=count,
+        seed=seed,
+        max_links=shape["max_links"],
+        degenerate_instances=degenerate,
+    )
+    golden = run_golden_suite(names=shape["golden_cases"])
+    report = VerificationReport(
+        suite=suite,
+        seed=seed,
+        differential=differential,
+        golden=golden,
+        wall_time_s=time.perf_counter() - started,
+        tolerances=dict(TOLERANCES),
+    )
+    METRICS.increment(
+        "verify.suite.passed" if report.passed else "verify.suite.failed"
+    )
+    return report

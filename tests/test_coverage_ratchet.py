@@ -1,0 +1,115 @@
+"""The CI coverage ratchet holds its floor and only ratchets upward."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from coverage_ratchet import (  # noqa: E402
+    main,
+    read_floor,
+    read_line_coverage,
+)
+
+
+def _write_report(path: Path, line_rate: float) -> Path:
+    path.write_text(
+        '<?xml version="1.0" ?>\n'
+        f'<coverage line-rate="{line_rate}" branch-rate="0" version="7.0">\n'
+        "  <packages/>\n"
+        "</coverage>\n"
+    )
+    return path
+
+
+def _write_floor(path: Path, floor: float) -> Path:
+    path.write_text(f"# comment line\n{floor}\n")
+    return path
+
+
+class TestParsing:
+    def test_read_line_coverage(self, tmp_path):
+        report = _write_report(tmp_path / "coverage.xml", 0.8472)
+        assert read_line_coverage(report) == pytest.approx(84.72)
+
+    def test_read_floor_skips_comments(self, tmp_path):
+        floor = _write_floor(tmp_path / ".coverage-floor", 61.5)
+        assert read_floor(floor) == 61.5
+
+    def test_inline_comment_after_value(self, tmp_path):
+        path = tmp_path / ".coverage-floor"
+        path.write_text("72.5  # raised 2026-08\n")
+        assert read_floor(path) == 72.5
+
+    def test_empty_floor_file_is_an_error(self, tmp_path):
+        path = tmp_path / ".coverage-floor"
+        path.write_text("# only comments\n")
+        with pytest.raises(ValueError, match="no floor value"):
+            read_floor(path)
+
+    def test_non_cobertura_report_is_an_error(self, tmp_path):
+        path = tmp_path / "coverage.xml"
+        path.write_text("<report/>\n")
+        with pytest.raises(ValueError, match="line-rate"):
+            read_line_coverage(path)
+
+
+class TestRatchet:
+    def _run(self, tmp_path, coverage: float, floor: float, *extra) -> int:
+        report = _write_report(tmp_path / "coverage.xml", coverage / 100.0)
+        floor_file = _write_floor(tmp_path / ".coverage-floor", floor)
+        return main(
+            [str(report), "--floor-file", str(floor_file), *extra]
+        )
+
+    def test_above_floor_passes(self, tmp_path):
+        assert self._run(tmp_path, coverage=75.0, floor=70.0) == 0
+
+    def test_within_slack_passes(self, tmp_path):
+        assert self._run(tmp_path, coverage=69.6, floor=70.0) == 0
+
+    def test_below_slack_fails(self, tmp_path):
+        assert self._run(tmp_path, coverage=69.4, floor=70.0) == 1
+
+    def test_missing_report_fails(self, tmp_path):
+        floor_file = _write_floor(tmp_path / ".coverage-floor", 70.0)
+        code = main(
+            [str(tmp_path / "nope.xml"), "--floor-file", str(floor_file)]
+        )
+        assert code == 1
+
+    def test_update_ratchets_upward(self, tmp_path):
+        report = _write_report(tmp_path / "coverage.xml", 0.80)
+        floor_file = _write_floor(tmp_path / ".coverage-floor", 70.0)
+        assert main(
+            [str(report), "--floor-file", str(floor_file), "--update"]
+        ) == 0
+        assert read_floor(floor_file) == pytest.approx(79.5)
+
+    def test_update_never_lowers(self, tmp_path):
+        report = _write_report(tmp_path / "coverage.xml", 0.695)
+        floor_file = _write_floor(tmp_path / ".coverage-floor", 70.0)
+        assert main(
+            [str(report), "--floor-file", str(floor_file), "--update"]
+        ) == 0
+        assert read_floor(floor_file) == 70.0
+
+def test_custom_slack(tmp_path):
+    report = _write_report(tmp_path / "coverage.xml", 0.68)
+    floor_file = _write_floor(tmp_path / ".coverage-floor", 70.0)
+    assert main(
+        [str(report), "--floor-file", str(floor_file), "--slack", "2.5"]
+    ) == 0
+    assert main(
+        [str(report), "--floor-file", str(floor_file), "--slack", "1.0"]
+    ) == 1
+
+
+def test_repo_floor_file_is_committed_and_parses():
+    floor_path = Path(__file__).resolve().parent.parent / ".coverage-floor"
+    assert floor_path.exists()
+    assert 0.0 < read_floor(floor_path) <= 100.0

@@ -1,0 +1,94 @@
+"""Property test: presolve is exact — ``lift(solve(reduce(P)))`` ≡ ``solve(P)``.
+
+Hypothesis drives random instances (including the degenerate twists
+presolve exists for: duplicate columns, empty OD rows, α = 0 links,
+θ pinned at capacity) and asserts that solving the reduced problem and
+lifting back reaches the same objective as solving the full problem,
+with a feasible, box-respecting lifted point.  The objective is the
+arbiter — degenerate optima need not have unique rate vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import solve
+from repro.core.presolve import presolve
+from repro.verify import random_problem
+from repro.verify.reference import reference_objective
+
+PROPERTY = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _problem(seed: int, degenerate: bool):
+    rng = np.random.default_rng(seed)
+    return random_problem(rng, max_links=7, max_od=5, degenerate=degenerate)
+
+
+def _assert_lift_matches_full(problem) -> None:
+    reduction = presolve(problem)
+    forced = reduction.forced_solution()
+    if forced is not None:
+        lifted = forced
+    else:
+        reduced_solution = solve(reduction.problem, presolve=False)
+        lifted = reduction.lift(reduced_solution, kkt_tolerance=1e-6)
+    full = solve(problem, presolve=False)
+
+    # Same optimum, judged by the naive reference objective at each
+    # solver's full-space point (unique even when the argmax is not).
+    lifted_obj = reference_objective(problem, lifted.rates)
+    full_obj = reference_objective(problem, full.rates)
+    gap = abs(lifted_obj - full_obj) / max(1.0, abs(full_obj))
+    assert gap <= 1e-7, (gap, reduction.stats)
+
+    # The lifted point is primal feasible on the *original* problem.
+    assert np.all(lifted.rates >= -1e-9)
+    assert np.all(lifted.rates <= problem.alpha + 1e-9)
+    budget = float(lifted.rates @ problem.link_loads_pps)
+    np.testing.assert_allclose(budget, problem.theta_rate_pps, rtol=1e-6)
+
+
+class TestLiftSolveReduce:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @PROPERTY
+    def test_well_posed_instances(self, seed):
+        _assert_lift_matches_full(_problem(seed, degenerate=False))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @PROPERTY
+    def test_degenerate_instances(self, seed):
+        _assert_lift_matches_full(_problem(seed, degenerate=True))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_reduction_never_grows_the_problem(self, seed):
+        problem = _problem(seed, degenerate=True)
+        reduction = presolve(problem)
+        stats = reduction.stats
+        assert reduction.problem.num_links <= problem.num_links
+        assert reduction.problem.num_od_pairs <= problem.num_od_pairs
+        assert stats.reduced_links == reduction.problem.num_links
+        assert stats.reduced_od_pairs == reduction.problem.num_od_pairs
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lift_rates_respects_member_bounds(self, seed):
+        """The proportional split never violates any member's α."""
+        problem = _problem(seed, degenerate=True)
+        reduction = presolve(problem)
+        reduced = reduction.problem
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 1.0, size=reduced.num_links) * reduced.alpha
+        lifted = reduction.lift_rates(x)
+        assert lifted.shape == (problem.num_links,)
+        assert np.all(lifted >= -1e-12)
+        assert np.all(lifted <= problem.alpha + 1e-12)

@@ -3,7 +3,10 @@
 The contract under test: a resumed sweep is *bitwise identical* to the
 uninterrupted one (warm starts and all), a checkpoint from a different
 sweep is rejected loudly, and the one failure the format tolerates — a
-line truncated mid-append by a crash — is dropped silently.
+line truncated mid-append by a crash — is dropped silently.  The
+randomized kill-point classes extend the same contract to arbitrary
+byte offsets (a real crash does not stop at a line boundary) and to
+the shared-memory segments a crashed batch leaves behind.
 """
 
 import json
@@ -13,6 +16,12 @@ import pytest
 
 from repro import CheckpointMismatchError, SamplingProblem, SweepCheckpoint
 from repro.core import solve_theta_sweep
+from repro.core.shm import (
+    SharedProblemPool,
+    attach_problem,
+    live_segment_names,
+    sweep_leaked_segments,
+)
 from repro.obs import collecting_metrics
 
 THETAS = [500.0, 1000.0, 2000.0, 4000.0, 8000.0]
@@ -93,6 +102,116 @@ class TestCorruption:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError, match="corrupt JSON"):
             solve_theta_sweep(small_problem, THETAS[:3], checkpoint=path)
+
+
+class TestRandomizedKillPoints:
+    """Crashes land at arbitrary *byte* offsets, not line boundaries.
+
+    Any truncation past the header must resume to a sweep bitwise
+    identical to the uninterrupted one: complete entry lines restore,
+    the (at most one) partial trailing line is dropped, and the missing
+    members re-solve.
+    """
+
+    @staticmethod
+    def _kill_at(path, offset: int) -> None:
+        data = path.read_bytes()
+        path.write_bytes(data[:offset])
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.35, 0.6, 0.85, 0.99])
+    def test_resume_after_byte_truncation(
+        self, small_problem, tmp_path, fraction
+    ):
+        path = tmp_path / "sweep.jsonl"
+        full = solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+        data = path.read_bytes()
+        header_len = data.index(b"\n") + 1  # keep the header intact
+        offset = header_len + int(fraction * (len(data) - header_len))
+        self._kill_at(path, offset)
+        resumed = solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+        for a, b in zip(full, resumed):
+            np.testing.assert_array_equal(a.rates, b.rates)
+
+    def test_resume_after_random_kill_points(self, small_problem, tmp_path):
+        from repro.rng import default_rng
+
+        reference = solve_theta_sweep(small_problem, THETAS)
+        rng = default_rng(1234)
+        for trial in range(6):
+            path = tmp_path / f"sweep-{trial}.jsonl"
+            solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+            data = path.read_bytes()
+            header_len = data.index(b"\n") + 1
+            offset = int(rng.integers(header_len, len(data) + 1))
+            self._kill_at(path, offset)
+            resumed = solve_theta_sweep(
+                small_problem, THETAS, checkpoint=path
+            )
+            for a, b in zip(reference, resumed):
+                np.testing.assert_array_equal(a.rates, b.rates)
+
+    def test_double_crash_still_resumes(self, small_problem, tmp_path):
+        """Crash, partial resume, crash again — still bitwise identical."""
+        path = tmp_path / "sweep.jsonl"
+        full = solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+        data = path.read_bytes()
+        header_len = data.index(b"\n") + 1
+        self._kill_at(path, header_len + (len(data) - header_len) // 2)
+        solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+        data = path.read_bytes()
+        self._kill_at(path, header_len + 3 * (len(data) - header_len) // 4)
+        resumed = solve_theta_sweep(small_problem, THETAS, checkpoint=path)
+        for a, b in zip(full, resumed):
+            np.testing.assert_array_equal(a.rates, b.rates)
+
+
+class TestShmCrashRecovery:
+    """Shared-memory segments survive round-trips and crashes cleanly."""
+
+    def test_publish_attach_round_trip(self, small_problem):
+        with SharedProblemPool() as pool:
+            handle = pool.publish(small_problem)
+            assert handle is not None
+            attached = attach_problem(handle)
+            np.testing.assert_array_equal(
+                attached.link_loads_pps, small_problem.link_loads_pps
+            )
+            np.testing.assert_array_equal(
+                attached.alpha, small_problem.alpha
+            )
+            np.testing.assert_array_equal(
+                np.asarray(attached.routing),
+                np.asarray(small_problem.routing),
+            )
+            assert attached.theta_packets == small_problem.theta_packets
+        assert live_segment_names() == []
+
+    def test_attached_solve_matches_original(self, small_problem):
+        from repro.core import solve
+
+        with SharedProblemPool() as pool:
+            handle = pool.publish(small_problem)
+            attached = attach_problem(handle)
+            np.testing.assert_array_equal(
+                solve(attached).rates, solve(small_problem).rates
+            )
+
+    def test_abandoned_pool_is_recovered_by_sweep(self, small_problem):
+        """A pool the parent never closed (crash) leaks; the sweep heals."""
+        pool = SharedProblemPool()
+        handle = pool.publish(small_problem)
+        assert handle.segment in live_segment_names()
+        # Simulate the crash: drop the pool without close().
+        del pool
+        with collecting_metrics() as reg:
+            recovered = sweep_leaked_segments()
+            counters = reg.snapshot()["counters"]
+        assert recovered >= 1
+        assert live_segment_names() == []
+        assert counters["batch.shm.leaked_recovered"] >= 1
+
+    def test_sweep_is_idempotent(self):
+        assert sweep_leaked_segments() == 0
 
 
 class TestMismatch:

@@ -1,0 +1,88 @@
+"""The central seed plumbing: one ``--seed`` pins every random draw."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    DEFAULT_SEED,
+    default_rng,
+    derive_seed,
+    get_default_seed,
+    set_default_seed,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient_seed():
+    yield
+    set_default_seed(None)
+
+
+class TestAmbientSeed:
+    def test_package_default_is_the_paper_year(self):
+        assert DEFAULT_SEED == 2006
+        assert get_default_seed() == DEFAULT_SEED
+
+    def test_default_rng_is_reproducible(self):
+        a = default_rng().random(8)
+        b = default_rng().random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_set_default_seed_changes_every_draw(self):
+        baseline = default_rng().random(8)
+        set_default_seed(123)
+        assert get_default_seed() == 123
+        changed = default_rng().random(8)
+        assert not np.array_equal(baseline, changed)
+        np.testing.assert_array_equal(
+            changed, np.random.default_rng(123).random(8)
+        )
+
+    def test_none_restores_package_default(self):
+        set_default_seed(123)
+        set_default_seed(None)
+        assert get_default_seed() == DEFAULT_SEED
+
+    def test_explicit_seed_overrides_ambient(self):
+        set_default_seed(123)
+        np.testing.assert_array_equal(
+            default_rng(7).random(8), np.random.default_rng(7).random(8)
+        )
+
+
+class TestDeriveSeed:
+    def test_streams_differ(self):
+        seeds = {derive_seed(42, stream) for stream in range(16)}
+        assert len(seeds) == 16
+
+    def test_deterministic_per_stream(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_none_uses_ambient(self):
+        set_default_seed(42)
+        assert derive_seed(None, 3) == derive_seed(42, 3)
+
+    def test_child_differs_from_parent(self):
+        assert derive_seed(42, 0) != 42
+
+
+class TestExperimentPlumbing:
+    def test_convergence_honours_ambient_seed(self):
+        from repro.experiments.convergence import run_convergence
+
+        set_default_seed(11)
+        a = run_convergence(runs=2)
+        set_default_seed(11)
+        b = run_convergence(runs=2)
+        np.testing.assert_array_equal(a.iterations, b.iterations)
+
+    def test_explicit_seed_still_wins(self):
+        from repro.experiments.convergence import run_convergence
+
+        set_default_seed(11)
+        a = run_convergence(runs=2, seed=3)
+        set_default_seed(99)
+        b = run_convergence(runs=2, seed=3)
+        np.testing.assert_array_equal(a.iterations, b.iterations)

@@ -1,0 +1,120 @@
+"""Golden regression corpus round-trips and catches tampering.
+
+The shipped artifacts under ``src/repro/verify/_golden/`` must match a
+fresh solve on this machine; regeneration into a scratch directory must
+reproduce the comparison exactly; and any drift — objective, rates,
+or the structural fingerprint — must fail the comparison loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import (
+    GOLDEN_DIR,
+    GOLDEN_TOLERANCES,
+    build_golden_case,
+    compare_golden,
+    golden_case_names,
+    run_golden_suite,
+    solve_golden_case,
+    update_golden,
+)
+from repro.verify.golden import GOLDEN_SCHEMA_VERSION
+
+
+class TestCorpus:
+    def test_every_case_has_a_shipped_artifact(self):
+        for name in golden_case_names():
+            assert (GOLDEN_DIR / f"{name}.json").exists(), name
+
+    @pytest.mark.parametrize("name", golden_case_names())
+    def test_shipped_artifacts_pass(self, name):
+        result = compare_golden(name)
+        assert not result["missing"]
+        assert result["passed"], result["diffs"]
+
+    def test_suite_aggregates_all_cases(self):
+        report = run_golden_suite(names=["geant"])
+        assert report["passed"]
+        assert [case["case"] for case in report["cases"]] == ["geant"]
+
+    def test_unknown_case_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown golden case"):
+            build_golden_case("atlantis")
+
+
+class TestRegeneration:
+    def test_update_golden_round_trips(self, tmp_path):
+        written = update_golden(names=["geant"], directory=tmp_path)
+        assert written == [tmp_path / "geant.json"]
+        result = compare_golden("geant", directory=tmp_path)
+        assert result["passed"]
+        assert result["diffs"]["objective"]["gap"] == 0.0
+        assert result["diffs"]["rates"]["gap"] == 0.0
+
+    def test_artifact_schema(self, tmp_path):
+        update_golden(names=["geant"], directory=tmp_path)
+        artifact = json.loads((tmp_path / "geant.json").read_text())
+        assert artifact["schema_version"] == GOLDEN_SCHEMA_VERSION
+        assert artifact["case"] == "geant"
+        assert artifact["converged"]
+        assert artifact["kkt"]["satisfied"]
+        assert len(artifact["rates"]) == artifact["fingerprint"]["num_links"]
+
+
+class TestDriftDetection:
+    def test_missing_artifact_is_reported(self, tmp_path):
+        result = compare_golden("geant", directory=tmp_path)
+        assert result["missing"]
+        assert not result["passed"]
+        assert "--update-golden" in result["message"]
+
+    def test_tampered_objective_fails(self, tmp_path):
+        update_golden(names=["geant"], directory=tmp_path)
+        path = tmp_path / "geant.json"
+        artifact = json.loads(path.read_text())
+        artifact["objective"] += 1e-3
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant", directory=tmp_path)
+        assert not result["passed"]
+        assert not result["diffs"]["objective"]["ok"]
+
+    def test_tampered_rate_fails(self, tmp_path):
+        update_golden(names=["geant"], directory=tmp_path)
+        path = tmp_path / "geant.json"
+        artifact = json.loads(path.read_text())
+        artifact["rates"][0] += 1e-3
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant", directory=tmp_path)
+        assert not result["passed"]
+        assert not result["diffs"]["rates"]["ok"]
+
+    def test_structural_fingerprint_drift_fails(self, tmp_path):
+        update_golden(names=["geant"], directory=tmp_path)
+        path = tmp_path / "geant.json"
+        artifact = json.loads(path.read_text())
+        artifact["fingerprint"]["num_links"] += 1
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant", directory=tmp_path)
+        assert not result["passed"]
+        mismatches = result["diffs"]["fingerprint"]["mismatches"]
+        assert "num_links" in mismatches
+
+    def test_tiny_drift_within_tolerance_passes(self, tmp_path):
+        update_golden(names=["geant"], directory=tmp_path)
+        path = tmp_path / "geant.json"
+        artifact = json.loads(path.read_text())
+        artifact["objective"] += 0.1 * GOLDEN_TOLERANCES["objective"]
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant", directory=tmp_path)
+        assert result["passed"]
+
+
+def test_artifact_solve_is_deterministic():
+    a = solve_golden_case("geant")
+    b = solve_golden_case("geant")
+    assert a["objective"] == b["objective"]
+    assert a["rates"] == b["rates"]

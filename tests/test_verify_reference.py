@@ -1,0 +1,232 @@
+"""Reference kernels agree with the optimized core implementations.
+
+The reference kernels in ``repro.verify.reference`` are deliberately
+naive (pure loops, dense arithmetic, closed-form splice constants).
+These tests pin them against the production kernels in ``repro.core``
+and against analytically solvable instances, so that the differential
+harness has a trustworthy arbiter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SamplingProblem, solve
+from repro.core.effective_rate import exact_effective_rates, linear_effective_rates
+from repro.core.kkt import check_kkt
+from repro.core.objective import SumUtilityObjective
+from repro.core.utility import MeanSquaredRelativeAccuracy, accuracy_utilities
+from repro.verify import (
+    brute_force_solve,
+    reference_candidate_gradient,
+    reference_candidate_objective,
+    reference_exact_rho,
+    reference_kkt_residuals,
+    reference_linear_rho,
+    reference_objective,
+    reference_utility_derivative,
+    reference_utility_second_derivative,
+    reference_utility_value,
+    slsqp_cross_solve,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def _random_routing(num_od: int, num_links: int) -> np.ndarray:
+    routing = (RNG.random((num_od, num_links)) < 0.5).astype(float)
+    routing[routing.sum(axis=1) == 0, 0] = 1.0
+    return routing
+
+
+class TestEffectiveRates:
+    def test_linear_rho_matches_core(self):
+        routing = _random_routing(6, 9)
+        p = RNG.uniform(0.0, 1.0, size=9)
+        np.testing.assert_allclose(
+            reference_linear_rho(routing, p),
+            linear_effective_rates(routing, p),
+            rtol=0.0,
+            atol=1e-15,
+        )
+
+    def test_exact_rho_matches_core(self):
+        routing = _random_routing(6, 9)
+        p = RNG.uniform(0.0, 1.0, size=9)
+        np.testing.assert_allclose(
+            reference_exact_rho(routing, p),
+            exact_effective_rates(routing, p),
+            rtol=1e-12,
+        )
+
+    def test_exact_rho_product_form_by_hand(self):
+        # One OD over two links with p = (0.5, 0.5):
+        # rho = 1 - (1-0.5)(1-0.5) = 0.75.
+        routing = np.array([[1.0, 1.0]])
+        rho = reference_exact_rho(routing, np.array([0.5, 0.5]))
+        assert rho[0] == pytest.approx(0.75)
+
+
+class TestUtility:
+    @pytest.mark.parametrize("c", [0.01, 0.05, 0.2, 0.45])
+    def test_values_match_core_utility(self, c):
+        utility = MeanSquaredRelativeAccuracy(c)
+        x0 = utility.splice_point
+        rhos = np.concatenate(
+            [
+                np.linspace(0.0, x0, 17),
+                [x0],
+                np.linspace(x0, 1.2, 17),
+            ]
+        )
+        for rho in rhos:
+            assert reference_utility_value(c, float(rho)) == pytest.approx(
+                utility.value(float(rho)), abs=1e-14
+            )
+            assert reference_utility_derivative(c, float(rho)) == pytest.approx(
+                utility.derivative(float(rho)), abs=1e-14
+            )
+            assert reference_utility_second_derivative(
+                c, float(rho)
+            ) == pytest.approx(utility.second_derivative(float(rho)), abs=1e-14)
+
+    @pytest.mark.parametrize("c", [0.01, 0.2, 0.45])
+    def test_splice_is_c2_continuous(self, c):
+        """Value, slope and curvature agree across x0 = 3c/(1+c)."""
+        x0 = 3.0 * c / (1.0 + c)
+        eps = 1e-9
+        curvature = 2.0 * c / x0**3  # |A''(x0)|: expected drift over 2eps
+        below = reference_utility_value(c, x0 - eps)
+        above = reference_utility_value(c, x0 + eps)
+        slope = c / x0**2
+        assert above - below == pytest.approx(0.0, abs=4 * eps * slope + 1e-12)
+        d_below = reference_utility_derivative(c, x0 - eps)
+        d_above = reference_utility_derivative(c, x0 + eps)
+        assert d_above - d_below == pytest.approx(
+            0.0, abs=4 * eps * curvature + 1e-12
+        )
+
+    def test_splice_point_and_value(self):
+        c = 0.1
+        utility = MeanSquaredRelativeAccuracy(c)
+        assert utility.splice_point == pytest.approx(3 * c / (1 + c))
+        assert reference_utility_value(c, utility.splice_point) == pytest.approx(
+            2.0 * (1.0 + c) / 3.0
+        )
+
+
+class TestObjectiveAndGradient:
+    @pytest.fixture()
+    def problem(self, chain_task) -> SamplingProblem:
+        return SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+
+    def test_objective_matches_core(self, problem):
+        objective = SumUtilityObjective(
+            problem.routing, accuracy_utilities([
+                u.mean_inverse_size for u in problem.utilities
+            ]),
+        )
+        for _ in range(10):
+            x = RNG.uniform(0.0, 1.0, size=problem.num_links)
+            assert reference_objective(problem, x) == pytest.approx(
+                objective.value(x), rel=1e-12
+            )
+
+    def test_gradient_matches_finite_differences(self, problem):
+        cand = np.flatnonzero(problem.candidate_mask)
+        x = RNG.uniform(0.05, 0.6, size=len(cand))
+        grad = reference_candidate_gradient(problem, x)
+        eps = 1e-7
+        for i in range(len(cand)):
+            bump = x.copy()
+            bump[i] += eps
+            numeric = (
+                reference_candidate_objective(problem, bump)
+                - reference_candidate_objective(problem, x)
+            ) / eps
+            assert grad[i] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+class TestKKTResiduals:
+    def test_solved_point_is_certified(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        solution = solve(problem)
+        residuals = reference_kkt_residuals(problem, solution.rates)
+        assert residuals["satisfied"]
+        assert residuals["stationarity_residual"] < 1e-5
+        assert residuals["feasibility_residual"] < 1e-8
+
+    def test_agrees_with_core_check_kkt(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        solution = solve(problem)
+        core = check_kkt(problem, solution.rates)
+        reference = reference_kkt_residuals(problem, solution.rates)
+        assert core.satisfied == reference["satisfied"]
+        assert reference["lam"] == pytest.approx(core.lam, rel=1e-4, abs=1e-8)
+
+    def test_rejects_a_clearly_suboptimal_point(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        solution = solve(problem)
+        # Move budget between two free links: still feasible, not optimal.
+        bad = solution.rates * 0.5
+        residuals = reference_kkt_residuals(problem, bad)
+        assert not residuals["satisfied"]
+
+
+class TestBruteForce:
+    def test_single_link_analytic_optimum(self):
+        """One link, one OD: optimum saturates min(alpha, budget/U)."""
+        problem = SamplingProblem(
+            np.array([[1.0]]),
+            np.array([1000.0]),
+            theta_packets=60_000.0,  # budget rate 200 pps -> p = 0.2
+            utilities=accuracy_utilities([0.01]),
+            interval_seconds=300.0,
+        )
+        result = brute_force_solve(problem)
+        assert result.rates[0] == pytest.approx(0.2, abs=1e-9)
+        assert result.objective == pytest.approx(
+            reference_utility_value(0.01, 0.2), rel=1e-10
+        )
+
+    def test_matches_gradient_projection_on_chain(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        solution = solve(problem)
+        result = brute_force_solve(problem)
+        cand = np.flatnonzero(problem.candidate_mask)
+        gp_objective = reference_candidate_objective(
+            problem, solution.rates[cand]
+        )
+        assert result.objective == pytest.approx(gp_objective, abs=1e-8)
+
+    def test_matches_slsqp_cross_solve(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        brute = brute_force_solve(problem)
+        cross = slsqp_cross_solve(problem)
+        assert cross.success
+        assert brute.objective == pytest.approx(cross.objective, abs=1e-7)
+
+    def test_refuses_large_instances(self, geant_problem):
+        with pytest.raises(ValueError, match="candidate"):
+            brute_force_solve(geant_problem, max_candidates=12)
+
+    def test_enumeration_bookkeeping(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        result = brute_force_solve(problem)
+        n = len(np.flatnonzero(problem.candidate_mask))
+        assert result.partitions_checked == 3**n
+        assert 1 <= result.partitions_feasible <= 3**n
+        assert len(result.partition) == n
+
+
+class TestSLSQPCrossSolve:
+    def test_budget_feasibility(self, chain_task):
+        problem = SamplingProblem.from_task(chain_task, theta_packets=2000.0)
+        cross = slsqp_cross_solve(problem)
+        cand = np.flatnonzero(problem.candidate_mask)
+        loads = problem.link_loads_pps[cand]
+        used = float(cross.rates[cand] @ loads) * problem.interval_seconds
+        assert used == pytest.approx(problem.theta_packets, rel=1e-6)
+        assert np.all(cross.rates >= -1e-9)
+        assert np.all(cross.rates <= problem.alpha + 1e-9)

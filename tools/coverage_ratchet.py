@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Coverage ratchet: fail when line coverage drops below the floor.
+
+Reads the overall line rate from a Cobertura ``coverage.xml`` (what
+``pytest --cov=repro --cov-report=xml`` writes) and compares it to the
+committed floor in ``.coverage-floor``.  The build fails when coverage
+falls more than ``--slack`` percentage points (default 0.5) below the
+floor; ``--update`` rewrites the floor upward when coverage improved,
+so the floor only ever ratchets up.
+
+Usage::
+
+    python tools/coverage_ratchet.py coverage.xml
+    python tools/coverage_ratchet.py coverage.xml --update
+
+Exit status: 0 when coverage is at or above ``floor - slack``, 1
+otherwise (and on a missing/unparseable report, which should never
+pass silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+#: Allowed drop below the floor (percentage points) before failing.
+DEFAULT_SLACK = 0.5
+
+DEFAULT_FLOOR_FILE = Path(__file__).resolve().parent.parent / ".coverage-floor"
+
+
+def read_floor(path: Path) -> float:
+    """The committed floor: first non-comment, non-blank line."""
+    for line in path.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            return float(line)
+    raise ValueError(f"{path}: no floor value found")
+
+
+def read_line_coverage(xml_path: Path) -> float:
+    """Overall line coverage (percent) from a Cobertura XML report."""
+    root = ET.parse(xml_path).getroot()
+    try:
+        return float(root.attrib["line-rate"]) * 100.0
+    except KeyError:
+        raise ValueError(
+            f"{xml_path}: root element has no line-rate attribute "
+            "(not a Cobertura report?)"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", type=Path, help="coverage.xml (Cobertura) report path"
+    )
+    parser.add_argument(
+        "--floor-file",
+        type=Path,
+        default=DEFAULT_FLOOR_FILE,
+        help="committed floor file (default: repo-root .coverage-floor)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=DEFAULT_SLACK,
+        help="allowed drop below the floor in points (default 0.5)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the floor file when coverage improved",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        coverage = read_line_coverage(args.report)
+        floor = read_floor(args.floor_file)
+    except (OSError, ET.ParseError, ValueError) as exc:
+        print(f"coverage ratchet: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"coverage ratchet: line coverage {coverage:.2f}%, "
+        f"floor {floor:.2f}% (slack {args.slack:.2f})"
+    )
+    if coverage < floor - args.slack:
+        print(
+            f"coverage ratchet: FAIL - coverage dropped "
+            f"{floor - coverage:.2f} points below the floor; "
+            "add tests or (after review) lower .coverage-floor",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.update and coverage > floor:
+        # Ratchet upward only, and leave headroom of one slack so a
+        # noisy run does not immediately fail the next build.
+        new_floor = max(floor, round(coverage - args.slack, 1))
+        if new_floor > floor:
+            args.floor_file.write_text(
+                "# Minimum line coverage (percent) enforced by\n"
+                "# tools/coverage_ratchet.py; only ever ratchets up.\n"
+                f"{new_floor}\n"
+            )
+            print(f"coverage ratchet: floor raised {floor} -> {new_floor}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
