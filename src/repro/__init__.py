@@ -123,8 +123,15 @@ from .resilience import (
 )
 from .rng import DEFAULT_SEED, default_rng, derive_seed, set_default_seed
 from .routing import ODPair, Path, RoutingMatrix, ShortestPathRouter
+from .scale import choose_backend, solve_scaled
 from .sampling import SamplingExperiment, accuracy, estimate_sizes
-from .topology import Network, abilene_network, geant_network
+from .topology import (
+    Network,
+    abilene_network,
+    geant_network,
+    hierarchical_network,
+    hierarchical_routing_problem,
+)
 from .traffic import (
     MeasurementTask,
     TrafficMatrix,
@@ -183,6 +190,8 @@ __all__ = [
     "Network",
     "geant_network",
     "abilene_network",
+    "hierarchical_network",
+    "hierarchical_routing_problem",
     "ODPair",
     "Path",
     "RoutingMatrix",
@@ -235,6 +244,9 @@ __all__ = [
     "default_rng",
     "derive_seed",
     "set_default_seed",
+    # scaling backends
+    "choose_backend",
+    "solve_scaled",
     # verification
     "run_verification",
     "run_differential_suite",

@@ -163,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the gravity background")
     slv.add_argument("--method", default="gradient_projection",
                      choices=("gradient_projection", "slsqp", "trust-constr"))
+    slv.add_argument("--backend", default="exact",
+                     choices=("exact", "approx", "decompose", "compiled",
+                              "auto"),
+                     help="scale backend: exact GP (default), Frank-Wolfe "
+                          "water-filling, connectivity decomposition, "
+                          "compiled kernels, or auto by structure; "
+                          "non-exact answers carry a certified "
+                          "optimality gap")
     slv.add_argument("--presolve", action=argparse.BooleanOptionalAction,
                      default=True,
                      help="reduce the problem (eliminate/merge links, drop "
@@ -334,10 +342,20 @@ def _build_task(args: argparse.Namespace):
 def _cmd_solve(args: argparse.Namespace) -> int:
     task = _build_task(args)
     problem = SamplingProblem.from_task(task, args.theta, alpha=args.alpha)
+    if args.backend != "exact" and args.restrict_to_node:
+        raise SystemExit(
+            "--backend only applies to the network-wide solve; "
+            "--restrict-to-node always uses exact GP"
+        )
+    if args.backend != "exact" and args.method != "gradient_projection":
+        raise SystemExit(
+            "--backend replaces the solver; drop --method or use "
+            "--backend exact"
+        )
     logger.info(
-        "solving %s: %d links, %d OD pairs, theta=%g, method=%s",
+        "solving %s: %d links, %d OD pairs, theta=%g, method=%s, backend=%s",
         task.network.name, problem.num_links, problem.num_od_pairs,
-        args.theta, args.method,
+        args.theta, args.method, args.backend,
     )
 
     def _run_solve() -> object:
@@ -349,6 +367,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             solution = solve_restricted(
                 problem, links, method=args.method, presolve=args.presolve
             )
+        elif args.backend != "exact":
+            from .scale import solve_scaled
+
+            solution = solve_scaled(problem, backend=args.backend)
         else:
             solution = solve(problem, method=args.method, presolve=args.presolve)
         if args.quantize:
@@ -393,6 +415,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         payload = {
             "converged": solution.diagnostics.converged,
             "method": solution.diagnostics.method,
+            "backend": args.backend,
+            "optimality_gap": solution.diagnostics.optimality_gap,
             "iterations": solution.diagnostics.iterations,
             "wall_time_s": solution.diagnostics.wall_time_s,
             "objective": solution.objective_value,

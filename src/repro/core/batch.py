@@ -82,6 +82,36 @@ _NON_STRUCTURAL_KEYS = frozenset({"theta_packets", "interval_seconds"})
 #: amortize worker spawn + import cost.
 _INLINE_BATCH_MAX = 2
 
+#: Environment variable capping the *default* worker count of
+#: :func:`solve_batch` (and everything fanning out through it — the
+#: θ-sweep pool, the decomposition solver).  CI runners and shared
+#: machines set it so a batch never oversubscribes the host; an
+#: explicit ``processes=`` argument always wins.
+MAX_PROCESSES_ENV = "REPRO_MAX_PROCESSES"
+
+
+def _default_processes(num_problems: int) -> int:
+    """``min(cpu, len)`` capped by ``$REPRO_MAX_PROCESSES`` when set.
+
+    Unparseable or non-positive override values are ignored (the
+    batch layer must never crash over a stray environment variable);
+    the ignored value is counted in ``batch.env_cap.invalid``.
+    """
+    processes = min(os.cpu_count() or 1, max(num_problems, 1))
+    raw = os.environ.get(MAX_PROCESSES_ENV)
+    if raw is None:
+        return processes
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = 0
+    if cap < 1:
+        METRICS.increment("batch.env_cap.invalid")
+        return processes
+    if cap < processes:
+        METRICS.increment("batch.env_cap.applied")
+    return min(processes, cap)
+
 
 def _structural_fingerprint(problem: SamplingProblem) -> tuple:
     """Hashable identity of everything a warm start must agree on.
@@ -617,7 +647,11 @@ def solve_batch(
     """Solve independent problems, optionally across a process pool.
 
     ``processes`` is the worker count; ``None`` defaults to
-    ``min(os.cpu_count(), len(problems))``.  Batches of at most two
+    ``min(os.cpu_count(), len(problems))``, capped by the
+    ``REPRO_MAX_PROCESSES`` environment variable when set (so CI
+    runners and nested fan-outs don't oversubscribe shared machines —
+    an explicit ``processes`` argument ignores the cap).  Batches of
+    at most two
     problems (or ``processes <= 1``) always run inline — a pool can
     never amortize its spawn cost over so few solves.  Ordering of the
     results always matches the input.  Use this for *independent*
@@ -650,7 +684,7 @@ def solve_batch(
     still matches the input.
     """
     if processes is None:
-        processes = min(os.cpu_count() or 1, max(len(problems), 1))
+        processes = _default_processes(len(problems))
     if processes <= 1 or len(problems) <= _INLINE_BATCH_MAX:
         METRICS.increment("batch.sequential.tasks", len(problems))
         return [

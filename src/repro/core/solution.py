@@ -54,6 +54,13 @@ class SolverDiagnostics:
     the supervisor's fallback chain.  ``attempts`` records every
     attempt a :func:`~repro.resilience.supervised_solve` run made,
     including the failed ones; unsupervised solves leave it empty.
+
+    ``optimality_gap`` is a certified *a-posteriori* bound on how much
+    objective the answer can be leaving on the table: ``f* − f(x) ≤
+    optimality_gap`` (absolute, candidate-objective units), derived
+    from concavity via the Frank-Wolfe duality gap
+    ``∇f(x)·(y_LP − x)`` (see ``repro.scale``).  Exact methods whose
+    certificate is the KKT report leave it ``None``.
     """
 
     method: str
@@ -67,6 +74,7 @@ class SolverDiagnostics:
     line_search_evaluations: int = 0
     degraded: bool = False
     attempts: tuple[SolveAttempt, ...] = ()
+    optimality_gap: float | None = None
 
 
 @dataclass(frozen=True)

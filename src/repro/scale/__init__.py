@@ -1,0 +1,158 @@
+"""``repro.scale``: backends that push the solver past exact-GP scale.
+
+Three cooperating backends, each certified rather than trusted:
+
+``approx``
+    Frank-Wolfe water-filling (:mod:`~repro.scale.approx`) — near-
+    optimal in ``O(rounds · (nnz + n log n))`` with an a-posteriori
+    duality-gap bound on every answer.
+``decompose``
+    OD×link connectivity decomposition (:mod:`~repro.scale.decompose`)
+    — exact recombination across independent components, parallel on
+    the shared-memory batch pool, certified by full-problem KKT.
+``compiled``
+    The paper's exact gradient projection on fused CSR kernels
+    (:mod:`~repro.scale.compiled`) — numba when importable, pure
+    NumPy otherwise.
+
+:func:`solve_scaled` routes between them (and plain exact GP) with
+the same auto-policy mechanism :class:`~repro.core.routing_op
+.RoutingOperator` uses for dense/CSR: explicit ``backend=`` always
+wins; ``"auto"`` inspects cheap structural signals — candidate count
+against :data:`APPROX_AUTO_LINKS`, bipartite component count against
+:data:`DECOMPOSE_AUTO_COMPONENTS`, utility-family homogeneity — and
+records its choice in ``scale.backend.*`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import SamplingProblem
+from ..core.solution import SamplingSolution
+from ..obs.metrics import METRICS
+from .approx import (
+    ApproxOptions,
+    budget_lp_vertex,
+    frank_wolfe_gap,
+    solve_approx,
+)
+from .compiled import (
+    KERNEL_BACKEND,
+    NUMBA_AVAILABLE,
+    CompiledAccuracyObjective,
+    compiled_supported,
+    solve_compiled,
+)
+from .decompose import (
+    DecomposeOptions,
+    RoutingComponents,
+    routing_components,
+    solve_decomposed,
+)
+
+__all__ = [
+    "SCALE_BACKENDS",
+    "APPROX_AUTO_LINKS",
+    "DECOMPOSE_AUTO_COMPONENTS",
+    "DECOMPOSE_AUTO_MIN_LINKS",
+    "COMPILED_AUTO_LINKS",
+    "ApproxOptions",
+    "DecomposeOptions",
+    "RoutingComponents",
+    "CompiledAccuracyObjective",
+    "KERNEL_BACKEND",
+    "NUMBA_AVAILABLE",
+    "budget_lp_vertex",
+    "frank_wolfe_gap",
+    "compiled_supported",
+    "routing_components",
+    "choose_backend",
+    "solve_approx",
+    "solve_compiled",
+    "solve_decomposed",
+    "solve_scaled",
+]
+
+#: The backend names ``solve_scaled`` accepts (plus ``"auto"``).
+SCALE_BACKENDS = ("exact", "approx", "decompose", "compiled")
+
+#: Auto policy: candidate counts at or above this get the water-
+#: filling approximation — exact GP's active-set bookkeeping stops
+#: amortizing around here on one core.
+APPROX_AUTO_LINKS = 50_000
+
+#: Auto policy: decompose when the bipartite structure splits at
+#: least this many ways *and* the instance is big enough for the
+#: split to beat one exact solve.
+DECOMPOSE_AUTO_COMPONENTS = 2
+DECOMPOSE_AUTO_MIN_LINKS = 2_048
+
+#: Auto policy: the compiled objective takes over for mid-size
+#: homogeneous instances (below it, dispatch overhead dominates).
+COMPILED_AUTO_LINKS = 512
+
+
+def choose_backend(
+    problem: SamplingProblem, backend: str = "auto"
+) -> str:
+    """Resolve ``backend`` (maybe ``"auto"``) to a concrete backend.
+
+    Mirrors :meth:`RoutingOperator.from_matrix`: an explicit request
+    is honored verbatim; ``"auto"`` picks by structure — approximation
+    for very large candidate sets, decomposition for separable
+    mid-to-large instances, compiled exact GP for homogeneous
+    accuracy families, plain exact GP otherwise.
+    """
+    if backend != "auto":
+        if backend not in SCALE_BACKENDS:
+            raise ValueError(
+                f"unknown scale backend {backend!r}; "
+                f"know {('auto', *SCALE_BACKENDS)}"
+            )
+        return backend
+    candidates = int(problem.candidate_mask.sum())
+    if candidates >= APPROX_AUTO_LINKS:
+        return "approx"
+    if candidates >= DECOMPOSE_AUTO_MIN_LINKS:
+        if (
+            routing_components(problem).num_components
+            >= DECOMPOSE_AUTO_COMPONENTS
+        ):
+            return "decompose"
+    if candidates >= COMPILED_AUTO_LINKS and compiled_supported(
+        problem.utilities
+    ):
+        return "compiled"
+    return "exact"
+
+
+def solve_scaled(
+    problem: SamplingProblem,
+    backend: str = "auto",
+    approx_options: ApproxOptions | None = None,
+    decompose_options: DecomposeOptions | None = None,
+    gp_options=None,
+    warm_start: np.ndarray | None = None,
+) -> SamplingSolution:
+    """Solve through a scale backend selected by :func:`choose_backend`.
+
+    The returned diagnostics identify the backend that ran
+    (``diagnostics.method``) and — for every non-exact backend —
+    carry a certified ``optimality_gap``.
+    """
+    resolved = choose_backend(problem, backend)
+    METRICS.increment(f"scale.backend.{resolved}")
+    if resolved == "approx":
+        return solve_approx(
+            problem, options=approx_options, warm_start=warm_start
+        )
+    if resolved == "decompose":
+        return solve_decomposed(problem, options=decompose_options)
+    if resolved == "compiled":
+        return solve_compiled(
+            problem, options=gp_options, warm_start=warm_start
+        )
+    from ..core.solver import solve
+
+    return solve(problem, options=gp_options)

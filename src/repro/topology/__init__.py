@@ -4,6 +4,8 @@ from .abilene import ABILENE_DUPLEX_LINKS, ABILENE_POPS, abilene_network
 from .geant import GEANT_DUPLEX_LINKS, GEANT_POPS, UK_ACCESS_NODE, geant_network
 from .generators import (
     full_mesh_network,
+    hierarchical_network,
+    hierarchical_routing_problem,
     line_network,
     random_scale_free_network,
     random_waxman_network,
@@ -43,6 +45,8 @@ __all__ = [
     "star_network",
     "full_mesh_network",
     "line_network",
+    "hierarchical_network",
+    "hierarchical_routing_problem",
     "network_to_json",
     "network_from_json",
     "save_network",

@@ -91,10 +91,23 @@ def _nsfnet_problem() -> tuple[str, SamplingProblem]:
     return net.name, SamplingProblem.from_task(task, theta_packets=50_000.0)
 
 
+def _hier_decomposable_problem() -> tuple[str, SamplingProblem]:
+    """Pod-local hierarchical instance — the decomposition backend's
+    canonical shape (``intra_pod_fraction=1.0`` splits the OD×link
+    bipartite graph into one component per pod)."""
+    from ..topology import hierarchical_routing_problem
+
+    problem = hierarchical_routing_problem(
+        4, 8, 2, intra_pod_fraction=1.0, seed=2006
+    )
+    return "hier-4x8+2", problem
+
+
 _CASES = {
     "geant": lambda: _geant_problem(100_000.0),
     "geant-lowcap": lambda: _geant_problem(20_000.0),
     "nsfnet": _nsfnet_problem,
+    "hier-decomposable": _hier_decomposable_problem,
 }
 
 

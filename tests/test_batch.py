@@ -301,3 +301,70 @@ class TestSolveBatch:
             assert solution.objective_value == pytest.approx(
                 reference.objective_value, rel=1e-9
             )
+
+
+class TestMaxProcessesEnv:
+    """The REPRO_MAX_PROCESSES cap on solve_batch's default pool size."""
+
+    def test_env_caps_default(self, monkeypatch):
+        from repro.core.batch import MAX_PROCESSES_ENV, _default_processes
+
+        monkeypatch.delenv(MAX_PROCESSES_ENV, raising=False)
+        uncapped = _default_processes(64)
+        monkeypatch.setenv(MAX_PROCESSES_ENV, "1")
+        assert _default_processes(64) == 1
+        monkeypatch.setenv(MAX_PROCESSES_ENV, "10000")
+        assert _default_processes(64) == uncapped
+
+    def test_invalid_env_ignored_and_counted(self, monkeypatch):
+        from repro.core.batch import MAX_PROCESSES_ENV, _default_processes
+
+        monkeypatch.delenv(MAX_PROCESSES_ENV, raising=False)
+        uncapped = _default_processes(64)
+        for bad in ("zero", "", "0", "-3"):
+            monkeypatch.setenv(MAX_PROCESSES_ENV, bad)
+            with collecting_metrics(reset=True) as registry:
+                assert _default_processes(64) == uncapped
+                counters = registry.snapshot()["counters"]
+            assert counters["batch.env_cap.invalid"] == 1
+
+    def test_capped_batch_still_correct(self, geant_problem, monkeypatch):
+        from repro.core.batch import MAX_PROCESSES_ENV
+
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS[:3]
+        ]
+        monkeypatch.setenv(MAX_PROCESSES_ENV, "1")
+        solutions = solve_batch(problems)
+        for solution, problem in zip(solutions, problems):
+            reference = solve_gradient_projection(problem)
+            assert solution.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-10
+            )
+
+    def test_explicit_processes_ignores_cap(self, geant_problem, monkeypatch):
+        from repro.core.batch import MAX_PROCESSES_ENV
+
+        # The cap only flows through the *default*; explicit callers
+        # pick their own worker count at the solve_batch call site.
+        problems = [
+            geant_problem.with_theta(theta).clamped() for theta in THETAS[:3]
+        ]
+        monkeypatch.setenv(MAX_PROCESSES_ENV, "1")
+        with collecting_metrics(reset=True) as registry:
+            solve_batch(problems, processes=2)
+            snapshot = registry.snapshot()
+        assert snapshot["gauges"]["batch.pool.workers"] == 2
+
+    def test_cap_applied_counter(self, monkeypatch):
+        from repro.core.batch import MAX_PROCESSES_ENV, _default_processes
+
+        import os
+
+        if (os.cpu_count() or 1) < 2:  # pragma: no cover - 1-cpu hosts
+            pytest.skip("host has a single CPU; cap never binds")
+        monkeypatch.setenv(MAX_PROCESSES_ENV, "1")
+        with collecting_metrics(reset=True) as registry:
+            _default_processes(64)
+            counters = registry.snapshot()["counters"]
+        assert counters["batch.env_cap.applied"] == 1

@@ -87,6 +87,41 @@ class TestSolveCommand:
         payload = json.loads(capsys.readouterr().out)
         assert all(name.startswith("UK->") for name in payload["monitors"])
 
+    def test_backend_approx_reports_certified_gap(self, capsys):
+        code = main(["solve", "--theta", "100000",
+                     "--backend", "approx", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"]
+        assert payload["method"] == "approx_waterfill"
+        assert payload["backend"] == "approx"
+        assert payload["optimality_gap"] >= 0.0
+
+    def test_backend_compiled_is_exact(self, capsys):
+        code = main(["solve", "--theta", "100000",
+                     "--backend", "compiled", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"].startswith("compiled_gp[")
+        assert payload["converged"]
+
+    def test_backend_exact_leaves_gap_unset(self, capsys):
+        code = main(["solve", "--theta", "100000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "exact"
+        assert payload["optimality_gap"] is None
+
+    def test_backend_rejects_restrict_to_node(self):
+        with pytest.raises(SystemExit, match="network-wide"):
+            main(["solve", "--theta", "100000", "--backend", "approx",
+                  "--restrict-to-node", "UK"])
+
+    def test_backend_rejects_scipy_method(self):
+        with pytest.raises(SystemExit, match="replaces the solver"):
+            main(["solve", "--theta", "100000", "--backend", "approx",
+                  "--method", "slsqp"])
+
 
 class TestTraceCommands:
     def _solve_with_trace(self, tmp_path, name, theta):

@@ -1,0 +1,161 @@
+"""Tests for the Frank-Wolfe water-filling approximation backend."""
+
+import numpy as np
+import pytest
+
+from repro import SamplingProblem, janet_task
+from repro.core import check_kkt, solve
+from repro.obs import collecting_metrics
+from repro.scale import (
+    ApproxOptions,
+    budget_lp_vertex,
+    frank_wolfe_gap,
+    solve_approx,
+)
+
+
+@pytest.fixture(scope="module")
+def geant_problem():
+    return SamplingProblem.from_task(janet_task(), theta_packets=100_000)
+
+
+class TestBudgetLpVertex:
+    def test_vertex_is_feasible(self):
+        rng = np.random.default_rng(7)
+        loads = rng.uniform(10.0, 1000.0, 40)
+        alpha = rng.uniform(0.1, 1.0, 40)
+        gradient = rng.uniform(0.0, 5.0, 40)
+        target = 0.4 * float(loads @ alpha)
+        y = budget_lp_vertex(gradient, loads, alpha, target)
+        assert np.all(y >= 0.0)
+        assert np.all(y <= alpha + 1e-12)
+        assert float(y @ loads) == pytest.approx(target, rel=1e-12)
+
+    def test_vertex_maximizes_linear_objective(self):
+        rng = np.random.default_rng(11)
+        loads = rng.uniform(10.0, 1000.0, 25)
+        alpha = rng.uniform(0.1, 1.0, 25)
+        gradient = rng.uniform(0.0, 5.0, 25)
+        target = 0.3 * float(loads @ alpha)
+        y = budget_lp_vertex(gradient, loads, alpha, target)
+        best = float(gradient @ y)
+        # No random feasible point beats the water-filling vertex.
+        for seed in range(20):
+            r = np.random.default_rng(seed).uniform(0.0, 1.0, 25) * alpha
+            r *= target / float(r @ loads)
+            if np.all(r <= alpha + 1e-12):
+                assert float(gradient @ r) <= best + 1e-9 * abs(best)
+
+    def test_saturating_budget_returns_alpha(self):
+        loads = np.array([100.0, 200.0])
+        alpha = np.array([0.5, 0.5])
+        y = budget_lp_vertex(np.array([1.0, 2.0]), loads, alpha, 1e9)
+        np.testing.assert_allclose(y, alpha)
+
+
+class TestFrankWolfeGap:
+    def test_gap_nonnegative_and_zero_only_at_vertex(self):
+        rng = np.random.default_rng(3)
+        loads = rng.uniform(10.0, 100.0, 12)
+        alpha = rng.uniform(0.2, 0.9, 12)
+        gradient = rng.uniform(0.1, 2.0, 12)
+        target = 0.5 * float(loads @ alpha)
+        x = budget_lp_vertex(np.ones(12), loads, alpha, target)
+        gap, vertex = frank_wolfe_gap(gradient, x, loads, alpha, target)
+        assert gap >= 0.0
+        gap_at_vertex, _ = frank_wolfe_gap(
+            gradient, vertex, loads, alpha, target
+        )
+        assert gap_at_vertex == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_tiny_at_exact_optimum(self, geant_problem):
+        exact = solve(geant_problem)
+        from repro.core import SumUtilityObjective
+
+        cand = np.flatnonzero(geant_problem.candidate_mask)
+        objective = SumUtilityObjective(
+            geant_problem.candidate_routing_op(), geant_problem.utilities
+        )
+        x = exact.rates[cand]
+        gap, _ = frank_wolfe_gap(
+            objective.gradient(x),
+            x,
+            geant_problem.link_loads_pps[cand],
+            geant_problem.alpha[cand],
+            geant_problem.theta_rate_pps,
+        )
+        assert gap <= 1e-6 * max(1.0, abs(exact.objective_value))
+
+
+class TestSolveApprox:
+    def test_converges_with_certificate(self, geant_problem):
+        solution = solve_approx(geant_problem)
+        d = solution.diagnostics
+        assert d.method == "approx_waterfill"
+        assert d.converged
+        assert d.optimality_gap is not None and d.optimality_gap >= 0.0
+        assert d.optimality_gap <= 5e-3 * max(1.0, abs(d.objective_value))
+
+    def test_certificate_is_sound_against_exact(self, geant_problem):
+        exact = solve(geant_problem)
+        approx = solve_approx(geant_problem)
+        shortfall = (
+            exact.diagnostics.objective_value
+            - approx.diagnostics.objective_value
+        )
+        # f* − f(x) ≤ certified gap, up to roundoff.
+        assert shortfall <= approx.diagnostics.optimality_gap + 1e-9 * max(
+            1.0, abs(exact.diagnostics.objective_value)
+        )
+
+    def test_result_is_feasible(self, geant_problem):
+        solution = solve_approx(geant_problem)
+        assert np.all(solution.rates >= 0.0)
+        assert np.all(solution.rates <= geant_problem.alpha + 1e-12)
+        kkt = check_kkt(geant_problem, solution.rates)
+        assert kkt.feasibility_residual <= 1e-6
+
+    def test_tighter_tolerance_tightens_gap(self, geant_problem):
+        loose = solve_approx(
+            geant_problem, options=ApproxOptions(gap_tolerance=5e-2)
+        )
+        tight = solve_approx(
+            geant_problem,
+            options=ApproxOptions(gap_tolerance=1e-4, max_rounds=5_000),
+        )
+        assert tight.diagnostics.optimality_gap <= (
+            loose.diagnostics.optimality_gap + 1e-12
+        )
+        assert tight.diagnostics.optimality_gap <= 1e-4 * max(
+            1.0, abs(tight.diagnostics.objective_value)
+        )
+
+    def test_warm_start_from_exact_certifies_immediately(self, geant_problem):
+        exact = solve(geant_problem)
+        warm = solve_approx(geant_problem, warm_start=exact.rates)
+        assert warm.diagnostics.converged
+        assert warm.diagnostics.iterations <= 2
+
+    def test_round_cap_still_returns_certificate(self, geant_problem):
+        capped = solve_approx(
+            geant_problem,
+            options=ApproxOptions(gap_tolerance=1e-15, max_rounds=3),
+        )
+        assert not capped.diagnostics.converged
+        assert np.isfinite(capped.diagnostics.optimality_gap)
+        assert "certified gap" in capped.diagnostics.message
+
+    def test_metrics_recorded(self, geant_problem):
+        with collecting_metrics(reset=True) as registry:
+            solve_approx(geant_problem)
+            counters = registry.snapshot()["counters"]
+        assert counters["solver.approx.solves"] == 1
+        assert counters["solver.approx.rounds"] >= 1
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError, match="gap_tolerance"):
+            ApproxOptions(gap_tolerance=0.0)
+        with pytest.raises(ValueError, match="max_rounds"):
+            ApproxOptions(max_rounds=0)
+        with pytest.raises(ValueError, match="wall_clock_limit_s"):
+            ApproxOptions(wall_clock_limit_s=-1.0)

@@ -1,0 +1,124 @@
+"""Tests for the compiled (numba-or-NumPy) objective backend."""
+
+import numpy as np
+import pytest
+
+from repro import SamplingProblem, janet_task
+from repro.core import LogUtility, SumUtilityObjective, solve
+from repro.scale import (
+    KERNEL_BACKEND,
+    NUMBA_AVAILABLE,
+    CompiledAccuracyObjective,
+    compiled_supported,
+    solve_compiled,
+)
+from repro.scale.compiled import _numpy_ray
+
+
+@pytest.fixture(scope="module")
+def geant_problem():
+    return SamplingProblem.from_task(janet_task(), theta_packets=100_000)
+
+
+@pytest.fixture(scope="module")
+def objectives(geant_problem):
+    op = geant_problem.candidate_routing_op()
+    return (
+        SumUtilityObjective(op, geant_problem.utilities),
+        CompiledAccuracyObjective(op, geant_problem.utilities),
+    )
+
+
+def _feasible_points(problem, count=5):
+    rng = np.random.default_rng(13)
+    cand = np.flatnonzero(problem.candidate_mask)
+    loads = problem.link_loads_pps[cand]
+    alpha = problem.alpha[cand]
+    for _ in range(count):
+        x = rng.uniform(0.0, 1.0, len(cand)) * alpha
+        x *= problem.theta_rate_pps / float(x @ loads)
+        yield np.clip(x, 0.0, alpha)
+
+
+class TestBackendSelection:
+    def test_backend_matches_numba_presence(self):
+        assert KERNEL_BACKEND == ("numba" if NUMBA_AVAILABLE else "numpy")
+
+    def test_supported_is_family_homogeneity(self, geant_problem):
+        assert compiled_supported(geant_problem.utilities)
+        mixed = list(geant_problem.utilities[:-1]) + [LogUtility()]
+        assert not compiled_supported(mixed)
+
+    def test_heterogeneous_family_rejected(self, geant_problem):
+        mixed = list(geant_problem.utilities[:-1]) + [LogUtility()]
+        with pytest.raises(ValueError, match="homogeneous"):
+            CompiledAccuracyObjective(
+                geant_problem.candidate_routing_op(), mixed
+            )
+
+
+class TestFusedEvaluator:
+    def test_value_and_gradient_match_generic(self, geant_problem, objectives):
+        generic, compiled = objectives
+        for x in _feasible_points(geant_problem):
+            assert compiled.value(x) == pytest.approx(
+                generic.value(x), rel=1e-12, abs=1e-12
+            )
+            np.testing.assert_allclose(
+                compiled.gradient(x), generic.gradient(x),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    def test_ray_matches_generic(self, geant_problem, objectives):
+        generic, compiled = objectives
+        x = next(iter(_feasible_points(geant_problem)))
+        rng = np.random.default_rng(3)
+        s = rng.normal(size=x.shape)
+        ray_generic = generic.along_ray(x, s)
+        ray_compiled = compiled.along_ray(x, s)
+        for t in (0.0, 0.1, 0.37, 0.9):
+            assert ray_compiled.value(t) == pytest.approx(
+                ray_generic.value(t), rel=1e-10, abs=1e-10
+            )
+            assert ray_compiled.slope(t) == pytest.approx(
+                ray_generic.slope(t), rel=1e-9, abs=1e-10
+            )
+            assert ray_compiled.curvature(t) == pytest.approx(
+                ray_generic.curvature(t), rel=1e-9, abs=1e-10
+            )
+
+    def test_numpy_ray_consistent_with_objective(self, geant_problem, objectives):
+        _, compiled = objectives
+        x = next(iter(_feasible_points(geant_problem)))
+        rho0 = compiled.rho(x)
+        delta = np.zeros_like(rho0)
+        value, slope, curvature = _numpy_ray(
+            rho0, delta, 0.0,
+            compiled._c, compiled._x0, compiled._a0,
+            compiled._d1, compiled._d2, compiled._w,
+        )
+        assert value == pytest.approx(compiled.value(x), rel=1e-12)
+        assert slope == 0.0 and curvature == 0.0
+
+
+class TestSolveCompiled:
+    def test_matches_exact_solver(self, geant_problem):
+        exact = solve(geant_problem)
+        compiled = solve_compiled(geant_problem)
+        assert compiled.diagnostics.converged
+        assert compiled.diagnostics.method == f"compiled_gp[{KERNEL_BACKEND}]"
+        gap = abs(
+            compiled.diagnostics.objective_value
+            - exact.diagnostics.objective_value
+        ) / max(1.0, abs(exact.diagnostics.objective_value))
+        assert gap <= 1e-7
+        assert np.abs(compiled.rates - exact.rates).max() <= 1e-6
+
+    def test_certificate_stamped(self, geant_problem):
+        compiled = solve_compiled(geant_problem)
+        gap = compiled.diagnostics.optimality_gap
+        assert gap is not None and 0.0 <= gap <= 1e-6 * max(
+            1.0, abs(compiled.diagnostics.objective_value)
+        )
+        assert compiled.diagnostics.kkt is not None
+        assert compiled.diagnostics.kkt.satisfied

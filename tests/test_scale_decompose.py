@@ -1,0 +1,154 @@
+"""Tests for the routing-connectivity decomposition backend."""
+
+import numpy as np
+import pytest
+
+from repro import SamplingProblem, janet_task
+from repro.core import solve
+from repro.obs import collecting_metrics
+from repro.scale import DecomposeOptions, routing_components, solve_decomposed
+from repro.scale.decompose import _group_components
+from repro.topology import hierarchical_routing_problem
+from repro.verify.differential import block_diagonal_problem
+
+
+@pytest.fixture(scope="module")
+def geant_problem():
+    return SamplingProblem.from_task(janet_task(), theta_packets=100_000)
+
+
+@pytest.fixture(scope="module")
+def block_problem(geant_problem):
+    return block_diagonal_problem(geant_problem)
+
+
+SERIAL = DecomposeOptions(parallel=False)
+
+
+class TestRoutingComponents:
+    def test_block_diagonal_doubles_components(
+        self, geant_problem, block_problem
+    ):
+        base = routing_components(geant_problem).num_components
+        structure = routing_components(block_problem)
+        assert structure.num_components == 2 * base
+        assert structure.num_components >= 2
+
+    def test_components_partition_candidates(self, block_problem):
+        structure = routing_components(block_problem)
+        cols = np.concatenate([c for _, c in structure.components])
+        assert len(cols) == len(set(cols.tolist()))
+        assert len(cols) == len(structure.candidate_links)
+
+    def test_pod_local_hierarchy_splits_per_pod(self):
+        problem = hierarchical_routing_problem(
+            4, 6, 2, intra_pod_fraction=1.0, seed=0
+        )
+        structure = routing_components(problem)
+        # At least one component per pod (pods may fragment further
+        # when sampled OD pairs don't cover every leaf).
+        assert structure.num_components >= 4
+
+
+class TestGroupComponents:
+    def test_identity_below_cap(self, block_problem):
+        components = routing_components(block_problem).components
+        assert _group_components(components, 32) is components
+
+    def test_packs_to_at_most_max(self):
+        problem = hierarchical_routing_problem(
+            12, 6, 2, intra_pod_fraction=1.0, seed=1
+        )
+        components = routing_components(problem).components
+        assert len(components) > 4
+        grouped = _group_components(components, 4)
+        assert len(grouped) == 4
+        total_cols = sum(len(c) for _, c in components)
+        assert sum(len(c) for _, c in grouped) == total_cols
+
+
+class TestSolveDecomposed:
+    def test_matches_full_solve_on_block_diagonal(self, block_problem):
+        merged = solve_decomposed(block_problem, options=SERIAL)
+        full = solve(block_problem)
+        gap = abs(
+            merged.diagnostics.objective_value
+            - full.diagnostics.objective_value
+        ) / max(1.0, abs(full.diagnostics.objective_value))
+        assert merged.diagnostics.converged
+        assert gap <= 1e-6
+
+    def test_certificate_present(self, block_problem):
+        merged = solve_decomposed(block_problem, options=SERIAL)
+        d = merged.diagnostics
+        assert d.method == "decompose"
+        assert d.optimality_gap is not None and d.optimality_gap >= 0.0
+        assert d.optimality_gap <= 1e-6 * max(1.0, abs(d.objective_value))
+
+    def test_budget_respected(self, block_problem):
+        merged = solve_decomposed(block_problem, options=SERIAL)
+        assert merged.budget_used_packets <= (
+            block_problem.theta_packets * (1 + 1e-9)
+        )
+
+    def test_single_component_falls_through(self, geant_problem):
+        merged = solve_decomposed(geant_problem, options=SERIAL)
+        full = solve(geant_problem)
+        assert merged.diagnostics.converged
+        assert merged.diagnostics.objective_value == pytest.approx(
+            full.diagnostics.objective_value, rel=1e-8, abs=1e-9
+        )
+
+    def test_pod_local_hierarchy(self):
+        problem = hierarchical_routing_problem(
+            4, 8, 2, intra_pod_fraction=1.0, seed=2006
+        )
+        merged = solve_decomposed(problem, options=SERIAL)
+        full = solve(problem)
+        gap = abs(
+            merged.diagnostics.objective_value
+            - full.diagnostics.objective_value
+        ) / max(1.0, abs(full.diagnostics.objective_value))
+        assert merged.diagnostics.converged
+        assert gap <= 1e-6
+
+    def test_block_cap_changes_blocks_not_answer(self):
+        problem = hierarchical_routing_problem(
+            8, 6, 2, intra_pod_fraction=1.0, seed=5
+        )
+        free = solve_decomposed(problem, options=SERIAL)
+        capped = solve_decomposed(
+            problem,
+            options=DecomposeOptions(parallel=False, max_subproblems=3),
+        )
+        assert capped.diagnostics.converged
+        assert capped.diagnostics.objective_value == pytest.approx(
+            free.diagnostics.objective_value, rel=1e-7, abs=1e-8
+        )
+
+    def test_parallel_matches_serial(self, block_problem):
+        serial = solve_decomposed(block_problem, options=SERIAL)
+        parallel = solve_decomposed(
+            block_problem, options=DecomposeOptions(parallel=True)
+        )
+        assert parallel.diagnostics.converged
+        assert parallel.diagnostics.objective_value == pytest.approx(
+            serial.diagnostics.objective_value, rel=1e-8, abs=1e-9
+        )
+
+    def test_metrics_recorded(self, block_problem):
+        with collecting_metrics(reset=True) as registry:
+            solve_decomposed(block_problem, options=SERIAL)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["scale.decompose.solves"] == 1
+        assert snapshot["gauges"]["scale.decompose.components"] >= 2
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            DecomposeOptions(max_rounds=0)
+        with pytest.raises(ValueError, match="kkt_tolerance"):
+            DecomposeOptions(kkt_tolerance=0.0)
+        with pytest.raises(ValueError, match="gap_tolerance"):
+            DecomposeOptions(gap_tolerance=-1.0)
+        with pytest.raises(ValueError, match="max_subproblems"):
+            DecomposeOptions(max_subproblems=0)

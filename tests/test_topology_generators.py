@@ -1,11 +1,14 @@
 """Tests for random/synthetic topology generators."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topology import (
     full_mesh_network,
+    hierarchical_network,
+    hierarchical_routing_problem,
     line_network,
     random_scale_free_network,
     random_waxman_network,
@@ -73,3 +76,94 @@ class TestRandomGenerators:
         net = random_scale_free_network(30, seed=1)
         degrees = sorted(net.degree(n) for n in net.node_names)
         assert degrees[-1] >= 2 * degrees[0]
+
+
+class TestHierarchicalNetwork:
+    def test_shape_and_connectivity(self):
+        net = hierarchical_network(3, 4, num_cores=2)
+        assert net.num_nodes == 2 + 3 + 3 * 4
+        assert net.num_links == 2 * (3 * 4 + 3 * 2)
+        assert net.is_strongly_connected()
+
+    def test_deterministic(self):
+        a = hierarchical_network(4, 5, num_cores=3)
+        b = hierarchical_network(4, 5, num_cores=3)
+        assert [(l.src, l.dst) for l in a.links] == [
+            (l.src, l.dst) for l in b.links
+        ]
+
+    def test_large_n_connected(self):
+        net = hierarchical_network(20, 50, num_cores=4)
+        assert net.num_links == 2 * (20 * 50 + 20 * 4)
+        assert net.is_strongly_connected()
+
+    def test_rejects_empty_tiers(self):
+        with pytest.raises(ValueError):
+            hierarchical_network(0, 4)
+        with pytest.raises(ValueError):
+            hierarchical_network(4, 0)
+        with pytest.raises(ValueError):
+            hierarchical_network(4, 4, num_cores=0)
+
+
+class TestHierarchicalRoutingProblem:
+    def test_large_n_loads_positive_finite(self):
+        problem = hierarchical_routing_problem(100, 50, 2, seed=7)
+        assert problem.num_links == 2 * (100 * 50 + 100 * 2)
+        loads = problem.link_loads_pps
+        assert np.all(loads > 0.0)
+        assert np.all(np.isfinite(loads))
+        problem.check_feasible()
+
+    def test_large_n_stays_sparse(self):
+        """CSR round-trip without densifying: ≤ 4 nnz per OD row, so
+        the matrix must stay orders of magnitude below its dense size."""
+        problem = hierarchical_routing_problem(100, 50, 2, seed=7)
+        assert problem.routing_op.backend == "sparse"
+        csr = problem.routing_op.tosparse()
+        assert csr is not None
+        assert csr.nnz <= 4 * problem.num_od_pairs
+        stored = (
+            csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        )
+        dense_bytes = 8 * problem.num_od_pairs * problem.num_links
+        assert stored < 2**20  # about 350 KiB here
+        assert stored < dense_bytes / 100
+        roundtrip = csr.tocsc().tocsr()
+        assert (roundtrip != csr).nnz == 0
+
+    def test_deterministic_for_seed(self):
+        a = hierarchical_routing_problem(6, 8, 2, seed=11)
+        b = hierarchical_routing_problem(6, 8, 2, seed=11)
+        np.testing.assert_array_equal(a.link_loads_pps, b.link_loads_pps)
+        assert a.theta_packets == b.theta_packets
+        assert (
+            a.routing_op.tosparse() != b.routing_op.tosparse()
+        ).nnz == 0
+
+    def test_pod_local_traffic_spares_aggregation_links(self):
+        problem = hierarchical_routing_problem(
+            5, 6, 2, intra_pod_fraction=1.0, seed=3
+        )
+        csr = problem.routing_op.tosparse()
+        # agg links occupy the tail of the layout; pod-local flows
+        # never traverse them.
+        first_agg = 2 * 5 * 6
+        assert csr.indices.max() < first_agg
+
+    def test_single_pod_forces_intra(self):
+        problem = hierarchical_routing_problem(
+            1, 10, 2, intra_pod_fraction=0.0, seed=0
+        )
+        csr = problem.routing_op.tosparse()
+        assert csr.indices.max() < 2 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_routing_problem(0, 4, 2)
+        with pytest.raises(ValueError):
+            hierarchical_routing_problem(4, 4, 2, intra_pod_fraction=1.5)
+        with pytest.raises(ValueError):
+            hierarchical_routing_problem(4, 4, 2, theta_fraction=0.0)
+        with pytest.raises(ValueError):
+            hierarchical_routing_problem(4, 4, 2, num_od_pairs=0)
