@@ -389,6 +389,91 @@ def bench_presolve(name: str, problem: SamplingProblem, repeats: int) -> dict:
     }
 
 
+def _per_call_ns(fn: Callable[[], object], calls: int = 200_000) -> float:
+    """Average wall-clock nanoseconds per call of ``fn``."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def bench_obs_overhead(
+    name: str, problem: SamplingProblem, repeats: int
+) -> dict:
+    """Cost of the observability layer on the solver hot path.
+
+    Two views.  ``enabled_overhead_relative`` is the direct (noisy)
+    enabled-vs-disabled solve timing ratio.  The gated figure,
+    ``disabled_overhead_relative``, is *estimated*: the per-call cost
+    of the disabled primitives (microbenchmarked in the ambient
+    everything-off state) times the number of instrumentation events
+    one solve emits, over the disabled solve time.  The estimate is
+    deterministic enough for CI to hold at <= 1% where a direct diff
+    of two ~30 ms timings would drown in scheduler noise.  Counter
+    values approximate call counts (increments are by 1 on the hot
+    path), which if anything *overstates* the disabled cost.
+    """
+    from repro.obs import collecting_spans
+    from repro.obs.metrics import METRICS
+    from repro.obs.spans import span, spans_active
+
+    disabled_s, disabled = _best_of(
+        lambda: solve(problem, options=OPTIMIZED_OPTIONS), repeats
+    )
+    with collecting_spans(name) as recorder, \
+            collecting_metrics(reset=True) as registry:
+        enabled_s, enabled = _best_of(
+            lambda: solve(problem, options=OPTIMIZED_OPTIONS), repeats
+        )
+        snapshot = registry.snapshot()
+    metric_events = (
+        sum(snapshot["counters"].values())
+        + sum(t["count"] for t in snapshot["timers"].values())
+        + sum(h["count"] for h in snapshot["histograms"].values())
+    ) / repeats
+    span_events = len(recorder.spans) / repeats
+
+    # Ambient state again: everything off — these time the fast path.
+    assert not METRICS.enabled and not spans_active()
+    increment_ns = _per_call_ns(lambda: METRICS.increment("bench.obs.noop"))
+
+    def _noop_span():
+        with span("bench.obs.noop"):
+            pass
+
+    span_ns = _per_call_ns(_noop_span)
+    spans_active_ns = _per_call_ns(spans_active)
+    estimated_s = (metric_events * increment_ns + span_events * span_ns) * 1e-9
+
+    objective_gap = abs(
+        enabled.objective_value - disabled.objective_value
+    ) / max(abs(disabled.objective_value), 1e-300)
+    return {
+        "kind": "obs",
+        "name": name,
+        "links": problem.num_links,
+        "od_pairs": problem.num_od_pairs,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "enabled_overhead_relative": enabled_s / disabled_s - 1.0
+        if disabled_s > 0
+        else None,
+        "metric_events_per_solve": metric_events,
+        "span_events_per_solve": span_events,
+        "disabled_increment_ns": increment_ns,
+        "disabled_span_ns": span_ns,
+        "disabled_spans_active_ns": spans_active_ns,
+        "estimated_disabled_cost_seconds": estimated_s,
+        "disabled_overhead_relative": estimated_s / disabled_s
+        if disabled_s > 0
+        else None,
+        "both_converged": bool(
+            disabled.diagnostics.converged and enabled.diagnostics.converged
+        ),
+        "relative_objective_gap": objective_gap,
+    }
+
+
 def bench_batch_shm(
     name: str,
     problems: Sequence[SamplingProblem],
@@ -620,6 +705,7 @@ def run_benchmarks(
         bench_solver(
             "waxman-quick" if quick else "waxman-large-sparse", large, repeats
         ),
+        bench_obs_overhead("obs-overhead-geant-janet", geant, repeats),
         bench_presolve("presolve-geant-janet", geant, repeats),
         bench_presolve(
             "presolve-segmented-quick" if quick
@@ -747,6 +833,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"reduced {entry['reduced_seconds']:.3f}s "
                 f"({entry['speedup']:.1f}x, "
                 f"gap {entry['relative_objective_gap']:.1e})"
+            )
+        elif entry["kind"] == "obs":
+            print(
+                f"[obs] {entry['name']}: "
+                f"disabled {entry['disabled_seconds']:.3f}s, "
+                f"enabled {entry['enabled_seconds']:.3f}s "
+                f"({entry['metric_events_per_solve']:.0f} metric + "
+                f"{entry['span_events_per_solve']:.0f} span events/solve); "
+                f"disabled overhead "
+                f"{entry['disabled_overhead_relative']:.2%} "
+                f"({entry['disabled_increment_ns']:.0f} ns/increment, "
+                f"{entry['disabled_span_ns']:.0f} ns/span)"
             )
         elif entry["kind"] == "scaling":
             parts = [f"[scaling] {entry['name']}: {entry['links']} links"]

@@ -95,7 +95,10 @@ from .obs import (
     MetricsRegistry,
     RunManifest,
     SolverTrace,
+    Span,
+    SpanRecorder,
     collecting_metrics,
+    collecting_spans,
     compare_manifests,
     configure_logging,
     disable_metrics,
@@ -104,7 +107,12 @@ from .obs import (
     get_logger,
     get_metrics,
     read_manifest,
+    record_span,
+    render_prometheus,
+    render_span_tree,
+    span,
     summarize_manifest,
+    summarize_spans,
     tracing,
     write_manifest,
 )
@@ -231,6 +239,14 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "collecting_metrics",
+    "render_prometheus",
+    "Span",
+    "SpanRecorder",
+    "span",
+    "record_span",
+    "collecting_spans",
+    "summarize_spans",
+    "render_span_tree",
     "configure_logging",
     "get_logger",
     "RunManifest",

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.supervisor import SupervisorPolicy
 from ..obs.logsetup import get_logger
 from ..obs.metrics import METRICS
+from ..obs.spans import span
 from ..obs.trace import SolverTrace
 from ..traffic.workloads import MeasurementTask
 
@@ -174,12 +175,13 @@ class AdaptiveController:
             alpha=self.config.alpha,
             interval_seconds=task.interval_seconds,
         ).clamped()
-        try:
-            solution = self._chain.solve(problem)
-        except Exception:  # noqa: BLE001 - the loop must survive a bad solve
-            if not self.config.hold_on_failure:
-                raise
-            solution = self._held_solution(problem)
+        with span("adaptive.plan", interval=self._interval):
+            try:
+                solution = self._chain.solve(problem)
+            except Exception:  # noqa: BLE001 - loop must survive a bad solve
+                if not self.config.hold_on_failure:
+                    raise
+                solution = self._held_solution(problem)
         METRICS.increment("adaptive.plans")
         if not solution.diagnostics.converged:
             logger.warning(

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     netsampling topology {show,export} <name>     # inspect topologies
     netsampling solve ...                         # run the optimizer
     netsampling sweep ...                         # θ sweeps (+ --chaos)
     netsampling experiments [name ...] [--quick]  # regenerate the paper
     netsampling trace {summary,compare} ...       # inspect run manifests
+    netsampling metrics <manifest>                # Prometheus exposition
     netsampling verify [--suite quick|full]       # differential checks
 
 Examples::
@@ -23,7 +24,9 @@ Examples::
     netsampling sweep --theta-min 1e4 --theta-max 1e6 --points 8 --chaos
     netsampling experiments table1 comparison --quick
     netsampling trace summary run.jsonl
+    netsampling trace summary run.jsonl --spans   # span waterfall
     netsampling trace compare before.jsonl after.jsonl
+    netsampling metrics run.jsonl                 # scrape-able text
     netsampling verify --suite quick --report verify_report.json
     netsampling verify --update-golden
 
@@ -51,11 +54,14 @@ from .experiments.runner import EXPERIMENTS
 from .obs import (
     SolverTrace,
     collecting_metrics,
+    collecting_spans,
     compare_manifests,
     configure_logging,
     fingerprint_problem,
     get_logger,
     read_manifest,
+    render_prometheus,
+    render_span_tree,
     summarize_manifest,
     tracing,
     write_manifest,
@@ -281,9 +287,21 @@ def build_parser() -> argparse.ArgumentParser:
     trc_sub = trc.add_subparsers(dest="trace_command", required=True)
     summ = trc_sub.add_parser("summary", help="digest one manifest")
     summ.add_argument("manifest", help="JSONL manifest from --trace-out")
+    summ.add_argument("--spans", action="store_true", dest="show_spans",
+                      help="also render the span waterfall (parent/child "
+                           "timing tree across every recording process)")
     comp = trc_sub.add_parser("compare", help="diff two manifests")
     comp.add_argument("manifest_a")
     comp.add_argument("manifest_b")
+
+    met = sub.add_parser(
+        "metrics",
+        help="export a manifest's metrics as Prometheus text",
+    )
+    met.add_argument("manifest", help="JSONL manifest from --trace-out")
+    met.add_argument("--prefix", default="repro",
+                     help="metric name prefix (default: repro)")
+    _add_log_level(met)
     return parser
 
 
@@ -379,15 +397,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.trace_out:
         # The ambient trace also captures nested solves (restricted,
-        # quantization refinement) without parameter plumbing.
+        # quantization refinement) without parameter plumbing; the
+        # span recorder stitches pooled/decomposed work into one tree.
         trace = SolverTrace(label=f"solve:{task.network.name}")
-        with tracing(trace), collecting_metrics() as registry:
+        with tracing(trace), collecting_metrics() as registry, \
+                collecting_spans(f"solve:{task.network.name}") as recorder:
             solution = _run_solve()
             metrics_snapshot = registry.snapshot()
         manifest_path = write_manifest(
             args.trace_out,
             trace,
             metrics=metrics_snapshot,
+            spans=recorder.spans,
             fingerprint=fingerprint_problem(
                 problem,
                 topology=task.network.name,
@@ -622,7 +643,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     seed = args.seed if args.seed is not None else get_default_seed()
     trace = SolverTrace(label=f"verify:{args.suite}")
     scope = tracing(trace) if args.trace_out else nullcontext()
-    with scope, collecting_metrics() as registry:
+    span_scope = (
+        collecting_spans(f"verify:{args.suite}")
+        if args.trace_out
+        else nullcontext()
+    )
+    with scope, collecting_metrics() as registry, span_scope as recorder:
         report = run_verification(
             suite=args.suite, seed=seed, instances=args.instances
         )
@@ -637,6 +663,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             args.trace_out,
             trace,
             metrics=metrics_snapshot,
+            # `is not None`: an empty SpanRecorder is falsy (len == 0).
+            spans=recorder.spans if recorder is not None else None,
             extra={"verify": payload},
         )
         logger.info("run manifest written to %s", manifest_path)
@@ -668,7 +696,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     metrics_scope = (
         collecting_metrics() if args.trace_out else nullcontext()
     )
-    with scope, metrics_scope as registry:
+    span_scope = (
+        collecting_spans("experiments") if args.trace_out else nullcontext()
+    )
+    with scope, metrics_scope as registry, span_scope as recorder:
         for name in names:
             logger.info("running experiment %s (quick=%s)", name, args.quick)
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
@@ -683,6 +714,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             args.trace_out,
             trace,
             metrics=metrics_snapshot,
+            # `is not None`: an empty SpanRecorder is falsy (len == 0).
+            spans=recorder.spans if recorder is not None else None,
             extra={"experiments": names, "quick": args.quick},
         )
         logger.info("run manifest written to %s", manifest_path)
@@ -699,7 +732,11 @@ def _read_manifest_arg(path: str):
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summary":
-        print(summarize_manifest(_read_manifest_arg(args.manifest)))
+        manifest = _read_manifest_arg(args.manifest)
+        print(summarize_manifest(manifest))
+        if args.show_spans:
+            print("\nspan waterfall:")
+            print(render_span_tree(manifest.spans))
         return 0
     print(
         compare_manifests(
@@ -707,6 +744,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             _read_manifest_arg(args.manifest_b),
         )
     )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    manifest = _read_manifest_arg(args.manifest)
+    if manifest.metrics is None:
+        raise SystemExit(
+            f"manifest {args.manifest!r} carries no metrics record "
+            "(was the run traced with --trace-out?)"
+        )
+    print(render_prometheus(manifest.metrics, prefix=args.prefix), end="")
     return 0
 
 
@@ -722,6 +770,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "verify":
             return _cmd_verify(args)
         return _cmd_experiments(args)

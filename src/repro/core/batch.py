@@ -41,6 +41,7 @@ import dataclasses
 import hashlib
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -50,7 +51,14 @@ import numpy as np
 
 from ..obs.logsetup import get_logger
 from ..obs.manifest import fingerprint_problem
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, diff_snapshots
+from ..obs.spans import (
+    active_span_recorder,
+    current_span_context,
+    record_span,
+    remote_span_context,
+    span,
+)
 from ..obs.trace import SolverTrace
 from .gradient_projection import (
     GradientProjectionOptions,
@@ -226,10 +234,12 @@ class WarmStartChain:
         METRICS.increment(
             "batch.warm_start.hit" if warm is not None else "batch.warm_start.miss"
         )
-        if self._policy is None:
-            solution = self._solve_one(problem, warm)
-        else:
-            solution = self._solve_supervised(problem, warm)
+        with span("batch.chain.solve", warm=warm is not None,
+                  supervised=self._policy is not None):
+            if self._policy is None:
+                solution = self._solve_one(problem, warm)
+            else:
+                solution = self._solve_supervised(problem, warm)
         self._previous_rates = solution.rates
         return solution
 
@@ -364,24 +374,26 @@ def solve_theta_sweep(
             raise ValueError("theta values must be positive")
         instance = problem.with_theta(float(theta))
         instances.append(instance.clamped() if clamp else instance)
-    if checkpoint is not None:
-        return _solve_checkpointed_sweep(
-            instances, thetas, checkpoint, method=method, options=options,
-            warm_start=warm_start, trace=trace, presolve=presolve,
+    with span("batch.theta_sweep", points=len(instances),
+              presolve=presolve, checkpointed=checkpoint is not None):
+        if checkpoint is not None:
+            return _solve_checkpointed_sweep(
+                instances, thetas, checkpoint, method=method, options=options,
+                warm_start=warm_start, trace=trace, presolve=presolve,
+                policy=policy,
+            )
+        if presolve and policy is None:
+            base = problem.presolve()
+            if not base.identity:
+                return _solve_presolved_sweep(
+                    base, instances, method=method, options=options,
+                    warm_start=warm_start, trace=trace,
+                )
+        return solve_chain(
+            instances, method=method, options=options, warm_start=warm_start,
+            trace=trace, presolve=(presolve and policy is not None),
             policy=policy,
         )
-    if presolve and policy is None:
-        base = problem.presolve()
-        if not base.identity:
-            return _solve_presolved_sweep(
-                base, instances, method=method, options=options,
-                warm_start=warm_start, trace=trace,
-            )
-    return solve_chain(
-        instances, method=method, options=options, warm_start=warm_start,
-        trace=trace, presolve=(presolve and policy is not None),
-        policy=policy,
-    )
 
 
 def _solve_checkpointed_sweep(
@@ -516,15 +528,101 @@ def _solve_shared(payload) -> tuple[np.ndarray, object]:
     return solution.rates, solution.diagnostics
 
 
+@dataclasses.dataclass
+class _ObsEnvelope:
+    """A pool task's result wrapped with its observability payload.
+
+    ``metrics`` is a snapshot-shaped delta of what the worker recorded
+    while running the task (see :func:`diff_snapshots`); ``spans`` are
+    the worker's finished spans as dicts.  The parent unwraps exactly
+    one envelope per *successful* result, so retried tasks can never
+    double-merge.
+    """
+
+    result: object
+    metrics: dict | None
+    spans: list
+
+
+def _obs_context() -> dict | None:
+    """What the parent ships so workers stitch observability back.
+
+    None when both spans and metrics are off in the parent — the
+    common case — so the pool path stays payload-identical to the
+    uninstrumented one.
+    """
+    context: dict = {}
+    if METRICS.enabled:
+        context["metrics"] = True
+    span_context = current_span_context()
+    if span_context is not None:
+        context["spans"] = span_context
+    return context or None
+
+
+def _run_observed(kind: str, payload, index: int, attempt: int, obs: dict):
+    """Worker-side task body under shipped observability context.
+
+    Enables the worker-local registry for the task (restoring after),
+    runs the solve inside a ``batch.task`` span parented to the
+    shipped remote context, and returns an :class:`_ObsEnvelope` with
+    the metrics delta and recorded spans.
+    """
+    collect_metrics = obs.get("metrics", False)
+    span_context = obs.get("spans")
+    was_enabled = METRICS.enabled
+    # Snapshot unconditionally: a reused worker's registry still holds
+    # earlier tasks' counts even when collection was toggled off
+    # between tasks, and those must not ship twice.
+    before = METRICS.snapshot() if collect_metrics else None
+    if collect_metrics and not was_enabled:
+        METRICS.enable()
+    try:
+        submitted = obs.get("submitted_s")
+        if submitted is not None:
+            METRICS.observe_histogram(
+                "batch.pool.queue_wait_seconds", time.time() - submitted
+            )
+        if span_context is not None:
+            with remote_span_context(
+                span_context, label=f"worker:{os.getpid()}"
+            ) as recorder:
+                with span("batch.task", index=index, attempt=attempt,
+                          kind=kind):
+                    result = _dispatch_task(kind, payload)
+            shipped = [item.to_dict() for item in recorder.spans]
+        else:
+            result = _dispatch_task(kind, payload)
+            shipped = []
+        delta = (
+            diff_snapshots(METRICS.snapshot(), before)
+            if collect_metrics
+            else None
+        )
+    finally:
+        if collect_metrics and not was_enabled:
+            METRICS.disable()
+    return _ObsEnvelope(result=result, metrics=delta, spans=shipped)
+
+
+def _dispatch_task(kind: str, payload):
+    if kind == "shared":
+        return _solve_shared(payload)
+    return _solve_single(payload)
+
+
 def _pool_run(task):
     """Pool entry point: arm fault injection, then dispatch by kind.
 
-    ``task`` is ``(kind, payload, index, attempt, plan)``.  The fault
-    plan travels *inside* the task (a forked worker's inherited module
-    state is a snapshot, and spawn-start workers have none), so worker
-    behaviour is governed entirely by what the parent shipped.
+    ``task`` is ``(kind, payload, index, attempt, plan, obs)``.  The
+    fault plan travels *inside* the task (a forked worker's inherited
+    module state is a snapshot, and spawn-start workers have none), so
+    worker behaviour is governed entirely by what the parent shipped.
+    ``obs`` (or None) likewise carries the parent's span context and
+    metrics opt-in — worker registries and recorders are process-local
+    snapshots, so enablement cannot be inherited reliably either.
     """
-    kind, payload, index, attempt, plan = task
+    kind, payload, index, attempt, plan, obs = task
     from ..resilience import faults
 
     if plan is not None:
@@ -532,9 +630,19 @@ def _pool_run(task):
     else:
         faults.clear_faults()
     faults.maybe_fire(faults.SITE_WORKER_EXIT, index=index, attempt=attempt)
-    if kind == "shared":
-        return _solve_shared(payload)
-    return _solve_single(payload)
+    if obs is not None:
+        return _run_observed(kind, payload, index, attempt, obs)
+    return _dispatch_task(kind, payload)
+
+
+def _merge_envelope(envelope: _ObsEnvelope) -> None:
+    """Fold one worker envelope into the parent's registry and trace."""
+    if envelope.metrics is not None:
+        METRICS.merge_snapshot(envelope.metrics)
+    if envelope.spans:
+        recorder = active_span_recorder()
+        if recorder is not None:
+            recorder.absorb(envelope.spans)
 
 
 def _run_crash_safe_pool(
@@ -565,6 +673,7 @@ def _run_crash_safe_pool(
     from ..resilience import faults as fault_mod
 
     plan = fault_mod.active_plan()
+    base_obs = _obs_context()
     payloads = {index: (kind, payload) for index, kind, payload in tasks}
     attempts = {index: 0 for index, _, _ in tasks}
     results: dict[int, object] = {}
@@ -588,19 +697,30 @@ def _run_crash_safe_pool(
             futures = {}
             for index in pending:
                 kind, payload = payloads[index]
+                task_obs = (
+                    None
+                    if base_obs is None
+                    else {**base_obs, "submitted_s": time.time()}
+                )
                 futures[
                     executor.submit(
-                        _pool_run, (kind, payload, index, attempts[index], plan)
+                        _pool_run,
+                        (kind, payload, index, attempts[index], plan, task_obs),
                     )
                 ] = index
             for future in as_completed(futures):
                 index = futures[future]
                 try:
-                    results[index] = future.result()
+                    value = future.result()
                 except BrokenProcessPool:
                     broken = True
                 except Exception as exc:  # noqa: BLE001 - isolate task faults
                     attempts[index] += 1
+                    record_span(
+                        "batch.task", duration_s=0.0, status="error",
+                        index=index, attempt=attempts[index] - 1,
+                        error=type(exc).__name__,
+                    )
                     if attempts[index] <= task_retries:
                         METRICS.increment("resilience.task.requeued")
                         logger.warning(
@@ -614,6 +734,11 @@ def _run_crash_safe_pool(
                             index, attempts[index], exc,
                         )
                         results[index] = inline_solve(index)
+                else:
+                    if isinstance(value, _ObsEnvelope):
+                        _merge_envelope(value)
+                        value = value.result
+                    results[index] = value
         if broken:
             pool_failures += 1
             METRICS.increment("resilience.pool.broken")
@@ -622,6 +747,13 @@ def _run_crash_safe_pool(
                 if index not in results and index not in requeue
             ]
             for index in lost:
+                # The worker died before shipping its span; close the
+                # task on the parent side so the trace shows the loss.
+                record_span(
+                    "batch.task", duration_s=0.0, status="error",
+                    index=index, attempt=attempts[index],
+                    error="BrokenProcessPool",
+                )
                 attempts[index] += 1
             METRICS.increment("resilience.pool.requeued", len(lost))
             logger.warning(
@@ -671,9 +803,16 @@ def solve_batch(
 
     Observability: pool fan-out is recorded on the parent registry
     (``batch.pool.tasks`` / ``batch.pool.workers``, plus the
-    ``batch.shm.*`` publication counters); counters incremented
-    *inside* worker processes stay in those processes — the metrics
-    registry is deliberately process-local.
+    ``batch.shm.*`` publication counters).  When the parent has
+    metrics collection or span recording on, each task additionally
+    ships the parent's context into the worker and returns an
+    :class:`_ObsEnvelope`: the worker's counter/gauge/timer/histogram
+    delta merges into the parent registry (so ``solver.*`` /
+    ``routing.*`` / ``objective.*`` reflect pooled work) and its
+    ``batch.task`` span subtree stitches under the parent's open span.
+    Workers that die before shipping get a parent-synthesized
+    ``batch.task`` span with ``status="error"``; deltas only travel
+    with successful results, so requeued tasks never merge twice.
 
     Crash safety: a worker that dies mid-task (OOM kill, segfault,
     injected ``worker.exit``) no longer aborts the batch — lost tasks
@@ -687,10 +826,12 @@ def solve_batch(
         processes = _default_processes(len(problems))
     if processes <= 1 or len(problems) <= _INLINE_BATCH_MAX:
         METRICS.increment("batch.sequential.tasks", len(problems))
-        return [
-            solve(problem, method=method, options=options, presolve=presolve)
-            for problem in problems
-        ]
+        with span("batch.solve_batch", tasks=len(problems), mode="inline"):
+            return [
+                solve(problem, method=method, options=options,
+                      presolve=presolve)
+                for problem in problems
+            ]
 
     workers = min(processes, len(problems))
     METRICS.increment("batch.pool.tasks", len(problems))
@@ -723,11 +864,13 @@ def solve_batch(
                     METRICS.increment("batch.shm.tasks", len(tasks))
                     METRICS.increment("batch.shm.dispatches")
                     METRICS.increment("batch.shm.bytes_avoided", int(avoided))
-                    with METRICS.timer("batch.pool.map"):
-                        results = _run_crash_safe_pool(
-                            tasks, workers, context, max_pool_restarts,
-                            task_retries, _inline,
-                        )
+                    with span("batch.solve_batch", tasks=len(tasks),
+                              workers=workers, mode="pool-shm"):
+                        with METRICS.timer("batch.pool.map"):
+                            results = _run_crash_safe_pool(
+                                tasks, workers, context, max_pool_restarts,
+                                task_retries, _inline,
+                            )
                     solutions = []
                     for index, problem in enumerate(problems):
                         result = results[index]
@@ -748,8 +891,11 @@ def solve_batch(
         (index, "single", (problem, method, options, presolve))
         for index, problem in enumerate(problems)
     ]
-    with METRICS.timer("batch.pool.map"):
-        results = _run_crash_safe_pool(
-            tasks, workers, context, max_pool_restarts, task_retries, _inline
-        )
+    with span("batch.solve_batch", tasks=len(tasks), workers=workers,
+              mode="pool-pickle"):
+        with METRICS.timer("batch.pool.map"):
+            results = _run_crash_safe_pool(
+                tasks, workers, context, max_pool_restarts, task_retries,
+                _inline,
+            )
     return [results[index] for index in range(len(problems))]

@@ -22,6 +22,7 @@ from time import perf_counter
 import numpy as np
 
 from ..obs.metrics import METRICS
+from ..obs.spans import record_span, spans_active
 from ..obs.trace import SolverTrace, active_trace
 from .active_set import ActiveSet
 from .kkt import check_kkt
@@ -350,6 +351,18 @@ def solve_gradient_projection(
     METRICS.increment("solver.gp.solves")
     METRICS.increment("solver.gp.iterations", iterations)
     METRICS.observe_timer("solver.gp.wall_time", wall_time_s)
+    METRICS.observe_histogram("solver.gp.solve_seconds", wall_time_s)
+    if spans_active():
+        # Post-hoc leaf span: the solve produced no child spans, so
+        # recording after the fact keeps the hot loop untouched while
+        # still parenting under whatever span was open around us.
+        record_span(
+            "solver.gp",
+            duration_s=wall_time_s,
+            iterations=iterations,
+            converged=converged,
+            links=problem.num_links,
+        )
     if trace is not None:
         trace.end_solve(
             iterations=iterations,

@@ -376,9 +376,20 @@ def attach_problem(handle: ProblemHandle) -> SamplingProblem:
     segment; the routing matrix is reassembled in the backend it was
     published from (CSR triplets are wrapped without copying).
     """
+    import time as _time
+
+    from ..obs.spans import record_span, spans_active
     from .utility import accuracy_utilities
 
+    t_start = _time.perf_counter()
     arrays = _attach_segment(handle)
+    attach_seconds = _time.perf_counter() - t_start
+    METRICS.observe_histogram("batch.shm.attach_seconds", attach_seconds)
+    if spans_active():
+        record_span(
+            "shm.attach", duration_s=attach_seconds,
+            segment=handle.segment, backend=handle.backend,
+        )
     if handle.backend == "sparse":
         if _sparse is None:  # pragma: no cover - parent had scipy
             raise RuntimeError("worker lacks scipy for a sparse handle")

@@ -16,9 +16,15 @@ The optimization stack is the system's hot path; this package makes it
     ``configure_logging()`` / ``get_logger()`` — one structured
     ``logging`` hierarchy under the ``repro`` root instead of ad-hoc
     prints.
+``repro.obs.spans``
+    Hierarchical wall-clock spans (trace/span/parent ids, status,
+    attributes) with an ambient :func:`span` context manager that is
+    zero-overhead when disabled and explicit context capture for
+    stitching worker spans across process and thread boundaries.
 ``repro.obs.manifest``
-    Run manifests: trace + metrics + problem fingerprint serialized to
-    JSONL, with summary and compare tooling (``netsampling trace``).
+    Run manifests: trace + metrics + spans + problem fingerprint
+    serialized to JSONL, with summary and compare tooling
+    (``netsampling trace``).
 
 This package deliberately imports nothing from ``repro.core`` so the
 solver stack can depend on it without cycles.
@@ -34,12 +40,29 @@ from .manifest import (
     write_manifest,
 )
 from .metrics import (
+    HISTOGRAM_BUCKETS,
     METRICS,
     MetricsRegistry,
     collecting_metrics,
+    diff_snapshots,
     disable_metrics,
     enable_metrics,
     get_metrics,
+    render_prometheus,
+)
+from .spans import (
+    Span,
+    SpanRecorder,
+    active_span_recorder,
+    collecting_spans,
+    current_span_context,
+    record_span,
+    remote_span_context,
+    render_span_tree,
+    span,
+    spans_active,
+    summarize_spans,
+    using_span_context,
 )
 from .trace import IterationRecord, SolverTrace, active_trace, tracing
 
@@ -47,10 +70,26 @@ __all__ = [
     # metrics
     "MetricsRegistry",
     "METRICS",
+    "HISTOGRAM_BUCKETS",
     "get_metrics",
     "enable_metrics",
     "disable_metrics",
     "collecting_metrics",
+    "diff_snapshots",
+    "render_prometheus",
+    # spans
+    "Span",
+    "SpanRecorder",
+    "span",
+    "record_span",
+    "spans_active",
+    "active_span_recorder",
+    "collecting_spans",
+    "current_span_context",
+    "remote_span_context",
+    "using_span_context",
+    "summarize_spans",
+    "render_span_tree",
     # trace
     "SolverTrace",
     "IterationRecord",

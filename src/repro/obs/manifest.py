@@ -15,8 +15,10 @@ Line grammar (each line is one JSON object with a ``record`` key)::
     {"record": "solve", "solve_index": 0, "meta": {...}}
     {"record": "iteration", "solve_index": 0, "iteration": 1, ...}
     {"record": "summary", "solve_index": 0, "diagnostics": {...}}
+    {"record": "span", "trace_id": ..., "span_id": ..., "parent_id": ...,
+     "name": ..., "start_s": ..., "duration_s": ..., "status": ...}
     {"record": "metrics", "counters": {...}, "gauges": {...},
-     "timers": {...}}
+     "timers": {...}, "histograms": {...}, "span_summary": {...}}
 
 This module imports nothing from ``repro.core``; problems and options
 are fingerprinted duck-typed so the dependency arrow keeps pointing
@@ -31,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from .spans import Span, summarize_spans
 from .trace import IterationRecord, SolverTrace
 
 __all__ = [
@@ -123,6 +126,7 @@ class RunManifest:
     solves: list[dict] = field(default_factory=list)
     iterations: list[IterationRecord] = field(default_factory=list)
     metrics: dict | None = None
+    spans: list[Span] = field(default_factory=list)
 
     @property
     def fingerprint(self) -> dict:
@@ -159,12 +163,16 @@ def write_manifest(
     metrics: dict | None = None,
     fingerprint: dict | None = None,
     extra: dict | None = None,
+    spans: Sequence[Span] | None = None,
 ) -> Path:
     """Serialize a trace (plus context) to a JSONL manifest file.
 
     ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
     dict (or None); ``fingerprint`` typically comes from
-    :func:`fingerprint_problem`.  Returns the written path.
+    :func:`fingerprint_problem`; ``spans`` is a sequence of
+    :class:`~repro.obs.spans.Span` (one ``span`` line each, plus a
+    ``span_summary`` aggregate inside the ``metrics`` record).  Returns
+    the written path.
     """
     path = Path(path)
     lines: list[dict] = [
@@ -196,8 +204,13 @@ def write_manifest(
                     "diagnostics": _jsonable(solve.summary),
                 }
             )
-    if metrics is not None:
-        lines.append({"record": "metrics", **_jsonable(metrics)})
+    for item in spans or ():
+        lines.append({"record": "span", **item.to_dict()})
+    if metrics is not None or spans:
+        record = {"record": "metrics", **_jsonable(metrics or {})}
+        if spans:
+            record["span_summary"] = summarize_spans(spans)
+        lines.append(record)
     with path.open("w", encoding="utf-8") as handle:
         for line in lines:
             handle.write(json.dumps(line, sort_keys=True))
@@ -239,6 +252,8 @@ def read_manifest(path: str | Path) -> RunManifest:
                 if entry not in manifest.solves:
                     manifest.solves.append(entry)
                 entry["summary"] = payload.get("diagnostics", {})
+            elif kind == "span":
+                manifest.spans.append(Span.from_dict(payload))
             elif kind == "metrics":
                 manifest.metrics = {
                     k: v for k, v in payload.items() if k != "record"
@@ -299,6 +314,32 @@ def summarize_manifest(manifest: RunManifest) -> str:
         counters = manifest.metrics.get("counters", {})
         for name in sorted(counters):
             lines.append(f"  metric {name} = {counters[name]:g}")
+        timers = manifest.metrics.get("timers", {})
+        for name in sorted(timers):
+            stats = timers[name]
+            count = stats.get("count", 0)
+            total = stats.get("total_s", 0.0)
+            mean = stats.get("mean_s", total / count if count else 0.0)
+            lines.append(
+                f"  timer {name}: count={count:g} total={total:.4f}s "
+                f"mean={mean:.6f}s"
+            )
+        histograms = manifest.metrics.get("histograms", {})
+        for name in sorted(histograms):
+            record = histograms[name]
+            lines.append(
+                f"  histogram {name}: count={record.get('count', 0)} "
+                f"p50={record.get('p50', 0.0):.6f}s "
+                f"p95={record.get('p95', 0.0):.6f}s "
+                f"p99={record.get('p99', 0.0):.6f}s"
+            )
+        span_summary = manifest.metrics.get("span_summary")
+        if span_summary:
+            lines.append(
+                f"  spans: {span_summary.get('count', 0)} recorded, "
+                f"{span_summary.get('errors', 0)} errors, "
+                f"{span_summary.get('processes', 0)} process(es)"
+            )
     return "\n".join(lines)
 
 
@@ -352,4 +393,28 @@ def compare_manifests(a: RunManifest, b: RunManifest) -> str:
         vb = counters_b.get(name, 0)
         if va != vb:
             lines.append(f"  metric {name}: {va:g} -> {vb:g} ({vb - va:+g})")
+    gauges_a = (a.metrics or {}).get("gauges", {})
+    gauges_b = (b.metrics or {}).get("gauges", {})
+    for name in sorted(set(gauges_a) | set(gauges_b)):
+        va = gauges_a.get(name)
+        vb = gauges_b.get(name)
+        if va != vb:
+            fa = "n/a" if va is None else format(va, "g")
+            fb = "n/a" if vb is None else format(vb, "g")
+            lines.append(f"  gauge {name}: {fa} -> {fb}")
+    timers_a = (a.metrics or {}).get("timers", {})
+    timers_b = (b.metrics or {}).get("timers", {})
+    for name in sorted(set(timers_a) | set(timers_b)):
+        ta = timers_a.get(name, {"count": 0, "total_s": 0.0})
+        tb = timers_b.get(name, {"count": 0, "total_s": 0.0})
+        if ta.get("count") != tb.get("count") or ta.get("total_s") != tb.get(
+            "total_s"
+        ):
+            lines.append(
+                f"  timer {name}: count {ta.get('count', 0):g} -> "
+                f"{tb.get('count', 0):g}, total "
+                f"{ta.get('total_s', 0.0):.4f}s -> "
+                f"{tb.get('total_s', 0.0):.4f}s "
+                f"({tb.get('total_s', 0.0) - ta.get('total_s', 0.0):+.4f}s)"
+            )
     return "\n".join(lines)

@@ -1,0 +1,448 @@
+"""Hierarchical wall-clock spans, stitched across process boundaries.
+
+A *span* is one timed region of work — a batch solve, a pool task, a
+resilience attempt — with a ``trace_id`` shared by every span of one
+logical operation, a unique ``span_id``, and a ``parent_id`` linking it
+into a tree.  The ambient :func:`span` context manager mirrors the
+design of :data:`repro.obs.metrics.METRICS`: when no recorder is
+installed it returns a shared no-op object after a single module-global
+check, so instrumented call sites cost essentially nothing by default.
+
+Cross-boundary stitching uses explicit context capture:
+
+* **Processes** — the parent captures :func:`current_span_context` and
+  ships it with each pool task; the worker installs it via
+  :func:`remote_span_context`, runs its work, and ships the recorded
+  span dicts back with the result for :meth:`SpanRecorder.absorb`.
+* **Threads** — ``contextvars`` does not flow into manually created
+  threads (the resilience watchdog), so the caller captures the context
+  and the thread target re-installs it with :func:`using_span_context`.
+
+The current parent lives in a :class:`~contextvars.ContextVar` rather
+than a plain global so concurrent threads (supervised solves, batch
+consumers) each see their own ancestry while sharing one recorder.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from contextvars import ContextVar
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "span",
+    "record_span",
+    "spans_active",
+    "active_span_recorder",
+    "collecting_spans",
+    "current_span_context",
+    "remote_span_context",
+    "using_span_context",
+    "summarize_spans",
+    "render_span_tree",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timed region; immutable once recorded."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_s: float  # epoch seconds (time.time) — comparable across processes
+    duration_s: float
+    status: str = "ok"  # "ok" | "error"
+    attributes: dict = field(default_factory=dict)
+    pid: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=str(payload["name"]),
+            start_s=float(payload["start_s"]),
+            duration_s=float(payload["duration_s"]),
+            status=str(payload.get("status", "ok")),
+            attributes=dict(payload.get("attributes", {})),
+            pid=int(payload.get("pid", 0)),
+        )
+
+
+class SpanRecorder:
+    """Thread-safe sink for finished spans of one trace."""
+
+    def __init__(self, label: str = "", trace_id: str | None = None):
+        self.label = label
+        self.trace_id = trace_id or uuid.uuid4().hex
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def record(self, finished: Span) -> None:
+        with self._lock:
+            self._spans.append(finished)
+
+    def absorb(self, payloads: Sequence[dict | Span]) -> None:
+        """Merge spans shipped back from a worker into this trace."""
+        with self._lock:
+            for payload in payloads:
+                if isinstance(payload, Span):
+                    self._spans.append(payload)
+                else:
+                    self._spans.append(Span.from_dict(payload))
+
+    @property
+    def spans(self) -> list[Span]:
+        """All recorded spans, ordered by wall-clock start."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: s.start_s)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+#: Installed recorder, or None.  A single ``is None`` check is the whole
+#: disabled-path cost of :func:`span`.
+_RECORDER: SpanRecorder | None = None
+
+#: (trace_id, span_id) of the innermost open span in this execution
+#: context, or None when at the root of the trace.
+_CURRENT: ContextVar[tuple[str, str | None] | None] = ContextVar(
+    "repro_span_context", default=None
+)
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class _NullSpan:
+    """Shared no-op span handed out when no recorder is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Open span: times the block, then records into its recorder.
+
+    The recorder is pinned at ``__enter__`` so a span opened inside one
+    :func:`collecting_spans` block never leaks into a later one (an
+    abandoned watchdog thread can outlive its collection window).
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_recorder",
+        "_token",
+        "_start_wall",
+        "_start_perf",
+    )
+
+    def __init__(self, name: str, attributes: dict):
+        self.name = name
+        self.attributes = attributes
+
+    def __enter__(self) -> "_LiveSpan":
+        recorder = _RECORDER
+        self._recorder = recorder
+        context = _CURRENT.get()
+        if context is not None:
+            self.trace_id, self.parent_id = context
+        else:
+            # `is not None`, not truthiness: an empty recorder has
+            # len() == 0 and would test falsy.
+            self.trace_id = recorder.trace_id if recorder is not None else ""
+            self.parent_id = None
+        self.span_id = _new_span_id()
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def set(self, **attributes) -> None:
+        """Attach attributes discovered after the span opened."""
+        self.attributes.update(attributes)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start_perf
+        _CURRENT.reset(self._token)
+        recorder = self._recorder
+        if recorder is not None and recorder is _RECORDER:
+            status = "ok"
+            if exc_type is not None:
+                status = "error"
+                self.attributes.setdefault("error", exc_type.__name__)
+            recorder.record(
+                Span(
+                    trace_id=self.trace_id,
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
+                    name=self.name,
+                    start_s=self._start_wall,
+                    duration_s=duration,
+                    status=status,
+                    attributes=self.attributes,
+                    pid=os.getpid(),
+                )
+            )
+        return False
+
+
+def span(name: str, **attributes) -> "_LiveSpan | _NullSpan":
+    """Time a region: ``with span("batch.pool", tasks=n): ...``.
+
+    Zero-overhead when disabled: without a recorder installed this is
+    one global load and a shared no-op object.  On exception the span
+    records with ``status="error"`` and re-raises.
+    """
+    if _RECORDER is None:
+        return _NULL_SPAN
+    return _LiveSpan(name, attributes)
+
+
+def record_span(
+    name: str,
+    *,
+    duration_s: float,
+    start_s: float | None = None,
+    status: str = "ok",
+    **attributes,
+) -> Span | None:
+    """Record an already-measured span under the current parent.
+
+    Two uses: leaf regions timed without opening a ``with`` block (the
+    gradient-projection solver reports post-hoc to keep its body flat),
+    and parent-side synthesis of error spans for workers that died
+    before shipping theirs.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return None
+    context = _CURRENT.get()
+    if context is not None:
+        trace_id, parent_id = context
+    else:
+        trace_id, parent_id = recorder.trace_id, None
+    if start_s is None:
+        start_s = time.time() - duration_s
+    finished = Span(
+        trace_id=trace_id,
+        span_id=_new_span_id(),
+        parent_id=parent_id,
+        name=name,
+        start_s=start_s,
+        duration_s=duration_s,
+        status=status,
+        attributes=attributes,
+        pid=os.getpid(),
+    )
+    recorder.record(finished)
+    return finished
+
+
+def spans_active() -> bool:
+    """True when a recorder is installed (i.e. spans are being kept)."""
+    return _RECORDER is not None
+
+
+def active_span_recorder() -> SpanRecorder | None:
+    """The installed recorder, or None."""
+    return _RECORDER
+
+
+@contextmanager
+def collecting_spans(label: str = "") -> Iterator[SpanRecorder]:
+    """Install a fresh recorder (new trace) for the duration of a block.
+
+    ::
+
+        with collecting_spans("sweep") as recorder:
+            solve_batch(problems)
+        tree = render_span_tree(recorder.spans)
+    """
+    global _RECORDER
+    recorder = SpanRecorder(label=label)
+    previous = _RECORDER
+    _RECORDER = recorder
+    token = _CURRENT.set(None)
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)
+        _RECORDER = previous
+
+
+def current_span_context() -> dict | None:
+    """Shippable {trace_id, span_id} of the innermost open span.
+
+    Returns None when spans are disabled, so callers can skip the
+    cross-process plumbing entirely.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return None
+    context = _CURRENT.get()
+    if context is None:
+        return {"trace_id": recorder.trace_id, "span_id": None}
+    return {"trace_id": context[0], "span_id": context[1]}
+
+
+@contextmanager
+def remote_span_context(
+    context: dict, label: str = ""
+) -> Iterator[SpanRecorder]:
+    """Worker-side: record spans that stitch into a remote parent.
+
+    Installs a recorder bound to the shipped ``trace_id`` and seeds the
+    current parent with the shipped ``span_id``; every span opened in
+    the block becomes a descendant of the remote parent.  The caller
+    ships ``[s.to_dict() for s in recorder.spans]`` back with its
+    result for :meth:`SpanRecorder.absorb` on the other side.
+    """
+    global _RECORDER
+    recorder = SpanRecorder(label=label, trace_id=str(context["trace_id"]))
+    previous = _RECORDER
+    _RECORDER = recorder
+    token = _CURRENT.set((recorder.trace_id, context.get("span_id")))
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)
+        _RECORDER = previous
+
+
+@contextmanager
+def using_span_context(context: dict | None) -> Iterator[None]:
+    """Re-install a captured context in a manually created thread.
+
+    ``contextvars`` does not propagate into ``threading.Thread``
+    targets, so the resilience watchdog captures
+    :func:`current_span_context` before spawning and wraps its target
+    with this.  Safe to call with None (no-op).
+    """
+    if context is None:
+        yield
+        return
+    token = _CURRENT.set((str(context["trace_id"]), context.get("span_id")))
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+# -- reporting ----------------------------------------------------------
+
+
+def summarize_spans(spans: Sequence[Span]) -> dict:
+    """Aggregate counts/durations per span name, JSON-ready."""
+    by_name: dict[str, dict] = {}
+    errors = 0
+    pids = set()
+    for item in spans:
+        stats = by_name.setdefault(
+            item.name, {"count": 0, "errors": 0, "total_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_s"] += item.duration_s
+        if item.status == "error":
+            stats["errors"] += 1
+            errors += 1
+        pids.add(item.pid)
+    return {
+        "count": len(spans),
+        "errors": errors,
+        "processes": len(pids),
+        "names": by_name,
+    }
+
+
+def render_span_tree(spans: Sequence[Span], width: int = 28) -> str:
+    """Plain-text waterfall of one trace's span tree.
+
+    Children indent under their parents; each line shows the name,
+    duration, a position bar on the trace's wall-clock extent, the
+    recording pid, and an ``!ERR`` marker for error spans.
+    """
+    if not spans:
+        return "(no spans)"
+    ordered = sorted(spans, key=lambda s: (s.start_s, s.span_id))
+    ids = {s.span_id for s in ordered}
+    children: dict[str | None, list[Span]] = {}
+    for item in ordered:
+        parent = item.parent_id if item.parent_id in ids else None
+        children.setdefault(parent, []).append(item)
+    t0 = min(s.start_s for s in ordered)
+    t1 = max(s.start_s + s.duration_s for s in ordered)
+    extent = max(t1 - t0, 1e-9)
+    trace_ids = {s.trace_id for s in ordered}
+    lines = [
+        "trace {} · {} spans · {} process(es) · {:.3f}s".format(
+            "/".join(sorted(trace_ids)), len(ordered),
+            len({s.pid for s in ordered}), t1 - t0,
+        )
+    ]
+
+    def _bar(item: Span) -> str:
+        begin = int((item.start_s - t0) / extent * width)
+        length = max(1, int(item.duration_s / extent * width))
+        begin = min(begin, width - 1)
+        length = min(length, width - begin)
+        return "·" * begin + "█" * length + "·" * (width - begin - length)
+
+    def _walk(parent: str | None, depth: int) -> None:
+        for item in children.get(parent, []):
+            marker = "  !ERR" if item.status == "error" else ""
+            lines.append(
+                "{}{}  {:.4f}s  [{}]  pid {}{}".format(
+                    "  " * depth + item.name,
+                    "",
+                    item.duration_s,
+                    _bar(item),
+                    item.pid,
+                    marker,
+                )
+            )
+            _walk(item.span_id, depth + 1)
+
+    _walk(None, 1)
+    return "\n".join(lines)

@@ -47,6 +47,7 @@ from ..core.scipy_solver import solve_scipy
 from ..core.solution import SamplingSolution, SolveAttempt, SolverDiagnostics
 from ..obs.logsetup import get_logger
 from ..obs.metrics import METRICS
+from ..obs.spans import current_span_context, span, using_span_context
 from ..obs.trace import SolverTrace
 from . import faults
 
@@ -130,10 +131,15 @@ def _call_with_timeout(fn: Callable[[], SamplingSolution], timeout_s: float | No
     if timeout_s is None:
         return _attempt()
     box: dict[str, object] = {}
+    # contextvars do not flow into manually created threads, so the
+    # watchdog target re-installs the caller's span ancestry — spans
+    # recorded inside the attempt stay parented under the attempt span.
+    span_context = current_span_context()
 
     def _target() -> None:
         try:
-            box["result"] = _attempt()
+            with using_span_context(span_context):
+                box["result"] = _attempt()
         except BaseException as exc:  # noqa: BLE001 - re-raised in parent
             box["error"] = exc
 
@@ -192,7 +198,10 @@ def supervise_stages(
                     time.sleep(delay)
             started = perf_counter()
             try:
-                solution = _call_with_timeout(fn, policy.timeout_s)
+                # The span exits through the exception on timeout/error,
+                # so it records with status="error" for those attempts.
+                with span("resilience.attempt", stage=name, attempt=attempt):
+                    solution = _call_with_timeout(fn, policy.timeout_s)
             except SolveTimeoutError as exc:
                 METRICS.increment("resilience.timeout")
                 logger.warning("stage %r attempt %d timed out", name, attempt)
@@ -219,6 +228,10 @@ def supervise_stages(
                 )
                 last_error = exc
                 continue
+            finally:
+                METRICS.observe_histogram(
+                    "resilience.attempt_seconds", perf_counter() - started
+                )
             if not solution.diagnostics.converged:
                 attempts.append(
                     SolveAttempt(

@@ -31,6 +31,7 @@ import numpy as np
 from ..core.problem import SamplingProblem
 from ..core.solution import SamplingSolution
 from ..obs.metrics import METRICS
+from ..obs.spans import span
 from .approx import (
     ApproxOptions,
     budget_lp_vertex,
@@ -143,16 +144,18 @@ def solve_scaled(
     """
     resolved = choose_backend(problem, backend)
     METRICS.increment(f"scale.backend.{resolved}")
-    if resolved == "approx":
-        return solve_approx(
-            problem, options=approx_options, warm_start=warm_start
-        )
-    if resolved == "decompose":
-        return solve_decomposed(problem, options=decompose_options)
-    if resolved == "compiled":
-        return solve_compiled(
-            problem, options=gp_options, warm_start=warm_start
-        )
-    from ..core.solver import solve
+    with span("scale.solve_scaled", backend=resolved,
+              links=problem.num_links):
+        if resolved == "approx":
+            return solve_approx(
+                problem, options=approx_options, warm_start=warm_start
+            )
+        if resolved == "decompose":
+            return solve_decomposed(problem, options=decompose_options)
+        if resolved == "compiled":
+            return solve_compiled(
+                problem, options=gp_options, warm_start=warm_start
+            )
+        from ..core.solver import solve
 
-    return solve(problem, options=gp_options)
+        return solve(problem, options=gp_options)

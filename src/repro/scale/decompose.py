@@ -48,6 +48,7 @@ from ..core.objective import SumUtilityObjective
 from ..core.problem import SamplingProblem
 from ..core.solution import SamplingSolution, SolverDiagnostics
 from ..obs.metrics import METRICS
+from ..obs.spans import span
 from .approx import frank_wolfe_gap
 
 __all__ = [
@@ -373,6 +374,14 @@ def solve_decomposed(
     whose bipartite graph is one component degenerates gracefully
     into a single exact solve (plus the certificate).
     """
+    with span("scale.decompose", links=problem.num_links):
+        return _solve_decomposed(problem, options)
+
+
+def _solve_decomposed(
+    problem: SamplingProblem,
+    options: DecomposeOptions | None = None,
+) -> SamplingSolution:
     import scipy.sparse as sparse
 
     t_start = perf_counter()
@@ -465,27 +474,29 @@ def solve_decomposed(
         subproblems = {
             i: make_subproblem(i, float(theta_c[i])) for i in stale
         }
-        if rounds == 1 and options.parallel:
-            fresh = solve_batch(
-                [subproblems[i] for i in stale],
-                processes=options.processes,
-                options=gp_options,
-                presolve=False,
-            )
-            for i, sol in zip(stale, fresh):
-                solutions[i] = sol
-        else:
-            # Later rounds: only components whose share actually moved
-            # are re-solved, warm-started from their previous optimum
-            # — near the waterline fixed point that is a handful of
-            # cheap iterations on a shrinking set of components.
-            for i in stale:
-                prev = solutions[i]
-                solutions[i] = solve_gradient_projection(
-                    subproblems[i],
+        with span("scale.decompose.round", round=rounds, stale=len(stale)):
+            if rounds == 1 and options.parallel:
+                fresh = solve_batch(
+                    [subproblems[i] for i in stale],
+                    processes=options.processes,
                     options=gp_options,
-                    warm_start=None if prev is None else prev.rates,
+                    presolve=False,
                 )
+                for i, sol in zip(stale, fresh):
+                    solutions[i] = sol
+            else:
+                # Later rounds: only components whose share actually
+                # moved are re-solved, warm-started from their previous
+                # optimum — near the waterline fixed point that is a
+                # handful of cheap iterations on a shrinking set of
+                # components.
+                for i in stale:
+                    prev = solutions[i]
+                    solutions[i] = solve_gradient_projection(
+                        subproblems[i],
+                        options=gp_options,
+                        warm_start=None if prev is None else prev.rates,
+                    )
         for i in stale:
             solved_theta[i] = float(theta_c[i])
             iterations += solutions[i].diagnostics.iterations

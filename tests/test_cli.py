@@ -190,3 +190,84 @@ class TestExperimentsCommand:
         assert (outdir / "figure1.csv").exists()
         header = (outdir / "figure1.csv").read_text().splitlines()[0]
         assert header.startswith("rho,")
+
+
+class TestMetricsCommand:
+    @pytest.fixture()
+    def traced_manifest(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["solve", "--theta", "100000",
+                     "--trace-out", str(path)]) == 0
+        return path
+
+    def test_prometheus_exposition(self, capsys, traced_manifest):
+        assert main(["metrics", str(traced_manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_solver_gp_solves_total counter" in out
+        assert "repro_solver_gp_solves_total 1" in out
+        assert "repro_solver_gp_solve_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_custom_prefix(self, capsys, traced_manifest):
+        assert main(["metrics", str(traced_manifest),
+                     "--prefix", "net"]) == 0
+        out = capsys.readouterr().out
+        assert "net_solver_gp_solves_total 1" in out
+        assert "repro_" not in out
+
+    def test_manifest_without_metrics_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(
+            '{"record": "manifest", "schema_version": 1, "label": "x"}\n'
+        )
+        with pytest.raises(SystemExit, match="no metrics record"):
+            main(["metrics", str(path)])
+
+    def test_unreadable_manifest_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read manifest"):
+            main(["metrics", str(tmp_path / "missing.jsonl")])
+
+
+class TestSpanFlows:
+    def test_trace_summary_spans_waterfall(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["solve", "--theta", "100000",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path), "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "span waterfall:" in out
+        assert "solver.gp" in out
+        assert "trace " in out
+
+    def test_summary_without_flag_omits_waterfall(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["solve", "--theta", "100000",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "span waterfall:" not in out
+        assert "spans: " in out  # the summary line still counts them
+
+    def test_decomposed_traced_solve_records_scale_spans(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "decomposed.jsonl"
+        assert main(["solve", "--theta", "100000",
+                     "--backend", "decompose",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path), "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "scale.decompose" in out
+
+    def test_verify_trace_out_embeds_spans(self, capsys, tmp_path):
+        from repro.obs import read_manifest
+
+        path = tmp_path / "verify.jsonl"
+        code = main(["verify", "--suite", "quick", "--instances", "2",
+                     "--trace-out", str(path)])
+        assert code == 0
+        manifest = read_manifest(path)
+        assert manifest.spans, "verify solves must emit spans"

@@ -150,3 +150,97 @@ class TestReports:
         text = compare_manifests(manifest, empty)
         assert "solve count differs: 1 vs 0" in text
         assert "only in A" in text
+
+
+class TestSpanRecords:
+    def _spanned_manifest(self, tmp_path, problem):
+        from repro.obs import collecting_spans
+
+        trace = SolverTrace(label="spanned")
+        with collecting_spans("spanned") as recorder, \
+                collecting_metrics() as registry:
+            solve_gradient_projection(problem, trace=trace)
+            metrics = registry.snapshot()
+        path = tmp_path / "spanned.jsonl"
+        write_manifest(path, trace, metrics=metrics, spans=recorder.spans)
+        return path, recorder
+
+    def test_span_lines_round_trip(self, tmp_path):
+        problem = make_random_problem(7)
+        path, recorder = self._spanned_manifest(tmp_path, problem)
+        manifest = read_manifest(path)
+        assert [s.name for s in manifest.spans] == [
+            s.name for s in recorder.spans
+        ]
+        assert manifest.spans[0].trace_id == recorder.trace_id
+
+    def test_span_summary_lands_in_metrics_record(self, tmp_path):
+        problem = make_random_problem(8)
+        path, recorder = self._spanned_manifest(tmp_path, problem)
+        manifest = read_manifest(path)
+        summary = manifest.metrics["span_summary"]
+        assert summary["count"] == len(recorder.spans)
+        assert summary["errors"] == 0
+        text = summarize_manifest(manifest)
+        assert "spans:" in text
+
+    def test_spans_without_metrics_still_write_metrics_record(
+        self, tmp_path
+    ):
+        from repro.obs import collecting_spans
+        from repro.obs.spans import span
+
+        with collecting_spans("only-spans") as recorder:
+            with span("solo"):
+                pass
+        path = tmp_path / "only_spans.jsonl"
+        write_manifest(path, SolverTrace(label="x"), spans=recorder.spans)
+        manifest = read_manifest(path)
+        assert len(manifest.spans) == 1
+        assert manifest.metrics["span_summary"]["count"] == 1
+
+
+class TestCompareGaugesAndTimers:
+    def _manifest_with(self, tmp_path, name, fill):
+        registry_snapshot = None
+        with collecting_metrics() as registry:
+            fill(registry)
+            registry_snapshot = registry.snapshot()
+        path = tmp_path / f"{name}.jsonl"
+        write_manifest(
+            path, SolverTrace(label=name), metrics=registry_snapshot
+        )
+        return read_manifest(path)
+
+    def test_gauge_deltas_reported(self, tmp_path):
+        a = self._manifest_with(
+            tmp_path, "a", lambda r: r.gauge("pool.workers", 2)
+        )
+        b = self._manifest_with(
+            tmp_path, "b", lambda r: r.gauge("pool.workers", 8)
+        )
+        report = compare_manifests(a, b)
+        assert "gauge pool.workers: 2 -> 8" in report
+
+    def test_timer_deltas_reported(self, tmp_path):
+        a = self._manifest_with(
+            tmp_path, "a", lambda r: r.observe_timer("t", 1.0)
+        )
+        b = self._manifest_with(
+            tmp_path,
+            "b",
+            lambda r: (r.observe_timer("t", 1.0), r.observe_timer("t", 2.0)),
+        )
+        report = compare_manifests(a, b)
+        assert "timer t: count 1 -> 2" in report
+
+    def test_identical_metrics_stay_silent(self, tmp_path):
+        def fill(r):
+            r.gauge("g", 1.0)
+            r.observe_timer("t", 1.0)
+
+        a = self._manifest_with(tmp_path, "a", fill)
+        b = self._manifest_with(tmp_path, "b", fill)
+        report = compare_manifests(a, b)
+        assert "gauge" not in report
+        assert "timer" not in report

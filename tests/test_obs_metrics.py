@@ -151,11 +151,11 @@ class TestSolverInstrumentation:
             solutions = solve_batch(problems, processes=2)
             counters = registry.snapshot()["counters"]
         assert all(s.diagnostics.converged for s in solutions)
-        # Worker-side counts stay process-local; the parent records the
-        # dispatch fan-out instead.
+        # The parent records the dispatch fan-out, and worker-side
+        # counts merge back: one solver.gp.solves per pooled task.
         assert counters["batch.pool.tasks"] == len(problems)
         assert counters["batch.pool.dispatches"] == 1
-        assert "solver.gp.solves" not in counters
+        assert counters["solver.gp.solves"] == len(problems)
 
     def test_sequential_batch_counts_tasks(self):
         problems = [make_random_problem(seed) for seed in (21, 22)]
@@ -164,3 +164,138 @@ class TestSolverInstrumentation:
             counters = registry.snapshot()["counters"]
         assert counters["batch.sequential.tasks"] == 2
         assert counters["solver.gp.solves"] == 2
+
+
+class TestHistograms:
+    def test_quantiles_interpolate_within_buckets(self):
+        registry = MetricsRegistry()
+        for _ in range(100):
+            registry.observe_histogram("h", 0.003)
+        record = registry.snapshot()["histograms"]["h"]
+        assert record["count"] == 100
+        assert record["sum_s"] == pytest.approx(0.3)
+        # Every sample landed in the (0.0025, 0.005] bucket, so every
+        # quantile interpolates inside it.
+        for q in ("p50", "p95", "p99"):
+            assert 0.0025 <= record[q] <= 0.005
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        from repro.obs.metrics import HISTOGRAM_BUCKETS
+
+        registry = MetricsRegistry()
+        registry.observe_histogram("h", 10 * HISTOGRAM_BUCKETS[-1])
+        record = registry.snapshot()["histograms"]["h"]
+        assert record["buckets"][-1] == 1
+        assert record["p99"] == pytest.approx(HISTOGRAM_BUCKETS[-1])
+
+    def test_disabled_histogram_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.observe_histogram("h", 1.0)
+        assert registry.snapshot()["histograms"] == {}
+
+    def test_timer_pairs_count_counter(self):
+        registry = MetricsRegistry()
+        registry.observe_timer("solver.wall", 0.5)
+        registry.observe_timer("solver.wall", 0.5)
+        assert registry.counter("solver.wall.count") == 2
+
+    def test_reset_clears_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe_histogram("h", 0.01)
+        registry.reset()
+        assert registry.snapshot()["histograms"] == {}
+
+
+class TestSnapshotAlgebra:
+    def _snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.increment(name, value)
+        return registry.snapshot()
+
+    def test_diff_subtracts_counters_and_histograms(self):
+        from repro.obs.metrics import diff_snapshots
+
+        registry = MetricsRegistry()
+        registry.increment("c", 2)
+        registry.observe_histogram("h", 0.01)
+        before = registry.snapshot()
+        registry.increment("c", 3)
+        registry.observe_histogram("h", 0.02)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"] == {"c": 3}
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_diff_against_none_is_identity(self):
+        from repro.obs.metrics import diff_snapshots
+
+        snap = self._snap(a=4)
+        assert diff_snapshots(snap, None)["counters"] == {"a": 4}
+
+    def test_merge_adds_counters_and_timers(self):
+        registry = MetricsRegistry()
+        registry.increment("c", 1)
+        registry.observe_timer("t", 1.0)
+        registry.observe_histogram("h", 0.01)
+        delta = registry.snapshot()
+        target = MetricsRegistry()
+        target.increment("c", 1)
+        target.merge_snapshot(delta)
+        merged = target.snapshot()
+        assert merged["counters"]["c"] == 2
+        assert merged["timers"]["t"]["count"] == 1
+        assert merged["histograms"]["h"]["count"] == 1
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        target = MetricsRegistry(enabled=False)
+        target.merge_snapshot(self._snap(c=5))
+        assert target.snapshot()["counters"] == {}
+
+    def test_merge_skips_mismatched_bucket_layout(self):
+        registry = MetricsRegistry()
+        registry.observe_histogram("h", 0.01)
+        delta = registry.snapshot()
+        delta["histograms"]["h"]["buckets"] = [1, 2]  # wrong arity
+        target = MetricsRegistry()
+        target.merge_snapshot(delta)
+        assert "h" not in target.snapshot()["histograms"]
+
+
+class TestPrometheusExposition:
+    def test_renders_all_families(self):
+        from repro.obs.metrics import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.increment("batch.pool.tasks", 4)
+        registry.gauge("pool.workers", 2)
+        registry.observe_timer("solver.gp.wall_time", 0.5)
+        registry.observe_histogram("solver.gp.solve_seconds", 0.05)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_batch_pool_tasks_total 4" in text
+        assert "repro_pool_workers 2" in text
+        assert "repro_solver_gp_wall_time_seconds_count 1" in text
+        assert 'le="+Inf"' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.metrics import HISTOGRAM_BUCKETS, render_prometheus
+
+        registry = MetricsRegistry()
+        registry.observe_histogram("h", 0.0002)
+        registry.observe_histogram("h", 0.04)
+        lines = [
+            line
+            for line in render_prometheus(registry.snapshot()).splitlines()
+            if line.startswith("repro_h_seconds_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2  # the +Inf bucket sees everything
+        assert len(lines) == len(HISTOGRAM_BUCKETS) + 1
+
+    def test_metric_names_sanitized(self):
+        from repro.obs.metrics import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.increment("weird.name-with/chars", 1)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_weird_name_with_chars_total 1" in text
