@@ -21,7 +21,10 @@ entries time a θ ladder solved cold-per-point versus warm-chained
 versus presolved-and-warm-chained; the ``presolve`` entries time a
 single solve with and without problem reduction; the ``batch-shm``
 entries compare the pickle-per-task process pool against the
-shared-memory publication path.  Every entry records the objective
+shared-memory publication path; the ``serve`` entry measures the warm
+solver daemon (cold CLI subprocess vs cold daemon request vs
+warm-cache round trip, plus request coalescing).  Every entry records
+the objective
 agreement between variants, so a speedup that broke correctness would
 show up in the same file.
 
@@ -541,6 +544,121 @@ def bench_batch_shm(
     }
 
 
+def bench_serve(name: str, repeats: int, quick: bool) -> dict:
+    """Warm solver daemon vs the cold CLI on the GEANT/JANET task.
+
+    ``cold_cli_seconds`` is the full price of one ``netsampling solve``
+    subprocess — interpreter start, imports, topology build, routing
+    matrix, solve.  ``cold_request_seconds`` is the daemon's first
+    answer (task build + solve, no process start), and
+    ``warm_request_seconds`` a repeat request answered from the
+    fingerprint-keyed result cache (best of many round trips).  The
+    coalescing phase fires identical concurrent requests at an uncached
+    θ and records how many attached to the single in-flight solve.
+    Correctness rides along: the daemon's certified answer must match
+    an inline solve of the same problem.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+    from pathlib import Path
+
+    from repro.serve import ServeClient, ServerConfig, ServerThread
+
+    theta = 100_000.0
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    cli_argv = [
+        sys.executable, "-m", "repro",
+        "solve", "--theta", str(theta), "--json",
+    ]
+
+    def _cold_cli() -> dict:
+        completed = subprocess.run(
+            cli_argv, capture_output=True, text=True, env=env, check=True
+        )
+        return json.loads(completed.stdout)
+
+    cold_cli_s, cli_payload = _best_of(_cold_cli, 1 if quick else repeats)
+
+    reference_problem = SamplingProblem.from_task(
+        janet_task(), theta_packets=theta
+    )
+    reference = solve(reference_problem)
+
+    warm_round_trips = 30
+    concurrent_clients = 8
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        config = ServerConfig(socket_path=str(Path(tmp) / "bench.sock"))
+        with ServerThread(config):
+            client = ServeClient(config.socket_path)
+            params = {"theta": theta}
+            cold_request_s, first = _best_of(
+                lambda: client.request("solve", params), 1
+            )
+            warm_start = time.perf_counter()
+            warm_s, last = _best_of(
+                lambda: client.request("solve", params), warm_round_trips
+            )
+            warm_elapsed = time.perf_counter() - warm_start
+
+            before = client.result("stats")["counters"]
+            coalesce_params = {"theta": 0.7 * theta}
+            with ThreadPoolExecutor(concurrent_clients) as pool:
+                states = [
+                    response["cache"]
+                    for response in pool.map(
+                        lambda _: ServeClient(config.socket_path).request(
+                            "solve", coalesce_params
+                        ),
+                        range(concurrent_clients),
+                    )
+                ]
+            after = client.result("stats")["counters"]
+
+    result = first["result"]
+    raw_gap = abs(
+        result["objective"] - reference.objective_value
+    ) / max(abs(reference.objective_value), 1e-12)
+    gap, raw_gap, certified = _certified_gap(raw_gap, reference)
+    certified = certified and bool(result["gap_certified"])
+    if not certified:
+        gap = raw_gap
+    coalesce_solves = int(
+        after.get("solver.gp.solves", 0) - before.get("solver.gp.solves", 0)
+    )
+    cli_gap = abs(
+        cli_payload["objective"] - reference.objective_value
+    ) / max(abs(reference.objective_value), 1e-12)
+    return {
+        "kind": "serve",
+        "name": name,
+        "links": reference_problem.num_links,
+        "od_pairs": reference_problem.num_od_pairs,
+        "cold_cli_seconds": cold_cli_s,
+        "cold_request_seconds": cold_request_s,
+        "warm_request_seconds": warm_s,
+        "speedup": cold_cli_s / warm_s if warm_s > 0 else None,
+        "warm_speedup_vs_cold_request": (
+            cold_request_s / warm_s if warm_s > 0 else None
+        ),
+        "warm_requests_per_second": warm_round_trips / warm_elapsed,
+        "warm_cache_state": last["cache"],
+        "concurrent_clients": concurrent_clients,
+        "coalesced_requests": states.count("coalesced"),
+        "coalesce_solves": coalesce_solves,
+        "relative_objective_gap": gap,
+        "raw_relative_objective_gap": raw_gap,
+        "cli_relative_objective_gap": cli_gap,
+        "gap_certified": certified,
+    }
+
+
 def _relative_gap(diagnostics) -> float | None:
     """The certified optimality gap, relative to the objective scale."""
     gap = diagnostics.optimality_gap
@@ -725,6 +843,7 @@ def run_benchmarks(
             sweep_thetas,
             repeats,
         ),
+        bench_serve("serve-geant-warm", repeats, quick),
     ]
     # The scaling curve: 10³→10⁴ links always; --quick stops there
     # (the CI-under-a-minute guard), the full run continues to 10⁵
@@ -886,6 +1005,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['bytes_avoided']} serialization bytes avoided "
                 f"({entry['segments']} segment(s), "
                 f"{entry['bytes_shared']} shared)"
+            )
+        elif entry["kind"] == "serve":
+            print(
+                f"[serve] {entry['name']}: "
+                f"cold CLI {entry['cold_cli_seconds']:.3f}s -> "
+                f"cold request {entry['cold_request_seconds']:.3f}s -> "
+                f"warm request {entry['warm_request_seconds'] * 1e3:.2f}ms "
+                f"({entry['speedup']:.0f}x vs CLI, "
+                f"{entry['warm_requests_per_second']:.0f} req/s); "
+                f"{entry['coalesced_requests']}/"
+                f"{entry['concurrent_clients'] - 1} coalesced onto "
+                f"{entry['coalesce_solves']} solve(s), "
+                f"gap {entry['relative_objective_gap']:.1e}"
             )
         else:
             print(

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Nine subcommands::
 
     netsampling topology {show,export} <name>     # inspect topologies
     netsampling solve ...                         # run the optimizer
@@ -9,6 +9,8 @@ Seven subcommands::
     netsampling trace {summary,compare} ...       # inspect run manifests
     netsampling metrics <manifest>                # Prometheus exposition
     netsampling verify [--suite quick|full]       # differential checks
+    netsampling serve --socket PATH               # warm solver daemon
+    netsampling request <op> --socket PATH        # talk to the daemon
 
 Examples::
 
@@ -29,6 +31,15 @@ Examples::
     netsampling metrics run.jsonl                 # scrape-able text
     netsampling verify --suite quick --report verify_report.json
     netsampling verify --update-golden
+    netsampling serve --socket /tmp/ns.sock --journal cache.jsonl
+    netsampling request ping --socket /tmp/ns.sock
+    netsampling solve --theta 100000 --daemon /tmp/ns.sock --json
+    netsampling request shutdown --socket /tmp/ns.sock
+
+``solve`` and ``sweep`` accept ``--daemon SOCKET`` to route through a
+running ``netsampling serve`` daemon (warm caches, millisecond repeat
+answers) and fall back to the inline solver — with a stderr warning —
+when the socket is absent, so scripts work unchanged either way.
 
 Results go to stdout; diagnostics (``--log-level``) and trace-written
 notices go to stderr, so ``--json`` output stays machine-parseable.
@@ -192,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
                      help="write a per-iteration run manifest "
                           "(trace + metrics + fingerprint) as JSONL")
+    slv.add_argument("--daemon", default=None, metavar="SOCKET",
+                     help="route through a running `netsampling serve` "
+                          "daemon (falls back inline, with a warning, "
+                          "when the socket is unreachable)")
     _add_log_level(slv)
 
     swp = sub.add_parser(
@@ -243,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the injected fault schedule (default 0)")
     swp.add_argument("--json", action="store_true", dest="as_json",
                      help="machine-readable output")
+    swp.add_argument("--daemon", default=None, metavar="SOCKET",
+                     help="route through a running `netsampling serve` "
+                          "daemon (falls back inline, with a warning, "
+                          "when the socket is unreachable)")
     _add_log_level(swp)
 
     exp = sub.add_parser("experiments", help="regenerate paper experiments")
@@ -302,6 +321,77 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--prefix", default="repro",
                      help="metric name prefix (default: repro)")
     _add_log_level(met)
+
+    srv = sub.add_parser(
+        "serve",
+        help="warm solver daemon on a Unix socket (see docs/serving.md)",
+    )
+    srv.add_argument("--socket", required=True, metavar="PATH",
+                     help="Unix socket path to listen on")
+    srv.add_argument("--ttl", type=float, default=300.0,
+                     help="cached-result time to live in seconds "
+                          "(default 300)")
+    srv.add_argument("--journal", default=None, metavar="FILE.jsonl",
+                     help="fsynced cache journal; a restarted daemon "
+                          "replays it to re-warm the result cache")
+    srv.add_argument("--max-results", type=int, default=256,
+                     help="LRU cap on cached results (default 256)")
+    srv.add_argument("--max-tasks", type=int, default=8,
+                     help="LRU cap on resident tasks/problems (default 8)")
+    srv.add_argument("--max-warm", type=int, default=16,
+                     help="LRU cap on warm-start chains (default 16)")
+    srv.add_argument("--batch-min", type=int, default=3,
+                     help="min concurrent solves to group through the "
+                          "shared-memory pool (default 3)")
+    srv.add_argument("--batch-window", type=float, default=0.004,
+                     help="micro-batch collection window in seconds "
+                          "(default 0.004; 0 disables batching)")
+    srv.add_argument("--workers", type=int, default=4,
+                     help="solver thread-pool width (default 4)")
+    _add_log_level(srv)
+
+    req = sub.add_parser(
+        "request",
+        help="send one request to a running solver daemon",
+    )
+    req.add_argument("op",
+                     choices=("ping", "stats", "solve", "sweep",
+                              "invalidate", "dump-trace", "shutdown"),
+                     help="daemon operation")
+    req.add_argument("--socket", required=True, metavar="PATH",
+                     help="daemon Unix socket path")
+    req.add_argument("--timeout", type=float, default=300.0,
+                     help="client receive timeout in seconds (default 300)")
+    req.add_argument("--topology", default=None,
+                     help="task topology (solve/sweep/invalidate; "
+                          "default geant, or all entries for invalidate)")
+    req.add_argument("--od", action="append", default=[],
+                     metavar="ORIGIN:DEST:PPS",
+                     help="OD pair of interest (repeatable)")
+    req.add_argument("--task-file", default=None, metavar="FILE.json")
+    req.add_argument("--background", type=float, default=None)
+    req.add_argument("--seed", type=int, default=None)
+    req.add_argument("--interval", type=float, default=300.0)
+    req.add_argument("--alpha", type=float, default=1.0)
+    req.add_argument("--theta", type=float, default=None,
+                     help="capacity for op=solve")
+    req.add_argument("--theta-min", type=float, default=None,
+                     help="smallest capacity for op=sweep")
+    req.add_argument("--theta-max", type=float, default=None,
+                     help="largest capacity for op=sweep")
+    req.add_argument("--points", type=int, default=10)
+    req.add_argument("--method", default="gradient_projection",
+                     choices=("gradient_projection", "slsqp", "trust-constr"))
+    req.add_argument("--backend", default="exact",
+                     choices=("exact", "approx", "decompose", "compiled",
+                              "auto"))
+    req.add_argument("--presolve", action=argparse.BooleanOptionalAction,
+                     default=True)
+    req.add_argument("--path", default=None, metavar="FILE.jsonl",
+                     help="output manifest for op=dump-trace")
+    req.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable output")
+    _add_log_level(req)
     return parser
 
 
@@ -358,6 +448,10 @@ def _build_task(args: argparse.Namespace):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.daemon:
+        code = _solve_via_daemon(args)
+        if code is not None:
+            return code
     task = _build_task(args)
     problem = SamplingProblem.from_task(task, args.theta, alpha=args.alpha)
     if args.backend != "exact" and args.restrict_to_node:
@@ -465,6 +559,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core.batch import solve_theta_sweep
     from .resilience import SupervisorPolicy
+
+    if args.daemon:
+        code = _sweep_via_daemon(args)
+        if code is not None:
+            return code
 
     if args.theta_min <= 0 or args.theta_max < args.theta_min:
         raise SystemExit("need 0 < --theta-min <= --theta-max")
@@ -758,6 +857,240 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_remote_solution(result: dict) -> str:
+    """Text summary of a daemon solve result (mirrors the inline shape)."""
+    status = "ok" if result["converged"] else "DEGRADED"
+    gap = result.get("optimality_gap")
+    head = (
+        f"{result['num_monitors']} active monitors, "
+        f"objective={result['objective']:.6f}, "
+        f"budget={result['budget_used_packets']:.1f} packets  [{status}]"
+    )
+    if gap is not None:
+        head += f"  (certified gap {gap:.2e})"
+    lines = [head]
+    monitors = sorted(
+        result["monitors"].items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for name, rate in monitors:
+        lines.append(f"  {name:>14}  rate={rate:.6f}")
+    utilities = result.get("od_utilities") or {}
+    if utilities:
+        worst = min(utilities, key=utilities.get)
+        lines.append(
+            f"worst OD pair: {worst} (utility {utilities[worst]:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def _daemon_note(args, response: dict) -> None:
+    latency_ms = float(response.get("latency_s") or 0.0) * 1e3
+    print(
+        f"[daemon {args.daemon}: cache {response.get('cache', '?')}, "
+        f"{latency_ms:.1f} ms]",
+        file=sys.stderr,
+    )
+
+
+def _solve_via_daemon(args: argparse.Namespace) -> int | None:
+    """Route ``solve --daemon`` through a running server.
+
+    Returns the exit code, or ``None`` (after a stderr warning) when
+    the daemon is unreachable and the caller should solve inline.
+    """
+    from .serve import (
+        ProtocolError,
+        ServeClient,
+        ServeConnectionError,
+        ServeRequestError,
+        solve_params_from_args,
+    )
+
+    unsupported = [
+        flag for flag, value in (
+            ("--restrict-to-node", args.restrict_to_node),
+            ("--quantize", args.quantize),
+            ("--trace-out", args.trace_out),
+        ) if value
+    ]
+    if unsupported:
+        raise SystemExit(
+            f"--daemon solves do not support {', '.join(unsupported)}; "
+            "drop the flag or solve inline"
+        )
+    try:
+        params = solve_params_from_args(args)
+    except (ProtocolError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    try:
+        response = ServeClient(args.daemon).request("solve", params)
+    except ServeConnectionError as exc:
+        logger.warning("%s; solving inline", exc)
+        print(f"[daemon unavailable ({exc}); solving inline]",
+              file=sys.stderr)
+        return None
+    except ServeRequestError as exc:
+        raise SystemExit(f"daemon error: {exc}")
+    result = response["result"]
+    if args.as_json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(_render_remote_solution(result))
+        _daemon_note(args, response)
+    return 0 if result["converged"] else 1
+
+
+def _sweep_via_daemon(args: argparse.Namespace) -> int | None:
+    """Route ``sweep --daemon`` through a running server (or ``None``)."""
+    from .serve import (
+        ProtocolError,
+        ServeClient,
+        ServeConnectionError,
+        ServeRequestError,
+        sweep_params_from_args,
+    )
+
+    unsupported = [
+        flag for flag, value in (
+            ("--checkpoint", args.checkpoint),
+            ("--timeout", args.timeout is not None),
+            ("--chaos", args.chaos),
+        ) if value
+    ]
+    if unsupported:
+        raise SystemExit(
+            f"--daemon sweeps do not support {', '.join(unsupported)}; "
+            "drop the flag or sweep inline"
+        )
+    try:
+        params = sweep_params_from_args(args)
+    except (ProtocolError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    try:
+        response = ServeClient(args.daemon).request("sweep", params)
+    except ServeConnectionError as exc:
+        logger.warning("%s; sweeping inline", exc)
+        print(f"[daemon unavailable ({exc}); sweeping inline]",
+              file=sys.stderr)
+        return None
+    except ServeRequestError as exc:
+        raise SystemExit(f"daemon error: {exc}")
+    result = response["result"]
+    points = result["points"]
+    if args.as_json:
+        print(json.dumps(points, indent=2))
+    else:
+        for point in points:
+            status = "ok" if point["converged"] else "DEGRADED"
+            print(
+                f"theta={point['theta_packets']:>12.1f}  "
+                f"monitors={point['num_monitors']:>3d}  "
+                f"objective={point['objective']:.6f}  [{status}]"
+            )
+        _daemon_note(args, response)
+    return 0 if result["converged"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServerConfig, run_server
+
+    if args.ttl <= 0:
+        raise SystemExit("--ttl must be positive")
+    if args.batch_window < 0:
+        raise SystemExit("--batch-window must be >= 0")
+    config = ServerConfig(
+        socket_path=args.socket,
+        ttl_s=args.ttl,
+        max_cached_results=args.max_results,
+        max_resident_tasks=args.max_tasks,
+        max_warm_chains=args.max_warm,
+        journal_path=args.journal,
+        batch_min=args.batch_min,
+        batch_window_s=args.batch_window,
+        executor_workers=args.workers,
+    )
+    print(
+        f"[serving on {args.socket}; stop with ctrl-c or "
+        "`netsampling request shutdown`]",
+        file=sys.stderr,
+    )
+    try:
+        run_server(config)
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        raise SystemExit(f"cannot serve on {args.socket}: {exc}")
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .serve import (
+        ProtocolError,
+        ServeClient,
+        ServeConnectionError,
+        ServeRequestError,
+        solve_params_from_args,
+        sweep_params_from_args,
+    )
+
+    op = args.op.replace("-", "_")
+    try:
+        if op == "solve":
+            if args.theta is None:
+                raise SystemExit("request solve needs --theta")
+            params = solve_params_from_args(args)
+        elif op == "sweep":
+            if args.theta_min is None or args.theta_max is None:
+                raise SystemExit(
+                    "request sweep needs --theta-min and --theta-max"
+                )
+            params = sweep_params_from_args(args)
+        elif op == "invalidate":
+            params = (
+                {"topology": args.topology} if args.topology else {}
+            )
+        elif op == "dump_trace":
+            if not args.path:
+                raise SystemExit("request dump-trace needs --path")
+            params = {"path": args.path}
+        else:
+            params = None
+    except (ProtocolError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+    client = ServeClient(args.socket, timeout_s=args.timeout)
+    try:
+        response = client.request(op, params)
+    except ServeConnectionError as exc:
+        raise SystemExit(str(exc))
+    except ServeRequestError as exc:
+        raise SystemExit(f"daemon error ({exc.kind}): {exc}")
+    result = response.get("result", {})
+    if op == "solve" and not args.as_json:
+        print(_render_remote_solution(result))
+        print(
+            f"[cache {response.get('cache', '?')}, "
+            f"{float(response.get('latency_s') or 0.0) * 1e3:.1f} ms]",
+            file=sys.stderr,
+        )
+        return 0 if result["converged"] else 1
+    if op == "sweep" and not args.as_json:
+        for point in result["points"]:
+            status = "ok" if point["converged"] else "DEGRADED"
+            print(
+                f"theta={point['theta_packets']:>12.1f}  "
+                f"monitors={point['num_monitors']:>3d}  "
+                f"objective={point['objective']:.6f}  [{status}]"
+            )
+        return 0 if result["converged"] else 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if op == "solve":
+        return 0 if result["converged"] else 1
+    if op == "sweep":
+        return 0 if result["converged"] else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(getattr(args, "log_level", None) or "warning")
@@ -774,6 +1107,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_metrics(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "request":
+            return _cmd_request(args)
         return _cmd_experiments(args)
     except BrokenPipeError:
         # Output was piped to a consumer (head, less) that closed early.

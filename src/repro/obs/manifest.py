@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from .metrics import METRICS
 from .spans import Span, summarize_spans
 from .trace import IterationRecord, SolverTrace
 
@@ -75,6 +76,54 @@ def _jsonable(value):
     return repr(value)
 
 
+#: Attribute the problem-derived fingerprint base is memoized under.
+_FINGERPRINT_CACHE_ATTR = "_repro_fingerprint_cache"
+
+
+def _fingerprint_token(problem) -> tuple:
+    """Identity token guarding the memoized fingerprint base.
+
+    The arrays a :class:`SamplingProblem` holds are read-only (the
+    constructor flips ``writeable`` off), so object identity implies
+    content stability; a mutation *by replacement* — a new routing
+    operator, new loads, a re-masked monitorable vector — changes the
+    token and invalidates the memo.  θ and the interval are scalar
+    knobs ``with_theta``-style copies vary, so they compare by value.
+    """
+    return (
+        id(getattr(problem, "routing_op", None)),
+        id(getattr(problem, "link_loads_pps", None)),
+        id(getattr(problem, "alpha", None)),
+        id(getattr(problem, "monitorable", None)),
+        float(getattr(problem, "theta_packets", 0.0)),
+        float(getattr(problem, "interval_seconds", 0.0)),
+    )
+
+
+def _fingerprint_base(problem) -> dict:
+    """The problem-derived fields of the fingerprint (memoizable)."""
+    routing_op = getattr(problem, "routing_op", None)
+    alpha = getattr(problem, "alpha", None)
+    base = {
+        "package_version": _package_version(),
+        "num_links": int(getattr(problem, "num_links", 0)),
+        "num_od_pairs": int(getattr(problem, "num_od_pairs", 0)),
+        "theta_packets": float(getattr(problem, "theta_packets", 0.0)),
+        "interval_seconds": float(getattr(problem, "interval_seconds", 0.0)),
+    }
+    mask = getattr(problem, "candidate_mask", None)
+    if mask is not None:
+        base["candidate_links"] = int(mask.sum())
+    if alpha is not None and len(alpha):
+        base["alpha_min"] = float(min(alpha))
+        base["alpha_max"] = float(max(alpha))
+    if routing_op is not None:
+        base["routing_nnz"] = int(routing_op.nnz)
+        base["routing_density"] = float(routing_op.density)
+        base["routing_backend"] = routing_op.backend
+    return base
+
+
 def fingerprint_problem(
     problem,
     topology: str | None = None,
@@ -88,26 +137,29 @@ def fingerprint_problem(
     decide whether two manifests describe comparable runs: sizes, θ,
     α range, routing sparsity and backend, package version — plus the
     caller-supplied topology name, RNG seed and solver options.
+
+    The problem-derived base is memoized on the problem object itself
+    (``obs.fingerprint.cache_hit`` / ``cache_miss``): manifest writes
+    and every solver-daemon request re-fingerprint the same resident
+    problem, and the candidate-mask scan is worth skipping.  The memo
+    invalidates when any constituent attribute is replaced (see
+    :func:`_fingerprint_token`); objects that refuse the attribute
+    (slots, frozen proxies) simply never cache.
     """
-    routing_op = getattr(problem, "routing_op", None)
-    alpha = getattr(problem, "alpha", None)
-    fingerprint = {
-        "package_version": _package_version(),
-        "num_links": int(getattr(problem, "num_links", 0)),
-        "num_od_pairs": int(getattr(problem, "num_od_pairs", 0)),
-        "theta_packets": float(getattr(problem, "theta_packets", 0.0)),
-        "interval_seconds": float(getattr(problem, "interval_seconds", 0.0)),
-    }
-    mask = getattr(problem, "candidate_mask", None)
-    if mask is not None:
-        fingerprint["candidate_links"] = int(mask.sum())
-    if alpha is not None and len(alpha):
-        fingerprint["alpha_min"] = float(min(alpha))
-        fingerprint["alpha_max"] = float(max(alpha))
-    if routing_op is not None:
-        fingerprint["routing_nnz"] = int(routing_op.nnz)
-        fingerprint["routing_density"] = float(routing_op.density)
-        fingerprint["routing_backend"] = routing_op.backend
+    token = _fingerprint_token(problem)
+    cached = getattr(problem, _FINGERPRINT_CACHE_ATTR, None)
+    if cached is not None and cached[0] == token:
+        METRICS.increment("obs.fingerprint.cache_hit")
+        fingerprint = dict(cached[1])
+    else:
+        METRICS.increment("obs.fingerprint.cache_miss")
+        fingerprint = _fingerprint_base(problem)
+        try:
+            object.__setattr__(
+                problem, _FINGERPRINT_CACHE_ATTR, (token, dict(fingerprint))
+            )
+        except (AttributeError, TypeError):
+            pass
     if topology is not None:
         fingerprint["topology"] = topology
     if seed is not None:

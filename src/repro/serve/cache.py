@@ -1,0 +1,382 @@
+"""Fingerprint-keyed result cache with TTL, LRU bounds and a journal.
+
+The daemon's unit of memoization is one *certified* answer to one
+normalized request: the cache key digests the problem's full content
+(routing matrix, load **levels** — unlike warm-start fingerprints,
+levels change the answer — bounds, candidate mask, utility
+parameters) plus the solver coordinates (op, method, backend,
+presolve, θ).  Two requests collide only when the solve they describe
+is bit-identical.
+
+Entries expire after a TTL (results describe a traffic snapshot, not
+a topology invariant) and are bounded by an LRU cap.  Explicit
+invalidation — the daemon's ``invalidate`` op, issued on load
+updates — drops entries by topology scope, or everything.
+
+:class:`CacheJournal` is the durability layer (the
+:class:`~repro.resilience.checkpoint.SweepCheckpoint` pattern): every
+``put`` and ``invalidate`` appends one fsynced JSONL record, so a
+restarted daemon replays the journal and re-warms instead of
+cold-starting.  A line half-written at crash time is dropped *and
+truncated away* on load, so crash/resume/crash cannot fuse records.
+
+Counters (all in :data:`~repro.obs.metrics.METRICS`):
+``serve.cache.hit`` / ``miss`` / ``expired`` / ``evicted`` /
+``invalidated``; ``serve.journal.appended`` / ``replayed`` /
+``skipped_expired`` / ``dropped_corrupt``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..obs.logsetup import get_logger
+from ..obs.metrics import METRICS
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "fingerprint_key",
+    "CacheEntry",
+    "ResultCache",
+    "CacheJournal",
+    "JOURNAL_SCHEMA_VERSION",
+]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def fingerprint_key(fingerprint: dict) -> str:
+    """Collision-resistant digest of a fingerprint dict.
+
+    The dict is canonicalized (sorted keys, compact separators) before
+    hashing, so key order and whitespace never split the cache.
+    """
+    canonical = json.dumps(
+        fingerprint, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached certified result."""
+
+    key: str
+    result: dict
+    fingerprint: dict = field(default_factory=dict)
+    created_s: float = 0.0
+    expires_s: float = float("inf")
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_s
+
+    def to_record(self) -> dict:
+        return {
+            "record": "entry",
+            "key": self.key,
+            "result": self.result,
+            "fingerprint": self.fingerprint,
+            "created_s": self.created_s,
+            "expires_s": self.expires_s,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CacheEntry":
+        return cls(
+            key=str(record["key"]),
+            result=record["result"],
+            fingerprint=record.get("fingerprint", {}),
+            created_s=float(record.get("created_s", 0.0)),
+            expires_s=float(record.get("expires_s", float("inf"))),
+        )
+
+
+class ResultCache:
+    """Thread-safe TTL + LRU cache of certified solve results.
+
+    ``clock`` is wall time (``time.time``) — entries must survive a
+    daemon restart through the journal, so expiry is an absolute
+    timestamp, not a monotonic offset.  Tests inject a fake clock.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float = 300.0,
+        max_entries: int = 256,
+        clock: Callable[[], float] = time.time,
+        journal: "CacheJournal | None" = None,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.ttl_s = float(ttl_s)
+        self.max_entries = int(max_entries)
+        self._clock = clock
+        self._journal = journal
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        """The cached result for ``key``, or None (miss or expired)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                METRICS.increment("serve.cache.miss")
+                return None
+            if entry.expired(now):
+                del self._entries[key]
+                METRICS.increment("serve.cache.expired")
+                METRICS.increment("serve.cache.miss")
+                return None
+            self._entries.move_to_end(key)
+            METRICS.increment("serve.cache.hit")
+            return entry.result
+
+    def put(
+        self,
+        key: str,
+        result: dict,
+        fingerprint: dict | None = None,
+        ttl_s: float | None = None,
+    ) -> CacheEntry:
+        """Insert (or refresh) an entry; journals and LRU-evicts."""
+        now = self._clock()
+        entry = CacheEntry(
+            key=key,
+            result=result,
+            fingerprint=dict(fingerprint or {}),
+            created_s=now,
+            expires_s=now + (ttl_s if ttl_s is not None else self.ttl_s),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                METRICS.increment("serve.cache.evicted")
+                logger.debug("evicted cache entry %s", evicted)
+        if self._journal is not None:
+            self._journal.append_entry(entry)
+        return entry
+
+    def restore(self, entry: CacheEntry) -> None:
+        """Insert a replayed entry without re-journaling it."""
+        with self._lock:
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, topology: str | None = None) -> int:
+        """Drop entries whose fingerprint names ``topology`` (None: all).
+
+        Journaled, so a restart does not resurrect dropped results.
+        """
+        scope = topology.lower() if topology is not None else None
+        with self._lock:
+            if scope is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [
+                    key
+                    for key, entry in self._entries.items()
+                    if str(
+                        entry.fingerprint.get("topology", "")
+                    ).lower() == scope
+                ]
+                for key in doomed:
+                    del self._entries[key]
+                removed = len(doomed)
+        if removed:
+            METRICS.increment("serve.cache.invalidated", removed)
+        if self._journal is not None:
+            self._journal.append_invalidate(topology)
+        return removed
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry (housekeeping between requests)."""
+        now = self._clock()
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.expired(now)
+            ]
+            for key in doomed:
+                del self._entries[key]
+        if doomed:
+            METRICS.increment("serve.cache.expired", len(doomed))
+        return len(doomed)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+
+class CacheJournal:
+    """Fsynced JSONL durability for the result cache.
+
+    Line grammar (one JSON object per line)::
+
+        {"record": "serve-cache-journal", "schema_version": 1}
+        {"record": "entry", "key": ..., "result": {...},
+         "fingerprint": {...}, "created_s": ..., "expires_s": ...}
+        {"record": "invalidate", "topology": ... | null}
+
+    ``append_*`` flushes and ``os.fsync``\\ s per record — an entry
+    either fully survives a crash or is dropped (and truncated away)
+    on the next load.  Replay applies records *in order*, so an
+    ``invalidate`` wipes every earlier matching entry exactly as it
+    did live.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _append_line(self, payload: dict) -> None:
+        with self._lock:
+            new_file = not self.path.exists() or (
+                self.path.stat().st_size == 0
+            )
+            with self.path.open("a", encoding="utf-8") as handle:
+                if new_file:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "record": "serve-cache-journal",
+                                "schema_version": JOURNAL_SCHEMA_VERSION,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def append_entry(self, entry: CacheEntry) -> None:
+        self._append_line(entry.to_record())
+        METRICS.increment("serve.journal.appended")
+
+    def append_invalidate(self, topology: str | None) -> None:
+        self._append_line({"record": "invalidate", "topology": topology})
+        METRICS.increment("serve.journal.appended")
+
+    def _read_records(self) -> Iterator[dict]:
+        """Validated records, dropping + truncating a corrupt tail."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            raw_lines = handle.readlines()
+        good_bytes = 0
+        records: list[dict] = []
+        for lineno, raw in enumerate(raw_lines, start=1):
+            stripped = raw.strip()
+            try:
+                payload = json.loads(stripped) if stripped else None
+            except json.JSONDecodeError:
+                payload = None
+            if not isinstance(payload, dict) or not raw.endswith("\n"):
+                # Only the final line can legitimately be torn; anything
+                # corrupt mid-file means the journal is not ours.
+                if lineno != len(raw_lines):
+                    raise ValueError(
+                        f"{self.path}:{lineno}: corrupt journal record"
+                    )
+                METRICS.increment("serve.journal.dropped_corrupt")
+                logger.warning(
+                    "dropping torn journal tail at %s:%d", self.path, lineno
+                )
+                self._truncate(good_bytes)
+                break
+            if lineno == 1:
+                if payload.get("record") != "serve-cache-journal":
+                    raise ValueError(
+                        f"{self.path}: not a serve cache journal"
+                    )
+                if payload.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{self.path}: unsupported schema "
+                        f"{payload.get('schema_version')!r}"
+                    )
+            else:
+                records.append(payload)
+            good_bytes += len(raw.encode("utf-8"))
+        yield from records
+
+    def _truncate(self, size: int) -> None:
+        with self.path.open("r+", encoding="utf-8") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay_into(self, cache: ResultCache) -> int:
+        """Apply the journal to ``cache``; returns live entries restored.
+
+        Expired entries are skipped (``serve.journal.skipped_expired``)
+        and in-order ``invalidate`` records wipe matching earlier
+        entries, reproducing the live cache's final state.
+        """
+        staged: OrderedDict[str, CacheEntry] = OrderedDict()
+        for record in self._read_records():
+            kind = record.get("record")
+            if kind == "entry":
+                entry = CacheEntry.from_record(record)
+                staged[entry.key] = entry
+                staged.move_to_end(entry.key)
+            elif kind == "invalidate":
+                topology = record.get("topology")
+                if topology is None:
+                    staged.clear()
+                else:
+                    scope = str(topology).lower()
+                    for key in [
+                        k
+                        for k, e in staged.items()
+                        if str(
+                            e.fingerprint.get("topology", "")
+                        ).lower() == scope
+                    ]:
+                        del staged[key]
+            else:
+                raise ValueError(
+                    f"{self.path}: unknown journal record {kind!r}"
+                )
+        now = self._clock()
+        restored = 0
+        for entry in staged.values():
+            if entry.expired(now):
+                METRICS.increment("serve.journal.skipped_expired")
+                continue
+            cache.restore(entry)
+            restored += 1
+        if restored:
+            METRICS.increment("serve.journal.replayed", restored)
+            logger.info(
+                "re-warmed %d cache entries from %s", restored, self.path
+            )
+        return restored

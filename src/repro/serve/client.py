@@ -1,0 +1,129 @@
+"""Thin blocking client for the solver daemon.
+
+One Unix-socket connection per request — connects, sends one framed
+message, reads one framed response, closes.  Stateless and trivially
+concurrency-safe: N threads with N clients map to N daemon
+connections, which is exactly how the single-flight coalescing tests
+drive the server.
+
+:class:`ServeConnectionError` (the socket is absent, refused, or the
+daemon hung up) is the signal the CLI's ``--daemon`` flag uses to
+fall back to an inline solve; :class:`ServeRequestError` carries an
+error the daemon itself reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from .protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+__all__ = [
+    "ServeError",
+    "ServeConnectionError",
+    "ServeRequestError",
+    "ServeClient",
+    "daemon_available",
+]
+
+_request_ids = itertools.count(1)
+
+
+class ServeError(RuntimeError):
+    """Base class for client-side failures."""
+
+
+class ServeConnectionError(ServeError):
+    """Could not reach (or keep talking to) the daemon."""
+
+
+class ServeRequestError(ServeError):
+    """The daemon answered with an error response."""
+
+    def __init__(self, message: str, kind: str = "error") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def daemon_available(socket_path: str, timeout_s: float = 1.0) -> bool:
+    """Whether a daemon accepts connections on ``socket_path``."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(socket_path)
+        return True
+    except OSError:
+        return False
+
+
+class ServeClient:
+    """Blocking request/response client (usable as a context manager)."""
+
+    def __init__(self, socket_path: str, timeout_s: float = 300.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """Send one request; return the full response dict.
+
+        Raises :class:`ServeConnectionError` when the daemon is
+        unreachable and :class:`ServeRequestError` when it reports an
+        error (``ok: false``).
+        """
+        message = {"op": op, "id": f"c{next(_request_ids)}"}
+        if params is not None:
+            message["params"] = params
+        try:
+            with socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            ) as sock:
+                sock.settimeout(
+                    timeout_s if timeout_s is not None else self.timeout_s
+                )
+                sock.connect(self.socket_path)
+                sock.sendall(encode_message(message))
+                line = self._read_line(sock)
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"cannot reach daemon at {self.socket_path}: {exc}"
+            ) from exc
+        response = decode_message(line)
+        if not response.get("ok"):
+            raise ServeRequestError(
+                response.get("error", "unspecified daemon error"),
+                kind=response.get("kind", "error"),
+            )
+        return response
+
+    def result(self, op: str, params: dict | None = None, **kwargs) -> dict:
+        """The ``result`` payload of one successful request."""
+        return self.request(op, params, **kwargs)["result"]
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks = []
+        total = 0
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ServeConnectionError(
+                    "daemon closed the connection mid-response"
+                )
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n"):
+                return b"".join(chunks)
+            if total > MAX_LINE_BYTES:
+                raise ServeConnectionError("oversized daemon response")
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None

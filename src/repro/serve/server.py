@@ -1,0 +1,542 @@
+"""The asyncio solver daemon: warm state + cache + coalescing + batching.
+
+:class:`SolverServer` listens on a local Unix socket and answers the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`.  The
+request path, in order:
+
+1. **normalize** — params canonicalize, so equivalent spellings share
+   one identity;
+2. **prepare** — bind to the resident task/problem
+   (:class:`~repro.serve.session.SolverSession`), producing the
+   content-fingerprint cache key;
+3. **cache** — a live TTL entry answers immediately
+   (``cache: "hit"``);
+4. **single-flight** — an identical request already solving attaches
+   to its future (``cache: "coalesced"``; counter
+   ``serve.request.coalesced``) — N identical concurrent requests
+   perform exactly one solve;
+5. **batch or solve** — batchable solves (exact gradient projection)
+   park in a micro-batch window; if enough distinct requests are
+   queued they fan out through the shm pool via
+   :func:`~repro.core.batch.solve_batch`, otherwise each runs
+   warm-chained on the executor;
+6. **certify + cache** — converged, non-degraded results (always
+   carrying their optimality certificate) enter the cache and, when
+   configured, the fsynced journal, so a restarted daemon re-warms.
+
+Observability: the server holds a long-lived span recorder, wraps
+every request in a ``serve.request`` span (pool workers stitch their
+subtrees under it via the PR 7 machinery), times every answer into
+the ``serve.request.latency`` histogram (p50/p95/p99), and exposes
+everything through the ``stats`` op; ``dump_trace`` writes a full
+manifest for waterfall rendering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+
+from ..obs.logsetup import get_logger
+from ..obs.manifest import write_manifest
+from ..obs.metrics import METRICS, diff_snapshots
+from ..obs.spans import (
+    collecting_spans,
+    current_span_context,
+    span,
+    using_span_context,
+)
+from ..obs.trace import SolverTrace
+from .cache import CacheJournal, ResultCache
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    normalize_params,
+)
+from .session import PreparedRequest, SolverSession, solution_payload
+
+logger = get_logger(__name__)
+
+__all__ = ["ServerConfig", "SolverServer", "run_server", "ServerThread"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one daemon instance."""
+
+    socket_path: str
+    ttl_s: float = 300.0
+    max_cached_results: int = 256
+    max_resident_tasks: int = 8
+    max_warm_chains: int = 16
+    journal_path: str | None = None
+    #: Distinct queued batchable solves that trigger one
+    #: :func:`~repro.core.batch.solve_batch` fan-out instead of
+    #: individual warm-chain solves.
+    batch_min: int = 3
+    #: How long the first queued solve waits for company before the
+    #: batcher commits.  Cache hits and coalesced requests never pay
+    #: this; set 0 to disable grouping entirely.
+    batch_window_s: float = 0.004
+    executor_workers: int = 4
+    label: str = "serve"
+
+
+@dataclass
+class _Job:
+    """One de-duplicated solve admitted past the cache."""
+
+    prepared: PreparedRequest
+    future: asyncio.Future
+    generation: int
+    span_context: dict | None = field(default=None)
+
+
+class SolverServer:
+    """One daemon: asyncio front, thread executor + process pool back."""
+
+    def __init__(
+        self, config: ServerConfig, session: SolverSession | None = None
+    ) -> None:
+        self.config = config
+        self.session = session or SolverSession(
+            max_tasks=config.max_resident_tasks,
+            max_warm=config.max_warm_chains,
+        )
+        journal = (
+            CacheJournal(config.journal_path)
+            if config.journal_path
+            else None
+        )
+        self.cache = ResultCache(
+            ttl_s=config.ttl_s,
+            max_entries=config.max_cached_results,
+            journal=journal,
+        )
+        self._journal = journal
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._batch_queue: asyncio.Queue[_Job] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor = None
+        self._obs_stack: ExitStack | None = None
+        self.recorder = None
+        self._metrics_was_enabled = False
+        self._metrics_base: dict = {}
+        self._started_s = 0.0
+        self._requests = 0
+        self._generation = 0
+        self._stopping: asyncio.Event | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._batch_queue = asyncio.Queue()
+        self._stopping = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="serve-solve",
+        )
+        self._metrics_was_enabled = METRICS.enabled
+        METRICS.enable()
+        # Counters in the ``stats`` op are deltas against this base:
+        # the registry is process-global and survives restarts within
+        # one process (tests run several daemons back to back).
+        self._metrics_base = METRICS.snapshot()
+        self._obs_stack = ExitStack()
+        self.recorder = self._obs_stack.enter_context(
+            collecting_spans(self.config.label)
+        )
+        if self._journal is not None:
+            self._journal.replay_into(self.cache)
+        socket_path = self.config.socket_path
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=socket_path
+        )
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._started_s = time.time()
+        logger.info("serving on %s", socket_path)
+
+    async def wait_closed(self) -> None:
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._obs_stack is not None:
+            self._obs_stack.close()
+        if not self._metrics_was_enabled:
+            METRICS.disable()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        logger.info("server on %s stopped", self.config.socket_path)
+
+    def request_shutdown(self) -> None:
+        self._stopping.set()
+
+    # -- connection handling -----------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        except asyncio.CancelledError:
+            # Shutdown with this connection idle-open: exit cleanly so
+            # the loop teardown does not log the cancelled reader task.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        request_id = None
+        start = time.perf_counter()
+        try:
+            message = decode_message(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op not in OPS:
+                raise ProtocolError(f"unknown op {op!r}")
+            params = normalize_params(op, message.get("params"))
+            self._requests += 1
+            with span("serve.request", op=op):
+                result, cache_state = await self._dispatch(op, params)
+            response = {
+                "id": request_id,
+                "ok": True,
+                "op": op,
+                "result": result,
+            }
+            if cache_state is not None:
+                response["cache"] = cache_state
+        except ProtocolError as exc:
+            METRICS.increment("serve.request.errors")
+            response = {
+                "id": request_id, "ok": False,
+                "error": str(exc), "kind": "protocol",
+            }
+        except Exception as exc:
+            METRICS.increment("serve.request.errors")
+            logger.exception("request failed")
+            response = {
+                "id": request_id, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}", "kind": "solve",
+            }
+        latency = time.perf_counter() - start
+        METRICS.observe_histogram("serve.request.latency", latency)
+        response["latency_s"] = latency
+        return response
+
+    # -- op dispatch --------------------------------------------------
+
+    async def _dispatch(self, op: str, params: dict):
+        if op == "ping":
+            return {
+                "pong": True,
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+                "uptime_s": time.time() - self._started_s,
+            }, None
+        if op == "stats":
+            return self._stats(), None
+        if op == "invalidate":
+            return self._invalidate(params.get("topology")), None
+        if op == "dump_trace":
+            return self._dump_trace(params), None
+        if op == "shutdown":
+            self._loop.call_soon(self.request_shutdown)
+            return {"stopping": True}, None
+        return await self._solve_or_sweep(op, params)
+
+    def _stats(self) -> dict:
+        snapshot = diff_snapshots(METRICS.snapshot(), self._metrics_base)
+        return {
+            "uptime_s": time.time() - self._started_s,
+            "requests": self._requests,
+            "pid": os.getpid(),
+            "resident": {
+                "results": len(self.cache),
+                "tasks": self.session.resident_tasks,
+                "warm_chains": self.session.resident_chains,
+                "inflight": len(self._inflight),
+            },
+            "counters": snapshot["counters"],
+            "histograms": {
+                name: record
+                for name, record in snapshot["histograms"].items()
+                if name.startswith("serve.")
+            },
+            "spans_recorded": len(self.recorder),
+        }
+
+    def _invalidate(self, topology: str | None) -> dict:
+        # Bump the generation first: an in-flight solve admitted before
+        # the invalidation must not re-poison the cache afterwards.
+        self._generation += 1
+        removed = self.cache.invalidate(topology)
+        dropped = self.session.invalidate(topology)
+        logger.info(
+            "invalidated scope=%s: %d cached results, %d resident objects",
+            topology or "all", removed, dropped,
+        )
+        return {
+            "topology": topology,
+            "removed_results": removed,
+            "dropped_resident": dropped,
+        }
+
+    def _dump_trace(self, params: dict) -> dict:
+        path = params.get("path")
+        if not path:
+            raise ProtocolError("dump_trace needs a 'path' param")
+        manifest_path = write_manifest(
+            path,
+            SolverTrace(label=self.config.label),
+            metrics=METRICS.snapshot(),
+            spans=self.recorder.spans,
+            extra={"serve": {"requests": self._requests}},
+        )
+        return {
+            "path": str(manifest_path),
+            "spans": len(self.recorder.spans),
+        }
+
+    # -- the solve path ----------------------------------------------
+
+    async def _solve_or_sweep(self, op: str, params: dict):
+        prepared = await self._loop.run_in_executor(
+            self._executor, self.session.prepare, op, params
+        )
+        cached = self.cache.get(prepared.key)
+        if cached is not None:
+            return cached, "hit"
+
+        inflight = self._inflight.get(prepared.key)
+        if inflight is not None:
+            METRICS.increment("serve.request.coalesced")
+            return await asyncio.shield(inflight), "coalesced"
+
+        future: asyncio.Future = self._loop.create_future()
+        self._inflight[prepared.key] = future
+        job = _Job(
+            prepared=prepared,
+            future=future,
+            generation=self._generation,
+            span_context=current_span_context(),
+        )
+        try:
+            if (
+                self.config.batch_window_s > 0
+                and self.config.batch_min > 1
+                and self.session.solve_batchable(prepared)
+            ):
+                await self._batch_queue.put(job)
+            else:
+                asyncio.create_task(self._run_single(job))
+            result = await asyncio.shield(future)
+        finally:
+            self._inflight.pop(prepared.key, None)
+        return result, "miss"
+
+    def _solve_in_thread(self, job: _Job) -> dict:
+        with using_span_context(job.span_context):
+            return self.session.execute(job.prepared)
+
+    def _finish(self, job: _Job, result: dict) -> None:
+        if (
+            job.generation == self._generation
+            and result.get("converged")
+            and not result.get("degraded")
+        ):
+            self.cache.put(
+                job.prepared.key, result, fingerprint=job.prepared.fingerprint
+            )
+        if not job.future.done():
+            job.future.set_result(result)
+
+    def _fail(self, job: _Job, exc: BaseException) -> None:
+        if not job.future.done():
+            job.future.set_exception(exc)
+
+    async def _run_single(self, job: _Job) -> None:
+        try:
+            result = await self._loop.run_in_executor(
+                self._executor, self._solve_in_thread, job
+            )
+        except Exception as exc:
+            self._fail(job, exc)
+        else:
+            self._finish(job, result)
+
+    async def _batch_loop(self) -> None:
+        """Micro-batch distinct batchable solves through the shm pool."""
+        while True:
+            job = await self._batch_queue.get()
+            jobs = [job]
+            if self.config.batch_window_s > 0:
+                await asyncio.sleep(self.config.batch_window_s)
+            while True:
+                try:
+                    jobs.append(self._batch_queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups: dict[tuple, list[_Job]] = {}
+            for item in jobs:
+                coords = (item.prepared.params["presolve"],)
+                groups.setdefault(coords, []).append(item)
+            for (presolve,), group in groups.items():
+                if len(group) >= self.config.batch_min:
+                    asyncio.create_task(self._run_batch(group, presolve))
+                else:
+                    for item in group:
+                        asyncio.create_task(self._run_single(item))
+
+    async def _run_batch(self, group: list[_Job], presolve: bool) -> None:
+        from ..core.batch import solve_batch
+
+        METRICS.increment("serve.batch.grouped")
+        METRICS.increment("serve.batch.batched_requests", len(group))
+        problems = [item.prepared.problem for item in group]
+
+        def _run() -> list:
+            with using_span_context(group[0].span_context):
+                with span("serve.batch", tasks=len(problems)):
+                    return solve_batch(problems, presolve=presolve)
+
+        try:
+            solutions = await self._loop.run_in_executor(
+                self._executor, _run
+            )
+        except Exception as exc:
+            for item in group:
+                self._fail(item, exc)
+            return
+        for item, solution in zip(group, solutions):
+            result = solution_payload(
+                solution,
+                item.prepared.link_names,
+                item.prepared.od_names,
+                backend="exact",
+            )
+            self._finish(item, result)
+
+
+async def _serve_main(config: ServerConfig) -> None:
+    server = SolverServer(config)
+    await server.start()
+    try:
+        await server.wait_closed()
+    except asyncio.CancelledError:  # pragma: no cover - signal teardown
+        server.request_shutdown()
+        await server.wait_closed()
+        raise
+
+
+def run_server(config: ServerConfig) -> None:
+    """Run a daemon in the current thread until shutdown is requested."""
+    asyncio.run(_serve_main(config))
+
+
+class ServerThread:
+    """A daemon on a background thread (tests, benchmarks, CI smoke).
+
+    ``start`` blocks until the socket accepts connections; ``stop``
+    requests shutdown through the event loop and joins the thread.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.server: SolverServer | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self.server = SolverServer(self.config)
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server.wait_closed()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # pragma: no cover - surfaced via join
+            if self._error is None:
+                self._error = exc
+            self._ready.set()
+
+    def start(self, timeout_s: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise TimeoutError("daemon did not come up in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"daemon failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,486 @@
+"""Resident solver state: tasks, problems, warm chains, result identity.
+
+The daemon's whole advantage over the cold CLI is what this module
+keeps alive between requests:
+
+* **Task cache** — built measurement tasks (topology + routing +
+  gravity background), LRU-keyed by the canonical task params.  The
+  expensive parts (shortest paths, the routing matrix, the
+  :class:`~repro.core.routing_op.RoutingOperator`) are built once; a
+  repeat request at a different θ reuses them through
+  ``problem.with_theta`` (which shares the routing operator).
+* **Warm-start chains** — one
+  :class:`~repro.core.batch.WarmStartChain` per (task, method,
+  presolve) family, so a repeat solve at a nearby θ starts from the
+  previous optimum and the presolve reduction logic inside the chain.
+* **Request identity** — :meth:`SolverSession.prepare` normalizes a
+  request into a :class:`PreparedRequest` carrying the *content*
+  fingerprint (routing bytes, load levels, bounds, utility
+  parameters, solver coordinates) whose digest is the result-cache
+  key.  Load levels are deliberately part of this key — unlike
+  warm-start fingerprints, changed loads change the certified answer.
+
+Counters: ``serve.task.hit`` / ``miss`` / ``evicted``,
+``serve.warm.hit`` / ``miss`` / ``evicted``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core import SamplingProblem, solve
+from ..core.batch import WarmStartChain, solve_theta_sweep
+from ..core.kkt import check_kkt
+from ..obs.logsetup import get_logger
+from ..obs.manifest import fingerprint_problem
+from ..obs.metrics import METRICS
+from ..obs.spans import span
+from ..resilience import faults
+from ..routing import ODPair
+from ..topology import (
+    Network,
+    abilene_network,
+    geant_network,
+    load_network,
+    nsfnet_network,
+)
+from ..traffic import janet_task, load_task_file, make_task
+from .cache import fingerprint_key
+from .protocol import ProtocolError
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "resolve_topology",
+    "build_task",
+    "PreparedRequest",
+    "SolverSession",
+    "solution_payload",
+]
+
+_BUILTIN_TOPOLOGIES = {
+    "geant": geant_network,
+    "abilene": abilene_network,
+    "nsfnet": nsfnet_network,
+}
+
+
+def resolve_topology(name: str) -> Network:
+    """A built-in topology name or a JSON file path.
+
+    Raises :class:`ValueError` on failure — the CLI wraps this into a
+    ``SystemExit``, the daemon into an error response.
+    """
+    builder = _BUILTIN_TOPOLOGIES.get(name.lower())
+    if builder is not None:
+        return builder()
+    try:
+        return load_network(name)
+    except OSError as exc:
+        raise ValueError(
+            f"unknown topology {name!r}: not a built-in "
+            f"({', '.join(_BUILTIN_TOPOLOGIES)}) and not a readable file "
+            f"({exc})"
+        )
+
+
+def build_task(params: dict):
+    """Build the measurement task for normalized task params.
+
+    Resolution order mirrors the CLI: an explicit ``task_file``, then
+    ``od`` specs on the chosen topology, then the paper's JANET task
+    on GEANT.  Raises :class:`ValueError` on unbuildable requests.
+    """
+    if params.get("task_file"):
+        try:
+            return load_task_file(params["task_file"], resolve_topology)
+        except (OSError, ValueError) as exc:
+            raise ValueError(str(exc))
+    if params.get("od"):
+        net = resolve_topology(params["topology"])
+        od_pairs = [ODPair(o, d) for o, d, _ in params["od"]]
+        sizes = [pps for _, _, pps in params["od"]]
+        return make_task(
+            net,
+            od_pairs,
+            sizes,
+            background_pps=params.get("background") or 0.0,
+            interval_seconds=params["interval"],
+            seed=params.get("seed"),
+        )
+    if params["topology"].lower() == "geant":
+        kwargs = {"interval_seconds": params["interval"]}
+        if params.get("background") is not None:
+            kwargs["background_pps"] = params["background"]
+        if params.get("seed") is not None:
+            kwargs["seed"] = params["seed"]
+        return janet_task(**kwargs)
+    raise ValueError(
+        "'od' specs are required for non-GEANT topologies (GEANT "
+        "defaults to the paper's JANET task)"
+    )
+
+
+def _task_key(params: dict) -> str:
+    """Canonical identity of the task-building subset of the params."""
+    subset = {
+        key: params.get(key)
+        for key in (
+            "topology", "od", "task_file", "background", "seed",
+            "interval", "alpha",
+        )
+    }
+    return json.dumps(subset, sort_keys=True, separators=(",", ":"))
+
+
+def _problem_digest(problem: SamplingProblem) -> str:
+    """Content digest over everything that determines the answer.
+
+    Unlike the warm-start structural fingerprint
+    (:func:`repro.core.batch._structural_fingerprint`), load *levels*
+    and the utility parameters are hashed in: a result cached under
+    this digest is only served for a bit-identical problem.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    csr = problem.routing_op.tosparse()
+    if csr is not None:
+        digest.update(csr.indptr.tobytes())
+        digest.update(csr.indices.tobytes())
+        digest.update(csr.data.tobytes())
+    else:
+        digest.update(
+            np.ascontiguousarray(problem.routing_op.toarray()).tobytes()
+        )
+    digest.update(problem.link_loads_pps.tobytes())
+    digest.update(problem.alpha.tobytes())
+    digest.update(problem.monitorable.tobytes())
+    for utility in problem.utilities:
+        digest.update(repr(utility).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class PreparedRequest:
+    """A normalized request bound to its resident problem and identity."""
+
+    op: str
+    params: dict
+    task: object
+    problem: SamplingProblem
+    link_names: list[str]
+    od_names: list[str]
+    fingerprint: dict
+    key: str
+    warm_key: tuple | None = None
+
+
+@dataclass
+class _WarmEntry:
+    chain: WarmStartChain
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SolverSession:
+    """The daemon's resident warm state (thread-safe).
+
+    ``prepare`` runs on any thread (it builds tasks and problems);
+    per-family solve serialization happens through each warm entry's
+    lock, so concurrent heterogeneous requests still solve in
+    parallel.
+    """
+
+    def __init__(self, max_tasks: int = 8, max_warm: int = 16) -> None:
+        self.max_tasks = int(max_tasks)
+        self.max_warm = int(max_warm)
+        self._tasks: OrderedDict[str, tuple] = OrderedDict()
+        self._warm: OrderedDict[tuple, _WarmEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- task / problem residency ------------------------------------
+
+    def _resident_task(self, params: dict) -> tuple:
+        """(task, base_problem, link_names, od_names) from the LRU."""
+        key = _task_key(params)
+        with self._lock:
+            hit = self._tasks.get(key)
+            if hit is not None:
+                self._tasks.move_to_end(key)
+                METRICS.increment("serve.task.hit")
+                return hit
+        METRICS.increment("serve.task.miss")
+        with span("serve.build_task", topology=params["topology"]):
+            task = build_task(params)
+            theta0 = params.get("theta") or params.get("theta_min") or 1.0
+            base = SamplingProblem.from_task(
+                task, float(theta0), alpha=params["alpha"]
+            )
+        link_names = [link.name for link in task.network.links]
+        od_names = [od.name for od in task.routing.od_pairs]
+        value = (task, base, link_names, od_names)
+        with self._lock:
+            self._tasks[key] = value
+            self._tasks.move_to_end(key)
+            while len(self._tasks) > self.max_tasks:
+                self._tasks.popitem(last=False)
+                METRICS.increment("serve.task.evicted")
+        return value
+
+    def _warm_entry(self, warm_key: tuple, params: dict) -> _WarmEntry:
+        with self._lock:
+            entry = self._warm.get(warm_key)
+            if entry is not None:
+                self._warm.move_to_end(warm_key)
+                METRICS.increment("serve.warm.hit")
+                return entry
+            METRICS.increment("serve.warm.miss")
+            entry = _WarmEntry(
+                chain=WarmStartChain(
+                    method=params["method"], presolve=params["presolve"]
+                )
+            )
+            self._warm[warm_key] = entry
+            self._warm.move_to_end(warm_key)
+            while len(self._warm) > self.max_warm:
+                self._warm.popitem(last=False)
+                METRICS.increment("serve.warm.evicted")
+            return entry
+
+    # -- request identity --------------------------------------------
+
+    def prepare(self, op: str, params: dict) -> PreparedRequest:
+        """Bind normalized params to a resident problem + cache key."""
+        task, base, link_names, od_names = self._resident_task(params)
+        if op == "solve":
+            theta = params["theta"]
+            solver_coords = {
+                "method": params["method"],
+                "backend": params["backend"],
+                "presolve": params["presolve"],
+            }
+        else:  # sweep
+            theta = params["theta_min"]
+            solver_coords = {
+                "method": params["method"],
+                "presolve": params["presolve"],
+                "theta_min": params["theta_min"],
+                "theta_max": params["theta_max"],
+                "points": params["points"],
+            }
+        problem = (
+            base
+            if base.theta_packets == float(theta)
+            else base.with_theta(float(theta))
+        )
+        # ``topology`` is the *request's* normalized name — invalidation
+        # scopes match against it — while the network's display name
+        # travels separately.
+        fingerprint = fingerprint_problem(
+            problem,
+            topology=params["topology"].lower(),
+            network=task.network.name,
+            seed=params.get("seed"),
+            op=op,
+            content_digest=_problem_digest(problem),
+            solver=solver_coords,
+        )
+        warm_key = None
+        if op == "solve" and params["backend"] == "exact":
+            warm_key = (
+                _task_key(params), params["method"], params["presolve"],
+            )
+        return PreparedRequest(
+            op=op,
+            params=params,
+            task=task,
+            problem=problem,
+            link_names=link_names,
+            od_names=od_names,
+            fingerprint=fingerprint,
+            key=fingerprint_key(fingerprint),
+            warm_key=warm_key,
+        )
+
+    # -- execution ----------------------------------------------------
+
+    def execute(self, prepared: PreparedRequest) -> dict:
+        """Run one prepared request to a result payload (may raise)."""
+        if prepared.op == "solve":
+            return self._execute_solve(prepared)
+        return self._execute_sweep(prepared)
+
+    def _execute_solve(self, prepared: PreparedRequest) -> dict:
+        faults.maybe_fire(faults.SITE_SOLVE_RAISE)
+        params = prepared.params
+        with span(
+            "serve.solve",
+            topology=params["topology"],
+            backend=params["backend"],
+            warm=prepared.warm_key is not None,
+        ):
+            if params["backend"] != "exact":
+                from ..scale import solve_scaled
+
+                solution = solve_scaled(
+                    prepared.problem, backend=params["backend"]
+                )
+            elif prepared.warm_key is not None:
+                entry = self._warm_entry(prepared.warm_key, params)
+                with entry.lock:
+                    solution = entry.chain.solve(prepared.problem)
+            else:
+                solution = solve(
+                    prepared.problem,
+                    method=params["method"],
+                    presolve=params["presolve"],
+                )
+        return solution_payload(
+            solution,
+            prepared.link_names,
+            prepared.od_names,
+            backend=params["backend"],
+        )
+
+    def _execute_sweep(self, prepared: PreparedRequest) -> dict:
+        params = prepared.params
+        thetas = [
+            float(t)
+            for t in np.geomspace(
+                params["theta_min"], params["theta_max"], params["points"]
+            )
+        ]
+        with span(
+            "serve.sweep", topology=params["topology"], points=len(thetas)
+        ):
+            solutions = solve_theta_sweep(
+                prepared.problem,
+                thetas,
+                method=params["method"],
+                presolve=params["presolve"],
+            )
+        points = []
+        for theta, solution in zip(thetas, solutions):
+            point = solution_payload(
+                solution, prepared.link_names, prepared.od_names,
+                backend="exact", include_utilities=False,
+            )
+            point["theta_packets"] = theta
+            points.append(point)
+        return {
+            "points": points,
+            "converged": all(p["converged"] for p in points),
+            "degraded": any(p["degraded"] for p in points),
+        }
+
+    def solve_batchable(self, prepared: PreparedRequest) -> bool:
+        """Whether this request may ride the pooled ``solve_batch`` path."""
+        return (
+            prepared.op == "solve"
+            and prepared.params["backend"] == "exact"
+            and prepared.params["method"] == "gradient_projection"
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def invalidate(self, topology: str | None = None) -> int:
+        """Drop resident state for ``topology`` (None: everything).
+
+        Called on load updates: the next request rebuilds the task
+        from its source and every warm chain for the scope restarts
+        cold.  Returns the number of resident objects dropped.
+        """
+        dropped = 0
+        with self._lock:
+            if topology is None:
+                dropped = len(self._tasks) + len(self._warm)
+                self._tasks.clear()
+                self._warm.clear()
+            else:
+                scope = topology.lower()
+
+                def _matches(key_json: str) -> bool:
+                    return json.loads(key_json)["topology"].lower() == scope
+
+                for key in [k for k in self._tasks if _matches(k)]:
+                    del self._tasks[key]
+                    dropped += 1
+                for key in [k for k in self._warm if _matches(k[0])]:
+                    del self._warm[key]
+                    dropped += 1
+        return dropped
+
+    @property
+    def resident_tasks(self) -> int:
+        with self._lock:
+            return len(self._tasks)
+
+    @property
+    def resident_chains(self) -> int:
+        with self._lock:
+            return len(self._warm)
+
+
+def _gap_certified(solution) -> bool:
+    """Does this solution carry a satisfied optimality certificate?
+
+    Exact solves certify through KKT (sufficient for global optimality
+    on this concave program); approximate backends through their
+    a-posteriori duality-gap bound.  A converged exact solve missing a
+    stored report gets one computed here — daemon answers always ship
+    their certificate.
+    """
+    diagnostics = solution.diagnostics
+    if diagnostics.kkt is not None:
+        return bool(diagnostics.kkt.satisfied)
+    if diagnostics.optimality_gap is not None:
+        return True
+    if not diagnostics.converged or diagnostics.degraded:
+        return False
+    try:
+        return bool(check_kkt(solution.problem, solution.rates).satisfied)
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def solution_payload(
+    solution,
+    link_names: list[str],
+    od_names: list[str],
+    backend: str = "exact",
+    include_utilities: bool = True,
+) -> dict:
+    """JSON-ready result payload (the daemon's unit of caching)."""
+    diagnostics = solution.diagnostics
+    payload = {
+        "converged": bool(diagnostics.converged),
+        "degraded": bool(diagnostics.degraded),
+        "method": diagnostics.method,
+        "backend": backend,
+        "iterations": int(diagnostics.iterations),
+        "wall_time_s": float(diagnostics.wall_time_s),
+        "optimality_gap": (
+            None
+            if diagnostics.optimality_gap is None
+            else float(diagnostics.optimality_gap)
+        ),
+        "gap_certified": _gap_certified(solution),
+        "objective": float(solution.objective_value),
+        "budget_used_packets": float(solution.budget_used_packets),
+        "num_monitors": int(len(solution.active_link_indices)),
+        "monitors": {
+            link_names[i]: float(solution.rates[i])
+            for i in solution.active_link_indices
+        },
+    }
+    if include_utilities:
+        payload["od_utilities"] = {
+            name: float(u)
+            for name, u in zip(od_names, solution.od_utilities)
+        }
+    return payload

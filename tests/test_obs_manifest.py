@@ -244,3 +244,45 @@ class TestCompareGaugesAndTimers:
         report = compare_manifests(a, b)
         assert "gauge" not in report
         assert "timer" not in report
+
+
+class TestFingerprintMemo:
+    """The problem-derived base memoizes on the problem object."""
+
+    def _counters(self, registry):
+        return registry.snapshot()["counters"]
+
+    def test_repeat_fingerprint_hits_the_memo(self):
+        problem = make_random_problem(seed=11)
+        with collecting_metrics() as registry:
+            first = fingerprint_problem(problem, topology="t")
+            second = fingerprint_problem(problem, topology="t")
+        counters = self._counters(registry)
+        assert counters["obs.fingerprint.cache_miss"] == 1
+        assert counters["obs.fingerprint.cache_hit"] == 1
+        assert second == first
+
+    def test_memo_returns_a_copy_not_a_shared_dict(self):
+        problem = make_random_problem(seed=11)
+        first = fingerprint_problem(problem, marker="a")
+        second = fingerprint_problem(problem)
+        assert "marker" not in second
+        first["num_links"] = -1
+        assert fingerprint_problem(problem)["num_links"] != -1
+
+    def test_theta_change_invalidates_the_memo(self):
+        problem = make_random_problem(seed=11)
+        fingerprint_problem(problem)
+        resized = problem.with_theta(problem.theta_packets * 2)
+        with collecting_metrics() as registry:
+            fp = fingerprint_problem(resized)
+        assert fp["theta_packets"] == resized.theta_packets
+        assert self._counters(registry)["obs.fingerprint.cache_miss"] == 1
+
+    def test_extras_and_seed_apply_on_the_hit_path(self):
+        problem = make_random_problem(seed=11)
+        fingerprint_problem(problem)
+        fp = fingerprint_problem(problem, topology="x", seed=3, method="gp")
+        assert fp["topology"] == "x"
+        assert fp["seed"] == 3
+        assert fp["method"] == "gp"

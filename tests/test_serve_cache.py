@@ -1,0 +1,219 @@
+"""Unit tests of the daemon's result cache and its journal.
+
+Clock injection keeps TTL behaviour deterministic; journal tests
+exercise the SweepCheckpoint-style durability rules (fsynced records,
+torn-tail truncation, in-order invalidate replay).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import collecting_metrics
+from repro.serve import CacheEntry, CacheJournal, ResultCache, fingerprint_key
+from repro.serve.cache import JOURNAL_SCHEMA_VERSION
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _result(objective: float = 1.0) -> dict:
+    return {"converged": True, "degraded": False, "objective": objective}
+
+
+class TestFingerprintKey:
+    def test_key_order_and_spelling_do_not_split_the_cache(self):
+        a = {"theta": 100000.0, "topology": "geant", "solver": {"m": "gp"}}
+        b = {"topology": "geant", "solver": {"m": "gp"}, "theta": 1e5}
+        assert fingerprint_key(a) == fingerprint_key(b)
+
+    def test_content_changes_change_the_key(self):
+        base = {"topology": "geant", "digest": "aa"}
+        assert fingerprint_key(base) != fingerprint_key(
+            {**base, "digest": "ab"}
+        )
+
+    def test_non_json_values_hash_via_repr(self):
+        key = fingerprint_key({"theta": float("inf")})
+        assert len(key) == 32
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self):
+        cache = ResultCache(ttl_s=10, clock=FakeClock())
+        cache.put("k", _result(2.5))
+        assert cache.get("k")["objective"] == 2.5
+
+    def test_miss_returns_none(self):
+        cache = ResultCache(clock=FakeClock())
+        assert cache.get("absent") is None
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=30, clock=clock)
+        cache.put("k", _result())
+        clock.advance(29.9)
+        assert cache.get("k") is not None
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_expiry_counts_metrics(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=5, clock=clock)
+        with collecting_metrics() as registry:
+            cache.put("k", _result())
+            clock.advance(10)
+            assert cache.get("k") is None
+            counters = registry.snapshot()["counters"]
+        assert counters["serve.cache.expired"] == 1
+        assert counters["serve.cache.miss"] == 1
+
+    def test_per_entry_ttl_override(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=1000, clock=clock)
+        cache.put("short", _result(), ttl_s=1)
+        cache.put("long", _result())
+        clock.advance(2)
+        assert cache.get("short") is None
+        assert cache.get("long") is not None
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        cache = ResultCache(ttl_s=100, max_entries=2, clock=FakeClock())
+        cache.put("a", _result())
+        cache.put("b", _result())
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", _result())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_invalidate_all(self):
+        cache = ResultCache(clock=FakeClock())
+        cache.put("a", _result())
+        cache.put("b", _result())
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_invalidate_by_topology_scope(self):
+        cache = ResultCache(clock=FakeClock())
+        cache.put("a", _result(), fingerprint={"topology": "geant"})
+        cache.put("b", _result(), fingerprint={"topology": "abilene"})
+        assert cache.invalidate("geant") == 1
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=5, clock=clock)
+        cache.put("a", _result())
+        clock.advance(10)
+        cache.put("b", _result())
+        assert cache.purge_expired() == 1
+        assert cache.keys() == ["b"]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestCacheJournal:
+    def _journal(self, tmp_path, clock):
+        return CacheJournal(tmp_path / "journal.jsonl", clock=clock)
+
+    def test_round_trip_re_warms_a_fresh_cache(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        live = ResultCache(ttl_s=100, clock=clock, journal=journal)
+        live.put("a", _result(1.0), fingerprint={"topology": "geant"})
+        live.put("b", _result(2.0))
+
+        restarted = ResultCache(ttl_s=100, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(restarted) == 2
+        assert restarted.get("a")["objective"] == 1.0
+        assert restarted.get("b")["objective"] == 2.0
+
+    def test_header_line_identifies_the_journal(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        journal.append_entry(CacheEntry(key="k", result=_result()))
+        first = json.loads(journal.path.read_text().splitlines()[0])
+        assert first == {
+            "record": "serve-cache-journal",
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+        }
+
+    def test_replay_skips_expired_entries(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        live = ResultCache(ttl_s=5, clock=clock, journal=journal)
+        live.put("stale", _result())
+        clock.advance(60)
+        restarted = ResultCache(ttl_s=5, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(restarted) == 0
+        assert len(restarted) == 0
+
+    def test_replay_applies_invalidate_in_order(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        live = ResultCache(ttl_s=100, clock=clock, journal=journal)
+        live.put("a", _result(), fingerprint={"topology": "geant"})
+        live.invalidate("geant")
+        live.put("b", _result(), fingerprint={"topology": "geant"})
+
+        restarted = ResultCache(ttl_s=100, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(restarted) == 1
+        assert restarted.get("a") is None
+        assert restarted.get("b") is not None
+
+    def test_torn_tail_is_dropped_and_truncated(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        entry = CacheEntry(key="good", result=_result(), expires_s=9e9)
+        journal.append_entry(entry)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"record": "entry", "key": "torn", "resu')
+        size_with_tear = journal.path.stat().st_size
+
+        restarted = ResultCache(ttl_s=100, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(restarted) == 1
+        assert restarted.keys() == ["good"]
+        assert journal.path.stat().st_size < size_with_tear
+        # A second replay sees a clean file: nothing further dropped.
+        again = ResultCache(ttl_s=100, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(again) == 1
+
+    def test_mid_file_corruption_is_an_error_not_a_drop(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        journal.append_entry(CacheEntry(key="a", result=_result()))
+        lines = journal.path.read_text().splitlines(keepends=True)
+        lines.insert(1, "garbage not json\n")
+        journal.path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="corrupt journal record"):
+            self._journal(tmp_path, clock).replay_into(
+                ResultCache(clock=clock)
+            )
+
+    def test_foreign_file_is_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"record": "something-else"}\n')
+        journal = CacheJournal(path, clock=FakeClock())
+        with pytest.raises(ValueError, match="not a serve cache journal"):
+            journal.replay_into(ResultCache(clock=FakeClock()))
+
+    def test_missing_file_replays_nothing(self, tmp_path):
+        journal = CacheJournal(tmp_path / "never-written.jsonl")
+        assert journal.replay_into(ResultCache(clock=FakeClock())) == 0

@@ -60,6 +60,7 @@ TRACKED_SECONDS = {
     "batch-shm": ("shm_pool_seconds",),
     "scaling": ("approx_seconds", "decompose_seconds", "compiled_seconds"),
     "obs": ("disabled_seconds",),
+    "serve": ("warm_request_seconds",),
 }
 
 #: (numerator, denominator) for recomputing each kind's headline
@@ -70,6 +71,7 @@ SPEEDUP_PAIRS = {
     "sweep": ("cold_seconds", "warm_seconds"),
     "batch-shm": ("pickle_pool_seconds", "shm_pool_seconds"),
     "scaling": ("exact_seconds", "approx_seconds"),
+    "serve": ("cold_cli_seconds", "warm_request_seconds"),
 }
 
 #: Certified-gap fields per kind -> the tolerance key holding their
@@ -91,6 +93,7 @@ GAP_CEILINGS = {
         "disabled_overhead_relative": "max_disabled_overhead",
         "relative_objective_gap": "max_relative_objective_gap",
     },
+    "serve": {"relative_objective_gap": "max_relative_objective_gap"},
 }
 
 
