@@ -31,9 +31,14 @@ Examples::
     netsampling metrics run.jsonl                 # scrape-able text
     netsampling verify --suite quick --report verify_report.json
     netsampling verify --update-golden
-    netsampling serve --socket /tmp/ns.sock --journal cache.jsonl
+    netsampling serve --socket /tmp/ns.sock --journal cache.jsonl \\
+        --max-pending 32 --stale-grace 60 --default-deadline-ms 5000
     netsampling request ping --socket /tmp/ns.sock
+    netsampling request health --socket /tmp/ns.sock --json
     netsampling solve --theta 100000 --daemon /tmp/ns.sock --json
+    netsampling request solve --theta 1e5 --socket /tmp/ns.sock \\
+        --deadline-ms 2000 --retries 3
+    netsampling request drain --socket /tmp/ns.sock
     netsampling request shutdown --socket /tmp/ns.sock
 
 ``solve`` and ``sweep`` accept ``--daemon SOCKET`` to route through a
@@ -348,6 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 0.004; 0 disables batching)")
     srv.add_argument("--workers", type=int, default=4,
                      help="solver thread-pool width (default 4)")
+    srv.add_argument("--max-pending", type=int, default=64,
+                     help="admission high watermark: pending solves at "
+                          "which new solves are shed with `overloaded` "
+                          "(default 64)")
+    srv.add_argument("--low-watermark", type=int, default=None,
+                     help="backlog depth below which shedding clears "
+                          "(default: half of --max-pending)")
+    srv.add_argument("--retry-after-ms", type=float, default=50.0,
+                     help="base retry hint on shed requests, scaled by "
+                          "backlog depth (default 50)")
+    srv.add_argument("--max-inflight-per-conn", type=int, default=8,
+                     help="pipelined frames in flight per connection "
+                          "(default 8)")
+    srv.add_argument("--max-frame-bytes", type=int, default=1024 * 1024,
+                     help="request frame size bound (default 1 MiB)")
+    srv.add_argument("--default-deadline-ms", type=float, default=None,
+                     help="server-side deadline for requests that carry "
+                          "none (default: unlimited)")
+    srv.add_argument("--deadline-fallback",
+                     action=argparse.BooleanOptionalAction, default=True,
+                     help="degrade deadline-bound exact solves to the "
+                          "certified-gap approx backend instead of "
+                          "erroring (default on)")
+    srv.add_argument("--stale-grace", type=float, default=0.0,
+                     help="serve expired cache entries for this many "
+                          "seconds past TTL (tier `stale`) while a "
+                          "background refresh re-solves (default 0: off)")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     help="hard bound on waiting for in-flight work "
+                          "during drain (default 30)")
     _add_log_level(srv)
 
     req = sub.add_parser(
@@ -355,13 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="send one request to a running solver daemon",
     )
     req.add_argument("op",
-                     choices=("ping", "stats", "solve", "sweep",
-                              "invalidate", "dump-trace", "shutdown"),
+                     choices=("ping", "stats", "health", "solve", "sweep",
+                              "invalidate", "dump-trace", "drain",
+                              "shutdown"),
                      help="daemon operation")
     req.add_argument("--socket", required=True, metavar="PATH",
                      help="daemon Unix socket path")
     req.add_argument("--timeout", type=float, default=300.0,
                      help="client receive timeout in seconds (default 300)")
+    req.add_argument("--deadline-ms", type=float, default=None,
+                     help="server-side budget for this request; on "
+                          "exhaustion the answer degrades or fails with "
+                          "kind=deadline_exceeded")
+    req.add_argument("--retries", type=int, default=0,
+                     help="client retries on overloaded sheds and "
+                          "connection failures, with jittered backoff "
+                          "honoring retry_after_ms (default 0; "
+                          "invalidate/drain/shutdown never retry)")
     req.add_argument("--topology", default=None,
                      help="task topology (solve/sweep/invalidate; "
                           "default geant, or all entries for invalidate)")
@@ -1008,6 +1053,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_min=args.batch_min,
         batch_window_s=args.batch_window,
         executor_workers=args.workers,
+        max_pending=args.max_pending,
+        low_watermark=args.low_watermark,
+        retry_after_ms=args.retry_after_ms,
+        max_inflight_per_conn=args.max_inflight_per_conn,
+        max_frame_bytes=args.max_frame_bytes,
+        default_deadline_ms=args.default_deadline_ms,
+        deadline_fallback=args.deadline_fallback,
+        stale_grace_s=args.stale_grace,
+        drain_timeout_s=args.drain_timeout,
     )
     print(
         f"[serving on {args.socket}; stop with ctrl-c or "
@@ -1058,9 +1112,13 @@ def _cmd_request(args: argparse.Namespace) -> int:
     except (ProtocolError, ValueError) as exc:
         raise SystemExit(str(exc))
 
-    client = ServeClient(args.socket, timeout_s=args.timeout)
+    client = ServeClient(
+        args.socket, timeout_s=args.timeout, max_retries=args.retries
+    )
     try:
-        response = client.request(op, params)
+        response = client.request(
+            op, params, deadline_ms=args.deadline_ms
+        )
     except ServeConnectionError as exc:
         raise SystemExit(str(exc))
     except ServeRequestError as exc:

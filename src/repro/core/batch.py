@@ -221,7 +221,18 @@ class WarmStartChain:
         if self._warm_start and self._method == "gradient_projection":
             self._previous_fingerprint = _structural_fingerprint(problem)
 
-    def solve(self, problem: SamplingProblem) -> SamplingSolution:
+    def solve(
+        self,
+        problem: SamplingProblem,
+        options: GradientProjectionOptions | None = None,
+    ) -> SamplingSolution:
+        """Solve one member, warm-started from the previous optimum.
+
+        ``options`` overrides the chain's construction-time options
+        for this call only — the serve daemon uses this to thread a
+        per-request deadline into ``wall_clock_limit_s`` without
+        rebuilding the chain.
+        """
         warm = None
         if self._warm_start and self._method == "gradient_projection":
             fingerprint = _structural_fingerprint(problem)
@@ -237,14 +248,17 @@ class WarmStartChain:
         with span("batch.chain.solve", warm=warm is not None,
                   supervised=self._policy is not None):
             if self._policy is None:
-                solution = self._solve_one(problem, warm)
+                solution = self._solve_one(problem, warm, options)
             else:
-                solution = self._solve_supervised(problem, warm)
+                solution = self._solve_supervised(problem, warm, options)
         self._previous_rates = solution.rates
         return solution
 
     def _solve_supervised(
-        self, problem: SamplingProblem, warm: np.ndarray | None
+        self,
+        problem: SamplingProblem,
+        warm: np.ndarray | None,
+        options: GradientProjectionOptions | None = None,
     ) -> SamplingSolution:
         """One member through the supervisor: primary (warm) + fallbacks."""
         from ..resilience.supervisor import (
@@ -253,7 +267,7 @@ class WarmStartChain:
             with_cooperative_limit,
         )
 
-        options = self._options
+        options = options if options is not None else self._options
         if self._method == "gradient_projection":
             options = with_cooperative_limit(options, self._policy.timeout_s)
         stages = [

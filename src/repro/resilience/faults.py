@@ -23,6 +23,18 @@ Failure points (``SITE_*`` constants):
 ``shm.attach``
     A shared-memory attach raises :class:`InjectedFault` — the
     segment-vanished / permissions race.
+``serve.queue_full``
+    The daemon's admission controller behaves as if the high
+    watermark had tripped: the request is shed with a structured
+    ``overloaded`` error, without generating real load.
+``serve.slow_solve``
+    A serve-layer solve sleeps ``hang_seconds`` before running — long
+    enough to back up the executor queue, trip per-request deadlines
+    and exercise the drain path with genuinely in-flight work.
+``serve.client_disconnect``
+    The connection to the requesting client is aborted just before
+    the response write — the server-side view of a client that died
+    mid-solve (the orphan-completion path).
 
 Scheduling is either *occurrence-keyed* (the N-th time the site is
 consulted in this process fires — natural for sequential supervised
@@ -61,14 +73,28 @@ __all__ = [
     "SITE_SOLVE_HANG",
     "SITE_WORKER_EXIT",
     "SITE_SHM_ATTACH",
+    "SITE_SERVE_QUEUE_FULL",
+    "SITE_SERVE_SLOW_SOLVE",
+    "SITE_SERVE_CLIENT_DISCONNECT",
 ]
 
 SITE_SOLVE_RAISE = "solve.raise"
 SITE_SOLVE_HANG = "solve.hang"
 SITE_WORKER_EXIT = "worker.exit"
 SITE_SHM_ATTACH = "shm.attach"
+SITE_SERVE_QUEUE_FULL = "serve.queue_full"
+SITE_SERVE_SLOW_SOLVE = "serve.slow_solve"
+SITE_SERVE_CLIENT_DISCONNECT = "serve.client_disconnect"
 
-_SITES = (SITE_SOLVE_RAISE, SITE_SOLVE_HANG, SITE_WORKER_EXIT, SITE_SHM_ATTACH)
+_SITES = (
+    SITE_SOLVE_RAISE,
+    SITE_SOLVE_HANG,
+    SITE_WORKER_EXIT,
+    SITE_SHM_ATTACH,
+    SITE_SERVE_QUEUE_FULL,
+    SITE_SERVE_SLOW_SOLVE,
+    SITE_SERVE_CLIENT_DISCONNECT,
+)
 
 #: Exit status used by injected worker deaths; tests can recognise it.
 WORKER_EXIT_STATUS = 113
@@ -236,7 +262,7 @@ def maybe_fire(site: str, index: int | None = None, attempt: int = 0) -> None:
     )
     if site == SITE_WORKER_EXIT:
         os._exit(WORKER_EXIT_STATUS)
-    if site == SITE_SOLVE_HANG:
+    if site in (SITE_SOLVE_HANG, SITE_SERVE_SLOW_SOLVE):
         time.sleep(spec.hang_seconds)
         return
     raise InjectedFault(f"injected fault at {site}")

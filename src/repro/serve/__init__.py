@@ -6,6 +6,10 @@ all of that resident and answers repeat questions from warm state:
 
 * :mod:`~repro.serve.protocol` — newline-delimited JSON framing and
   the param normalizers that define request identity;
+* :mod:`~repro.serve.admission` — admission control with watermark
+  hysteresis, per-request monotonic deadlines and the structured
+  shedding errors (``overloaded`` / ``deadline_exceeded`` /
+  ``draining``);
 * :mod:`~repro.serve.session` — resident tasks, problems and
   warm-start chains plus content fingerprinting;
 * :mod:`~repro.serve.cache` — TTL + LRU certified-result cache with
@@ -19,8 +23,16 @@ all of that resident and answers repeat questions from warm state:
 See ``docs/serving.md`` for the protocol and operational story.
 """
 
+from .admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
 from .cache import CacheEntry, CacheJournal, ResultCache, fingerprint_key
 from .client import (
+    DaemonUnavailable,
     ServeClient,
     ServeConnectionError,
     ServeError,
@@ -28,9 +40,11 @@ from .client import (
     daemon_available,
 )
 from .protocol import (
+    ERROR_KINDS,
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    deadline_budget_from_message,
     decode_message,
     encode_message,
     normalize_params,
@@ -51,9 +65,11 @@ from .session import (
 __all__ = [
     "PROTOCOL_VERSION",
     "OPS",
+    "ERROR_KINDS",
     "ProtocolError",
     "encode_message",
     "decode_message",
+    "deadline_budget_from_message",
     "normalize_params",
     "normalize_solve_params",
     "normalize_sweep_params",
@@ -63,9 +79,15 @@ __all__ = [
     "CacheJournal",
     "ResultCache",
     "fingerprint_key",
+    "AdmissionController",
+    "Deadline",
+    "DeadlineExceededError",
+    "DrainingError",
+    "OverloadedError",
     "ServeClient",
     "ServeError",
     "ServeConnectionError",
+    "DaemonUnavailable",
     "ServeRequestError",
     "daemon_available",
     "ServerConfig",

@@ -1,0 +1,239 @@
+"""Admission control, deadlines and load-shedding for the daemon.
+
+A warm daemon dies two ways under real multi-tenant traffic: it
+accepts more work than it can finish (the pending queue grows without
+bound until memory or latency collapses), or one slow solve
+head-of-line-blocks every fast request behind it.  This module is the
+first line of defense against both:
+
+* :class:`AdmissionController` — a bounded pending-solve counter with
+  high/low watermarks and hysteresis.  Once pending work crosses the
+  high watermark the daemon *sheds* new solves with a structured
+  ``overloaded`` error carrying a ``retry_after_ms`` hint, and keeps
+  shedding until the backlog drains below the low watermark — so a
+  daemon hovering at the edge does not flap between accepting and
+  refusing.  Cache hits, stale serves and control ops never consult
+  the controller: shedding bounds *work*, not answers.
+* :class:`Deadline` — a monotonic per-request budget created the
+  moment a frame is read, so queue wait counts against it.  A request
+  that expires while still queued is shed without solving
+  (``serve.deadline.expired_in_queue``); one that expires mid-flight
+  surfaces a ``deadline_exceeded`` error carrying elapsed vs budget.
+* The structured shedding errors — :class:`OverloadedError`,
+  :class:`DeadlineExceededError`, :class:`DrainingError` — which the
+  server maps onto protocol error kinds (never connection resets).
+
+Chaos: :data:`~repro.resilience.faults.SITE_SERVE_QUEUE_FULL` makes
+``try_admit`` behave as if the high watermark had tripped, so the
+shedding path is drillable without generating real load.
+
+Counters: ``serve.admission.admitted`` / ``shed`` / ``conn_capped`` /
+``drain_shed``; gauge ``serve.admission.queue_depth``;
+``serve.deadline.expired_in_queue`` / ``exceeded`` are incremented by
+the call sites that detect them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..obs.metrics import METRICS
+from ..resilience import faults
+
+__all__ = [
+    "OverloadedError",
+    "DeadlineExceededError",
+    "DrainingError",
+    "Deadline",
+    "AdmissionController",
+]
+
+
+class OverloadedError(RuntimeError):
+    """The daemon shed this request: pending work is over the watermark.
+
+    ``retry_after_ms`` is the backoff hint shipped in the structured
+    ``overloaded`` response — scaled by how deep the backlog is, so
+    clients spread their retries instead of stampeding.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's deadline lapsed before (or while) it was served."""
+
+    def __init__(
+        self, message: str, elapsed_ms: float, budget_ms: float
+    ) -> None:
+        super().__init__(message)
+        self.elapsed_ms = float(elapsed_ms)
+        self.budget_ms = float(budget_ms)
+
+
+class DrainingError(RuntimeError):
+    """The daemon is draining: new and queued-unstarted work is shed."""
+
+
+class Deadline:
+    """A monotonic wall-clock budget attached to one request.
+
+    Created when the request frame is read, so every later stage —
+    admission, queue wait, prepare, solve — spends from the same
+    budget.  ``clock`` is injectable for tests.
+    """
+
+    __slots__ = ("budget_s", "_start", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._clock() - self._start
+
+    @property
+    def remaining_s(self) -> float:
+        return self.budget_s - self.elapsed_s
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s <= 0
+
+    def to_error(self, message: str | None = None) -> DeadlineExceededError:
+        """The structured error describing this deadline's state now."""
+        elapsed_ms = self.elapsed_s * 1e3
+        budget_ms = self.budget_s * 1e3
+        return DeadlineExceededError(
+            message
+            or (
+                f"deadline exceeded: {elapsed_ms:.1f} ms elapsed against a "
+                f"{budget_ms:.1f} ms budget"
+            ),
+            elapsed_ms=elapsed_ms,
+            budget_ms=budget_ms,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget_s={self.budget_s:g}, "
+            f"remaining_s={self.remaining_s:g})"
+        )
+
+
+class AdmissionController:
+    """Bounded pending-solve admission with watermark hysteresis.
+
+    ``try_admit`` either takes one pending slot or raises
+    :class:`OverloadedError`; every admit must be paired with exactly
+    one ``release`` (the server does this in a ``finally``).  Shedding
+    trips when pending reaches ``high_watermark`` and clears only once
+    pending falls below ``low_watermark`` — the gap is the hysteresis
+    band that stops a saturated daemon from flapping.
+
+    Thread-safe: admits happen on the event loop but tests and the
+    ``stats``/``health`` ops may snapshot from other threads.
+    """
+
+    def __init__(
+        self,
+        high_watermark: int = 64,
+        low_watermark: int | None = None,
+        retry_after_ms: float = 50.0,
+    ) -> None:
+        high_watermark = int(high_watermark)
+        if high_watermark < 1:
+            raise ValueError("high_watermark must be at least 1")
+        if low_watermark is None:
+            low_watermark = max(1, high_watermark // 2)
+        low_watermark = int(low_watermark)
+        if not 1 <= low_watermark <= high_watermark:
+            raise ValueError(
+                "need 1 <= low_watermark <= high_watermark "
+                f"(got {low_watermark} / {high_watermark})"
+            )
+        if retry_after_ms <= 0:
+            raise ValueError("retry_after_ms must be positive")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.retry_after_ms = float(retry_after_ms)
+        self._pending = 0
+        self._shedding = False
+        self._lock = threading.Lock()
+
+    # -- admission ----------------------------------------------------
+
+    def try_admit(self) -> None:
+        """Take one pending slot or raise :class:`OverloadedError`."""
+        try:
+            faults.maybe_fire(faults.SITE_SERVE_QUEUE_FULL)
+        except faults.InjectedFault:
+            METRICS.increment("serve.admission.shed")
+            raise OverloadedError(
+                "daemon overloaded (injected queue-full)",
+                retry_after_ms=self._retry_hint_locked(self._pending),
+            )
+        with self._lock:
+            if self._shedding and self._pending < self.low_watermark:
+                self._shedding = False
+            if not self._shedding and self._pending >= self.high_watermark:
+                self._shedding = True
+            if self._shedding:
+                hint = self._retry_hint_locked(self._pending)
+                METRICS.increment("serve.admission.shed")
+                raise OverloadedError(
+                    f"daemon overloaded: {self._pending} solves pending "
+                    f"(high watermark {self.high_watermark})",
+                    retry_after_ms=hint,
+                )
+            self._pending += 1
+            pending = self._pending
+        METRICS.increment("serve.admission.admitted")
+        METRICS.gauge("serve.admission.queue_depth", pending)
+
+    def release(self) -> None:
+        """Return one pending slot (paired with a successful admit)."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+            pending = self._pending
+        METRICS.gauge("serve.admission.queue_depth", pending)
+
+    def _retry_hint_locked(self, pending: int) -> float:
+        # Deterministic, depth-scaled: the deeper the backlog, the
+        # longer the hint.  Client-side jitter spreads the retries.
+        depth = max(1.0, pending / max(1, self.low_watermark))
+        return self.retry_after_ms * depth
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    @property
+    def shedding(self) -> bool:
+        with self._lock:
+            return self._shedding
+
+    def snapshot(self) -> dict:
+        """Queue depth and watermark state for ``stats`` / ``health``."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "shedding": self._shedding,
+                "high_watermark": self.high_watermark,
+                "low_watermark": self.low_watermark,
+            }

@@ -13,6 +13,15 @@ a topology invariant) and are bounded by an LRU cap.  Explicit
 invalidation — the daemon's ``invalidate`` op, issued on load
 updates — drops entries by topology scope, or everything.
 
+**Stale-while-revalidate**: with ``stale_grace_s > 0`` an entry that
+has outlived its TTL is retained for the grace window and remains
+reachable through :meth:`ResultCache.get_stale` — the daemon serves
+it immediately (tagged ``stale: true`` with its age) and refreshes it
+in the background, instead of making the caller pay for a cold solve.
+Invalidation is *not* softened: an explicitly invalidated entry is
+gone, stale serving applies only to time-based expiry — the
+"expired-but-topology-valid" case.
+
 :class:`CacheJournal` is the durability layer (the
 :class:`~repro.resilience.checkpoint.SweepCheckpoint` pattern): every
 ``put`` and ``invalidate`` appends one fsynced JSONL record, so a
@@ -22,8 +31,8 @@ truncated away* on load, so crash/resume/crash cannot fuse records.
 
 Counters (all in :data:`~repro.obs.metrics.METRICS`):
 ``serve.cache.hit`` / ``miss`` / ``expired`` / ``evicted`` /
-``invalidated``; ``serve.journal.appended`` / ``replayed`` /
-``skipped_expired`` / ``dropped_corrupt``.
+``invalidated`` / ``stale_hit``; ``serve.journal.appended`` /
+``replayed`` / ``skipped_expired`` / ``dropped_corrupt`` / ``synced``.
 """
 
 from __future__ import annotations
@@ -116,13 +125,17 @@ class ResultCache:
         max_entries: int = 256,
         clock: Callable[[], float] = time.time,
         journal: "CacheJournal | None" = None,
+        stale_grace_s: float = 0.0,
     ) -> None:
         if ttl_s <= 0:
             raise ValueError("ttl_s must be positive")
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if stale_grace_s < 0:
+            raise ValueError("stale_grace_s must be non-negative")
         self.ttl_s = float(ttl_s)
         self.max_entries = int(max_entries)
+        self.stale_grace_s = float(stale_grace_s)
         self._clock = clock
         self._journal = journal
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
@@ -132,8 +145,20 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
+    def _within_grace(self, entry: CacheEntry, now: float) -> bool:
+        """Expired, but young enough to serve stale-while-revalidate."""
+        return (
+            self.stale_grace_s > 0
+            and now < entry.expires_s + self.stale_grace_s
+        )
+
     def get(self, key: str) -> dict | None:
-        """The cached result for ``key``, or None (miss or expired)."""
+        """The *fresh* cached result for ``key``, or None.
+
+        An expired entry is a miss; it is dropped immediately unless
+        it is still inside the stale grace window, in which case it is
+        retained for :meth:`get_stale` to serve.
+        """
         now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
@@ -141,13 +166,39 @@ class ResultCache:
                 METRICS.increment("serve.cache.miss")
                 return None
             if entry.expired(now):
-                del self._entries[key]
+                if not self._within_grace(entry, now):
+                    del self._entries[key]
                 METRICS.increment("serve.cache.expired")
                 METRICS.increment("serve.cache.miss")
                 return None
             self._entries.move_to_end(key)
             METRICS.increment("serve.cache.hit")
             return entry.result
+
+    def get_stale(self, key: str) -> tuple[dict, float] | None:
+        """An expired-but-in-grace result and its age, or None.
+
+        The stale-while-revalidate read path: the daemon serves this
+        immediately (tagged with ``age_s = now - created``) while a
+        background refresh replaces the entry.  Entries past the grace
+        window are dropped here, exactly like :meth:`get` drops
+        expired ones.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if not entry.expired(now):
+                # Fresh entries belong to get(); callers try that first.
+                return None
+            if not self._within_grace(entry, now):
+                del self._entries[key]
+                METRICS.increment("serve.cache.expired")
+                return None
+            self._entries.move_to_end(key)
+            METRICS.increment("serve.cache.stale_hit")
+            return entry.result, now - entry.created_s
 
     def put(
         self,
@@ -286,6 +337,21 @@ class CacheJournal:
         self._append_line({"record": "invalidate", "topology": topology})
         METRICS.increment("serve.journal.appended")
 
+    def sync(self) -> None:
+        """fsync the journal file — the drain path's final flush barrier.
+
+        Every append already fsyncs, so this is a belt-and-braces
+        barrier confirming nothing is buffered before the daemon
+        exits; it also covers filesystems where an append-time fsync
+        can race a concurrent writer's buffering.
+        """
+        with self._lock:
+            if not self.path.exists():
+                return
+            with self.path.open("rb") as handle:
+                os.fsync(handle.fileno())
+        METRICS.increment("serve.journal.synced")
+
     def _read_records(self) -> Iterator[dict]:
         """Validated records, dropping + truncating a corrupt tail."""
         if not self.path.exists():
@@ -369,7 +435,10 @@ class CacheJournal:
         now = self._clock()
         restored = 0
         for entry in staged.values():
-            if entry.expired(now):
+            # Entries inside the target cache's stale grace window are
+            # restored even though expired: a restarted daemon should
+            # stale-serve exactly what the live one would have.
+            if entry.expired(now) and not cache._within_grace(entry, now):
                 METRICS.increment("serve.journal.skipped_expired")
                 continue
             cache.restore(entry)

@@ -8,26 +8,46 @@ drive the server.
 
 :class:`ServeConnectionError` (the socket is absent, refused, or the
 daemon hung up) is the signal the CLI's ``--daemon`` flag uses to
-fall back to an inline solve; :class:`ServeRequestError` carries an
-error the daemon itself reported.
+fall back to an inline solve; :class:`DaemonUnavailable` narrows it
+to *timeouts* — connect or read took longer than the budget — so
+callers can tell a dead daemon from a wedged one.
+:class:`ServeRequestError` carries an error the daemon itself
+reported, including its ``kind`` and (for ``overloaded`` sheds) the
+``retry_after_ms`` backoff hint.
+
+Retries are opt-in (``max_retries``) and deliberately conservative:
+only idempotent ops retry — never ``invalidate`` (re-running it after
+an ambiguous failure could wipe state a concurrent writer just
+repopulated), never ``drain``/``shutdown`` (the daemon is expected to
+go away mid-exchange).  Backoff is seeded, jittered and honors the
+daemon's ``retry_after_ms`` hint, so a shed burst spreads instead of
+stampeding back in lockstep.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import time
+from random import Random
 
 from .protocol import MAX_LINE_BYTES, decode_message, encode_message
 
 __all__ = [
     "ServeError",
     "ServeConnectionError",
+    "DaemonUnavailable",
     "ServeRequestError",
     "ServeClient",
     "daemon_available",
 ]
 
 _request_ids = itertools.count(1)
+
+#: Ops a retrying client must never re-send: ``invalidate`` is a
+#: destructive write, ``drain``/``shutdown`` expect the daemon to
+#: disappear mid-conversation.
+NON_RETRYABLE_OPS = frozenset({"invalidate", "drain", "shutdown"})
 
 
 class ServeError(RuntimeError):
@@ -38,12 +58,29 @@ class ServeConnectionError(ServeError):
     """Could not reach (or keep talking to) the daemon."""
 
 
-class ServeRequestError(ServeError):
-    """The daemon answered with an error response."""
+class DaemonUnavailable(ServeConnectionError):
+    """The daemon did not answer within the connect/read timeout."""
 
-    def __init__(self, message: str, kind: str = "error") -> None:
+
+class ServeRequestError(ServeError):
+    """The daemon answered with an error response.
+
+    ``kind`` is one of :data:`repro.serve.protocol.ERROR_KINDS`;
+    ``retry_after_ms`` is set on ``overloaded`` sheds, and
+    ``response`` holds the daemon's full error frame.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "error",
+        retry_after_ms: float | None = None,
+        response: dict | None = None,
+    ) -> None:
         super().__init__(message)
         self.kind = kind
+        self.retry_after_ms = retry_after_ms
+        self.response = response or {}
 
 
 def daemon_available(socket_path: str, timeout_s: float = 1.0) -> bool:
@@ -58,37 +95,106 @@ def daemon_available(socket_path: str, timeout_s: float = 1.0) -> bool:
 
 
 class ServeClient:
-    """Blocking request/response client (usable as a context manager)."""
+    """Blocking request/response client (usable as a context manager).
 
-    def __init__(self, socket_path: str, timeout_s: float = 300.0) -> None:
+    ``timeout_s`` bounds reading the response (a solve may genuinely
+    take a while); ``connect_timeout_s`` bounds reaching the daemon
+    at all.  Both map to :class:`DaemonUnavailable` on expiry.
+    ``max_retries`` > 0 enables seeded, jittered backoff on
+    ``overloaded`` sheds and connection failures for idempotent ops.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        timeout_s: float = 300.0,
+        connect_timeout_s: float = 5.0,
+        max_retries: int = 0,
+        backoff_base_ms: float = 25.0,
+        retry_seed: int | None = None,
+    ) -> None:
         self.socket_path = socket_path
         self.timeout_s = timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.max_retries = int(max_retries)
+        self.backoff_base_ms = float(backoff_base_ms)
+        self._rng = Random(retry_seed)
 
     def request(
         self,
         op: str,
         params: dict | None = None,
         timeout_s: float | None = None,
+        deadline_ms: float | None = None,
+        max_retries: int | None = None,
     ) -> dict:
         """Send one request; return the full response dict.
 
+        ``deadline_ms`` ships as the request's server-side budget.
         Raises :class:`ServeConnectionError` when the daemon is
-        unreachable and :class:`ServeRequestError` when it reports an
-        error (``ok: false``).
+        unreachable (:class:`DaemonUnavailable` when it timed out)
+        and :class:`ServeRequestError` when it reports an error
+        (``ok: false``).
         """
+        retries = self.max_retries if max_retries is None else int(max_retries)
+        if op in NON_RETRYABLE_OPS:
+            retries = 0
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(op, params, timeout_s, deadline_ms)
+            except ServeRequestError as exc:
+                if exc.kind != "overloaded" or attempt >= retries:
+                    raise
+                # The daemon shed us: honor its hint, spread with
+                # jitter so a shed burst does not return in lockstep.
+                hint_ms = exc.retry_after_ms or self.backoff_base_ms
+                delay_s = self._backoff_s(hint_ms, attempt)
+            except DaemonUnavailable:
+                # The timeout budget is spent; retrying would double
+                # it behind the caller's back.
+                raise
+            except ServeConnectionError:
+                if attempt >= retries:
+                    raise
+                delay_s = self._backoff_s(self.backoff_base_ms, attempt)
+            time.sleep(delay_s)
+            attempt += 1
+
+    def _backoff_s(self, base_ms: float, attempt: int) -> float:
+        # Full jitter over an exponentially growing window, seeded at
+        # construction so tests (and coordinated fleets) are
+        # deterministic.
+        window_ms = base_ms * (2 ** attempt)
+        return (window_ms * (0.5 + self._rng.random())) / 1e3
+
+    def _request_once(
+        self,
+        op: str,
+        params: dict | None,
+        timeout_s: float | None,
+        deadline_ms: float | None,
+    ) -> dict:
         message = {"op": op, "id": f"c{next(_request_ids)}"}
         if params is not None:
             message["params"] = params
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        read_timeout = timeout_s if timeout_s is not None else self.timeout_s
         try:
             with socket.socket(
                 socket.AF_UNIX, socket.SOCK_STREAM
             ) as sock:
-                sock.settimeout(
-                    timeout_s if timeout_s is not None else self.timeout_s
-                )
+                sock.settimeout(min(self.connect_timeout_s, read_timeout))
                 sock.connect(self.socket_path)
+                sock.settimeout(read_timeout)
                 sock.sendall(encode_message(message))
                 line = self._read_line(sock)
+        except (socket.timeout, TimeoutError) as exc:
+            raise DaemonUnavailable(
+                f"daemon at {self.socket_path} did not answer within "
+                f"{read_timeout:g}s: {exc}"
+            ) from exc
         except OSError as exc:
             raise ServeConnectionError(
                 f"cannot reach daemon at {self.socket_path}: {exc}"
@@ -98,6 +204,8 @@ class ServeClient:
             raise ServeRequestError(
                 response.get("error", "unspecified daemon error"),
                 kind=response.get("kind", "error"),
+                retry_after_ms=response.get("retry_after_ms"),
+                response=response,
             )
         return response
 

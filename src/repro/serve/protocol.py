@@ -18,6 +18,17 @@ entry.  The CLI builds its ``--daemon`` payloads through
 :func:`solve_params_from_args` / :func:`sweep_params_from_args` so the
 inline and daemon paths can never drift apart.
 
+``deadline_ms`` is a *top-level* request field, deliberately outside
+``params``: a deadline changes how hard the daemon may work on the
+answer, never which answer is correct, so it must not split the cache
+key.  :func:`deadline_budget_from_message` validates it.
+
+Error responses are structured, never connection resets.  ``kind``
+is one of ``protocol`` (malformed request), ``solve`` (the solver
+raised), ``overloaded`` (admission shed; carries ``retry_after_ms``),
+``deadline_exceeded`` (carries ``elapsed_ms`` / ``budget_ms``) or
+``draining`` (the daemon is shutting down gracefully).
+
 Newlines cannot appear inside a message — ``json.dumps`` never emits
 raw newlines — so framing is a plain ``readline`` on both ends.
 """
@@ -31,8 +42,10 @@ __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
     "ProtocolError",
+    "ERROR_KINDS",
     "encode_message",
     "decode_message",
+    "deadline_budget_from_message",
     "normalize_task_params",
     "normalize_solve_params",
     "normalize_sweep_params",
@@ -54,9 +67,20 @@ OPS = (
     "solve",
     "sweep",
     "stats",
+    "health",
     "invalidate",
     "dump_trace",
+    "drain",
     "shutdown",
+)
+
+#: Error-response ``kind`` values a client may see.
+ERROR_KINDS = (
+    "protocol",
+    "solve",
+    "overloaded",
+    "deadline_exceeded",
+    "draining",
 )
 
 _METHODS = ("gradient_projection", "slsqp", "trust-constr")
@@ -90,6 +114,30 @@ def decode_message(line: bytes | str) -> dict:
     if not isinstance(payload, dict):
         raise ProtocolError("message must be a JSON object")
     return payload
+
+
+def deadline_budget_from_message(
+    message: dict, default_ms: float | None = None
+) -> float | None:
+    """The request's deadline budget in milliseconds, validated.
+
+    ``deadline_ms`` lives at the top level of the message (next to
+    ``op``), not in ``params`` — it is delivery metadata, not request
+    identity.  Falls back to ``default_ms`` (a server-side default)
+    when absent; returns None when neither is set.
+    """
+    raw = message.get("deadline_ms", None)
+    if raw is None:
+        raw = default_ms
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError("deadline_ms must be a number")
+    if value <= 0:
+        raise ProtocolError("deadline_ms must be positive")
+    return value
 
 
 def _require_float(params: dict, key: str, positive: bool = True) -> float:

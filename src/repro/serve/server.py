@@ -20,16 +20,44 @@ request path, in order:
    queued they fan out through the shm pool via
    :func:`~repro.core.batch.solve_batch`, otherwise each runs
    warm-chained on the executor;
-6. **certify + cache** — converged, non-degraded results (always
-   carrying their optimality certificate) enter the cache and, when
-   configured, the fsynced journal, so a restarted daemon re-warms.
+6. **certify + cache** — converged, non-degraded, full-fidelity
+   (``tier == "exact"``) results (always carrying their optimality
+   certificate) enter the cache and, when configured, the fsynced
+   journal, so a restarted daemon re-warms.
+
+Production hardening (see :mod:`repro.serve.admission`):
+
+* **admission control** — solves admitted past the cache consult an
+  :class:`~repro.serve.admission.AdmissionController`; past the high
+  watermark new solves are shed with a structured ``overloaded``
+  error carrying ``retry_after_ms``.  Cache hits, stale serves and
+  control ops are never shed.  Connections are pipelined (one task
+  per frame) with a per-connection in-flight cap, and frames are
+  bounded by ``max_frame_bytes`` at the stream reader.
+* **deadlines** — a ``deadline_ms`` request field becomes a monotonic
+  :class:`~repro.serve.admission.Deadline` at frame decode, so queue
+  wait spends the same budget as solving.  Requests that expire while
+  queued are shed without solving; the remaining budget is threaded
+  into the solver's cooperative wall clock, and on budget exhaustion
+  the answer degrades to the certified-gap approx backend
+  (``tier: "approx"``) instead of erroring.
+* **graceful degradation** — an expired-but-in-grace cache entry is
+  served immediately (``tier: "stale"``, with its age) while a
+  background refresh re-solves; every answer is labelled with its
+  degradation tier and certificate.
+* **drain** — the ``drain`` op and SIGTERM close the listener, shed
+  queued-unstarted work with ``draining`` errors, let in-flight
+  solves complete (bounded by ``drain_timeout_s``), fsync the journal
+  and exit.
 
 Observability: the server holds a long-lived span recorder, wraps
 every request in a ``serve.request`` span (pool workers stitch their
 subtrees under it via the PR 7 machinery), times every answer into
-the ``serve.request.latency`` histogram (p50/p95/p99), and exposes
-everything through the ``stats`` op; ``dump_trace`` writes a full
-manifest for waterfall rendering.
+the ``serve.request.latency`` histogram (p50/p95/p99) plus a
+per-tier ``serve.request.latency.<tier>`` histogram, and exposes
+everything — admission state included — through the ``stats`` and
+``health`` ops; ``dump_trace`` writes a full manifest for waterfall
+rendering.
 """
 
 from __future__ import annotations
@@ -51,11 +79,20 @@ from ..obs.spans import (
     using_span_context,
 )
 from ..obs.trace import SolverTrace
+from ..resilience import faults
+from .admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
 from .cache import CacheJournal, ResultCache
 from .protocol import (
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    deadline_budget_from_message,
     decode_message,
     encode_message,
     normalize_params,
@@ -87,6 +124,33 @@ class ServerConfig:
     batch_window_s: float = 0.004
     executor_workers: int = 4
     label: str = "serve"
+    #: Admission high watermark: pending solves at which new solves
+    #: are shed with ``overloaded``.  Shedding clears only once the
+    #: backlog drains below ``low_watermark`` (default: half).
+    max_pending: int = 64
+    low_watermark: int | None = None
+    #: Base backoff hint on shed requests, scaled by backlog depth.
+    retry_after_ms: float = 50.0
+    #: Frames in flight per connection before further frames are
+    #: answered inline with ``overloaded`` (pipelining bound).
+    max_inflight_per_conn: int = 8
+    #: Stream-reader frame bound: a line longer than this is a
+    #: protocol error and the connection closes (its buffer is gone).
+    max_frame_bytes: int = 1 * 1024 * 1024
+    #: Server-side default deadline applied when a request carries no
+    #: ``deadline_ms`` of its own (None: no default).
+    default_deadline_ms: float | None = None
+    #: Degrade deadline-bound exact solves to the certified-gap
+    #: approx backend on budget exhaustion instead of erroring.
+    deadline_fallback: bool = True
+    #: Serve expired cache entries for this long past their TTL
+    #: (tagged ``tier: "stale"``) while a background refresh re-solves.
+    stale_grace_s: float = 0.0
+    #: Threads for ``prepare`` (task/problem binding) — separate from
+    #: the solve executor so cache hits never queue behind solves.
+    prep_workers: int = 2
+    #: Hard bound on waiting for in-flight work during drain.
+    drain_timeout_s: float = 30.0
 
 
 @dataclass
@@ -97,6 +161,26 @@ class _Job:
     future: asyncio.Future
     generation: int
     span_context: dict | None = field(default=None)
+    deadline: Deadline | None = field(default=None)
+
+
+class _Connection:
+    """Per-connection pipelining state.
+
+    One reader loop spawns a task per frame; responses serialize
+    through ``lock`` so concurrent completions never interleave
+    bytes.  ``closed`` flips when the client goes away — in-flight
+    solves then orphan-complete into the cache and their responses
+    are dropped (counter ``serve.request.abandoned``).
+    """
+
+    __slots__ = ("writer", "lock", "tasks", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.tasks: set[asyncio.Task] = set()
+        self.closed = False
 
 
 class SolverServer:
@@ -119,6 +203,12 @@ class SolverServer:
             ttl_s=config.ttl_s,
             max_entries=config.max_cached_results,
             journal=journal,
+            stale_grace_s=config.stale_grace_s,
+        )
+        self.admission = AdmissionController(
+            high_watermark=config.max_pending,
+            low_watermark=config.low_watermark,
+            retry_after_ms=config.retry_after_ms,
         )
         self._journal = journal
         self._inflight: dict[str, asyncio.Future] = {}
@@ -127,6 +217,7 @@ class SolverServer:
         self._batcher: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor = None
+        self._prep_executor = None
         self._obs_stack: ExitStack | None = None
         self.recorder = None
         self._metrics_was_enabled = False
@@ -135,6 +226,8 @@ class SolverServer:
         self._requests = 0
         self._generation = 0
         self._stopping: asyncio.Event | None = None
+        self._draining = False
+        self._request_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -147,6 +240,12 @@ class SolverServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
             thread_name_prefix="serve-solve",
+        )
+        # Cache hits answer through this small dedicated pool so they
+        # never queue behind long solves on the solve executor.
+        self._prep_executor = ThreadPoolExecutor(
+            max_workers=self.config.prep_workers,
+            thread_name_prefix="serve-prep",
         )
         self._metrics_was_enabled = METRICS.enabled
         METRICS.enable()
@@ -164,7 +263,9 @@ class SolverServer:
         if os.path.exists(socket_path):
             os.unlink(socket_path)
         self._server = await asyncio.start_unix_server(
-            self._handle_connection, path=socket_path
+            self._handle_connection,
+            path=socket_path,
+            limit=self.config.max_frame_bytes,
         )
         self._batcher = asyncio.create_task(self._batch_loop())
         self._started_s = time.time()
@@ -174,10 +275,56 @@ class SolverServer:
         await self._stopping.wait()
         await self._shutdown()
 
-    async def _shutdown(self) -> None:
+    def _begin_drain(self) -> None:
+        """Stop accepting work: close the listener, flag queued sheds.
+
+        Idempotent; called by the ``drain`` op, SIGTERM and the
+        shutdown path alike.  Already-started solves are unaffected —
+        anything not yet past the drain check in
+        :meth:`_solve_in_thread` counts as queued-unstarted and is
+        shed with a structured ``draining`` error.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        METRICS.increment("serve.drain.begun")
         if self._server is not None:
             self._server.close()
+        logger.info(
+            "draining %s: %d pending solves, %d request tasks in flight",
+            self.config.socket_path,
+            self.admission.pending,
+            len(self._request_tasks),
+        )
+
+    async def _shutdown(self) -> None:
+        self._begin_drain()
+        if self._server is not None:
             await self._server.wait_closed()
+        # Shed solves still parked in the micro-batch window: their
+        # awaiting request tasks resolve with ``draining`` errors.
+        if self._batch_queue is not None:
+            while True:
+                try:
+                    job = self._batch_queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._fail(job, DrainingError("daemon draining"))
+        # Let in-flight request tasks finish (solve + response write),
+        # bounded by the hard drain timeout.
+        pending = {t for t in self._request_tasks if not t.done()}
+        if pending:
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s
+            )
+            if still_pending:
+                logger.warning(
+                    "drain timeout: cancelling %d request tasks",
+                    len(still_pending),
+                )
+                for task in still_pending:
+                    task.cancel()
+                await asyncio.gather(*still_pending, return_exceptions=True)
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -186,6 +333,12 @@ class SolverServer:
                 pass
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._prep_executor is not None:
+            self._prep_executor.shutdown(wait=True)
+        if self._journal is not None:
+            # Final flush barrier: every cached answer is on disk
+            # before the process exits, so a restart replays warm.
+            self._journal.sync()
         if self._obs_stack is not None:
             self._obs_stack.close()
         if not self._metrics_was_enabled:
@@ -204,33 +357,121 @@ class SolverServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        conn = _Connection(writer)
+        if self._draining:
+            await self._send(conn, {
+                "id": None, "ok": False,
+                "error": "daemon draining", "kind": "draining",
+            })
+            await self._close_writer(writer)
+            return
         try:
-            while not reader.at_eof():
+            while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial.strip():
+                        # Bytes but no frame delimiter before EOF: a
+                        # truncated frame, answered best-effort.
+                        METRICS.increment("serve.request.truncated")
+                        await self._send(conn, {
+                            "id": None, "ok": False,
+                            "error": "truncated frame (EOF before newline)",
+                            "kind": "protocol",
+                        })
                     break
-                if not line:
+                except asyncio.LimitOverrunError:
+                    # The frame exceeds the stream limit and the
+                    # buffer can no longer be re-framed: answer
+                    # structurally, then close.
+                    METRICS.increment("serve.request.oversized")
+                    await self._send(conn, {
+                        "id": None, "ok": False,
+                        "error": (
+                            "frame exceeds "
+                            f"{self.config.max_frame_bytes} bytes"
+                        ),
+                        "kind": "protocol",
+                    })
                     break
-                response = await self._handle_line(line)
-                writer.write(encode_message(response))
-                try:
-                    await writer.drain()
-                except ConnectionResetError:
+                except (ConnectionResetError, OSError):
                     break
+                if len(conn.tasks) >= self.config.max_inflight_per_conn:
+                    METRICS.increment("serve.admission.conn_capped")
+                    request_id = None
+                    try:
+                        request_id = decode_message(line).get("id")
+                    except ProtocolError:
+                        pass
+                    await self._send(conn, {
+                        "id": request_id, "ok": False,
+                        "error": (
+                            "connection in-flight cap "
+                            f"({self.config.max_inflight_per_conn}) reached"
+                        ),
+                        "kind": "overloaded",
+                        "retry_after_ms": self.admission.retry_after_ms,
+                    })
+                    continue
+                task = asyncio.ensure_future(self._serve_line(conn, line))
+                conn.tasks.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
         except asyncio.CancelledError:
             # Shutdown with this connection idle-open: exit cleanly so
             # the loop teardown does not log the cancelled reader task.
             pass
         finally:
-            writer.close()
+            # The client is gone (or we are). In-flight tasks keep
+            # running — their solves orphan-complete into the cache —
+            # but their responses will find ``conn.closed`` and be
+            # counted abandoned.
+            conn.closed = True
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _serve_line(self, conn: _Connection, line: bytes) -> None:
+        """One pipelined frame: decode, dispatch, respond."""
+        response = await self._handle_line(line)
+        await self._send(conn, response)
+
+    async def _send(self, conn: _Connection, response: dict) -> bool:
+        """Write one response frame; False if the client is gone.
+
+        A dropped response is *not* an error: the solve (if any)
+        already completed into the cache for the next asker —
+        counter ``serve.request.abandoned``.
+        """
+        try:
+            faults.maybe_fire(faults.SITE_SERVE_CLIENT_DISCONNECT)
+        except faults.InjectedFault:
+            conn.closed = True
+            conn.writer.close()
+        if conn.closed:
+            METRICS.increment("serve.request.abandoned")
+            return False
+        async with conn.lock:
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+                conn.writer.write(encode_message(response))
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    RuntimeError):
+                conn.closed = True
+                METRICS.increment("serve.request.abandoned")
+                return False
+        return True
 
     async def _handle_line(self, line: bytes) -> dict:
         request_id = None
+        tier = None
         start = time.perf_counter()
         try:
             message = decode_message(line)
@@ -238,10 +479,22 @@ class SolverServer:
             op = message.get("op")
             if op not in OPS:
                 raise ProtocolError(f"unknown op {op!r}")
+            # The deadline starts here — queue wait, prepare and solve
+            # all spend from the same budget.
+            budget_ms = deadline_budget_from_message(
+                message, self.config.default_deadline_ms
+            )
+            deadline = (
+                Deadline(budget_ms / 1e3) if budget_ms is not None else None
+            )
+            if self._draining and op in ("solve", "sweep"):
+                raise DrainingError("daemon draining")
             params = normalize_params(op, message.get("params"))
             self._requests += 1
             with span("serve.request", op=op):
-                result, cache_state = await self._dispatch(op, params)
+                result, cache_state = await self._dispatch(
+                    op, params, deadline
+                )
             response = {
                 "id": request_id,
                 "ok": True,
@@ -250,11 +503,33 @@ class SolverServer:
             }
             if cache_state is not None:
                 response["cache"] = cache_state
+            if isinstance(result, dict):
+                tier = result.get("tier")
         except ProtocolError as exc:
             METRICS.increment("serve.request.errors")
             response = {
                 "id": request_id, "ok": False,
                 "error": str(exc), "kind": "protocol",
+            }
+        except OverloadedError as exc:
+            response = {
+                "id": request_id, "ok": False,
+                "error": str(exc), "kind": "overloaded",
+                "retry_after_ms": exc.retry_after_ms,
+            }
+        except DeadlineExceededError as exc:
+            METRICS.increment("serve.deadline.exceeded")
+            response = {
+                "id": request_id, "ok": False,
+                "error": str(exc), "kind": "deadline_exceeded",
+                "elapsed_ms": exc.elapsed_ms,
+                "budget_ms": exc.budget_ms,
+            }
+        except DrainingError as exc:
+            METRICS.increment("serve.admission.drain_shed")
+            response = {
+                "id": request_id, "ok": False,
+                "error": str(exc), "kind": "draining",
             }
         except Exception as exc:
             METRICS.increment("serve.request.errors")
@@ -265,12 +540,16 @@ class SolverServer:
             }
         latency = time.perf_counter() - start
         METRICS.observe_histogram("serve.request.latency", latency)
+        if tier is not None:
+            METRICS.observe_histogram(
+                f"serve.request.latency.{tier}", latency
+            )
         response["latency_s"] = latency
         return response
 
     # -- op dispatch --------------------------------------------------
 
-    async def _dispatch(self, op: str, params: dict):
+    async def _dispatch(self, op: str, params: dict, deadline=None):
         if op == "ping":
             return {
                 "pong": True,
@@ -280,14 +559,42 @@ class SolverServer:
             }, None
         if op == "stats":
             return self._stats(), None
+        if op == "health":
+            return self._health(), None
         if op == "invalidate":
             return self._invalidate(params.get("topology")), None
         if op == "dump_trace":
             return self._dump_trace(params), None
+        if op == "drain":
+            pending = self.admission.pending
+            self._begin_drain()
+            self._loop.call_soon(self.request_shutdown)
+            return {"draining": True, "pending_solves": pending}, None
         if op == "shutdown":
             self._loop.call_soon(self.request_shutdown)
             return {"stopping": True}, None
-        return await self._solve_or_sweep(op, params)
+        return await self._solve_or_sweep(op, params, deadline)
+
+    def _health(self) -> dict:
+        """Cheap liveness/readiness snapshot (no solve-path work).
+
+        ``status`` is ``"draining"`` (terminating: fail readiness),
+        ``"shedding"`` (up but refusing new solves) or ``"ok"``.
+        """
+        if self._draining:
+            status = "draining"
+        elif self.admission.shedding:
+            status = "shedding"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "admission": self.admission.snapshot(),
+            "inflight_solves": len(self._inflight),
+            "cached_results": len(self.cache),
+            "uptime_s": time.time() - self._started_s,
+            "pid": os.getpid(),
+        }
 
     def _stats(self) -> dict:
         snapshot = diff_snapshots(METRICS.snapshot(), self._metrics_base)
@@ -301,6 +608,8 @@ class SolverServer:
                 "warm_chains": self.session.resident_chains,
                 "inflight": len(self._inflight),
             },
+            "admission": self.admission.snapshot(),
+            "draining": self._draining,
             "counters": snapshot["counters"],
             "histograms": {
                 name: record
@@ -344,19 +653,81 @@ class SolverServer:
 
     # -- the solve path ----------------------------------------------
 
-    async def _solve_or_sweep(self, op: str, params: dict):
+    async def _solve_or_sweep(self, op: str, params: dict, deadline=None):
         prepared = await self._loop.run_in_executor(
-            self._executor, self.session.prepare, op, params
+            self._prep_executor, self.session.prepare, op, params
         )
         cached = self.cache.get(prepared.key)
         if cached is not None:
             return cached, "hit"
+        stale = self.cache.get_stale(prepared.key)
+        if stale is not None:
+            # Stale-while-revalidate: answer now from the expired but
+            # grace-valid entry, re-solve in the background.  Stale
+            # serves are never shed — they cost no solve.
+            result, age_s = stale
+            payload = dict(result)
+            payload["tier"] = "stale"
+            payload["stale"] = True
+            payload["age_s"] = age_s
+            METRICS.increment("serve.degraded.stale")
+            self._maybe_refresh(prepared)
+            return payload, "stale"
 
         inflight = self._inflight.get(prepared.key)
         if inflight is not None:
             METRICS.increment("serve.request.coalesced")
             return await asyncio.shield(inflight), "coalesced"
 
+        if self._draining:
+            raise DrainingError("daemon draining")
+        # Only net-new solve work consults admission: cache hits,
+        # stale serves and coalesced attachments never shed.
+        self.admission.try_admit()
+        future: asyncio.Future = self._loop.create_future()
+        self._inflight[prepared.key] = future
+        job = _Job(
+            prepared=prepared,
+            future=future,
+            generation=self._generation,
+            span_context=current_span_context(),
+            deadline=deadline,
+        )
+        try:
+            if (
+                deadline is None
+                and self.config.batch_window_s > 0
+                and self.config.batch_min > 1
+                and self.session.solve_batchable(prepared)
+            ):
+                # Deadline-bearing solves skip the batch window: the
+                # window plus pool fan-out adds latency the budget may
+                # not have.
+                await self._batch_queue.put(job)
+            else:
+                asyncio.create_task(self._run_single(job))
+            result = await asyncio.shield(future)
+        finally:
+            self._inflight.pop(prepared.key, None)
+            self.admission.release()
+        return result, "miss"
+
+    def _maybe_refresh(self, prepared: PreparedRequest) -> None:
+        """Background re-solve behind a stale serve (best effort).
+
+        Skipped silently when the key is already being solved, the
+        daemon is draining, or admission would shed it — a stale
+        answer under overload is the *point* of the grace window, not
+        a reason to add load.
+        """
+        if self._draining or prepared.key in self._inflight:
+            return
+        try:
+            self.admission.try_admit()
+        except OverloadedError:
+            METRICS.increment("serve.cache.refresh_skipped")
+            return
+        METRICS.increment("serve.cache.refresh")
         future: asyncio.Future = self._loop.create_future()
         self._inflight[prepared.key] = future
         job = _Job(
@@ -365,29 +736,40 @@ class SolverServer:
             generation=self._generation,
             span_context=current_span_context(),
         )
-        try:
-            if (
-                self.config.batch_window_s > 0
-                and self.config.batch_min > 1
-                and self.session.solve_batchable(prepared)
-            ):
-                await self._batch_queue.put(job)
-            else:
-                asyncio.create_task(self._run_single(job))
-            result = await asyncio.shield(future)
-        finally:
+
+        def _done(fut: asyncio.Future) -> None:
             self._inflight.pop(prepared.key, None)
-        return result, "miss"
+            self.admission.release()
+            if not fut.cancelled() and fut.exception() is not None:
+                logger.warning(
+                    "stale refresh failed: %s", fut.exception()
+                )
+
+        future.add_done_callback(_done)
+        asyncio.create_task(self._run_single(job))
 
     def _solve_in_thread(self, job: _Job) -> dict:
+        # Everything that reaches this point without having started is
+        # queued-unstarted by definition — drain sheds it, and a
+        # deadline that lapsed while queued sheds it without solving.
+        if self._draining:
+            raise DrainingError("daemon draining")
+        if job.deadline is not None and job.deadline.expired:
+            METRICS.increment("serve.deadline.expired_in_queue")
+            raise job.deadline.to_error()
         with using_span_context(job.span_context):
-            return self.session.execute(job.prepared)
+            return self.session.execute(
+                job.prepared,
+                deadline=job.deadline,
+                deadline_fallback=self.config.deadline_fallback,
+            )
 
     def _finish(self, job: _Job, result: dict) -> None:
         if (
             job.generation == self._generation
             and result.get("converged")
             and not result.get("degraded")
+            and result.get("tier", "exact") == "exact"
         ):
             self.cache.put(
                 job.prepared.key, result, fingerprint=job.prepared.fingerprint
@@ -440,6 +822,8 @@ class SolverServer:
         problems = [item.prepared.problem for item in group]
 
         def _run() -> list:
+            if self._draining:
+                raise DrainingError("daemon draining")
             with using_span_context(group[0].span_context):
                 with span("serve.batch", tasks=len(problems)):
                     return solve_batch(problems, presolve=presolve)
@@ -463,14 +847,34 @@ class SolverServer:
 
 
 async def _serve_main(config: ServerConfig) -> None:
+    import signal
+
     server = SolverServer(config)
     await server.start()
+    loop = asyncio.get_running_loop()
+    # SIGTERM / SIGINT initiate a graceful drain: the listener closes
+    # immediately (new connections refused), queued-unstarted work is
+    # shed, in-flight solves complete (bounded by drain_timeout_s) and
+    # the journal is fsynced before exit.
+    handled: list[int] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+            handled.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
     try:
         await server.wait_closed()
     except asyncio.CancelledError:  # pragma: no cover - signal teardown
         server.request_shutdown()
         await server.wait_closed()
         raise
+    finally:
+        for sig in handled:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
 
 
 def run_server(config: ServerConfig) -> None:

@@ -52,6 +52,7 @@ from ..topology import (
     nsfnet_network,
 )
 from ..traffic import janet_task, load_task_file, make_task
+from .admission import Deadline
 from .cache import fingerprint_key
 from .protocol import ProtocolError
 
@@ -309,37 +310,109 @@ class SolverSession:
 
     # -- execution ----------------------------------------------------
 
-    def execute(self, prepared: PreparedRequest) -> dict:
-        """Run one prepared request to a result payload (may raise)."""
-        if prepared.op == "solve":
-            return self._execute_solve(prepared)
-        return self._execute_sweep(prepared)
+    #: Share of the remaining deadline budget the exact solver may
+    #: spend when an approx fallback is armed — the held-back fraction
+    #: is the reserve the certified-gap fallback runs in.
+    EXACT_BUDGET_SHARE = 0.6
 
-    def _execute_solve(self, prepared: PreparedRequest) -> dict:
-        faults.maybe_fire(faults.SITE_SOLVE_RAISE)
+    def execute(
+        self,
+        prepared: PreparedRequest,
+        deadline: Deadline | None = None,
+        deadline_fallback: bool = True,
+    ) -> dict:
+        """Run one prepared request to a result payload (may raise).
+
+        ``deadline`` is the request's remaining wall-clock budget —
+        queue wait has already been spent from it.  For exact
+        gradient-projection solves the remaining budget is threaded
+        into the solver's cooperative wall clock (the PR 4
+        ``wall_clock_limit_s`` machinery); when ``deadline_fallback``
+        is set, a deadline-bound exact solve that fails or runs out of
+        budget degrades to the certified-gap approximation backend
+        (Kallitsis et al.) instead of erroring, labelled
+        ``tier: "approx"``.
+        """
+        faults.maybe_fire(faults.SITE_SERVE_SLOW_SOLVE)
+        if prepared.op == "solve":
+            return self._execute_solve(prepared, deadline, deadline_fallback)
+        return self._execute_sweep(prepared, deadline)
+
+    def _budget_options(self, deadline: Deadline | None, reserve: bool):
+        """Gradient-projection options bounded by the remaining budget."""
+        if deadline is None:
+            return None
+        from ..resilience.supervisor import with_cooperative_limit
+
+        remaining = deadline.remaining_s
+        share = self.EXACT_BUDGET_SHARE if reserve else 1.0
+        # Clamp to a tiny positive budget: validation requires > 0 and
+        # an already-expired deadline was rejected before solving.
+        limit = max(remaining * share, 1e-3)
+        return with_cooperative_limit(None, limit)
+
+    def _execute_solve(
+        self,
+        prepared: PreparedRequest,
+        deadline: Deadline | None = None,
+        deadline_fallback: bool = True,
+    ) -> dict:
         params = prepared.params
+        exact_gp = (
+            params["backend"] == "exact"
+            and params["method"] == "gradient_projection"
+        )
+        fallback_armed = (
+            deadline is not None and deadline_fallback and exact_gp
+        )
         with span(
             "serve.solve",
             topology=params["topology"],
             backend=params["backend"],
             warm=prepared.warm_key is not None,
+            deadline=deadline is not None,
         ):
-            if params["backend"] != "exact":
-                from ..scale import solve_scaled
+            if deadline is not None and deadline.expired:
+                raise deadline.to_error()
+            try:
+                faults.maybe_fire(faults.SITE_SOLVE_RAISE)
+                if params["backend"] != "exact":
+                    from ..scale import solve_scaled
 
-                solution = solve_scaled(
-                    prepared.problem, backend=params["backend"]
+                    solution = solve_scaled(
+                        prepared.problem, backend=params["backend"]
+                    )
+                elif prepared.warm_key is not None:
+                    options = self._budget_options(deadline, fallback_armed)
+                    entry = self._warm_entry(prepared.warm_key, params)
+                    with entry.lock:
+                        solution = entry.chain.solve(
+                            prepared.problem, options=options
+                        )
+                else:
+                    solution = solve(
+                        prepared.problem,
+                        method=params["method"],
+                        presolve=params["presolve"],
+                        options=self._budget_options(
+                            deadline, fallback_armed
+                        ),
+                    )
+            except Exception as exc:
+                if not fallback_armed:
+                    raise
+                if deadline.expired:
+                    raise deadline.to_error()
+                return self._approx_fallback(
+                    prepared, reason=f"error:{type(exc).__name__}"
                 )
-            elif prepared.warm_key is not None:
-                entry = self._warm_entry(prepared.warm_key, params)
-                with entry.lock:
-                    solution = entry.chain.solve(prepared.problem)
-            else:
-                solution = solve(
-                    prepared.problem,
-                    method=params["method"],
-                    presolve=params["presolve"],
-                )
+            if fallback_armed and not solution.diagnostics.converged:
+                # The cooperative wall clock tripped: the budget ran
+                # out before the exact optimum.  Spend the reserve on
+                # the certified-gap approximation.
+                if deadline.expired:
+                    raise deadline.to_error()
+                return self._approx_fallback(prepared, reason="budget")
         return solution_payload(
             solution,
             prepared.link_names,
@@ -347,7 +420,46 @@ class SolverSession:
             backend=params["backend"],
         )
 
-    def _execute_sweep(self, prepared: PreparedRequest) -> dict:
+    def _approx_fallback(self, prepared: PreparedRequest, reason: str) -> dict:
+        """Deadline-triggered degradation to the certified-gap backend.
+
+        The answer is near-optimal with an a-posteriori duality-gap
+        certificate (``optimality_gap`` + ``gap_certified``), labelled
+        ``tier: "approx"`` so callers know what they got — the same
+        optimality-for-tractability trade Kallitsis et al. make at
+        scale, applied here to latency.
+        """
+        from ..scale.approx import solve_approx
+
+        METRICS.increment("serve.degraded.approx")
+        METRICS.increment("serve.deadline.fallback")
+        logger.warning(
+            "deadline fallback to approx backend (%s) for %s",
+            reason, prepared.params["topology"],
+        )
+        with span("serve.fallback.approx", reason=reason):
+            solution = solve_approx(prepared.problem)
+        payload = solution_payload(
+            solution,
+            prepared.link_names,
+            prepared.od_names,
+            backend="approx",
+            tier="approx",
+        )
+        payload["fallback_reason"] = reason
+        return payload
+
+    def _execute_sweep(
+        self,
+        prepared: PreparedRequest,
+        deadline: Deadline | None = None,
+    ) -> dict:
+        # Sweeps check the deadline once, up front: a sweep is an
+        # explicit batch workload, and partially-solved frontiers are
+        # worse than a clean deadline_exceeded.  (Per-theta budget
+        # slicing would break warm-start chaining mid-frontier.)
+        if deadline is not None and deadline.expired:
+            raise deadline.to_error()
         params = prepared.params
         thetas = [
             float(t)
@@ -376,6 +488,7 @@ class SolverSession:
             "points": points,
             "converged": all(p["converged"] for p in points),
             "degraded": any(p["degraded"] for p in points),
+            "tier": "exact",
         }
 
     def solve_batchable(self, prepared: PreparedRequest) -> bool:
@@ -436,10 +549,13 @@ def _gap_certified(solution) -> bool:
     their certificate.
     """
     diagnostics = solution.diagnostics
-    if diagnostics.kkt is not None:
-        return bool(diagnostics.kkt.satisfied)
+    # The gap bound outranks KKT when both are present: approximate
+    # backends attach a (legitimately unsatisfied) KKT report next to
+    # their certified duality gap, and the gap is their certificate.
     if diagnostics.optimality_gap is not None:
         return True
+    if diagnostics.kkt is not None:
+        return bool(diagnostics.kkt.satisfied)
     if not diagnostics.converged or diagnostics.degraded:
         return False
     try:
@@ -454,12 +570,21 @@ def solution_payload(
     od_names: list[str],
     backend: str = "exact",
     include_utilities: bool = True,
+    tier: str = "exact",
 ) -> dict:
-    """JSON-ready result payload (the daemon's unit of caching)."""
+    """JSON-ready result payload (the daemon's unit of caching).
+
+    ``tier`` labels the degradation level of the answer: ``"exact"``
+    (full-fidelity solve), ``"approx"`` (deadline fallback to the
+    certified-gap backend) or ``"stale"`` (an expired-but-grace-valid
+    cache entry, stamped by the server).  Only ``tier == "exact"``
+    results are admitted to the result cache.
+    """
     diagnostics = solution.diagnostics
     payload = {
         "converged": bool(diagnostics.converged),
         "degraded": bool(diagnostics.degraded),
+        "tier": tier,
         "method": diagnostics.method,
         "backend": backend,
         "iterations": int(diagnostics.iterations),

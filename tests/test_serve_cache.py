@@ -127,6 +127,73 @@ class TestResultCache:
             ResultCache(ttl_s=0)
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(stale_grace_s=-1)
+
+
+class TestStaleGrace:
+    def test_expired_in_grace_serves_stale_with_age(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        cache.put("k", _result(2.5))
+        clock.advance(15)  # past TTL, inside grace
+        assert cache.get("k") is None  # never a fresh hit
+        stale = cache.get_stale("k")
+        assert stale is not None
+        result, age_s = stale
+        assert result["objective"] == 2.5
+        assert age_s == pytest.approx(15.0)
+
+    def test_fresh_entries_are_not_served_stale(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        cache.put("k", _result())
+        assert cache.get_stale("k") is None
+        assert cache.get("k") is not None
+
+    def test_past_grace_drops_the_entry(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        cache.put("k", _result())
+        clock.advance(50)  # past TTL + grace
+        assert cache.get_stale("k") is None
+        assert len(cache) == 0
+
+    def test_zero_grace_disables_stale_serving(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, clock=clock)
+        cache.put("k", _result())
+        clock.advance(15)
+        assert cache.get_stale("k") is None
+        assert len(cache) == 0
+
+    def test_get_retains_in_grace_entries_for_stale_serving(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        cache.put("k", _result())
+        clock.advance(15)
+        assert cache.get("k") is None  # expired: a miss...
+        assert cache.get_stale("k") is not None  # ...but not dropped
+
+    def test_stale_hits_count_metrics(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        with collecting_metrics() as metrics:
+            cache.put("k", _result())
+            clock.advance(15)
+            cache.get_stale("k")
+        assert metrics.snapshot()["counters"][
+            "serve.cache.stale_hit"] == 1
+
+    def test_refresh_put_restores_fresh_serving(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10, stale_grace_s=30, clock=clock)
+        cache.put("k", _result(1.0))
+        clock.advance(15)
+        assert cache.get_stale("k") is not None
+        cache.put("k", _result(2.0))  # the background refresh lands
+        assert cache.get("k")["objective"] == 2.0
+        assert cache.get_stale("k") is None
 
 
 class TestCacheJournal:
@@ -217,3 +284,29 @@ class TestCacheJournal:
     def test_missing_file_replays_nothing(self, tmp_path):
         journal = CacheJournal(tmp_path / "never-written.jsonl")
         assert journal.replay_into(ResultCache(clock=FakeClock())) == 0
+
+    def test_replay_keeps_expired_entries_inside_the_grace_window(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        live = ResultCache(ttl_s=5, clock=clock, journal=journal)
+        live.put("recent", _result(1.0))
+        clock.advance(20)  # expired, but inside a 60 s grace
+
+        graced = ResultCache(ttl_s=5, stale_grace_s=60, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(graced) == 1
+        assert graced.get("recent") is None
+        assert graced.get_stale("recent") is not None
+
+        strict = ResultCache(ttl_s=5, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(strict) == 0
+
+    def test_sync_flushes_and_is_idempotent(self, tmp_path):
+        clock = FakeClock()
+        journal = self._journal(tmp_path, clock)
+        journal.append_entry(CacheEntry(key="k", result=_result()))
+        journal.sync()
+        journal.sync()
+        restarted = ResultCache(ttl_s=100, clock=clock)
+        assert self._journal(tmp_path, clock).replay_into(restarted) == 1

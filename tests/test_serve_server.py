@@ -9,6 +9,7 @@ executor, the warm session and the result cache.
 from __future__ import annotations
 
 import json
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -16,6 +17,7 @@ import pytest
 
 from repro.core import solve
 from repro.resilience.faults import (
+    SITE_SERVE_CLIENT_DISCONNECT,
     SITE_SOLVE_RAISE,
     SITE_WORKER_EXIT,
     FaultPlan,
@@ -24,6 +26,7 @@ from repro.resilience.faults import (
 )
 from repro.serve import (
     ServeClient,
+    ServeConnectionError,
     ServeRequestError,
     ServerConfig,
     ServerThread,
@@ -298,6 +301,134 @@ class TestStatsAndTrace:
                     names.add(record["name"])
         assert "serve.request" in names
         assert "serve.solve" in names
+
+
+def _raw_exchange(config: ServerConfig, payload: bytes) -> bytes:
+    """Send raw bytes on a fresh socket; return the response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(10.0)
+        sock.connect(config.socket_path)
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+
+class TestMalformedInput:
+    def test_oversized_frame_is_a_structured_protocol_error(self, tmp_path):
+        config = _config(tmp_path, max_frame_bytes=4096)
+        with ServerThread(config):
+            blob = b'{"op": "solve", "params": {"pad": "' + b"x" * 8192
+            response = json.loads(_raw_exchange(config, blob + b'"}}\n'))
+            # The daemon survives the oversized client.
+            assert _client(config).result("ping")["pong"] is True
+        assert response["ok"] is False
+        assert response["kind"] == "protocol"
+        assert "4096" in response["error"]
+
+    def test_invalid_utf8_is_a_protocol_error(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            response = json.loads(
+                _raw_exchange(config, b"\xff\xfe\x00garbage\n")
+            )
+        assert response["ok"] is False
+        assert response["kind"] == "protocol"
+
+    def test_truncated_json_is_a_protocol_error(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            response = json.loads(
+                _raw_exchange(config, b'{"op": "ping", "id": \n')
+            )
+        assert response["ok"] is False
+        assert response["kind"] == "protocol"
+        assert "not JSON" in response["error"]
+
+    def test_unterminated_frame_at_eof_is_answered_best_effort(
+        self, tmp_path
+    ):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            with socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            ) as sock:
+                sock.settimeout(10.0)
+                sock.connect(config.socket_path)
+                sock.sendall(b'{"op": "ping"')  # no newline, then EOF
+                sock.shutdown(socket.SHUT_WR)
+                response = json.loads(sock.recv(65536))
+        assert response["ok"] is False
+        assert response["kind"] == "protocol"
+        assert "truncated" in response["error"]
+
+    def test_half_open_connection_flood_leaves_the_daemon_responsive(
+        self, tmp_path
+    ):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            socks = []
+            for _ in range(20):
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(config.socket_path)
+                socks.append(sock)
+            try:
+                assert _client(config).result("ping")["pong"] is True
+            finally:
+                for sock in socks:
+                    sock.close()
+            # And after the flood hangs up, still responsive.
+            assert _client(config).result("ping")["pong"] is True
+
+    def test_pipelined_frames_answer_out_of_order_safely(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            frames = b"".join(
+                json.dumps({"op": "ping", "id": f"p{i}"}).encode() + b"\n"
+                for i in range(4)
+            )
+            with socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            ) as sock:
+                sock.settimeout(10.0)
+                sock.connect(config.socket_path)
+                sock.sendall(frames)
+                data = b""
+                while data.count(b"\n") < 4:
+                    data += sock.recv(65536)
+        responses = [json.loads(line) for line in data.splitlines()]
+        assert {r["id"] for r in responses} == {"p0", "p1", "p2", "p3"}
+        assert all(r["ok"] for r in responses)
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_solve_orphan_completes_into_the_cache(
+        self, tmp_path
+    ):
+        # The injected fault aborts the connection just before the
+        # response write — the server-side view of a client that died
+        # mid-solve.  The finished answer must land in the cache
+        # anyway (no silent loss of paid-for work).
+        config = _config(tmp_path, batch_window_s=0.0)
+        plan = FaultPlan(
+            specs=(FaultSpec(SITE_SERVE_CLIENT_DISCONNECT, hits={0}),)
+        )
+        with ServerThread(config) as thread, injected_faults(plan):
+            client = _client(config)
+            with pytest.raises(ServeConnectionError):
+                client.request("solve", SOLVE)
+            assert len(thread.server.cache) == 1
+            rescued = client.request("solve", SOLVE)
+            stats = client.result("stats")
+        assert rescued["cache"] == "hit"
+        assert rescued["result"]["converged"] is True
+        assert stats["counters"]["serve.request.abandoned"] == 1
 
 
 class TestSessionIdentity:
