@@ -269,6 +269,57 @@ def build_parser() -> argparse.ArgumentParser:
                           "when the socket is unreachable)")
     _add_log_level(swp)
 
+    stm = sub.add_parser(
+        "stream",
+        help="run the streaming re-optimization loop over a traffic trace",
+    )
+    stm.add_argument("--topology", default="geant",
+                     help="geant, abilene, or a JSON file (default: geant)")
+    stm.add_argument("--theta", type=float, required=True,
+                     help="capacity: max sampled packets per interval")
+    stm.add_argument("--interval", type=float, default=3600.0,
+                     help="measurement interval in seconds (default 3600: "
+                          "one diurnal hour per interval)")
+    stm.add_argument("--alpha", type=float, default=1.0,
+                     help="per-link max sampling rate (default 1.0)")
+    stm.add_argument("--od", action="append", default=[],
+                     metavar="ORIGIN:DEST:PPS",
+                     help="OD pair of interest (repeatable); on geant "
+                          "defaults to the paper's JANET task")
+    stm.add_argument("--task-file", default=None, metavar="FILE.json",
+                     help="declarative task document (overrides "
+                          "--topology/--od/--background)")
+    stm.add_argument("--background", type=float, default=None,
+                     help="gravity background traffic in pkt/s")
+    stm.add_argument("--seed", type=int, default=None,
+                     help="seed for the gravity background")
+    stm.add_argument("--intervals", type=int, default=24,
+                     help="number of trace intervals to stream (default 24)")
+    stm.add_argument("--noise", type=float, default=0.05,
+                     help="per-OD log-normal fluctuation sigma (default "
+                          "0.05)")
+    stm.add_argument("--trough", type=float, default=0.4,
+                     help="diurnal trough factor in (0, 1]; 1 flattens the "
+                          "cycle (default 0.4)")
+    stm.add_argument("--start-hour", type=float, default=0.0,
+                     help="hour of day the trace starts at (default 0)")
+    stm.add_argument("--reconfig-weight", type=float, default=0.0,
+                     help="reconfiguration penalty weight gamma; 0 disables "
+                          "the penalty (default 0)")
+    stm.add_argument("--trace-seed", type=int, default=None,
+                     help="seed for the trace's fluctuation noise")
+    stm.add_argument("--anomaly", default=None,
+                     metavar="OD:MAGNITUDE:START:DURATION",
+                     help="inject one traffic anomaly: OD index spikes by "
+                          "MAGNITUDE for DURATION intervals from START")
+    stm.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable output")
+    stm.add_argument("--daemon", default=None, metavar="SOCKET",
+                     help="route through a running `netsampling serve` "
+                          "daemon (falls back inline, with a warning, "
+                          "when the socket is unreachable)")
+    _add_log_level(stm)
+
     exp = sub.add_parser("experiments", help="regenerate paper experiments")
     exp.add_argument("names", nargs="*", choices=[*EXPERIMENTS, []],
                      help=f"subset of: {', '.join(EXPERIMENTS)}")
@@ -391,7 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     req.add_argument("op",
                      choices=("ping", "stats", "health", "solve", "sweep",
-                              "invalidate", "dump-trace", "drain",
+                              "stream", "invalidate", "dump-trace", "drain",
                               "shutdown"),
                      help="daemon operation")
     req.add_argument("--socket", required=True, metavar="PATH",
@@ -425,6 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--theta-max", type=float, default=None,
                      help="largest capacity for op=sweep")
     req.add_argument("--points", type=int, default=10)
+    req.add_argument("--intervals", type=int, default=24,
+                     help="trace length for op=stream")
+    req.add_argument("--noise", type=float, default=0.05,
+                     help="fluctuation sigma for op=stream")
+    req.add_argument("--trough", type=float, default=0.4,
+                     help="diurnal trough for op=stream")
+    req.add_argument("--start-hour", type=float, default=0.0,
+                     help="trace start hour for op=stream")
+    req.add_argument("--reconfig-weight", type=float, default=0.0,
+                     help="reconfiguration penalty weight for op=stream")
+    req.add_argument("--trace-seed", type=int, default=None,
+                     help="trace noise seed for op=stream")
+    req.add_argument("--anomaly", default=None,
+                     metavar="OD:MAGNITUDE:START:DURATION",
+                     help="injected anomaly for op=stream")
     req.add_argument("--method", default="gradient_projection",
                      choices=("gradient_projection", "slsqp", "trust-constr"))
     req.add_argument("--backend", default="exact",
@@ -1036,6 +1102,95 @@ def _sweep_via_daemon(args: argparse.Namespace) -> int | None:
     return 0 if result["converged"] else 1
 
 
+def _render_stream_report(payload: dict) -> str:
+    """Human-readable per-interval table of one streaming run."""
+    lines = [
+        f"{'int':>4}  {'objective':>12}  {'mon':>4}  {'mode':>4}  "
+        f"{'iters':>5}  {'churn_l1':>10}  change-points"
+    ]
+    for entry in payload["intervals"]:
+        mode = "cold" if entry["cold"] else "warm"
+        iters = (
+            "-"
+            if entry["warm_iterations"] is None
+            else str(entry["warm_iterations"])
+        )
+        churn = (
+            "-" if entry["churn_l1"] is None else f"{entry['churn_l1']:.4f}"
+        )
+        cps = ",".join(str(od) for od in entry["change_points"]) or "-"
+        lines.append(
+            f"{entry['index']:>4}  {entry['objective']:>12.6f}  "
+            f"{entry['num_monitors']:>4}  {mode:>4}  {iters:>5}  "
+            f"{churn:>10}  {cps}"
+        )
+    summary = payload["summary"]
+    p95 = summary["warm_iterations_p95"]
+    change_points = summary["change_point_intervals"]
+    lines.append(
+        f"{summary['intervals']} intervals: "
+        f"{summary['cold_resolves']} cold re-solve(s), "
+        f"change points at "
+        f"{','.join(str(i) for i in change_points) if change_points else 'none'}, "
+        f"warm-iteration p95 {'-' if p95 is None else format(p95, '.1f')}"
+    )
+    return "\n".join(lines)
+
+
+def _stream_via_daemon(args: argparse.Namespace, params: dict) -> int | None:
+    """Route ``stream --daemon`` through a running server (or ``None``)."""
+    from .serve import ServeClient, ServeConnectionError, ServeRequestError
+
+    try:
+        response = ServeClient(args.daemon).request("stream", params)
+    except ServeConnectionError as exc:
+        logger.warning("%s; streaming inline", exc)
+        print(f"[daemon unavailable ({exc}); streaming inline]",
+              file=sys.stderr)
+        return None
+    except ServeRequestError as exc:
+        raise SystemExit(f"daemon error: {exc}")
+    result = response["result"]
+    if args.as_json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(_render_stream_report(result))
+        _daemon_note(args, response)
+    return 0 if result["converged"] else 1
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .serve import ProtocolError, stream_params_from_args
+    from .serve.session import SolverSession
+
+    try:
+        params = stream_params_from_args(args)
+    except (ProtocolError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.daemon:
+        code = _stream_via_daemon(args, params)
+        if code is not None:
+            return code
+    logger.info(
+        "streaming %s: %d intervals, theta=%g, reconfig_weight=%g",
+        params["topology"], params["intervals"], params["theta"],
+        params["reconfig_weight"],
+    )
+    # The inline path runs the daemon's own session code, so the two
+    # routes can never drift apart.
+    try:
+        payload = SolverSession(max_tasks=1, max_warm=1).execute_stream(
+            params
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(_render_stream_report(payload))
+    return 0 if payload["converged"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServerConfig, run_server
 
@@ -1084,6 +1239,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
         ServeConnectionError,
         ServeRequestError,
         solve_params_from_args,
+        stream_params_from_args,
         sweep_params_from_args,
     )
 
@@ -1093,6 +1249,10 @@ def _cmd_request(args: argparse.Namespace) -> int:
             if args.theta is None:
                 raise SystemExit("request solve needs --theta")
             params = solve_params_from_args(args)
+        elif op == "stream":
+            if args.theta is None:
+                raise SystemExit("request stream needs --theta")
+            params = stream_params_from_args(args)
         elif op == "sweep":
             if args.theta_min is None or args.theta_max is None:
                 raise SystemExit(
@@ -1141,10 +1301,11 @@ def _cmd_request(args: argparse.Namespace) -> int:
                 f"objective={point['objective']:.6f}  [{status}]"
             )
         return 0 if result["converged"] else 1
-    print(json.dumps(result, indent=2, sort_keys=True))
-    if op == "solve":
+    if op == "stream" and not args.as_json:
+        print(_render_stream_report(result))
         return 0 if result["converged"] else 1
-    if op == "sweep":
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if op in ("solve", "sweep", "stream"):
         return 0 if result["converged"] else 1
     return 0
 
@@ -1159,6 +1320,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "metrics":

@@ -198,16 +198,28 @@ class WarmStartChain:
         self._policy = policy
         self._previous_rates: np.ndarray | None = None
         self._previous_fingerprint: tuple | None = None
+        self._last_solve_warm = False
 
     @property
     def previous_rates(self) -> np.ndarray | None:
         """The last optimum's full-length rate vector (or None)."""
         return self._previous_rates
 
+    @property
+    def last_solve_warm(self) -> bool:
+        """Whether the most recent :meth:`solve` passed a warm start.
+
+        The streaming controller reports per-interval warm/cold status
+        from this; it reflects the *attempt* (set before the member
+        solve runs), so a failed member still reads back truthfully.
+        """
+        return self._last_solve_warm
+
     def reset(self) -> None:
         """Forget the chain state; the next solve starts cold."""
         self._previous_rates = None
         self._previous_fingerprint = None
+        self._last_solve_warm = False
 
     def seed(self, problem: SamplingProblem, rates: np.ndarray) -> None:
         """Prime the chain as if ``problem`` had just solved to ``rates``.
@@ -234,6 +246,7 @@ class WarmStartChain:
         rebuilding the chain.
         """
         warm = None
+        fingerprint: tuple | None = None
         if self._warm_start and self._method == "gradient_projection":
             fingerprint = _structural_fingerprint(problem)
             if self._previous_rates is not None:
@@ -241,7 +254,7 @@ class WarmStartChain:
                     warm = self._previous_rates
                 else:
                     METRICS.increment("batch.warm_start.stale")
-            self._previous_fingerprint = fingerprint
+        self._last_solve_warm = warm is not None
         METRICS.increment(
             "batch.warm_start.hit" if warm is not None else "batch.warm_start.miss"
         )
@@ -251,7 +264,15 @@ class WarmStartChain:
                 solution = self._solve_one(problem, warm, options)
             else:
                 solution = self._solve_supervised(problem, warm, options)
+        # Commit (rates, fingerprint) as a pair, only after success: a
+        # member that raises — the adaptive controller's hold-on-failure
+        # path — must leave the chain describing the last *good* optimum.
+        # Committing the fingerprint before the solve let a later
+        # structurally-matching problem warm-start from rates produced
+        # under a different structure.
         self._previous_rates = solution.rates
+        if fingerprint is not None:
+            self._previous_fingerprint = fingerprint
         return solution
 
     def _solve_supervised(

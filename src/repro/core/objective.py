@@ -344,6 +344,16 @@ class SumUtilityObjective(_RoutedObjective):
         curvatures = self._per_od("second_derivative", self.rho(x))
         return float((self._weights * d**2) @ curvatures)
 
+    def curvature_weights(self, x: np.ndarray) -> np.ndarray:
+        """Per-OD Hessian weights: ``∇²f = Rᵀ diag(w ∘ M''(ρ)) R``.
+
+        The separable structure collapses the full Hessian to one
+        weight per OD pair (non-positive, since each ``M_k`` is
+        concave); the solver's reduced-Newton warm path assembles its
+        free-subspace block from these.
+        """
+        return self._weights * self._per_od("second_derivative", self.rho(x))
+
     def along_ray(self, x: np.ndarray, s: np.ndarray) -> ObjectiveRay:
         return _SumUtilityRay(self, np.asarray(x, dtype=float), s)
 

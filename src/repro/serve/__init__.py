@@ -49,8 +49,10 @@ from .protocol import (
     encode_message,
     normalize_params,
     normalize_solve_params,
+    normalize_stream_params,
     normalize_sweep_params,
     solve_params_from_args,
+    stream_params_from_args,
     sweep_params_from_args,
 )
 from .server import ServerConfig, ServerThread, SolverServer, run_server
@@ -60,6 +62,7 @@ from .session import (
     build_task,
     resolve_topology,
     solution_payload,
+    stream_payload,
 )
 
 __all__ = [
@@ -73,8 +76,10 @@ __all__ = [
     "normalize_params",
     "normalize_solve_params",
     "normalize_sweep_params",
+    "normalize_stream_params",
     "solve_params_from_args",
     "sweep_params_from_args",
+    "stream_params_from_args",
     "CacheEntry",
     "CacheJournal",
     "ResultCache",
@@ -99,4 +104,5 @@ __all__ = [
     "build_task",
     "resolve_topology",
     "solution_payload",
+    "stream_payload",
 ]

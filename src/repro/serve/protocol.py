@@ -49,10 +49,12 @@ __all__ = [
     "normalize_task_params",
     "normalize_solve_params",
     "normalize_sweep_params",
+    "normalize_stream_params",
     "normalize_params",
     "task_params_from_args",
     "solve_params_from_args",
     "sweep_params_from_args",
+    "stream_params_from_args",
 ]
 
 PROTOCOL_VERSION = 1
@@ -66,6 +68,7 @@ OPS = (
     "ping",
     "solve",
     "sweep",
+    "stream",
     "stats",
     "health",
     "invalidate",
@@ -218,6 +221,10 @@ _SOLVE_KEYS = _TASK_KEYS | {"theta", "method", "backend", "presolve"}
 _SWEEP_KEYS = _TASK_KEYS | {
     "theta_min", "theta_max", "points", "method", "presolve",
 }
+_STREAM_KEYS = _TASK_KEYS | {
+    "theta", "intervals", "noise", "trough", "start_hour",
+    "reconfig_weight", "trace_seed", "anomaly",
+}
 
 
 def _reject_unknown(params: dict, allowed: frozenset, op: str) -> None:
@@ -271,6 +278,90 @@ def normalize_sweep_params(params: dict) -> dict:
     return out
 
 
+def _normalize_anomaly(spec) -> list | None:
+    """Canonical anomaly event: ``[od_index, magnitude, start, duration]``."""
+    if spec is None:
+        return None
+    if not isinstance(spec, (list, tuple)) or len(spec) != 4:
+        raise ProtocolError(
+            "param 'anomaly' must be [od_index, magnitude, start, duration]"
+        )
+    od_index, magnitude, start, duration = spec
+    try:
+        od_index = int(od_index)
+        magnitude = float(magnitude)
+        start = int(start)
+        duration = int(duration)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad anomaly spec {spec!r}")
+    if od_index < 0:
+        raise ProtocolError("anomaly od_index must be >= 0")
+    if magnitude <= 0:
+        raise ProtocolError("anomaly magnitude must be positive")
+    if start < 0 or duration < 1:
+        raise ProtocolError(
+            "anomaly must start at >= 0 and last >= 1 interval"
+        )
+    return [od_index, magnitude, start, duration]
+
+
+def normalize_stream_params(params: dict) -> dict:
+    """Canonical streaming-trace params: defaults filled, validated.
+
+    A stream request runs the whole generated trace server-side —
+    the warm chain, the tracker and the change-point logic live for
+    the duration of the request, so the answer is a per-interval
+    report, not a single cached solution.
+    """
+    if not isinstance(params, dict):
+        raise ProtocolError("stream params must be an object")
+    _reject_unknown(params, _STREAM_KEYS, "stream")
+    out = normalize_task_params(params)
+    out["theta"] = _require_float(params, "theta")
+    intervals = params.get("intervals", 24)
+    try:
+        out["intervals"] = int(intervals)
+    except (TypeError, ValueError):
+        raise ProtocolError("param 'intervals' must be an integer")
+    if out["intervals"] < 1:
+        raise ProtocolError("param 'intervals' must be at least 1")
+    noise = params.get("noise", 0.05)
+    try:
+        out["noise"] = float(noise)
+    except (TypeError, ValueError):
+        raise ProtocolError("param 'noise' must be a number")
+    if out["noise"] < 0:
+        raise ProtocolError("param 'noise' must be non-negative")
+    trough = params.get("trough", 0.4)
+    try:
+        out["trough"] = float(trough)
+    except (TypeError, ValueError):
+        raise ProtocolError("param 'trough' must be a number")
+    if not 0 < out["trough"] <= 1.0:
+        raise ProtocolError("param 'trough' must be in (0, 1]")
+    start_hour = params.get("start_hour", 0.0)
+    try:
+        out["start_hour"] = float(start_hour)
+    except (TypeError, ValueError):
+        raise ProtocolError("param 'start_hour' must be a number")
+    if out["start_hour"] < 0:
+        raise ProtocolError("param 'start_hour' must be non-negative")
+    weight = params.get("reconfig_weight", 0.0)
+    try:
+        out["reconfig_weight"] = float(weight)
+    except (TypeError, ValueError):
+        raise ProtocolError("param 'reconfig_weight' must be a number")
+    if out["reconfig_weight"] < 0:
+        raise ProtocolError("param 'reconfig_weight' must be non-negative")
+    out["trace_seed"] = (
+        int(params["trace_seed"])
+        if params.get("trace_seed") is not None
+        else None
+    )
+    out["anomaly"] = _normalize_anomaly(params.get("anomaly"))
+    return out
+
+
 def normalize_params(op: str, params: dict | None) -> dict:
     """Dispatch to the op's normalizer (non-solve ops pass through)."""
     params = params or {}
@@ -278,6 +369,8 @@ def normalize_params(op: str, params: dict | None) -> dict:
         return normalize_solve_params(params)
     if op == "sweep":
         return normalize_sweep_params(params)
+    if op == "stream":
+        return normalize_stream_params(params)
     if not isinstance(params, dict):
         raise ProtocolError(f"{op} params must be an object")
     return dict(params)
@@ -328,3 +421,32 @@ def sweep_params_from_args(args) -> dict:
         presolve=getattr(args, "presolve", True),
     )
     return normalize_sweep_params(params)
+
+
+def _split_anomaly(spec) -> list | None:
+    if spec is None:
+        return None
+    if isinstance(spec, (list, tuple)):
+        return list(spec)
+    parts = str(spec).split(":")
+    if len(parts) != 4:
+        raise ProtocolError(
+            f"bad anomaly spec {spec!r}: want OD:MAGNITUDE:START:DURATION"
+        )
+    return [parts[0], parts[1], parts[2], parts[3]]
+
+
+def stream_params_from_args(args) -> dict:
+    """``netsampling stream`` flags -> normalized daemon stream params."""
+    params = task_params_from_args(args)
+    params.update(
+        theta=getattr(args, "theta", None),
+        intervals=getattr(args, "intervals", 24),
+        noise=getattr(args, "noise", 0.05),
+        trough=getattr(args, "trough", 0.4),
+        start_hour=getattr(args, "start_hour", 0.0),
+        reconfig_weight=getattr(args, "reconfig_weight", 0.0),
+        trace_seed=getattr(args, "trace_seed", None),
+        anomaly=_split_anomaly(getattr(args, "anomaly", None)),
+    )
+    return normalize_stream_params(params)

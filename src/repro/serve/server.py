@@ -487,7 +487,7 @@ class SolverServer:
             deadline = (
                 Deadline(budget_ms / 1e3) if budget_ms is not None else None
             )
-            if self._draining and op in ("solve", "sweep"):
+            if self._draining and op in ("solve", "sweep", "stream"):
                 raise DrainingError("daemon draining")
             params = normalize_params(op, message.get("params"))
             self._requests += 1
@@ -573,6 +573,8 @@ class SolverServer:
         if op == "shutdown":
             self._loop.call_soon(self.request_shutdown)
             return {"stopping": True}, None
+        if op == "stream":
+            return await self._run_stream(params, deadline)
         return await self._solve_or_sweep(op, params, deadline)
 
     def _health(self) -> dict:
@@ -652,6 +654,34 @@ class SolverServer:
         }
 
     # -- the solve path ----------------------------------------------
+
+    async def _run_stream(self, params: dict, deadline=None):
+        """One streaming-trace request, end to end in one solver slot.
+
+        Streams bypass the result cache, stale serves and coalescing
+        entirely: the answer depends on controller state that lives
+        only for this request, so no two stream requests are ever the
+        same cached answer.  They still consult admission — a trace of
+        N intervals is N real solves.
+        """
+        if self._draining:
+            raise DrainingError("daemon draining")
+        self.admission.try_admit()
+        METRICS.increment("serve.stream.requests")
+        span_context = current_span_context()
+
+        def _run() -> dict:
+            if deadline is not None and deadline.expired:
+                METRICS.increment("serve.deadline.expired_in_queue")
+                raise deadline.to_error()
+            with using_span_context(span_context):
+                return self.session.execute_stream(params, deadline=deadline)
+
+        try:
+            result = await self._loop.run_in_executor(self._executor, _run)
+        finally:
+            self.admission.release()
+        return result, None
 
     async def _solve_or_sweep(self, op: str, params: dict, deadline=None):
         prepared = await self._loop.run_in_executor(

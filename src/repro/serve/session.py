@@ -64,6 +64,7 @@ __all__ = [
     "PreparedRequest",
     "SolverSession",
     "solution_payload",
+    "stream_payload",
 ]
 
 _BUILTIN_TOPOLOGIES = {
@@ -491,6 +492,61 @@ class SolverSession:
             "tier": "exact",
         }
 
+    def execute_stream(self, params: dict, deadline: Deadline | None = None) -> dict:
+        """Run a whole streaming trace server-side (may raise).
+
+        A stream request is stateful end to end: the tracker, the
+        warm-start chain and the change-point logic live across the
+        intervals of this one request, so the result is a per-interval
+        report, never a single cacheable solution.  Like sweeps, the
+        deadline is checked once up front — slicing the budget across
+        intervals would break warm-start chaining mid-trace.
+        """
+        if deadline is not None and deadline.expired:
+            raise deadline.to_error()
+        from ..stream import StreamConfig, run_stream
+        from ..traffic import TraceEvent, generate_trace
+
+        task, _base, link_names, _od_names = self._resident_task(params)
+        events = []
+        if params.get("anomaly") is not None:
+            od_index, magnitude, start, duration = params["anomaly"]
+            if not 0 <= od_index < task.num_od_pairs:
+                raise ValueError(
+                    f"anomaly od_index {od_index} out of range "
+                    f"(task has {task.num_od_pairs} OD pairs)"
+                )
+            events.append(
+                TraceEvent(
+                    kind="anomaly",
+                    start_interval=start,
+                    duration_intervals=duration,
+                    od_index=od_index,
+                    magnitude=magnitude,
+                )
+            )
+        trace = generate_trace(
+            task,
+            params["intervals"],
+            start_hour=params["start_hour"],
+            noise_sigma=params["noise"],
+            trough=params["trough"],
+            events=events or None,
+            seed=params.get("trace_seed"),
+        )
+        config = StreamConfig(
+            theta_packets=params["theta"],
+            alpha=params["alpha"],
+            reconfig_weight=params["reconfig_weight"],
+        )
+        with span(
+            "serve.stream",
+            topology=params["topology"],
+            intervals=params["intervals"],
+        ):
+            results = run_stream(trace, config)
+        return stream_payload(results, link_names)
+
     def solve_batchable(self, prepared: PreparedRequest) -> bool:
         """Whether this request may ride the pooled ``solve_batch`` path."""
         return (
@@ -609,3 +665,74 @@ def solution_payload(
             for name, u in zip(od_names, solution.od_utilities)
         }
     return payload
+
+
+def stream_payload(results, link_names: list[str]) -> dict:
+    """JSON-ready report of one streaming run (never cached).
+
+    ``tier: "stream"`` keeps these results out of the certified
+    result cache by construction — a stream answer depends on the
+    controller's whole history, not just the request params.
+    """
+    warm_counts = [
+        int(r.warm_iterations)
+        for r in results
+        if r.warm_iterations is not None
+    ]
+    intervals = []
+    for r in results:
+        entry = {
+            "index": int(r.index),
+            "objective": float(r.solution.objective_value),
+            "num_monitors": int(len(r.solution.active_link_indices)),
+            "converged": bool(r.solution.diagnostics.converged),
+            "cold": bool(r.cold),
+            "warm": bool(r.warm),
+            "warm_iterations": (
+                None if r.warm_iterations is None else int(r.warm_iterations)
+            ),
+            "change_points": [int(od) for od in r.change_points],
+            "churn_l1": None if r.churn_l1 is None else float(r.churn_l1),
+            "step_seconds": float(r.step_seconds),
+        }
+        if r.reconfig is not None:
+            entry["reconfig"] = {
+                "gamma": float(r.reconfig.gamma),
+                "base_objective": float(r.reconfig.base_objective),
+                "penalty": float(r.reconfig.penalty),
+                "unpenalized_gap_bound": float(
+                    r.reconfig.unpenalized_gap_bound
+                ),
+                "churn_l2": float(r.reconfig.churn_l2),
+                "churn_bound_l2": float(r.reconfig.churn_bound_l2),
+            }
+        intervals.append(entry)
+    converged = all(entry["converged"] for entry in intervals)
+    final = results[-1] if results else None
+    return {
+        "tier": "stream",
+        "converged": converged,
+        "degraded": not converged,
+        "summary": {
+            "intervals": len(intervals),
+            "cold_resolves": sum(1 for e in intervals if e["cold"]),
+            "change_point_intervals": [
+                e["index"] for e in intervals if e["change_points"]
+            ],
+            "warm_iterations_p95": (
+                float(np.percentile(warm_counts, 95)) if warm_counts else None
+            ),
+            "total_step_seconds": float(
+                sum(e["step_seconds"] for e in intervals)
+            ),
+        },
+        "intervals": intervals,
+        "final_monitors": (
+            {}
+            if final is None
+            else {
+                link_names[i]: float(final.solution.rates[i])
+                for i in final.solution.active_link_indices
+            }
+        ),
+    }

@@ -1,0 +1,22 @@
+"""Streaming re-optimization: the online control plane (see docs/streaming.md)."""
+
+from .controller import (
+    ReconfigReport,
+    ReconfigurationPenaltyObjective,
+    StreamConfig,
+    StreamingController,
+    StreamStepResult,
+    run_stream,
+)
+from .tracker import TrackerReading, TrafficTracker
+
+__all__ = [
+    "TrafficTracker",
+    "TrackerReading",
+    "StreamConfig",
+    "StreamingController",
+    "StreamStepResult",
+    "ReconfigReport",
+    "ReconfigurationPenaltyObjective",
+    "run_stream",
+]

@@ -1,0 +1,253 @@
+"""Traffic-matrix state estimation for the streaming control plane.
+
+The paper's motivation (§I) is that "a static placement of monitors
+cannot be optimal given the short-term and long-term variations in
+traffic"; operating the optimizer online therefore needs a per-OD load
+estimator that (a) smooths measurement noise, (b) follows slow drift —
+the diurnal cycle — without raising alarms, and (c) flags genuine
+level shifts so the controller can drop its warm start and re-solve
+cold.  The state-space view follows Kallitsis et al. (arXiv
+1306.5793): each OD load is a local-level (random-walk) process
+observed in noise, tracked by a *steady-state* Kalman filter — the
+gain of the local-level model converges to a constant, so the filter
+reduces to one scalar gain applied elementwise, with an EWMA baseline
+alongside for relative-deviation tests.
+
+Every update is elementwise with scalar parameters shared across OD
+pairs, which makes the tracker *permutation-equivariant* by
+construction: permuting the OD axis of every observation permutes the
+predictions identically (property-tested in
+``tests/test_stream_tracker.py``).
+
+Change-point policy (two rules, both per OD, both gated on warmup):
+
+* **shock** — the innovation exceeds ``relative_threshold`` of the
+  EWMA baseline *and* ``shock_sigmas`` innovation standard deviations;
+  a single anomalous interval fires immediately.
+* **CUSUM** — the one-sided cumulative sum of normalized innovation
+  magnitudes exceeds ``cusum_threshold``; a sustained small shift
+  fires after a few intervals even though no single innovation is
+  shocking.
+
+A fired OD re-anchors its state and baseline to the new observation
+(so a persisting anomaly fires once, at onset) and the anomalous
+innovation is *not* absorbed into the innovation-variance estimate —
+otherwise one anomaly would inflate the scale and mask the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+
+__all__ = ["TrackerReading", "TrafficTracker"]
+
+#: Loads below this (pkt/s) are treated as "no traffic" in relative tests.
+_LOAD_FLOOR_PPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TrackerReading:
+    """One interval's estimator output.
+
+    ``predicted_pps`` is the posterior state — the load estimate the
+    controller should optimize against.  ``innovations`` are the
+    per-OD one-step prediction errors ``z - x̂⁻``; ``innovation_scale``
+    the running innovation standard-deviation estimate; ``normalized``
+    the |innovation| / scale ratio the CUSUM accumulates.
+    ``change_points`` lists the OD indices whose change-point detector
+    fired this interval (empty during warmup).
+    """
+
+    predicted_pps: np.ndarray
+    innovations: np.ndarray
+    innovation_scale: np.ndarray
+    normalized: np.ndarray
+    change_points: tuple[int, ...]
+    warmed_up: bool
+
+
+def _steady_state_gain(process_noise_ratio: float) -> float:
+    """Limiting Kalman gain of the local-level model.
+
+    With state noise variance ``q`` and observation noise variance
+    ``r``, the prior variance fixed point of ``P = P - P²/(P+r) + q``
+    is ``P = (q + √(q² + 4qr))/2`` and the gain ``K = P/(P+r)``
+    depends only on the ratio ``λ = q/r``.
+    """
+    lam = process_noise_ratio
+    p = (lam + np.sqrt(lam * lam + 4.0 * lam)) / 2.0
+    return float(p / (p + 1.0))
+
+
+class TrafficTracker:
+    """EWMA + steady-state Kalman estimator over per-OD loads.
+
+    Parameters
+    ----------
+    num_od_pairs:
+        Length of the observation vector.
+    ewma_weight:
+        Baseline smoothing weight (newest observation's share).
+    process_noise_ratio:
+        ``λ = q/r`` of the local-level model; larger values trust the
+        newest observation more (``λ = 0.5`` gives gain ``K = 0.5``).
+    variance_weight:
+        EWMA weight of the innovation-variance estimate.
+    relative_threshold:
+        Shock rule: innovation as a fraction of the baseline load.
+    shock_sigmas:
+        Shock rule: innovation in units of its running scale.
+    cusum_threshold / cusum_drift:
+        One-sided CUSUM ``s ← max(0, s + |ν|/σ − drift)`` fires at
+        ``s > threshold``.  The drift term absorbs diurnal-rate
+        innovations so slow cycles never accumulate.
+    warmup_intervals:
+        Observations absorbed before any detection may fire.
+    """
+
+    def __init__(
+        self,
+        num_od_pairs: int,
+        ewma_weight: float = 0.3,
+        process_noise_ratio: float = 0.5,
+        variance_weight: float = 0.2,
+        relative_threshold: float = 0.5,
+        shock_sigmas: float = 4.0,
+        cusum_threshold: float = 8.0,
+        cusum_drift: float = 1.25,
+        warmup_intervals: int = 3,
+    ) -> None:
+        if num_od_pairs < 1:
+            raise ValueError("need at least one OD pair")
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ValueError("ewma_weight must be in (0, 1]")
+        if process_noise_ratio <= 0:
+            raise ValueError("process_noise_ratio must be positive")
+        if not 0.0 < variance_weight <= 1.0:
+            raise ValueError("variance_weight must be in (0, 1]")
+        if relative_threshold <= 0 or shock_sigmas <= 0:
+            raise ValueError("shock thresholds must be positive")
+        if cusum_threshold <= 0 or cusum_drift <= 0:
+            raise ValueError("CUSUM parameters must be positive")
+        if warmup_intervals < 1:
+            raise ValueError("warmup_intervals must be >= 1")
+        self.num_od_pairs = int(num_od_pairs)
+        self.ewma_weight = float(ewma_weight)
+        self.gain = _steady_state_gain(float(process_noise_ratio))
+        self.variance_weight = float(variance_weight)
+        self.relative_threshold = float(relative_threshold)
+        self.shock_sigmas = float(shock_sigmas)
+        self.cusum_threshold = float(cusum_threshold)
+        self.cusum_drift = float(cusum_drift)
+        self.warmup_intervals = int(warmup_intervals)
+        self._state: np.ndarray | None = None
+        self._baseline: np.ndarray | None = None
+        self._variance: np.ndarray | None = None
+        self._cusum: np.ndarray | None = None
+        self._intervals = 0
+
+    @property
+    def intervals_observed(self) -> int:
+        return self._intervals
+
+    def _validate(self, od_loads_pps) -> np.ndarray:
+        z = np.asarray(od_loads_pps, dtype=float)
+        if z.shape != (self.num_od_pairs,):
+            raise ValueError(
+                f"observation has shape {z.shape}, expected "
+                f"({self.num_od_pairs},)"
+            )
+        if not np.all(np.isfinite(z)):
+            raise ValueError("observed loads must be finite")
+        if np.any(z < 0):
+            raise ValueError("observed loads must be non-negative")
+        return z
+
+    def observe(self, od_loads_pps) -> TrackerReading:
+        """Ingest one interval's per-OD loads, return the new estimate."""
+        z = self._validate(od_loads_pps)
+        self._intervals += 1
+        METRICS.increment("stream.tracker.observations")
+        if self._state is None:
+            self._state = z.copy()
+            self._baseline = z.copy()
+            # Seed the innovation variance at a tenth of the level:
+            # small enough that early anomalies still normalize large,
+            # large enough that the first noisy interval doesn't fire.
+            seeded = 0.1 * np.maximum(z, _LOAD_FLOOR_PPS)
+            self._variance = seeded * seeded
+            self._cusum = np.zeros_like(z)
+            return TrackerReading(
+                predicted_pps=self._clip(self._state),
+                innovations=np.zeros_like(z),
+                innovation_scale=np.sqrt(self._variance),
+                normalized=np.zeros_like(z),
+                change_points=(),
+                warmed_up=False,
+            )
+
+        innovations = z - self._state
+        scale = np.sqrt(self._variance)
+        # Relative floor: the scale of an OD whose traffic collapsed
+        # must not collapse with it, or every later packet "shocks".
+        floor = np.maximum(
+            _LOAD_FLOOR_PPS,
+            0.01 * np.maximum(self._baseline, _LOAD_FLOOR_PPS),
+        )
+        scale = np.maximum(scale, floor)
+        normalized = np.abs(innovations) / scale
+        relative = np.abs(innovations) / np.maximum(
+            self._baseline, _LOAD_FLOOR_PPS
+        )
+
+        warmed = self._intervals > self.warmup_intervals
+        self._cusum = np.maximum(
+            0.0, self._cusum + normalized - self.cusum_drift
+        )
+        shock = (relative >= self.relative_threshold) & (
+            normalized >= self.shock_sigmas
+        )
+        drifted = self._cusum > self.cusum_threshold
+        fired = (shock | drifted) if warmed else np.zeros_like(shock)
+
+        quiet = ~fired
+        self._state = np.where(
+            fired, z, self._state + self.gain * innovations
+        )
+        self._baseline = np.where(
+            fired,
+            z,
+            (1.0 - self.ewma_weight) * self._baseline + self.ewma_weight * z,
+        )
+        # Variance absorbs only quiet innovations (see module docstring).
+        updated = (
+            (1.0 - self.variance_weight) * self._variance
+            + self.variance_weight * innovations * innovations
+        )
+        self._variance = np.where(quiet, updated, self._variance)
+        self._cusum = np.where(fired, 0.0, self._cusum)
+
+        change_points = tuple(int(i) for i in np.flatnonzero(fired))
+        if change_points:
+            METRICS.increment("stream.tracker.change_points", len(change_points))
+        return TrackerReading(
+            predicted_pps=self._clip(self._state),
+            innovations=innovations,
+            innovation_scale=scale,
+            normalized=normalized,
+            change_points=change_points,
+            warmed_up=warmed,
+        )
+
+    @staticmethod
+    def _clip(state: np.ndarray) -> np.ndarray:
+        """Predictions are loads: non-negative by contract.
+
+        The filter state is a convex combination of non-negative
+        observations, so this is a guard rail, not a correction.
+        """
+        return np.maximum(state, 0.0)

@@ -23,8 +23,10 @@ from .differential import (
     TOLERANCES,
     check_backends,
     check_presolve,
+    check_reconfig,
     check_reference,
     check_stacked,
+    check_stream,
     check_supervised,
     differential_check,
     random_problem,
@@ -38,6 +40,7 @@ from .golden import (
     golden_case_names,
     run_golden_suite,
     solve_golden_case,
+    stream_case_names,
     update_golden,
 )
 from .reference import (
@@ -70,9 +73,12 @@ __all__ = [
     "check_backends",
     "check_presolve",
     "check_stacked",
+    "check_stream",
+    "check_reconfig",
     "check_supervised",
     "check_reference",
     "golden_case_names",
+    "stream_case_names",
     "build_golden_case",
     "solve_golden_case",
     "compare_golden",

@@ -71,6 +71,8 @@ __all__ = [
     "check_approx",
     "check_decompose",
     "check_compiled",
+    "check_stream",
+    "check_reconfig",
     "differential_check",
     "run_differential_suite",
 ]
@@ -96,6 +98,13 @@ TOLERANCES: dict[str, float] = {
     "approx": 1e-9,
     "decompose": 1e-6,
     "compiled": 1e-7,
+    # Streaming control plane (repro.stream): "stream" gates each
+    # interval's warm incremental optimum against a cold exact solve
+    # of the identical problem; "reconfig" gates the penalized
+    # program's certified mapping back to the unpenalized objective
+    # (gap-bound and churn-bound soundness, roundoff allowance only).
+    "stream": 1e-7,
+    "reconfig": 1e-6,
 }
 
 
@@ -429,6 +438,173 @@ def check_compiled(problem: SamplingProblem) -> dict:
     }
 
 
+def _utility_inverse_sizes(problem: SamplingProblem) -> np.ndarray:
+    """Per-OD mean inverse packet counts behind the problem's utilities."""
+    return np.array([u.mean_inverse_size for u in problem.utilities])
+
+
+def check_stream(problem: SamplingProblem, intervals: int = 4) -> dict:
+    """Warm incremental stream solves vs cold exact solves, per interval.
+
+    Drives a :class:`~repro.core.batch.WarmStartChain` with the
+    streaming controller's solver options (reduced-Newton warm path)
+    over a deterministic mini-stream of utility perturbations — the
+    same problem family the online control plane produces — and
+    demands every interval's warm optimum match a cold exact solve of
+    the *identical* problem within ``TOLERANCES["stream"]``, with the
+    warm solution's own KKT certificate intact.
+    """
+    from ..core.batch import WarmStartChain
+    from ..core.gradient_projection import GradientProjectionOptions
+
+    options = GradientProjectionOptions(warm_newton=True, tolerance=1e-7)
+    chain = WarmStartChain(options=options, presolve=False)
+    base_inverse = _utility_inverse_sizes(problem)
+    worst = 0.0
+    kkt_ok = True
+    warm_hits = 0
+    for index in range(intervals):
+        # Deterministic smooth drift, ±5 %, different phase per OD —
+        # the shape of diurnal load evolution between change points.
+        # Clamped below 1/2: the accuracy family's domain is open at
+        # c = 1/2 and a random instance may already sit near it.
+        drift = 1.0 + 0.05 * np.sin(
+            0.7 * index + np.arange(base_inverse.size)
+        )
+        drifted_inverse = np.minimum(base_inverse * drift, 0.5 - 1e-6)
+        member = SamplingProblem(
+            problem.routing,
+            problem.link_loads_pps,
+            problem.theta_packets,
+            accuracy_utilities(drifted_inverse),
+            alpha=problem.alpha,
+            interval_seconds=problem.interval_seconds,
+        ).clamped()
+        warm = chain.solve(member)
+        warm_hits += int(chain.last_solve_warm)
+        cold = solve(member, presolve=False)
+        worst = max(
+            worst,
+            _rel_gap(
+                _ref_objective(member, warm), _ref_objective(member, cold)
+            ),
+        )
+        kkt_ok = kkt_ok and _kkt_ok(member, warm)
+    return {
+        "pair": "stream",
+        "objective_gap": worst,
+        "intervals": intervals,
+        "warm_hits": warm_hits,
+        "kkt_ok": kkt_ok,
+        "tolerance": TOLERANCES["stream"],
+        "passed": worst <= TOLERANCES["stream"]
+        and kkt_ok
+        and warm_hits == intervals - 1,
+    }
+
+
+def check_reconfig(problem: SamplingProblem, gamma: float = 0.5) -> dict:
+    """Certified mapping of the reconfiguration-penalized optimum.
+
+    Solves ``max F(p) − (γ/2)‖p − prev‖²`` (``prev`` = the optimum of
+    a drifted variant, i.e. a realistic previous placement) and checks
+    the three exact claims the streaming controller's
+    :class:`~repro.stream.controller.ReconfigReport` makes:
+
+    1. the returned point carries a KKT certificate *of the penalized
+       objective* (sufficient for its global optimality);
+    2. ``0 ≤ F(p°) − F(p*) ≤ unpenalized_gap_bound`` against the
+       independently computed unpenalized optimum ``p°``;
+    3. the realized movement respects the certified churn bound.
+
+    All three are mathematical consequences of penalized optimality,
+    so only roundoff slack (``TOLERANCES["reconfig"]``) is allowed.
+    """
+    from ..core.gradient_projection import (
+        GradientProjectionOptions,
+        solve_gradient_projection,
+    )
+    from ..core.objective import SumUtilityObjective
+    from ..stream.controller import ReconfigurationPenaltyObjective
+
+    base_inverse = _utility_inverse_sizes(problem)
+    # Heterogeneous drift: a *uniform* scaling of the accuracy family's
+    # inverse sizes leaves the optimum unchanged (the gradient scales
+    # uniformly), which would make every claim below vacuously tight.
+    drift = 1.0 + 0.15 * np.sin(1.3 + np.arange(base_inverse.size))
+    drifted_inverse = np.minimum(base_inverse * drift, 0.5 - 1e-6)
+    drifted = SamplingProblem(
+        problem.routing,
+        problem.link_loads_pps,
+        problem.theta_packets,
+        accuracy_utilities(drifted_inverse),
+        alpha=problem.alpha,
+        interval_seconds=problem.interval_seconds,
+    ).clamped()
+    previous = solve(drifted, presolve=False).rates
+
+    cand = np.flatnonzero(problem.candidate_mask)
+    alpha = problem.alpha[cand]
+    prev = np.clip(previous[cand], 0.0, alpha)
+    base = SumUtilityObjective(
+        problem.candidate_routing_op(), problem.utilities
+    )
+    penalized = ReconfigurationPenaltyObjective(base, prev, gamma)
+    solution = solve_gradient_projection(
+        problem,
+        options=GradientProjectionOptions(warm_newton=True, tolerance=1e-7),
+        objective=penalized,
+        warm_start=previous,
+    )
+    kkt = solution.diagnostics.kkt
+    kkt_ok = bool(kkt is not None and kkt.satisfied)
+
+    x = solution.rates[cand]
+    diff = x - prev
+    moved_sq = float(diff @ diff)
+    reach = np.maximum(prev, alpha - prev)
+    gap_bound = 0.5 * gamma * max(float(reach @ reach) - moved_sq, 0.0)
+
+    unpenalized = solve(problem, presolve=False)
+    f_star = _ref_objective(problem, unpenalized)
+    f_pen = reference_candidate_objective(problem, x)
+    scale = max(1.0, abs(f_star), abs(f_pen))
+    shortfall = (f_star - f_pen) / scale
+    # p° maximizes F, so the shortfall cannot be meaningfully negative;
+    # penalized optimality caps it by the certified bound.
+    gap_sound = -TOLERANCES["reconfig"] <= shortfall <= (
+        gap_bound / scale + TOLERANCES["reconfig"]
+    )
+
+    # ``drifted`` shares loads, θ and α with ``problem``, so the
+    # previous placement is already feasible here and serves as its own
+    # projection ``q_prev`` in the churn bound.
+    churn_bound_sq = max(
+        0.0,
+        (2.0 / gamma) * (float(base.value(x)) - float(base.value(prev))),
+    )
+    churn_sound = moved_sq <= churn_bound_sq + TOLERANCES["reconfig"]
+
+    violation = max(
+        shortfall - gap_bound / scale,  # gap bound exceeded
+        -shortfall,  # penalized point beat the true optimum
+        moved_sq - churn_bound_sq,  # churn bound exceeded
+        0.0,
+    )
+    return {
+        "pair": "reconfig",
+        "objective_gap": violation,
+        "gamma": gamma,
+        "shortfall": shortfall,
+        "gap_bound": gap_bound / scale,
+        "churn_l2": float(np.sqrt(moved_sq)),
+        "churn_bound_l2": float(np.sqrt(churn_bound_sq)),
+        "kkt_ok": kkt_ok,
+        "tolerance": TOLERANCES["reconfig"],
+        "passed": kkt_ok and gap_sound and churn_sound,
+    }
+
+
 # ----------------------------------------------------------------------
 # per-instance and whole-suite drivers
 # ----------------------------------------------------------------------
@@ -445,6 +621,8 @@ def differential_check(
         check_approx(problem),
         check_compiled(problem),
         check_decompose(problem),
+        check_stream(problem),
+        check_reconfig(problem),
     ]
     if include_reference:
         checks.append(check_reference(problem))

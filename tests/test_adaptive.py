@@ -5,6 +5,7 @@ import pytest
 
 from repro import ODPair, make_task
 from repro.adaptive import AdaptiveController, ControllerConfig, run_closed_loop
+from repro.obs import collecting_metrics
 from repro.topology import line_network
 from repro.traffic import generate_trace
 
@@ -85,6 +86,72 @@ class TestController:
             report.estimated_sizes_packets, task.od_sizes_packets
         )
         assert np.all(report.estimation_errors < 1e-9)
+
+
+class TestHoldOnFailure:
+    def test_held_interval_reenters_with_prefailure_warm_start(self):
+        """Regression: a held interval must not poison the warm chain.
+
+        The failure path used to leave the chain's structural
+        fingerprint pointing at the failed problem while the rates
+        still described the pre-failure optimum; the next interval then
+        either crashed or warm-started from an inconsistent point.  Now
+        the chain commits (rates, fingerprint) as a pair, so re-entry
+        after a held interval is a warm start from the last good
+        optimum.
+        """
+        task = small_task()
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(
+            config, num_od_pairs=2,
+            initial_sizes_packets=task.od_sizes_packets,
+        )
+        good = controller.plan(task)
+        assert good.diagnostics.converged
+
+        chain = controller._chain
+        original = chain._solve_one
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("induced solver failure")
+
+        chain._solve_one = boom
+        held = controller.plan(task)
+        assert held.diagnostics.method == "held"
+        assert held.diagnostics.degraded
+        np.testing.assert_allclose(held.rates, good.rates)
+
+        chain._solve_one = original
+        with collecting_metrics() as metrics:
+            recovered = controller.plan(task)
+        counters = metrics.counters()
+        assert counters.get("batch.warm_start.hit", 0) == 1
+        assert counters.get("batch.warm_start.stale", 0) == 0
+        assert recovered.diagnostics.converged
+        np.testing.assert_allclose(recovered.rates, good.rates, atol=1e-7)
+
+    def test_first_interval_failure_deploys_uniform(self):
+        config = ControllerConfig(theta_packets=5000.0)
+        controller = AdaptiveController(config, num_od_pairs=2)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("induced solver failure")
+
+        controller._chain._solve_one = boom
+        with collecting_metrics() as metrics:
+            held = controller.plan(small_task())
+        assert held.diagnostics.method == "held"
+        assert "uniform" in held.diagnostics.message
+        assert metrics.counters().get("adaptive.held_intervals", 0) == 1
+
+    def test_hold_disabled_propagates_failure(self):
+        config = ControllerConfig(theta_packets=5000.0, hold_on_failure=False)
+        controller = AdaptiveController(config, num_od_pairs=2)
+        controller._chain._solve_one = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("induced solver failure")
+        )
+        with pytest.raises(RuntimeError, match="induced"):
+            controller.plan(small_task())
 
 
 class TestClosedLoop:

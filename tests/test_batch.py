@@ -142,6 +142,84 @@ class TestWarmStartChain:
         assert counters.get("batch.warm_start.hit", 0) == 1
         assert counters.get("batch.warm_start.stale", 0) == 0
 
+    def test_failed_member_preserves_prefailure_warm_start(
+        self, geant_problem, chain_task
+    ):
+        """Regression: a raising member must not disturb the chain.
+
+        The adaptive controller's hold-on-failure path swallows the
+        exception and plans the next interval with the same chain; the
+        chain must still describe the last *good* optimum so that
+        re-entry is a warm start from the pre-failure point.
+        """
+        chain = WarmStartChain()
+        good = chain.solve(geant_problem)
+        infeasible = SamplingProblem.from_task(chain_task, 1e15)
+        with pytest.raises(ValueError, match="exceeds the maximum absorbable"):
+            chain.solve(infeasible)
+        np.testing.assert_array_equal(chain.previous_rates, good.rates)
+        with collecting_metrics() as metrics:
+            again = chain.solve(geant_problem)
+        assert chain.last_solve_warm
+        assert metrics.counters().get("batch.warm_start.hit", 0) == 1
+        assert again.diagnostics.converged
+        np.testing.assert_allclose(again.rates, good.rates, atol=1e-7)
+
+    def test_failed_member_does_not_poison_fingerprint(
+        self, geant_problem, chain_task
+    ):
+        """Regression: fingerprint and rates must commit as a pair.
+
+        Committing the fingerprint *before* a member solve meant that a
+        raising member left the chain holding (old rates, new
+        fingerprint) — a later problem with the failed member's
+        structure would then warm-start from rates produced under a
+        different structure.  After the fix it must solve cold.
+        """
+        chain = WarmStartChain()
+        chain.solve(geant_problem)
+        with pytest.raises(ValueError, match="exceeds the maximum absorbable"):
+            chain.solve(SamplingProblem.from_task(chain_task, 1e15))
+        valid = SamplingProblem.from_task(chain_task, 10_000.0).clamped()
+        solution = chain.solve(valid)
+        assert not chain.last_solve_warm
+        assert solution.diagnostics.converged
+        reference = solve_gradient_projection(valid)
+        assert solution.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-9
+        )
+
+    def test_seed_primes_warm_start(self, geant_problem):
+        cold = solve_gradient_projection(geant_problem)
+        chain = WarmStartChain()
+        chain.seed(geant_problem, cold.rates)
+        with collecting_metrics() as metrics:
+            solution = chain.solve(geant_problem)
+        assert chain.last_solve_warm
+        assert metrics.counters().get("batch.warm_start.hit", 0) == 1
+        assert solution.diagnostics.iterations < cold.diagnostics.iterations
+
+    def test_warm_solves_observe_iteration_histogram(self, geant_problem):
+        """Warm solves publish ``solver.gp.warm_iterations``.
+
+        The streaming benchmark gates on this histogram's p95; it must
+        count exactly the warm-started solves (the cold first member
+        contributes nothing).
+        """
+        chain = WarmStartChain(
+            options=GradientProjectionOptions(warm_newton=True)
+        )
+        with collecting_metrics() as metrics:
+            chain.solve(geant_problem)
+            chain.solve(geant_problem)
+            chain.solve(geant_problem)
+            snapshot = metrics.snapshot()
+        histogram = snapshot["histograms"]["solver.gp.warm_iterations"]
+        assert histogram["count"] == 2
+        # Warm re-solves of an unchanged problem terminate in a couple
+        # of iterations; the histogram must reflect that.
+        assert histogram["sum_s"] <= 2 * 10
+
     def test_presolve_chain_matches_plain_chain(self, geant_problem):
         problems = [
             geant_problem.with_theta(theta).clamped() for theta in THETAS

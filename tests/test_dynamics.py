@@ -31,6 +31,21 @@ class TestDiurnal:
         with pytest.raises(ValueError):
             diurnal_factor(3.0, trough=0.0)
 
+    def test_trough_of_one_is_identity(self):
+        """``trough=1.0`` flattens the cycle: factor ≡ 1 at every hour.
+
+        The boundary of the validated range — the sinusoid's amplitude
+        ``1 - trough`` collapses to zero, not to something negative or
+        NaN.
+        """
+        for hour in np.linspace(0.0, 48.0, 97):
+            assert diurnal_factor(hour, trough=1.0) == pytest.approx(1.0)
+
+    def test_scale_diurnal_with_trough_one_preserves_task(self, task):
+        flat = scale_diurnal(task, 3.0, trough=1.0)
+        np.testing.assert_allclose(flat.od_sizes_pps, task.od_sizes_pps)
+        np.testing.assert_allclose(flat.link_loads_pps, task.link_loads_pps)
+
     def test_scale_diurnal_scales_everything(self, task):
         night = scale_diurnal(task, 3.0)
         factor = diurnal_factor(3.0)
@@ -106,6 +121,32 @@ class TestFailLink:
         chain = make_task(net, [ODPair("n0", "n2")], [100.0])
         with pytest.raises(ValueError, match="disconnects"):
             fail_link(chain, "n0", "n1")
+
+    def test_bridge_failure_disconnecting_an_od_pair_raises(self):
+        """Failing a bridge must fail loudly, not silently drop the OD.
+
+        The pendant node D hangs off a survivable triangle by a single
+        circuit: C-D is a bridge for the A→D pair, while every triangle
+        edge is survivable.  Failing the bridge must raise; failing a
+        redundant edge must reroute.
+        """
+        from repro import Network, ODPair, make_task
+
+        net = Network("bridged")
+        for name in ("A", "B", "C", "D"):
+            net.add_node(name)
+        net.add_duplex_link("A", "B")
+        net.add_duplex_link("B", "C")
+        net.add_duplex_link("A", "C")
+        net.add_duplex_link("C", "D")
+        task = make_task(
+            net, [ODPair("A", "D"), ODPair("A", "B")], [300.0, 500.0]
+        )
+        with pytest.raises(ValueError, match="disconnects"):
+            fail_link(task, "C", "D")
+        rerouted = fail_link(task, "A", "C")
+        assert np.all(rerouted.routing.matrix.sum(axis=1) >= 1)
+        np.testing.assert_allclose(rerouted.od_sizes_pps, task.od_sizes_pps)
 
     def test_unknown_circuit_raises(self, task):
         with pytest.raises(KeyError):

@@ -1,0 +1,197 @@
+"""Tests for the streaming re-optimization control plane.
+
+Correctness-first: every warm incremental solve is compared against a
+cold exact solve of the same interval's problem, change-point handling
+is checked against injected anomalies, and the reconfiguration report's
+certified bounds are verified on the spot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GradientProjectionOptions, solve
+from repro.obs import collecting_metrics
+from repro.stream import (
+    ReconfigReport,
+    StreamConfig,
+    StreamingController,
+    run_stream,
+)
+from repro.traffic.temporal import TraceEvent, generate_trace
+from repro.traffic.workloads import janet_task
+
+THETA = 100_000.0
+#: Warm incremental solve vs cold exact solve, relative objective gap.
+WARM_VS_COLD_RTOL = 1e-9
+
+
+def _trace(num_intervals=10, events=None, seed=42, noise_sigma=0.05):
+    """Diurnal GEANT-style trace, one task snapshot per hour."""
+    base = janet_task(interval_seconds=3600.0)
+    return list(
+        generate_trace(
+            base,
+            num_intervals=num_intervals,
+            noise_sigma=noise_sigma,
+            trough=0.4,
+            events=events,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def quiet_trace():
+    return _trace(num_intervals=8)
+
+
+@pytest.fixture(scope="module")
+def anomaly_trace():
+    # Same configuration as the streaming golden trace: the anomaly
+    # persists to the end of the trace because a finite anomaly has
+    # *two* level shifts (onset and offset) and would correctly fire
+    # twice.
+    event = TraceEvent(
+        kind="anomaly",
+        start_interval=12,
+        duration_intervals=12,
+        od_index=0,
+        magnitude=4.0,
+    )
+    return _trace(num_intervals=24, events=[event])
+
+
+class TestWarmLoop:
+    def test_quiet_trace_warms_after_first_interval(self, quiet_trace):
+        results = run_stream(quiet_trace, StreamConfig(theta_packets=THETA))
+        assert not results[0].warm and not results[0].cold
+        for step in results[1:]:
+            assert step.warm, f"interval {step.index} fell back to cold"
+            assert step.change_points == ()
+        # The tentpole claim: warm intervals converge in a handful of
+        # reduced-Newton iterations, not the first-order method's tens.
+        warm_its = [s.warm_iterations for s in results[1:]]
+        assert all(its is not None and its <= 8 for its in warm_its)
+
+    def test_warm_solve_matches_cold_exact_solve(self, quiet_trace):
+        results = run_stream(quiet_trace, StreamConfig(theta_packets=THETA))
+        for step in results:
+            cold = solve(step.problem, presolve=False)
+            gap = abs(cold.objective_value - step.solution.objective_value)
+            assert gap <= WARM_VS_COLD_RTOL * max(
+                1.0, abs(cold.objective_value)
+            ), f"interval {step.index}: warm/cold gap {gap:.3e}"
+            kkt = step.solution.diagnostics.kkt
+            assert kkt is not None and kkt.satisfied
+
+    def test_change_point_triggers_exactly_one_cold_resolve(
+        self, anomaly_trace
+    ):
+        with collecting_metrics() as registry:
+            results = run_stream(
+                anomaly_trace, StreamConfig(theta_packets=THETA)
+            )
+            snapshot = registry.snapshot()
+        cold_steps = [s for s in results if s.cold]
+        assert len(cold_steps) == 1
+        assert cold_steps[0].index == 12
+        assert cold_steps[0].change_points == (0,)
+        # Onset only: the anomaly persists but the tracker re-anchors,
+        # so no repeated alarms.
+        assert snapshot["counters"]["stream.cold_resolves"] == 1
+        assert snapshot["counters"]["stream.change_points"] == 1
+        assert snapshot["counters"]["stream.intervals"] == len(results)
+        histogram = snapshot["histograms"]["solver.gp.warm_iterations"]
+        # Interval 0 and the cold re-solve don't observe the histogram.
+        assert histogram["count"] == len(results) - 2
+
+    def test_reset_forgets_streaming_state(self, quiet_trace):
+        controller = StreamingController(StreamConfig(theta_packets=THETA))
+        controller.step(quiet_trace[0].task)
+        warm_step = controller.step(quiet_trace[1].task)
+        assert warm_step.warm and warm_step.index == 1
+        controller.reset()
+        assert controller.tracker is None
+        fresh = controller.step(quiet_trace[2].task)
+        assert fresh.index == 0 and not fresh.warm and not fresh.cold
+
+    def test_cold_on_change_point_can_be_disabled(self, anomaly_trace):
+        config = StreamConfig(theta_packets=THETA, cold_on_change_point=False)
+        results = run_stream(anomaly_trace, config)
+        assert not any(s.cold for s in results)
+        assert any(s.change_points for s in results)
+
+
+class TestReconfigurationPenalty:
+    def test_report_bounds_hold(self, quiet_trace):
+        config = StreamConfig(theta_packets=THETA, reconfig_weight=0.25)
+        results = run_stream(quiet_trace, config)
+        assert results[0].reconfig is None  # no previous placement yet
+        for step in results[1:]:
+            report = step.reconfig
+            assert isinstance(report, ReconfigReport)
+            assert report.kkt is not None and report.kkt.satisfied
+            assert report.penalty >= 0.0
+            assert report.unpenalized_gap_bound >= 0.0
+            assert report.penalized_objective == pytest.approx(
+                report.base_objective - report.penalty
+            )
+            # The certified churn bound really bounds the realized churn.
+            assert report.churn_l2 <= report.churn_bound_l2 + 1e-9
+
+    def test_penalty_reduces_churn(self, quiet_trace):
+        plain = run_stream(quiet_trace, StreamConfig(theta_packets=THETA))
+        penalized = run_stream(
+            quiet_trace,
+            StreamConfig(theta_packets=THETA, reconfig_weight=5.0),
+        )
+        churn_plain = sum(s.churn_l1 for s in plain if s.churn_l1 is not None)
+        churn_pen = sum(
+            s.churn_l1 for s in penalized if s.churn_l1 is not None
+        )
+        assert churn_pen <= churn_plain + 1e-9
+
+    def test_penalized_objective_stays_near_unpenalized(self, quiet_trace):
+        config = StreamConfig(theta_packets=THETA, reconfig_weight=0.25)
+        results = run_stream(quiet_trace, config)
+        for step in results[1:]:
+            cold = solve(step.problem, presolve=False)
+            shortfall = cold.objective_value - step.reconfig.base_objective
+            bound = step.reconfig.unpenalized_gap_bound
+            assert -1e-7 <= shortfall <= bound + 1e-7
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_theta(self):
+        with pytest.raises(ValueError, match="theta_packets"):
+            StreamConfig(theta_packets=0.0)
+
+    def test_rejects_negative_reconfig_weight(self):
+        with pytest.raises(ValueError, match="reconfig_weight"):
+            StreamConfig(theta_packets=THETA, reconfig_weight=-1.0)
+
+    def test_explicit_solver_options_are_honoured(self, quiet_trace):
+        options = GradientProjectionOptions(warm_newton=False)
+        config = StreamConfig(theta_packets=THETA, solver_options=options)
+        controller = StreamingController(config)
+        step = controller.step(quiet_trace[0].task)
+        assert step.solution.diagnostics.kkt.satisfied
+
+
+class TestNumericalEdges:
+    def test_od_count_change_restarts_tracker(self, quiet_trace):
+        controller = StreamingController(StreamConfig(theta_packets=THETA))
+        controller.step(quiet_trace[0].task)
+        first_tracker = controller.tracker
+        controller.step(quiet_trace[1].task)
+        assert controller.tracker is first_tracker
+
+    def test_churn_l1_reported_from_second_interval(self, quiet_trace):
+        results = run_stream(quiet_trace, StreamConfig(theta_packets=THETA))
+        assert results[0].churn_l1 is None
+        assert all(
+            s.churn_l1 is not None and np.isfinite(s.churn_l1)
+            for s in results[1:]
+        )

@@ -1,0 +1,212 @@
+"""Property tests for the streaming traffic tracker.
+
+The tracker's contract (``repro/stream/tracker.py``): elementwise
+updates with scalar shared parameters — hence permutation-equivariant
+by construction; predictions are loads, so always finite and
+non-negative, no matter what sequence of diurnal scalings, anomalies
+and link failures produced the observations; and a genuine level
+shift above both shock thresholds must fire a change point on exactly
+the shifted OD pair once the filter is warmed up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MeasurementTask, Network, ODPair, make_task
+from repro.stream import TrafficTracker
+from repro.traffic.dynamics import fail_link, inject_anomaly, scale_diurnal
+
+PROPERTY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _triangle_task() -> MeasurementTask:
+    """Three OD pairs on a duplex triangle — every circuit survivable."""
+    net = Network("tri")
+    for name in ("A", "B", "C"):
+        net.add_node(name)
+    net.add_duplex_link("A", "B")
+    net.add_duplex_link("B", "C")
+    net.add_duplex_link("A", "C")
+    return make_task(
+        net,
+        [ODPair("A", "B"), ODPair("A", "C"), ODPair("B", "C")],
+        [1200.0, 400.0, 900.0],
+        background_pps=4000.0,
+        seed=3,
+    )
+
+
+# Random dynamics ops: (kind, payload) drawn by Hypothesis, applied to
+# the *base* task each interval (events, not cumulative drift).
+_OPS = st.one_of(
+    st.tuples(st.just("diurnal"), st.floats(0.0, 24.0)),
+    st.tuples(
+        st.just("anomaly"),
+        st.tuples(st.integers(0, 2), st.floats(1.1, 20.0)),
+    ),
+    st.tuples(
+        st.just("failure"),
+        st.sampled_from([("A", "B"), ("B", "C"), ("A", "C")]),
+    ),
+)
+
+
+def _apply(task: MeasurementTask, op) -> MeasurementTask:
+    kind, payload = op
+    if kind == "diurnal":
+        return scale_diurnal(task, payload)
+    if kind == "anomaly":
+        od_index, magnitude = payload
+        return inject_anomaly(task, od_index, magnitude)
+    return fail_link(task, *payload)
+
+
+class TestPermutationEquivariance:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_od=st.integers(2, 12),
+        intervals=st.integers(2, 12),
+    )
+    @PROPERTY
+    def test_permuting_ods_permutes_predictions(self, seed, num_od, intervals):
+        rng = np.random.default_rng(seed)
+        observations = rng.uniform(0.0, 5000.0, size=(intervals, num_od))
+        perm = rng.permutation(num_od)
+
+        plain = TrafficTracker(num_od, warmup_intervals=1)
+        permuted = TrafficTracker(num_od, warmup_intervals=1)
+        for z in observations:
+            reading = plain.observe(z)
+            reading_p = permuted.observe(z[perm])
+            np.testing.assert_array_equal(
+                reading.predicted_pps[perm], reading_p.predicted_pps
+            )
+            np.testing.assert_array_equal(
+                reading.normalized[perm], reading_p.normalized
+            )
+            # Change points are the same ODs, relabeled through perm.
+            relabeled = {
+                int(np.flatnonzero(perm == i)[0])
+                for i in reading.change_points
+            }
+            assert relabeled == set(reading_p.change_points)
+
+
+class TestPredictionsAreLoads:
+    @given(ops=st.lists(_OPS, min_size=1, max_size=10))
+    @PROPERTY
+    def test_finite_nonnegative_under_random_dynamics(self, ops):
+        base = _triangle_task()
+        tracker = TrafficTracker(base.num_od_pairs)
+        for op in ops:
+            task = _apply(base, op)
+            reading = tracker.observe(task.od_sizes_pps)
+            assert np.all(np.isfinite(reading.predicted_pps))
+            assert np.all(reading.predicted_pps >= 0.0)
+            assert np.all(np.isfinite(reading.innovation_scale))
+            assert np.all(reading.innovation_scale > 0.0)
+
+
+class TestChangePointDetection:
+    @given(
+        od_index=st.integers(0, 2),
+        magnitude=st.floats(3.0, 30.0),
+        steady=st.integers(4, 10),
+    )
+    @PROPERTY
+    def test_anomaly_above_threshold_always_fires(
+        self, od_index, magnitude, steady
+    ):
+        base = _triangle_task()
+        tracker = TrafficTracker(base.num_od_pairs)
+        for _ in range(steady):
+            reading = tracker.observe(base.od_sizes_pps)
+            assert reading.change_points == ()
+        spiked = inject_anomaly(base, od_index, magnitude)
+        reading = tracker.observe(spiked.od_sizes_pps)
+        assert reading.warmed_up
+        assert reading.change_points == (od_index,)
+
+    def test_fires_once_then_reanchors(self):
+        base = _triangle_task()
+        tracker = TrafficTracker(base.num_od_pairs)
+        for _ in range(5):
+            tracker.observe(base.od_sizes_pps)
+        spiked = inject_anomaly(base, 1, 6.0)
+        assert tracker.observe(spiked.od_sizes_pps).change_points == (1,)
+        # A *persisting* anomaly is the new level — no repeated alarms.
+        for _ in range(4):
+            assert tracker.observe(spiked.od_sizes_pps).change_points == ()
+
+    def test_cusum_catches_sustained_small_shift(self):
+        tracker = TrafficTracker(
+            1,
+            relative_threshold=10.0,  # shock rule effectively off
+            shock_sigmas=100.0,
+            cusum_threshold=6.0,
+            cusum_drift=0.5,
+            warmup_intervals=2,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            tracker.observe([1000.0 * rng.uniform(0.995, 1.005)])
+        # +15 %: individually unshocking, cumulatively undeniable.
+        fired_at = None
+        for k in range(25):
+            reading = tracker.observe([1150.0])
+            if reading.change_points:
+                fired_at = k
+                break
+        assert fired_at is not None
+
+    def test_no_alarms_during_warmup(self):
+        tracker = TrafficTracker(2, warmup_intervals=5)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            z = rng.uniform(10.0, 10_000.0, size=2)
+            assert tracker.observe(z).change_points == ()
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        tracker = TrafficTracker(3)
+        with pytest.raises(ValueError, match="shape"):
+            tracker.observe([1.0, 2.0])
+
+    def test_rejects_nonfinite_and_negative(self):
+        tracker = TrafficTracker(2)
+        with pytest.raises(ValueError, match="finite"):
+            tracker.observe([1.0, float("nan")])
+        with pytest.raises(ValueError, match="non-negative"):
+            tracker.observe([1.0, -2.0])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_od_pairs": 0},
+            {"num_od_pairs": 2, "ewma_weight": 0.0},
+            {"num_od_pairs": 2, "process_noise_ratio": 0.0},
+            {"num_od_pairs": 2, "variance_weight": 1.5},
+            {"num_od_pairs": 2, "relative_threshold": -1.0},
+            {"num_od_pairs": 2, "cusum_threshold": 0.0},
+            {"num_od_pairs": 2, "warmup_intervals": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficTracker(**kwargs)
+
+    def test_interval_counter(self):
+        tracker = TrafficTracker(1)
+        assert tracker.intervals_observed == 0
+        tracker.observe([5.0])
+        tracker.observe([5.0])
+        assert tracker.intervals_observed == 2

@@ -20,8 +20,10 @@ from repro.verify import (
     TOLERANCES,
     check_backends,
     check_presolve,
+    check_reconfig,
     check_reference,
     check_stacked,
+    check_stream,
     check_supervised,
     differential_check,
     random_problem,
@@ -97,6 +99,33 @@ class TestBackendPairs:
             _problem(seed, degenerate=True), include_reference=False
         )
         assert result["passed"], result["checks"]
+
+
+class TestStreamPairs:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @SLOW
+    def test_warm_incremental_matches_cold_exact(self, seed):
+        """Every drifted interval's warm solve lands on the cold optimum."""
+        record = check_stream(_problem(seed))
+        assert record["passed"], record
+        assert record["objective_gap"] <= TOLERANCES["stream"]
+        assert record["warm_hits"] == record["intervals"] - 1
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @SLOW
+    def test_reconfig_penalty_lifts_to_certified_point(self, seed):
+        """The penalized optimum is KKT-certified and its exact mapping
+        back to the unpenalized objective (gap bound, churn bound) holds."""
+        record = check_reconfig(_problem(seed))
+        assert record["passed"], record
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stream_pairs_survive_degenerate_instances(self, seed):
+        problem = _problem(seed, degenerate=True)
+        assert check_stream(problem)["passed"]
+        assert check_reconfig(problem)["passed"]
 
 
 class TestReferenceCrossCheck:

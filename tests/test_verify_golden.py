@@ -118,3 +118,74 @@ def test_artifact_solve_is_deterministic():
     b = solve_golden_case("geant")
     assert a["objective"] == b["objective"]
     assert a["rates"] == b["rates"]
+
+
+class TestStreamCase:
+    """The 24-interval streaming trace is part of the corpus."""
+
+    def test_stream_case_listed_and_shipped(self):
+        from repro.verify.golden import stream_case_names
+
+        assert "geant-stream-24h" in golden_case_names()
+        assert stream_case_names() == ["geant-stream-24h"]
+
+    def test_artifact_schema(self, tmp_path):
+        update_golden(names=["geant-stream-24h"], directory=tmp_path)
+        artifact = json.loads(
+            (tmp_path / "geant-stream-24h.json").read_text()
+        )
+        assert artifact["schema_version"] == GOLDEN_SCHEMA_VERSION
+        assert artifact["kind"] == "stream"
+        assert artifact["summary"]["num_intervals"] == 24
+        assert artifact["summary"]["cold_resolves"] == 1
+        assert artifact["summary"]["change_point_intervals"] == [12]
+        assert artifact["summary"]["warm_iterations_p95"] <= (
+            GOLDEN_TOLERANCES["warm_iterations_p95"]
+        )
+        for interval in artifact["intervals"]:
+            assert interval["kkt_satisfied"]
+            if interval["index"] > 0:
+                assert interval["cold"] != interval["warm"]
+
+    def test_round_trip_passes(self, tmp_path):
+        update_golden(names=["geant-stream-24h"], directory=tmp_path)
+        result = compare_golden("geant-stream-24h", directory=tmp_path)
+        assert result["passed"], result["diffs"]
+
+    def test_tampered_decision_pattern_fails(self, tmp_path):
+        update_golden(names=["geant-stream-24h"], directory=tmp_path)
+        path = tmp_path / "geant-stream-24h.json"
+        artifact = json.loads(path.read_text())
+        # Pretend the cold re-solve happened one interval later.
+        artifact["intervals"][12]["cold"] = False
+        artifact["intervals"][13]["cold"] = True
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant-stream-24h", directory=tmp_path)
+        assert not result["passed"]
+        assert not result["diffs"]["decisions"]["ok"]
+
+    def test_tampered_interval_objective_fails(self, tmp_path):
+        update_golden(names=["geant-stream-24h"], directory=tmp_path)
+        path = tmp_path / "geant-stream-24h.json"
+        artifact = json.loads(path.read_text())
+        artifact["intervals"][7]["objective"] *= 1.001
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant-stream-24h", directory=tmp_path)
+        assert not result["passed"]
+        assert not result["diffs"]["objective"]["ok"]
+
+    def test_warm_iteration_blowup_fails(self, tmp_path):
+        update_golden(names=["geant-stream-24h"], directory=tmp_path)
+        path = tmp_path / "geant-stream-24h.json"
+        artifact = json.loads(path.read_text())
+        # A stored count far below the fresh one means the fresh run
+        # regressed past the drift allowance.
+        for interval in artifact["intervals"]:
+            if interval["warm_iterations"] is not None:
+                interval["warm_iterations"] = max(
+                    0, interval["warm_iterations"] - 10
+                )
+        path.write_text(json.dumps(artifact))
+        result = compare_golden("geant-stream-24h", directory=tmp_path)
+        assert not result["passed"]
+        assert not result["diffs"]["warm_iterations"]["ok"]

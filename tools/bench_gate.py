@@ -61,6 +61,7 @@ TRACKED_SECONDS = {
     "scaling": ("approx_seconds", "decompose_seconds", "compiled_seconds"),
     "obs": ("disabled_seconds",),
     "serve": ("warm_request_seconds",),
+    "stream": ("incremental_seconds",),
 }
 
 #: (numerator, denominator) for recomputing each kind's headline
@@ -72,6 +73,7 @@ SPEEDUP_PAIRS = {
     "batch-shm": ("pickle_pool_seconds", "shm_pool_seconds"),
     "scaling": ("exact_seconds", "approx_seconds"),
     "serve": ("cold_cli_seconds", "warm_request_seconds"),
+    "stream": ("cold_seconds", "incremental_seconds"),
 }
 
 #: Certified-gap fields per kind -> the tolerance key holding their
@@ -94,6 +96,10 @@ GAP_CEILINGS = {
         "relative_objective_gap": "max_relative_objective_gap",
     },
     "serve": {"relative_objective_gap": "max_relative_objective_gap"},
+    "stream": {
+        "relative_objective_gap": "max_relative_objective_gap",
+        "warm_iterations_p95": "max_warm_iterations_p95",
+    },
 }
 
 
